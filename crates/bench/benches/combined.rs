@@ -1,0 +1,65 @@
+//! C-F5 — Combined view updating + integrity handling (§5.3): the
+//! in-search maintenance pipeline (downward `{request, ¬ins Ic}`) vs. the
+//! generate-and-test pipeline (translate, then upward-check each
+//! alternative).
+//!
+//! Expected (and measured) shape: generate-and-test pays one upward check
+//! per candidate translation and stays flat when the request is selective
+//! (few candidates); in-search maintenance pays for enumerating *every*
+//! potential violation path over the domain (the `¬ins Ic` guard is
+//! global), growing linearly with the number of persons. The point of the
+//! §5.3 combination framework is that both orders are expressible; which
+//! wins is workload-dependent — selective requests favour checking,
+//! requests with many raw translations favour in-search maintenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dduf_core::downward::Request;
+use dduf_core::processor::UpdateProcessor;
+use dduf_datalog::ast::{Atom, Const};
+use dduf_datalog::parser::parse_database;
+use dduf_events::event::EventKind;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Employment database with `n` people and a disjunctive unemp definition
+/// (more defining rules = more raw translations per request).
+fn scaled_db(n: usize) -> UpdateProcessor {
+    let mut src = String::from(
+        "unemp(X) :- la(X), not works(X).
+         unemp(X) :- registered(X), not works(X).
+         :- unemp(X), not u_benefit(X).\n",
+    );
+    for i in 0..n {
+        let _ = writeln!(src, "la(p{i}). u_benefit(p{i}).");
+        if i % 2 == 0 {
+            let _ = writeln!(src, "works(p{i}).");
+        }
+    }
+    UpdateProcessor::new(parse_database(&src).expect("parses")).expect("processor")
+}
+
+fn bench_combined(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combined");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for &n in &[10usize, 100, 1_000] {
+        let proc = scaled_db(n);
+        let req = Request::new().achieve(
+            EventKind::Ins,
+            Atom::ground("unemp", vec![Const::sym("fresh")]),
+        );
+        group.bench_with_input(BenchmarkId::new("maintain_in_search", n), &n, |b, _| {
+            b.iter(|| proc.view_update_with_integrity(&req).expect("combined"))
+        });
+        group.bench_with_input(BenchmarkId::new("generate_and_test", n), &n, |b, _| {
+            b.iter(|| proc.view_update_checked(&req).expect("checked"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_combined);
+criterion_main!(benches);

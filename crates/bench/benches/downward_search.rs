@@ -1,0 +1,72 @@
+//! C-F3 — Downward translation cost vs. definition depth and domain size.
+//!
+//! Expected shape: cost grows with view-tower depth (each level multiplies
+//! alternatives: delete any supporting level) — roughly linear in depth
+//! for deletion requests on towers (one alternative per level) — and
+//! enumeration-bound in the domain size for open (validation-style)
+//! requests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dduf_bench::{tower_db, TowerShape};
+use dduf_core::downward::{self, DownwardOptions, Request};
+use dduf_datalog::ast::{Atom, Const, Pred, Term};
+use dduf_datalog::eval::materialize;
+use dduf_events::event::EventKind;
+use std::time::Duration;
+
+fn bench_downward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("downward_search");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+
+    // Depth sweep: ground deletion request at the top of the tower.
+    for &depth in &[1usize, 2, 3, 4, 5, 6] {
+        let db = tower_db(TowerShape {
+            depth,
+            facts_per_level: 8,
+            with_negation: true,
+        });
+        let old = materialize(&db).expect("old");
+        let view = Pred::new(&format!("v{depth}"), 1);
+        let req = Request::new().achieve(
+            EventKind::Del,
+            Atom {
+                pred: view,
+                terms: vec![Const::sym("c0").into()],
+            },
+        );
+        let opts = DownwardOptions::default();
+        group.bench_with_input(BenchmarkId::new("delete_by_depth", depth), &depth, |b, _| {
+            b.iter(|| downward::interpret_with(&db, &old, &req, &opts).expect("downward"))
+        });
+        let res = downward::interpret_with(&db, &old, &req, &opts).expect("downward");
+        eprintln!(
+            "downward_search,depth={depth},alternatives={}",
+            res.alternatives.len()
+        );
+    }
+
+    // Domain sweep: open insertion request on a 2-level tower.
+    for &dom in &[2usize, 8, 32] {
+        let db = tower_db(TowerShape {
+            depth: 2,
+            facts_per_level: dom,
+            with_negation: false,
+        });
+        let old = materialize(&db).expect("old");
+        let req = Request::new().achieve(
+            EventKind::Del,
+            Atom::new("v2", vec![Term::var("X")]),
+        );
+        let opts = DownwardOptions::default();
+        group.bench_with_input(BenchmarkId::new("open_by_domain", dom), &dom, |b, _| {
+            b.iter(|| downward::interpret_with(&db, &old, &req, &opts).expect("downward"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_downward);
+criterion_main!(benches);

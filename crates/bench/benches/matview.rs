@@ -1,0 +1,47 @@
+//! C-F6 — Materialized view maintenance: apply-delta vs. rematerialize.
+//!
+//! Expected shape: applying the upward deltas to the stored extension is
+//! proportional to the delta (flat in view size); rematerializing the view
+//! from scratch grows linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dduf_bench::{random_toggle_txn, wide_db};
+use dduf_core::matview::MaterializedViewStore;
+use dduf_core::problems::view_maintenance;
+use dduf_core::upward::Engine;
+use dduf_datalog::eval::materialize;
+use std::time::Duration;
+
+fn bench_matview(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matview");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    for &n in &[100usize, 1_000, 10_000] {
+        let db = wide_db(n);
+        let old = materialize(&db).expect("old");
+        let store = MaterializedViewStore::materialize(db.program(), &old);
+        let txn = random_toggle_txn(&db, 4, 7);
+
+        group.bench_with_input(BenchmarkId::new("apply_delta", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = store.clone();
+                view_maintenance::maintain(&db, &old, &txn, &mut s, Engine::Incremental)
+                    .expect("maintain")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rematerialize", n), &n, |b, _| {
+            b.iter(|| {
+                let new_db = txn.apply(&db);
+                let new = materialize(&new_db).expect("new");
+                MaterializedViewStore::materialize(new_db.program(), &new)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matview);
+criterion_main!(benches);

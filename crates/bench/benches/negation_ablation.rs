@@ -1,0 +1,71 @@
+//! C-F8 — Ablation: greedy vs. exhaustive negation strategy
+//! (DESIGN.md semantics decision 6).
+//!
+//! Both strategies are sound (verified by upward replay); greedy returns
+//! subset-minimal translations and stays polynomial per negation clause,
+//! while the paper-literal exhaustive branching enumerates every
+//! compensating combination. Measured here on the integrity-maintenance
+//! guard (`{T, ¬ins Ic}`), the workload where the difference is largest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dduf_core::downward::{DownwardOptions, Request};
+use dduf_core::processor::UpdateProcessor;
+use dduf_datalog::ast::{Atom, Const};
+use dduf_datalog::parser::parse_database;
+use dduf_events::event::EventKind;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn processor(n: usize) -> UpdateProcessor {
+    let mut src = String::from(
+        "unemp(X) :- la(X), not works(X).
+         :- unemp(X), not u_benefit(X).\n",
+    );
+    for i in 0..n {
+        let _ = writeln!(src, "la(p{i}). u_benefit(p{i}).");
+    }
+    UpdateProcessor::new(parse_database(&src).expect("parses")).expect("processor")
+}
+
+fn bench_negation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("negation_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+
+    // n=8 exhaustive already needs ~8 s per run (3^8 alternatives); the
+    // sweep stops at 6 to keep `cargo bench` turnaround sane.
+    for &n in &[2usize, 4, 6] {
+        let proc = processor(n);
+        let req = Request::new().achieve(
+            EventKind::Ins,
+            Atom::ground("unemp", vec![Const::sym("fresh")]),
+        );
+        let greedy = proc.clone().with_options(DownwardOptions::default());
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| greedy.view_update_with_integrity(&req).expect("greedy"))
+        });
+        let exhaustive = proc.clone().with_options(DownwardOptions {
+            exhaustive_negation: true,
+            max_alternatives: 1_000_000,
+            ..DownwardOptions::default()
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
+            b.iter(|| exhaustive.view_update_with_integrity(&req).expect("exhaustive"))
+        });
+
+        // Shape data for EXPERIMENTS.md.
+        let g = greedy.view_update_with_integrity(&req).expect("greedy");
+        let x = exhaustive.view_update_with_integrity(&req).expect("exhaustive");
+        eprintln!(
+            "negation_ablation,n={n},greedy_alternatives={},exhaustive_alternatives={}",
+            g.alternatives.len(),
+            x.alternatives.len()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_negation);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! C-F9 — Ablation: relevance-restricted materialization
+//! (`materialize_for`) vs. full materialization.
+//!
+//! A schema with one constraint-relevant view and many unrelated views:
+//! checking the constraint only needs the former. Expected shape: the
+//! restricted pass is flat in the number of unrelated views, the full pass
+//! grows linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dduf_datalog::ast::Pred;
+use dduf_datalog::eval::{materialize, materialize_for, Strategy};
+use dduf_datalog::parser::parse_database;
+use dduf_datalog::storage::database::Database;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// `views` unrelated views over 500 base facts, plus the ic-relevant pair.
+fn db_with_views(views: usize) -> Database {
+    let mut src = String::from(
+        "unemp(X) :- la(X), not works(X).
+         :- unemp(X), not u_benefit(X).\n",
+    );
+    for v in 0..views {
+        let _ = writeln!(src, "view{v}(X) :- base{}(X).", v % 8);
+    }
+    for i in 0..500 {
+        let _ = writeln!(src, "la(p{i}). u_benefit(p{i}). base{}(p{i}).", i % 8);
+    }
+    parse_database(&src).expect("parses")
+}
+
+fn bench_relevance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relevance");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+
+    for &views in &[1usize, 10, 100] {
+        let db = db_with_views(views);
+        let ic = db.program().global_ic().expect("has constraints");
+
+        group.bench_with_input(BenchmarkId::new("full", views), &views, |b, _| {
+            b.iter(|| materialize(&db).expect("full"))
+        });
+        group.bench_with_input(BenchmarkId::new("restricted", views), &views, |b, _| {
+            b.iter(|| materialize_for(&db, &[ic], Strategy::SemiNaive).expect("restricted"))
+        });
+        // Sanity: the restricted pass computes the ic extension identically.
+        let full = materialize(&db).expect("full");
+        let part = materialize_for(&db, &[ic], Strategy::SemiNaive).expect("restricted");
+        assert_eq!(full.relation(ic), part.relation(ic));
+        assert_eq!(
+            full.relation(Pred::new("unemp", 1)),
+            part.relation(Pred::new("unemp", 1))
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relevance);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! C-F7 — Substrate sanity: naive vs. semi-naive fixpoint on recursive
+//! programs.
+//!
+//! Expected shape: on transitive closure of an n-edge chain, naive
+//! evaluation re-derives the whole relation every round (O(n) rounds ×
+//! O(n²) work), while semi-naive touches each derivation once; the gap
+//! grows superlinearly with n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dduf_bench::chain_tc_db;
+use dduf_datalog::eval::{materialize_with, Strategy};
+use std::time::Duration;
+
+fn bench_seminaive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seminaive");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    for &n in &[16usize, 32, 64] {
+        let db = chain_tc_db(n);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| materialize_with(&db, Strategy::Naive).expect("naive"))
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| materialize_with(&db, Strategy::SemiNaive).expect("seminaive"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seminaive);
+criterion_main!(benches);

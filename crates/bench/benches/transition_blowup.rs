@@ -1,0 +1,69 @@
+//! C-F2 — Transition rule construction: the 2^k expansion (§3.2) and the
+//! cost of [Oli91]-style simplification.
+//!
+//! Expected (and measured) shape: raw construction time and disjunct
+//! counts double per body literal. For bodies of *distinct* atoms,
+//! simplification finds nothing to prune (contradiction/duplicate
+//! elimination needs repeated atoms), so its value on this workload is its
+//! cost floor; the subsumption pass is quadratic and auto-disables above
+//! 1024 disjuncts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dduf_datalog::ast::{Atom, Literal, Pred, Rule, Term};
+use dduf_datalog::schema::Program;
+use dduf_events::simplify::simplify_transition;
+use dduf_events::transition::TransitionRule;
+use std::time::Duration;
+
+fn rule_with_body(k: usize) -> Program {
+    let body: Vec<Literal> = (0..k)
+        .map(|i| {
+            let atom = Atom::new(&format!("b{i}"), vec![Term::var("X")]);
+            if i % 2 == 0 {
+                Literal::pos(atom)
+            } else {
+                Literal::neg(atom)
+            }
+        })
+        .collect();
+    // Ensure allowedness: one guaranteed positive literal binding X.
+    let mut body = body;
+    body.insert(0, Literal::pos(Atom::new("guard", vec![Term::var("X")])));
+    let mut b = Program::builder();
+    b.rule(Rule::new(Atom::new("p", vec![Term::var("X")]), body));
+    b.build().expect("valid program")
+}
+
+fn bench_transition_blowup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transition_blowup");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+
+    for &k in &[2usize, 4, 6, 8, 10, 12] {
+        let prog = rule_with_body(k);
+        let pred = Pred::new("p", 1);
+
+        group.bench_with_input(BenchmarkId::new("build_raw", k), &k, |b, _| {
+            b.iter(|| TransitionRule::build(&prog, pred))
+        });
+        let tr = TransitionRule::build(&prog, pred);
+        group.bench_with_input(BenchmarkId::new("simplify", k), &k, |b, _| {
+            b.iter(|| simplify_transition(&tr))
+        });
+
+        // Shape data for EXPERIMENTS.md (printed once per size).
+        let simplified = simplify_transition(&tr);
+        eprintln!(
+            "transition_blowup,k={},raw_disjuncts={},simplified_disjuncts={}",
+            k + 1,
+            tr.disjunct_count(),
+            simplified.disjunct_count()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transition_blowup);
+criterion_main!(benches);

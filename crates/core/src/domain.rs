@@ -1,0 +1,172 @@
+//! Finite domains for event-variable instantiation.
+//!
+//! §2: "We assume that the possible values for the terms range over finite
+//! domains", and §4.2 relies on this to keep the number of downward
+//! alternatives finite ("as we consider finite domains, the number of
+//! alternatives is always finite"). The downward interpreter instantiates
+//! unbound event variables from a [`Domain`]; the default is the *active
+//! domain* of the database extended with the constants of the request.
+//!
+//! Per-predicate domains (`#domain p/1 {a, b}.`) restrict the
+//! instantiation of event variables for one predicate — the declared
+//! typing of §2's "finite domains" — which both sharpens downward answers
+//! and keeps open requests small.
+
+use dduf_datalog::ast::{Const, Pred};
+use dduf_datalog::storage::database::Database;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A finite domain of constants: a global pool plus optional per-predicate
+/// restrictions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Domain {
+    global: BTreeSet<Const>,
+    per_pred: BTreeMap<Pred, BTreeSet<Const>>,
+}
+
+impl Domain {
+    /// An empty domain.
+    pub fn new() -> Domain {
+        Domain::default()
+    }
+
+    /// The active domain of `db`: constants in facts, rules, and `#domain`
+    /// declarations (global and per-predicate).
+    pub fn active(db: &Database) -> Domain {
+        let mut global = db.active_domain();
+        let per_pred: BTreeMap<Pred, BTreeSet<Const>> = db
+            .program()
+            .pred_domains()
+            .map(|(p, s)| (p, s.clone()))
+            .collect();
+        for s in per_pred.values() {
+            global.extend(s.iter().copied());
+        }
+        Domain { global, per_pred }
+    }
+
+    /// A domain from explicit constants (global pool only).
+    pub fn from_consts(consts: impl IntoIterator<Item = Const>) -> Domain {
+        Domain {
+            global: consts.into_iter().collect(),
+            per_pred: BTreeMap::new(),
+        }
+    }
+
+    /// Restricts one predicate's instantiation domain.
+    pub fn restrict(&mut self, pred: Pred, consts: impl IntoIterator<Item = Const>) {
+        self.per_pred.entry(pred).or_default().extend(consts);
+    }
+
+    /// Adds constants to the global pool (e.g. those mentioned in a
+    /// request).
+    pub fn extend(&mut self, consts: impl IntoIterator<Item = Const>) {
+        self.global.extend(consts);
+    }
+
+    /// Iterates the global pool in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = Const> + '_ {
+        self.global.iter().copied()
+    }
+
+    /// Iterates the instantiation domain of `pred`: its restriction if
+    /// declared, the global pool otherwise.
+    pub fn iter_for(&self, pred: Pred) -> impl Iterator<Item = Const> + '_ {
+        self.per_pred
+            .get(&pred)
+            .unwrap_or(&self.global)
+            .iter()
+            .copied()
+    }
+
+    /// Size of the instantiation domain of `pred`.
+    pub fn len_for(&self, pred: Pred) -> usize {
+        self.per_pred.get(&pred).unwrap_or(&self.global).len()
+    }
+
+    /// Number of constants in the global pool.
+    pub fn len(&self) -> usize {
+        self.global.len()
+    }
+
+    /// True iff the global pool has no constants.
+    pub fn is_empty(&self) -> bool {
+        self.global.is_empty()
+    }
+
+    /// Membership test against the global pool.
+    pub fn contains(&self, c: Const) -> bool {
+        self.global.contains(&c)
+    }
+
+    /// True iff a ground tuple of `pred` is within its declared domain.
+    /// Predicates without a `#domain p/n {...}` restriction permit any
+    /// constants (the global pool is an instantiation pool, not a type
+    /// check).
+    pub fn permits(&self, pred: Pred, tuple: &dduf_datalog::storage::tuple::Tuple) -> bool {
+        match self.per_pred.get(&pred) {
+            Some(set) => tuple.iter().all(|c| set.contains(c)),
+            None => true,
+        }
+    }
+}
+
+impl FromIterator<Const> for Domain {
+    fn from_iter<I: IntoIterator<Item = Const>>(iter: I) -> Domain {
+        Domain::from_consts(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::parser::parse_database;
+
+    #[test]
+    fn active_domain_from_db() {
+        let db = parse_database("#domain {z}. q(a). p(X) :- q(X).").unwrap();
+        let d = Domain::active(&db);
+        assert!(d.contains(Const::sym("a")));
+        assert!(d.contains(Const::sym("z")));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn per_predicate_domain_restricts() {
+        let db = parse_database(
+            "#domain la/1 {ana, ben}.
+             q(other). la(ana).
+             unemp(X) :- la(X), not works(X).",
+        )
+        .unwrap();
+        let d = Domain::active(&db);
+        let la: Vec<Const> = d.iter_for(Pred::new("la", 1)).collect();
+        assert_eq!(la, vec![Const::sym("ana"), Const::sym("ben")]);
+        assert_eq!(d.len_for(Pred::new("la", 1)), 2);
+        // Unrestricted predicates fall back to the global pool (which
+        // includes the per-pred constants).
+        assert!(d.len_for(Pred::new("q", 1)) >= 3);
+    }
+
+    #[test]
+    fn extend_with_request_constants() {
+        let mut d = Domain::from_consts([Const::sym("a")]);
+        d.extend([Const::sym("b"), Const::sym("a")]);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn restrict_api() {
+        let mut d = Domain::from_consts([Const::sym("a"), Const::sym("b")]);
+        d.restrict(Pred::new("p", 1), [Const::sym("a")]);
+        assert_eq!(d.len_for(Pred::new("p", 1)), 1);
+        assert_eq!(d.len_for(Pred::new("q", 1)), 2);
+    }
+
+    #[test]
+    fn deterministic_iteration() {
+        let d = Domain::from_consts([Const::Int(2), Const::Int(1)]);
+        let v: Vec<Const> = d.iter().collect();
+        assert_eq!(v, vec![Const::Int(1), Const::Int(2)]);
+    }
+}

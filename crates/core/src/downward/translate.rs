@@ -1,0 +1,553 @@
+//! The recursive downward translator (§4.2).
+//!
+//! Translates event literals into the normal form of [`super::nf`]:
+//!
+//! * an **old-database literal** is a query on the current state — it
+//!   decides truth and/or produces variable bindings;
+//! * a **base event literal** "defines different alternatives of base fact
+//!   updates to be performed, one for each possible way to instantiate this
+//!   event" — positive occurrences become `to_do` entries, negative ones
+//!   `must_not` requirements;
+//! * a **derived event literal** is handled by downward-interpreting its
+//!   own event rule; negative derived events (and negative new-state
+//!   literals) are the negation of the positive result.
+//!
+//! Event-definition pruning is applied throughout: `ins Q(c̄)` is impossible
+//! when `Q°(c̄)` already holds, `del Q(c̄)` when it does not (footnote 1).
+//!
+//! ## Negation strategy
+//!
+//! The paper defines the negation of a downward result as "the disjunctive
+//! normal form of the logical negation" — a CNF→DNF product that is
+//! exponential in the number of negated alternatives. This translator
+//! folds each negation *clause by clause into the context built so far*
+//! (the fixed transaction and previously translated request items), which
+//! lets contradictions resolve clauses immediately. Two strategies:
+//!
+//! * **greedy** (default): a clause `¬e₁ ∨ ... ∨ ¬eₖ ∨ f₁ ∨ ... ∨ fₘ` is
+//!   satisfied by *not performing any of the eᵢ* whenever that is
+//!   consistent with the alternative under construction (one strengthened
+//!   branch, recorded as `must_not` entries); the compensating `fⱼ`
+//!   branches are explored only when some `eᵢ` is already a committed
+//!   `to_do` entry. This keeps results subset-minimal in `to_do` and the
+//!   search polynomial per clause, at the (documented) cost of not
+//!   enumerating non-minimal solutions that perform a forbidden event and
+//!   compensate elsewhere.
+//! * **exhaustive** ([`super::DownwardOptions::exhaustive_negation`]): the
+//!   paper-literal per-literal branching.
+//!
+//! Both strategies produce only sound alternatives (each, replayed upward,
+//! realizes the request — a property-tested invariant), and both agree on
+//! every worked example of the paper.
+
+use crate::domain::Domain;
+use crate::downward::nf::{self, Alt, Nf};
+use crate::downward::DownwardOptions;
+use crate::error::{Error, Result};
+use dduf_datalog::ast::{Pred, Term, Var};
+use dduf_datalog::eval::join::{ground_terms, match_tuple, resolve, Bindings};
+use dduf_datalog::eval::Interpretation;
+use dduf_datalog::storage::database::Database;
+use dduf_datalog::storage::relation::Relation;
+use dduf_datalog::storage::tuple::Tuple;
+use dduf_events::event::{EventKind, GroundEvent};
+use dduf_events::formula::TrLit;
+use dduf_events::simplify::simplify_transition;
+use dduf_events::transition::TransitionRule;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// The downward translation engine. One instance per interpretation call;
+/// caches simplified transition rules across the recursion.
+pub struct Translator<'a> {
+    db: &'a Database,
+    old: &'a Interpretation,
+    domain: Domain,
+    opts: &'a DownwardOptions,
+    trs: BTreeMap<Pred, Rc<TransitionRule>>,
+    visiting: Vec<Pred>,
+}
+
+impl<'a> Translator<'a> {
+    /// Creates a translator over the old state `old` of `db`.
+    pub fn new(
+        db: &'a Database,
+        old: &'a Interpretation,
+        domain: Domain,
+        opts: &'a DownwardOptions,
+    ) -> Translator<'a> {
+        Translator {
+            db,
+            old,
+            domain,
+            opts,
+            trs: BTreeMap::new(),
+            visiting: Vec::new(),
+        }
+    }
+
+    /// The finite domain in use.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    fn old_relation(&self, pred: Pred) -> &Relation {
+        if self.db.program().is_derived(pred) {
+            self.old.relation(pred)
+        } else {
+            self.db.relation(pred)
+        }
+    }
+
+    fn old_holds(&self, pred: Pred, tuple: &Tuple) -> bool {
+        self.old_relation(pred).contains(tuple)
+    }
+
+    /// True iff `e` can occur in a transition from the old state: by the
+    /// event definitions (1)/(2), an insertion needs the fact absent and a
+    /// deletion needs it present; additionally the tuple must lie within
+    /// the predicate's declared domain (`#domain p/n {...}`), which acts
+    /// as a typing guard.
+    pub fn event_possible(&self, e: &GroundEvent) -> bool {
+        if !self.domain.permits(e.pred, &e.tuple) {
+            return false;
+        }
+        match e.kind {
+            EventKind::Ins => !self.old_holds(e.pred, &e.tuple),
+            EventKind::Del => self.old_holds(e.pred, &e.tuple),
+        }
+    }
+
+    fn transition(&mut self, pred: Pred) -> Rc<TransitionRule> {
+        if let Some(tr) = self.trs.get(&pred) {
+            return Rc::clone(tr);
+        }
+        let tr = Rc::new(simplify_transition(&TransitionRule::build(
+            self.db.program(),
+            pred,
+        )));
+        self.trs.insert(pred, Rc::clone(&tr));
+        tr
+    }
+
+    fn cap(&self) -> usize {
+        self.opts.max_alternatives
+    }
+
+    /// Enumerates all groundings of `terms` under `seed` over the finite
+    /// domain of `pred` (one binding per way to instantiate the unbound
+    /// variables). A per-predicate `#domain` restriction takes precedence
+    /// over the global pool.
+    pub fn groundings(
+        &self,
+        pred: Pred,
+        terms: &[Term],
+        seed: &Bindings,
+    ) -> Result<Vec<Bindings>> {
+        let mut unbound: Vec<Var> = Vec::new();
+        for &t in terms {
+            if let Term::Var(v) = resolve(t, seed) {
+                if !unbound.contains(&v) {
+                    unbound.push(v);
+                }
+            }
+        }
+        if unbound.is_empty() {
+            return Ok(vec![seed.clone()]);
+        }
+        let dom_len = self.domain.len_for(pred);
+        if dom_len == 0 {
+            return Err(Error::EmptyDomain);
+        }
+        let total = dom_len
+            .checked_pow(u32::try_from(unbound.len()).unwrap_or(u32::MAX))
+            .unwrap_or(usize::MAX);
+        if total > self.opts.max_groundings {
+            return Err(Error::LimitExceeded {
+                what: "groundings",
+                limit: self.opts.max_groundings,
+            });
+        }
+        let mut out = vec![seed.clone()];
+        for v in unbound {
+            let mut next = Vec::with_capacity(out.len() * dom_len);
+            for b in &out {
+                for c in self.domain.iter_for(pred) {
+                    let mut b2 = b.clone();
+                    b2.insert(v, c);
+                    next.push(b2);
+                }
+            }
+            out = next;
+        }
+        Ok(out)
+    }
+
+    /// Extends `ctx` with the requirement that the *positive ground* event
+    /// `kind pred(c̄)` occurs. Returns the combined NF (`ctx ∧ event`).
+    pub fn apply_pos_event(
+        &mut self,
+        kind: EventKind,
+        pred: Pred,
+        tuple: &Tuple,
+        depth: usize,
+        ctx: &Nf,
+    ) -> Result<Nf> {
+        let e = GroundEvent::new(kind, pred, tuple.clone());
+        if !self.event_possible(&e) {
+            return Ok(nf::falsum());
+        }
+        if !self.db.program().is_derived(pred) {
+            return nf::conj(ctx, &vec![Alt::of_pos(e)], self.cap());
+        }
+        match kind {
+            // ins P(c̄) → Pⁿ(c̄) ∧ ¬P°(c̄); the second conjunct is the
+            // possibility check above.
+            EventKind::Ins => self.down_new_state(pred, tuple, depth, ctx),
+            // del P(c̄) → P°(c̄) ∧ ¬Pⁿ(c̄): negate the context-free positive
+            // characterization, folding clauses into ctx.
+            EventKind::Del => {
+                let pos = self.down_new_state(pred, tuple, depth, &nf::verum())?;
+                self.fold_negation(ctx.clone(), &pos)
+            }
+        }
+    }
+
+    /// Extends `ctx` with the requirement that the event does *not* occur
+    /// (`ctx ∧ ¬event`).
+    pub fn apply_neg_event(
+        &mut self,
+        kind: EventKind,
+        pred: Pred,
+        tuple: &Tuple,
+        depth: usize,
+        ctx: &Nf,
+    ) -> Result<Nf> {
+        let e = GroundEvent::new(kind, pred, tuple.clone());
+        if !self.event_possible(&e) {
+            // The event cannot occur at all: the requirement is vacuous.
+            return Ok(ctx.clone());
+        }
+        if !self.db.program().is_derived(pred) {
+            return self.conj_clause(ctx.clone(), &[e], &[]);
+        }
+        match kind {
+            // ¬ins P(c̄) ≡ P°(c̄) ∨ ¬Pⁿ(c̄); here ¬P°(c̄), so ¬Pⁿ(c̄).
+            EventKind::Ins => {
+                let pos = self.down_new_state(pred, tuple, depth, &nf::verum())?;
+                self.fold_negation(ctx.clone(), &pos)
+            }
+            // ¬del P(c̄) ≡ ¬P°(c̄) ∨ Pⁿ(c̄); here P°(c̄), so Pⁿ(c̄).
+            EventKind::Del => self.down_new_state(pred, tuple, depth, ctx),
+        }
+    }
+
+    /// Downward interpretation of the new-state literal `Pⁿ(c̄)` via the
+    /// transition rule of `P`, conjoined into `ctx`.
+    fn down_new_state(
+        &mut self,
+        pred: Pred,
+        tuple: &Tuple,
+        depth: usize,
+        ctx: &Nf,
+    ) -> Result<Nf> {
+        if depth >= self.opts.max_depth {
+            return Err(Error::LimitExceeded {
+                what: "depth",
+                limit: self.opts.max_depth,
+            });
+        }
+        if self.visiting.contains(&pred) {
+            return Err(Error::RecursiveDownward(pred));
+        }
+        self.visiting.push(pred);
+        let tr = self.transition(pred);
+        let mut out = nf::falsum();
+        let result = (|| {
+            for branch in &tr.branches {
+                let Some(seed) = match_tuple(&branch.head.terms, tuple, &Bindings::new()) else {
+                    continue;
+                };
+                for conj in &branch.dnf.0 {
+                    let nf_c = self.down_conjunct(&conj.0, &seed, depth + 1, ctx)?;
+                    out = nf::union(std::mem::take(&mut out), nf_c);
+                    if out.len() > self.cap() {
+                        return Err(Error::LimitExceeded {
+                            what: "alternatives",
+                            limit: self.cap(),
+                        });
+                    }
+                }
+            }
+            Ok(())
+        })();
+        self.visiting.pop();
+        result.map(|()| out)
+    }
+
+    /// Downward interpretation of one transition-rule conjunct under
+    /// `seed`, conjoined into `ctx`.
+    ///
+    /// Literal processing order: positive old literals (bind via old-state
+    /// queries), ground negative old literals (filters), positive event
+    /// literals (instantiate & translate), non-ground negative old literals
+    /// (¬∃ filters), negative event literals last (∀-quantified
+    /// requirements).
+    fn down_conjunct(
+        &mut self,
+        lits: &[TrLit],
+        seed: &Bindings,
+        depth: usize,
+        ctx: &Nf,
+    ) -> Result<Nf> {
+        let mut states: Vec<(Bindings, Nf)> = vec![(seed.clone(), ctx.clone())];
+        let mut remaining: Vec<usize> = (0..lits.len()).collect();
+
+        while !remaining.is_empty() {
+            if states.is_empty() {
+                return Ok(nf::falsum());
+            }
+            let probe = states[0].0.clone();
+            let bound_count = |i: usize| -> usize {
+                lits[i]
+                    .lit_terms()
+                    .iter()
+                    .filter(|&&t| resolve(t, &probe).is_ground())
+                    .count()
+            };
+            let fully_ground =
+                |i: usize| -> bool { bound_count(i) == lits[i].lit_terms().len() };
+
+            // 1. Positive old literal with the most bound arguments.
+            let pick = remaining
+                .iter()
+                .enumerate()
+                .filter(|&(_, &i)| matches!(&lits[i], TrLit::Old(l) if l.positive))
+                .max_by_key(|&(_, &i)| bound_count(i));
+            if let Some((pos, &i)) = pick {
+                remaining.remove(pos);
+                let TrLit::Old(l) = &lits[i] else { unreachable!() };
+                let rel = self.old_relation(l.atom.pred);
+                let mut next = Vec::new();
+                for (b, acc) in &states {
+                    let pattern: Vec<Option<dduf_datalog::ast::Const>> = l
+                        .atom
+                        .terms
+                        .iter()
+                        .map(|&t| resolve(t, b).as_const())
+                        .collect();
+                    for t in rel.select(&pattern) {
+                        if let Some(b2) = match_tuple(&l.atom.terms, &t, b) {
+                            next.push((b2, acc.clone()));
+                        }
+                    }
+                }
+                states = next;
+                continue;
+            }
+
+            // 2. Ground negative old literal: filter.
+            let pick = remaining.iter().position(|&i| {
+                matches!(&lits[i], TrLit::Old(l) if !l.positive) && fully_ground(i)
+            });
+            if let Some(pos) = pick {
+                let i = remaining.remove(pos);
+                let TrLit::Old(l) = &lits[i] else { unreachable!() };
+                let pred = l.atom.pred;
+                states.retain(|(b, _)| {
+                    let t = ground_terms(&l.atom.terms, b).expect("checked ground");
+                    !self.old_holds(pred, &t)
+                });
+                continue;
+            }
+
+            // 3. Positive event literal with the fewest unbound variables.
+            let pick = remaining
+                .iter()
+                .enumerate()
+                .filter(|&(_, &i)| lits[i].is_positive_event())
+                .min_by_key(|&(_, &i)| lits[i].lit_terms().len() - bound_count(i));
+            if let Some((pos, &i)) = pick {
+                remaining.remove(pos);
+                let TrLit::Event { event, .. } = lits[i].clone() else {
+                    unreachable!()
+                };
+                let mut next = Vec::new();
+                for (b, acc) in states.clone() {
+                    for g in self.groundings(event.pred(), &event.atom.terms, &b)? {
+                        let tuple = ground_terms(&event.atom.terms, &g)
+                            .expect("groundings bind all variables");
+                        let combined =
+                            self.apply_pos_event(event.kind, event.pred(), &tuple, depth, &acc)?;
+                        if !combined.is_empty() {
+                            next.push((g, combined));
+                        }
+                    }
+                }
+                states = next;
+                if states.len() > self.cap() {
+                    return Err(Error::LimitExceeded {
+                        what: "alternatives",
+                        limit: self.cap(),
+                    });
+                }
+                continue;
+            }
+
+            // 4. Non-ground negative old literal: ¬∃ over the old state.
+            let pick = remaining
+                .iter()
+                .position(|&i| matches!(&lits[i], TrLit::Old(l) if !l.positive));
+            if let Some(pos) = pick {
+                let i = remaining.remove(pos);
+                let TrLit::Old(l) = &lits[i] else { unreachable!() };
+                let pred = l.atom.pred;
+                states.retain(|(b, _)| {
+                    let pattern: Vec<Option<dduf_datalog::ast::Const>> = l
+                        .atom
+                        .terms
+                        .iter()
+                        .map(|&t| resolve(t, b).as_const())
+                        .collect();
+                    !self
+                        .old_relation(pred)
+                        .select(&pattern)
+                        .iter()
+                        .any(|t| match_tuple(&l.atom.terms, t, b).is_some())
+                });
+                continue;
+            }
+
+            // 5. Negative event literal: ∀ groundings, the event must not
+            // occur.
+            let i = remaining.remove(0);
+            let TrLit::Event { event, .. } = lits[i].clone() else {
+                unreachable!("only event literals remain")
+            };
+            let mut next = Vec::new();
+            for (b, acc) in states.clone() {
+                let mut acc2 = acc;
+                for g in self.groundings(event.pred(), &event.atom.terms, &b)? {
+                    let tuple = ground_terms(&event.atom.terms, &g)
+                        .expect("groundings bind all variables");
+                    acc2 = self.apply_neg_event(event.kind, event.pred(), &tuple, depth, &acc2)?;
+                    if acc2.is_empty() {
+                        break;
+                    }
+                }
+                if !acc2.is_empty() {
+                    next.push((b, acc2));
+                }
+            }
+            states = next;
+        }
+
+        let mut out = nf::falsum();
+        for (_, acc) in states {
+            out = nf::union(out, acc);
+            if out.len() > self.cap() {
+                return Err(Error::LimitExceeded {
+                    what: "alternatives",
+                    limit: self.cap(),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Folds `¬(pos)` into `ctx`: one clause per positive alternative; the
+    /// clause `¬e₁ ∨ ... ∨ ¬eₖ ∨ f₁ ∨ ... ∨ fₘ` comes from negating the
+    /// alternative `e₁ ∧ ... ∧ eₖ ∧ ¬f₁ ∧ ... ∧ ¬fₘ` (the `fⱼ` are kept
+    /// only if they denote possible events; impossible ones are false
+    /// disjuncts).
+    fn fold_negation(&self, ctx: Nf, pos: &Nf) -> Result<Nf> {
+        let mut out = ctx;
+        for alt in pos {
+            if out.is_empty() {
+                break;
+            }
+            let forbid: Vec<GroundEvent> = alt.pos.iter().cloned().collect();
+            let compensate: Vec<GroundEvent> = alt
+                .neg
+                .iter()
+                .filter(|e| self.event_possible(e))
+                .cloned()
+                .collect();
+            out = self.conj_clause(out, &forbid, &compensate)?;
+        }
+        Ok(out)
+    }
+
+    /// Conjoins the clause `(∧ᵢ ¬forbidᵢ) ∨ (∨ⱼ compensateⱼ)` — greedy
+    /// strategy — or `(∨ᵢ ¬forbidᵢ) ∨ (∨ⱼ compensateⱼ)` — exhaustive
+    /// strategy — into every alternative of `nf`.
+    fn conj_clause(
+        &self,
+        nf_in: Nf,
+        forbid: &[GroundEvent],
+        compensate: &[GroundEvent],
+    ) -> Result<Nf> {
+        let mut out: Nf = Vec::new();
+        let push = |alt: Alt, out: &mut Nf| -> Result<()> {
+            if out.iter().any(|o: &Alt| o.subsumes(&alt)) {
+                return Ok(()); // absorbed
+            }
+            out.retain(|o| !alt.subsumes(o));
+            out.push(alt);
+            if out.len() > self.cap() {
+                return Err(Error::LimitExceeded {
+                    what: "alternatives",
+                    limit: self.cap(),
+                });
+            }
+            Ok(())
+        };
+
+        for alt in nf_in {
+            // Events of the clause not already committed in `alt`: avoiding
+            // any one of them satisfies the clause.
+            let forbid_remaining: Vec<&GroundEvent> =
+                forbid.iter().filter(|e| !alt.pos.contains(e)).collect();
+            let mut satisfied_by_forbid = false;
+
+            if !forbid_remaining.is_empty() {
+                if self.opts.exhaustive_negation {
+                    // Paper-literal branching: one branch per ¬eᵢ.
+                    for e in &forbid_remaining {
+                        if let Some(a2) = alt.conj(&Alt::of_neg((*e).clone())) {
+                            push(a2, &mut out)?;
+                            satisfied_by_forbid = true;
+                        }
+                    }
+                } else {
+                    // Greedy: one strengthened branch forbidding every
+                    // remaining eᵢ (sound: stronger than the disjunction).
+                    let mut a2 = alt.clone();
+                    a2.neg.extend(forbid_remaining.iter().map(|e| (*e).clone()));
+                    push(a2, &mut out)?;
+                    satisfied_by_forbid = true;
+                }
+            }
+
+            if !satisfied_by_forbid || self.opts.exhaustive_negation {
+                for f in compensate {
+                    // A compensation must not be among the alternative's
+                    // own prohibitions.
+                    if let Some(a2) = alt.conj(&Alt::of_pos(f.clone())) {
+                        push(a2, &mut out)?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Context-free DNF negation (the paper's literal definition). Used by
+    /// tests and by callers needing the standalone negated form; the
+    /// interpreters themselves use [`Self::apply_neg_event`], which folds
+    /// the negation into the search context.
+    pub fn negate(&self, nf_in: &Nf) -> Result<Nf> {
+        let possible = |e: &GroundEvent| -> bool { self.event_possible(e) };
+        nf::negate(nf_in, self.cap(), &possible)
+    }
+}

@@ -1,0 +1,154 @@
+//! Materialized view storage (§5.1.3).
+//!
+//! "A view can be materialized by explicitly storing its extension in the
+//! extensional database." This store keeps those extensions and applies
+//! the deltas produced by the upward interpretation: `ins View(X̄)` facts
+//! are inserted into the stored extension, `del View(X̄)` facts removed.
+
+use dduf_datalog::ast::Pred;
+use dduf_datalog::eval::Interpretation;
+use dduf_datalog::schema::{DerivedRole, Program};
+use dduf_datalog::storage::relation::Relation;
+use dduf_events::event::EventKind;
+use dduf_events::store::EventStore;
+use std::collections::BTreeMap;
+
+/// Stored extensions of materialized views.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MaterializedViewStore {
+    views: BTreeMap<Pred, Relation>,
+}
+
+/// What a maintenance pass changed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MaintenanceDelta {
+    /// Tuples inserted, per view.
+    pub insertions: usize,
+    /// Tuples deleted, per view.
+    pub deletions: usize,
+}
+
+impl MaterializedViewStore {
+    /// Materializes every `View`-role predicate of `program` from a
+    /// computed interpretation.
+    pub fn materialize(program: &Program, interp: &Interpretation) -> MaterializedViewStore {
+        let mut views = BTreeMap::new();
+        for pred in program.derived_with_role(DerivedRole::View) {
+            views.insert(pred, interp.relation(pred).clone());
+        }
+        MaterializedViewStore { views }
+    }
+
+    /// Materializes only the given views.
+    pub fn materialize_selected(
+        interp: &Interpretation,
+        preds: impl IntoIterator<Item = Pred>,
+    ) -> MaterializedViewStore {
+        MaterializedViewStore {
+            views: preds
+                .into_iter()
+                .map(|p| (p, interp.relation(p).clone()))
+                .collect(),
+        }
+    }
+
+    /// The stored extension of a view.
+    pub fn relation(&self, pred: Pred) -> Option<&Relation> {
+        self.views.get(&pred)
+    }
+
+    /// The stored views.
+    pub fn views(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.views.keys().copied()
+    }
+
+    /// Total stored tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.views.values().map(Relation::len).sum()
+    }
+
+    /// Applies the derived events of an upward interpretation to the
+    /// stored extensions (ignores predicates not materialized here).
+    pub fn apply(&mut self, derived_events: &EventStore) -> MaintenanceDelta {
+        let mut delta = MaintenanceDelta::default();
+        for (pred, rel) in self.views.iter_mut() {
+            for t in derived_events.relation(EventKind::Ins, *pred).iter() {
+                if rel.insert(t.clone()) {
+                    delta.insertions += 1;
+                }
+            }
+            for t in derived_events.relation(EventKind::Del, *pred).iter() {
+                if rel.remove(t) {
+                    delta.deletions += 1;
+                }
+            }
+        }
+        delta
+    }
+
+    /// True iff every stored extension equals the given interpretation's —
+    /// the invariant maintenance must preserve.
+    pub fn consistent_with(&self, interp: &Interpretation) -> bool {
+        self.views
+            .iter()
+            .all(|(p, rel)| rel == interp.relation(*p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Transaction;
+    use crate::upward;
+    use dduf_datalog::eval::materialize;
+    use dduf_datalog::parser::parse_database;
+    use dduf_datalog::storage::tuple::syms;
+
+    #[test]
+    fn materialize_apply_stays_consistent() {
+        let db = parse_database(
+            "q(a). q(b). r(b).
+             p(X) :- q(X), not r(X).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        let mut store = MaterializedViewStore::materialize(db.program(), &old);
+        assert_eq!(store.tuple_count(), 1); // p(a)
+
+        let txn = Transaction::parse(&db, "-r(b). +q(c).").unwrap();
+        let res = upward::interpret_with(&db, &old, &txn, upward::Engine::Incremental).unwrap();
+        let delta = store.apply(&res.derived);
+        assert_eq!(delta.insertions, 2); // p(b), p(c)
+        assert_eq!(delta.deletions, 0);
+
+        let new = materialize(&txn.apply(&db)).unwrap();
+        assert!(store.consistent_with(&new));
+        assert!(store
+            .relation(dduf_datalog::ast::Pred::new("p", 1))
+            .unwrap()
+            .contains(&syms(&["b"])));
+    }
+
+    #[test]
+    fn deletions_applied() {
+        let db = parse_database("q(a). p(X) :- q(X).").unwrap();
+        let old = materialize(&db).unwrap();
+        let mut store = MaterializedViewStore::materialize(db.program(), &old);
+        let txn = Transaction::parse(&db, "-q(a).").unwrap();
+        let res = upward::interpret_with(&db, &old, &txn, upward::Engine::Incremental).unwrap();
+        let delta = store.apply(&res.derived);
+        assert_eq!(delta.deletions, 1);
+        assert_eq!(store.tuple_count(), 0);
+    }
+
+    #[test]
+    fn selected_views_only() {
+        let db = parse_database("q(a). p(X) :- q(X). w(X) :- q(X).").unwrap();
+        let old = materialize(&db).unwrap();
+        let store = MaterializedViewStore::materialize_selected(
+            &old,
+            [dduf_datalog::ast::Pred::new("p", 1)],
+        );
+        assert_eq!(store.views().count(), 1);
+    }
+}

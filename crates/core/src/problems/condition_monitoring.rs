@@ -1,0 +1,169 @@
+//! §5.1.2 — Condition monitoring (upward).
+//!
+//! Changes induced on a monitored condition `Cond(x̄)` by a transaction:
+//! the upward interpretation of `ins Cond(x̄)` (newly satisfied instances)
+//! and `del Cond(x̄)` (no longer satisfied instances). The complementary
+//! reading — the transaction does not affect the condition — is the
+//! emptiness of both.
+
+use crate::error::Result;
+use crate::transaction::Transaction;
+use crate::upward::{self, Engine};
+use dduf_datalog::ast::Pred;
+use dduf_datalog::eval::Interpretation;
+use dduf_datalog::schema::{DerivedRole, Role};
+use dduf_datalog::storage::database::Database;
+use dduf_datalog::storage::tuple::Tuple;
+use dduf_events::event::EventKind;
+use std::collections::BTreeMap;
+
+/// Changes on monitored conditions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConditionChanges {
+    /// Instances that satisfy the condition after the transaction but not
+    /// before (`ins Cond`).
+    pub activated: BTreeMap<Pred, Vec<Tuple>>,
+    /// Instances that satisfied the condition before but not after
+    /// (`del Cond`).
+    pub deactivated: BTreeMap<Pred, Vec<Tuple>>,
+}
+
+impl ConditionChanges {
+    /// True iff no monitored condition changed.
+    pub fn is_empty(&self) -> bool {
+        self.activated.values().all(Vec::is_empty)
+            && self.deactivated.values().all(Vec::is_empty)
+    }
+
+    /// Total number of condition events.
+    pub fn len(&self) -> usize {
+        self.activated.values().map(Vec::len).sum::<usize>()
+            + self.deactivated.values().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// Monitors all `Cond`-role predicates (or an explicit subset) under
+/// `txn`: the upward interpretation of `{ins Cond(x̄), del Cond(x̄)}`.
+pub fn monitor(
+    db: &Database,
+    old: &Interpretation,
+    txn: &Transaction,
+    conditions: Option<&[Pred]>,
+    engine: Engine,
+) -> Result<ConditionChanges> {
+    let monitored: Vec<Pred> = match conditions {
+        Some(preds) => preds.to_vec(),
+        None => db.program().derived_with_role(DerivedRole::Cond),
+    };
+    let res = upward::interpret_with(db, old, txn, engine)?;
+    let mut out = ConditionChanges::default();
+    for pred in monitored {
+        let ins: Vec<Tuple> = res
+            .derived
+            .relation(EventKind::Ins, pred)
+            .iter()
+            .cloned()
+            .collect();
+        let del: Vec<Tuple> = res
+            .derived
+            .relation(EventKind::Del, pred)
+            .iter()
+            .cloned()
+            .collect();
+        if !ins.is_empty() {
+            out.activated.insert(pred, ins);
+        }
+        if !del.is_empty() {
+            out.deactivated.insert(pred, del);
+        }
+    }
+    Ok(out)
+}
+
+/// The complementary problem: true iff `txn` does not induce any change on
+/// `cond` (upward interpretation of `{¬ins Cond(x̄), ¬del Cond(x̄)}`).
+pub fn unaffected(
+    db: &Database,
+    old: &Interpretation,
+    txn: &Transaction,
+    cond: Pred,
+    engine: Engine,
+) -> Result<bool> {
+    debug_assert!(matches!(
+        db.program().role(cond),
+        Some(Role::Derived(_)) | None
+    ));
+    let changes = monitor(db, old, txn, Some(&[cond]), engine)?;
+    Ok(changes.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::eval::materialize;
+    use dduf_datalog::parser::parse_database;
+    use dduf_datalog::storage::tuple::syms;
+
+    fn db() -> Database {
+        parse_database(
+            "#cond needy/1.
+             la(dolors). la(joan). works(joan).
+             needy(X) :- la(X), not works(X).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn activation_detected() {
+        let db = db();
+        let old = materialize(&db).unwrap();
+        let txn = Transaction::parse(&db, "+la(maria).").unwrap();
+        let ch = monitor(&db, &old, &txn, None, Engine::Incremental).unwrap();
+        assert_eq!(ch.len(), 1);
+        assert_eq!(
+            ch.activated[&Pred::new("needy", 1)],
+            vec![syms(&["maria"])]
+        );
+    }
+
+    #[test]
+    fn deactivation_detected() {
+        let db = db();
+        let old = materialize(&db).unwrap();
+        let txn = Transaction::parse(&db, "+works(dolors).").unwrap();
+        let ch = monitor(&db, &old, &txn, None, Engine::Incremental).unwrap();
+        assert_eq!(
+            ch.deactivated[&Pred::new("needy", 1)],
+            vec![syms(&["dolors"])]
+        );
+        assert!(ch.activated.is_empty());
+    }
+
+    #[test]
+    fn unaffected_complement() {
+        let db = db();
+        let old = materialize(&db).unwrap();
+        // joan already works; making her work "more" changes nothing.
+        let txn = Transaction::parse(&db, "+la(nuria). +works(nuria).").unwrap();
+        assert!(unaffected(&db, &old, &txn, Pred::new("needy", 1), Engine::Incremental).unwrap());
+        let txn2 = Transaction::parse(&db, "+la(pere).").unwrap();
+        assert!(!unaffected(&db, &old, &txn2, Pred::new("needy", 1), Engine::Incremental).unwrap());
+    }
+
+    #[test]
+    fn explicit_condition_subset() {
+        let db = parse_database(
+            "#cond c1/1. #cond c2/1.
+             b(a).
+             c1(X) :- b(X).
+             c2(X) :- b(X).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        let txn = Transaction::parse(&db, "+b(z).").unwrap();
+        let ch = monitor(&db, &old, &txn, Some(&[Pred::new("c1", 1)]), Engine::Incremental)
+            .unwrap();
+        assert!(ch.activated.contains_key(&Pred::new("c1", 1)));
+        assert!(!ch.activated.contains_key(&Pred::new("c2", 1)));
+    }
+}

@@ -1,0 +1,225 @@
+//! §5.1.1 — Integrity constraints checking (upward).
+//!
+//! Given a consistent state and a transaction, determine *incrementally*
+//! whether the transaction violates the constraints: the upward
+//! interpretation of `ins Ic`, provided `Ic°` does not hold. The
+//! complementary problem — given an *inconsistent* state, does the
+//! transaction restore consistency? — is the upward interpretation of
+//! `del Ic`, provided `Ic°` holds.
+
+use crate::error::Result;
+use crate::transaction::Transaction;
+use crate::upward::{self, Engine};
+use dduf_datalog::eval::Interpretation;
+use dduf_datalog::storage::database::Database;
+use dduf_events::event::{EventKind, GroundEvent};
+
+/// Outcome of checking a transaction against the integrity constraints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The database has no integrity constraints; nothing to check.
+    NoConstraints,
+    /// The precondition `¬Ic°` fails: the old state is already
+    /// inconsistent, so checking (in the paper's sense) does not apply —
+    /// see [`restores_consistency`] instead.
+    AlreadyInconsistent,
+    /// The transaction does not violate any constraint (`ins Ic` was not
+    /// induced).
+    Consistent,
+    /// The transaction violates some constraint: the induced insertion
+    /// events on the individual inconsistency predicates.
+    Violated(Vec<GroundEvent>),
+}
+
+impl CheckOutcome {
+    /// True iff the transaction may be applied without violating
+    /// integrity.
+    pub fn accepts(&self) -> bool {
+        matches!(self, CheckOutcome::Consistent | CheckOutcome::NoConstraints)
+    }
+}
+
+/// True iff `Ic°` holds (some constraint is violated in the current state).
+pub fn is_inconsistent(db: &Database, old: &Interpretation) -> bool {
+    db.program()
+        .global_ic()
+        .is_some_and(|ic| !old.relation(ic).is_empty())
+}
+
+/// Checks whether `txn` violates the integrity constraints: the upward
+/// interpretation of `ins Ic` (§5.1.1).
+pub fn check(
+    db: &Database,
+    old: &Interpretation,
+    txn: &Transaction,
+    engine: Engine,
+) -> Result<CheckOutcome> {
+    let Some(global) = db.program().global_ic() else {
+        return Ok(CheckOutcome::NoConstraints);
+    };
+    if is_inconsistent(db, old) {
+        return Ok(CheckOutcome::AlreadyInconsistent);
+    }
+    let res = upward::interpret_with(db, old, txn, engine)?;
+    let violated: Vec<GroundEvent> = res
+        .derived
+        .iter()
+        .filter(|e| {
+            e.kind == EventKind::Ins
+                && e.pred != global
+                && matches!(
+                    db.program().role(e.pred),
+                    Some(dduf_datalog::schema::Role::Derived(
+                        dduf_datalog::schema::DerivedRole::Ic
+                    ))
+                )
+        })
+        .collect();
+    if violated.is_empty() {
+        Ok(CheckOutcome::Consistent)
+    } else {
+        Ok(CheckOutcome::Violated(violated))
+    }
+}
+
+/// Outcome of checking whether a transaction restores consistency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestoreOutcome {
+    /// The old state is already consistent; nothing to restore.
+    AlreadyConsistent,
+    /// The transaction induces `del Ic`: consistency is restored.
+    Restored,
+    /// The database remains inconsistent after the transaction.
+    StillInconsistent,
+}
+
+/// Checks whether `txn` restores a currently inconsistent database to
+/// consistency: the upward interpretation of `del Ic`, provided `Ic°`
+/// holds (§5.1.1, second problem).
+pub fn restores_consistency(
+    db: &Database,
+    old: &Interpretation,
+    txn: &Transaction,
+    engine: Engine,
+) -> Result<RestoreOutcome> {
+    let Some(global) = db.program().global_ic() else {
+        return Ok(RestoreOutcome::AlreadyConsistent);
+    };
+    if !is_inconsistent(db, old) {
+        return Ok(RestoreOutcome::AlreadyConsistent);
+    }
+    let res = upward::interpret_with(db, old, txn, engine)?;
+    let deleted = res.derived.contains(&GroundEvent::del(
+        global,
+        dduf_datalog::storage::tuple::Tuple::empty(),
+    ));
+    Ok(if deleted {
+        RestoreOutcome::Restored
+    } else {
+        RestoreOutcome::StillInconsistent
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::eval::materialize;
+    use dduf_datalog::parser::parse_database;
+
+    const EMPLOYMENT: &str = "
+        la(dolors). u_benefit(dolors).
+        unemp(X) :- la(X), not works(X).
+        :- unemp(X), not u_benefit(X).
+    ";
+
+    /// Example 5.1 of the paper: T = {del U_benefit(Dolors)} violates Ic1
+    /// and must be rejected.
+    #[test]
+    fn example_5_1_violation_detected() {
+        let db = parse_database(EMPLOYMENT).unwrap();
+        let old = materialize(&db).unwrap();
+        let txn = Transaction::parse(&db, "-u_benefit(dolors).").unwrap();
+        for engine in [Engine::Semantic, Engine::Incremental] {
+            let out = check(&db, &old, &txn, engine).unwrap();
+            match &out {
+                CheckOutcome::Violated(events) => {
+                    assert_eq!(events.len(), 1);
+                    assert_eq!(events[0].to_string(), "+ic1");
+                }
+                other => panic!("expected violation, got {other:?}"),
+            }
+            assert!(!out.accepts());
+        }
+    }
+
+    #[test]
+    fn harmless_transaction_accepted() {
+        let db = parse_database(EMPLOYMENT).unwrap();
+        let old = materialize(&db).unwrap();
+        let txn = Transaction::parse(&db, "+works(dolors).").unwrap();
+        let out = check(&db, &old, &txn, Engine::Incremental).unwrap();
+        assert_eq!(out, CheckOutcome::Consistent);
+        assert!(out.accepts());
+    }
+
+    #[test]
+    fn no_constraints_short_circuits() {
+        let db = parse_database("q(a). p(X) :- q(X).").unwrap();
+        let old = materialize(&db).unwrap();
+        let txn = Transaction::parse(&db, "-q(a).").unwrap();
+        assert_eq!(
+            check(&db, &old, &txn, Engine::Incremental).unwrap(),
+            CheckOutcome::NoConstraints
+        );
+    }
+
+    #[test]
+    fn inconsistent_precondition_reported() {
+        // dolors is unemployed without benefit: already inconsistent.
+        let db = parse_database(
+            "la(dolors).
+             unemp(X) :- la(X), not works(X).
+             :- unemp(X), not u_benefit(X).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        assert!(is_inconsistent(&db, &old));
+        let txn = Transaction::parse(&db, "+la(maria).").unwrap();
+        assert_eq!(
+            check(&db, &old, &txn, Engine::Incremental).unwrap(),
+            CheckOutcome::AlreadyInconsistent
+        );
+    }
+
+    #[test]
+    fn restoration_detected() {
+        let db = parse_database(
+            "la(dolors).
+             unemp(X) :- la(X), not works(X).
+             :- unemp(X), not u_benefit(X).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        let good = Transaction::parse(&db, "+u_benefit(dolors).").unwrap();
+        assert_eq!(
+            restores_consistency(&db, &old, &good, Engine::Incremental).unwrap(),
+            RestoreOutcome::Restored
+        );
+        let useless = Transaction::parse(&db, "+la(maria). +u_benefit(maria).").unwrap();
+        assert_eq!(
+            restores_consistency(&db, &old, &useless, Engine::Incremental).unwrap(),
+            RestoreOutcome::StillInconsistent
+        );
+    }
+
+    #[test]
+    fn restore_on_consistent_db_is_noop() {
+        let db = parse_database(EMPLOYMENT).unwrap();
+        let old = materialize(&db).unwrap();
+        let txn = Transaction::parse(&db, "+works(dolors).").unwrap();
+        assert_eq!(
+            restores_consistency(&db, &old, &txn, Engine::Incremental).unwrap(),
+            RestoreOutcome::AlreadyConsistent
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! The catalog of deductive database updating problems (§5, Table 4.1).
+//!
+//! Every problem is specified in terms of the upward or downward
+//! interpretation of the event rules of a derived predicate, whose role
+//! (`View`, `Ic`, `Cond`) fixes the problem's reading. This module hosts
+//! one submodule per paper subsection and the machine-readable Table 4.1
+//! itself ([`TABLE_4_1`]), which the `table41` binary of `dduf-bench`
+//! prints and exercises.
+
+pub mod condition_activation;
+pub mod condition_monitoring;
+pub mod condition_prevention;
+pub mod ic_checking;
+pub mod ic_maintenance;
+pub mod repair;
+pub mod side_effects;
+pub mod view_maintenance;
+pub mod view_updating;
+
+use dduf_datalog::schema::DerivedRole;
+use std::fmt;
+
+/// The two interpretations of the event rules (§4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Left implication: changes on derived predicates induced by a
+    /// transaction.
+    Upward,
+    /// Right implication: transactions satisfying requested changes on
+    /// derived predicates.
+    Downward,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Upward => write!(f, "Upward"),
+            Direction::Downward => write!(f, "Downward"),
+        }
+    }
+}
+
+/// The event pattern of a Table 4.1 row.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventPattern {
+    /// `ins P` — interpret an insertion event.
+    Ins,
+    /// `del P` — interpret a deletion event.
+    Del,
+    /// `{T, ¬ins P}` — a transaction plus a prevented insertion.
+    TxnNotIns,
+    /// `{T, ¬del P}` — a transaction plus a prevented deletion.
+    TxnNotDel,
+}
+
+impl fmt::Display for EventPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventPattern::Ins => write!(f, "ins P"),
+            EventPattern::Del => write!(f, "del P"),
+            EventPattern::TxnNotIns => write!(f, "T, ¬ins P"),
+            EventPattern::TxnNotDel => write!(f, "T, ¬del P"),
+        }
+    }
+}
+
+/// One cell of Table 4.1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Cell {
+    /// Upward or downward.
+    pub direction: Direction,
+    /// Semantics given to the derived predicate.
+    pub role: DerivedRole,
+    /// The interpreted event pattern.
+    pub pattern: EventPattern,
+    /// The problem name(s), as in the paper.
+    pub problem: &'static str,
+    /// The `dduf` API entry point solving the cell.
+    pub api: &'static str,
+}
+
+/// Table 4.1 of the paper, row by row (upward cells first). The downward
+/// `ins P`/`del P` cells carry two problem names each (the paper lists the
+/// validation problems in the same cells).
+pub const TABLE_4_1: &[Cell] = &[
+    Cell {
+        direction: Direction::Upward,
+        role: DerivedRole::View,
+        pattern: EventPattern::Ins,
+        problem: "Materialized view maintenance",
+        api: "problems::view_maintenance::maintain",
+    },
+    Cell {
+        direction: Direction::Upward,
+        role: DerivedRole::View,
+        pattern: EventPattern::Del,
+        problem: "Materialized view maintenance",
+        api: "problems::view_maintenance::maintain",
+    },
+    Cell {
+        direction: Direction::Upward,
+        role: DerivedRole::Ic,
+        pattern: EventPattern::Ins,
+        problem: "Integrity constraints checking (violation)",
+        api: "problems::ic_checking::check",
+    },
+    Cell {
+        direction: Direction::Upward,
+        role: DerivedRole::Ic,
+        pattern: EventPattern::Del,
+        problem: "Integrity constraints checking (restoration)",
+        api: "problems::ic_checking::restores_consistency",
+    },
+    Cell {
+        direction: Direction::Upward,
+        role: DerivedRole::Cond,
+        pattern: EventPattern::Ins,
+        problem: "Condition monitoring (activation)",
+        api: "problems::condition_monitoring::monitor",
+    },
+    Cell {
+        direction: Direction::Upward,
+        role: DerivedRole::Cond,
+        pattern: EventPattern::Del,
+        problem: "Condition monitoring (deactivation)",
+        api: "problems::condition_monitoring::monitor",
+    },
+    Cell {
+        direction: Direction::Downward,
+        role: DerivedRole::View,
+        pattern: EventPattern::Ins,
+        problem: "View updating / View validation",
+        api: "problems::view_updating::{translate, validate}",
+    },
+    Cell {
+        direction: Direction::Downward,
+        role: DerivedRole::View,
+        pattern: EventPattern::Del,
+        problem: "View updating / View validation",
+        api: "problems::view_updating::{translate, validate}",
+    },
+    Cell {
+        direction: Direction::Downward,
+        role: DerivedRole::View,
+        pattern: EventPattern::TxnNotIns,
+        problem: "Preventing side effects",
+        api: "problems::side_effects::prevent",
+    },
+    Cell {
+        direction: Direction::Downward,
+        role: DerivedRole::View,
+        pattern: EventPattern::TxnNotDel,
+        problem: "Preventing side effects",
+        api: "problems::side_effects::prevent",
+    },
+    Cell {
+        direction: Direction::Downward,
+        role: DerivedRole::Ic,
+        pattern: EventPattern::Ins,
+        problem: "Ensuring integrity constraints satisfaction",
+        api: "problems::repair::violating_transactions",
+    },
+    Cell {
+        direction: Direction::Downward,
+        role: DerivedRole::Ic,
+        pattern: EventPattern::Del,
+        problem: "Repairing inconsistent databases / IC satisfiability",
+        api: "problems::repair::{repairs, satisfiable}",
+    },
+    Cell {
+        direction: Direction::Downward,
+        role: DerivedRole::Ic,
+        pattern: EventPattern::TxnNotIns,
+        problem: "Integrity constraints maintenance",
+        api: "problems::ic_maintenance::maintain",
+    },
+    Cell {
+        direction: Direction::Downward,
+        role: DerivedRole::Ic,
+        pattern: EventPattern::TxnNotDel,
+        problem: "Maintaining database inconsistency",
+        api: "problems::ic_maintenance::maintain_inconsistency",
+    },
+    Cell {
+        direction: Direction::Downward,
+        role: DerivedRole::Cond,
+        pattern: EventPattern::Ins,
+        problem: "Enforcing condition activation / Condition validation",
+        api: "problems::condition_activation::{enforce, validate}",
+    },
+    Cell {
+        direction: Direction::Downward,
+        role: DerivedRole::Cond,
+        pattern: EventPattern::Del,
+        problem: "Enforcing condition deactivation / Condition validation",
+        api: "problems::condition_activation::{enforce, validate}",
+    },
+    Cell {
+        direction: Direction::Downward,
+        role: DerivedRole::Cond,
+        pattern: EventPattern::TxnNotIns,
+        problem: "Preventing condition activation",
+        api: "problems::condition_prevention::prevent_activation",
+    },
+    Cell {
+        direction: Direction::Downward,
+        role: DerivedRole::Cond,
+        pattern: EventPattern::TxnNotDel,
+        problem: "Preventing condition deactivation",
+        api: "problems::condition_prevention::prevent_activation",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_all_roles_and_directions() {
+        for role in [DerivedRole::View, DerivedRole::Ic, DerivedRole::Cond] {
+            assert!(
+                TABLE_4_1
+                    .iter()
+                    .any(|c| c.role == role && c.direction == Direction::Upward),
+                "missing upward cell for {role:?}"
+            );
+            for pattern in [
+                EventPattern::Ins,
+                EventPattern::Del,
+                EventPattern::TxnNotIns,
+                EventPattern::TxnNotDel,
+            ] {
+                assert!(
+                    TABLE_4_1
+                        .iter()
+                        .any(|c| c.role == role
+                            && c.direction == Direction::Downward
+                            && c.pattern == pattern),
+                    "missing downward {pattern:?} cell for {role:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_cell_names_a_problem_and_api() {
+        for cell in TABLE_4_1 {
+            assert!(!cell.problem.is_empty());
+            assert!(cell.api.starts_with("problems::"));
+        }
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Direction::Upward.to_string(), "Upward");
+        assert_eq!(EventPattern::TxnNotIns.to_string(), "T, ¬ins P");
+    }
+}

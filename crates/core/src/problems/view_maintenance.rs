@@ -1,0 +1,125 @@
+//! §5.1.3 — Materialized view maintenance (upward).
+//!
+//! Given a transaction of base fact updates, incrementally determine the
+//! changes needed to keep materialized view extensions up to date: the
+//! upward interpretation of `ins View(x̄)` (tuples to insert into the
+//! stored extension) and `del View(x̄)` (tuples to delete).
+
+use crate::error::Result;
+use crate::matview::{MaintenanceDelta, MaterializedViewStore};
+use crate::transaction::Transaction;
+use crate::upward::{self, Engine};
+use dduf_datalog::ast::Pred;
+use dduf_datalog::eval::Interpretation;
+use dduf_datalog::storage::database::Database;
+use dduf_events::event::EventKind;
+use dduf_events::store::EventStore;
+
+/// Report of one maintenance pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// The derived events that drove the maintenance.
+    pub events: EventStore,
+    /// What was applied to the store.
+    pub delta: MaintenanceDelta,
+}
+
+/// Maintains `store` under `txn`: upward-interprets the transaction and
+/// applies the induced view events to the stored extensions.
+pub fn maintain(
+    db: &Database,
+    old: &Interpretation,
+    txn: &Transaction,
+    store: &mut MaterializedViewStore,
+    engine: Engine,
+) -> Result<MaintenanceReport> {
+    let res = upward::interpret_with(db, old, txn, engine)?;
+    let delta = store.apply(&res.derived);
+    Ok(MaintenanceReport {
+        events: res.derived,
+        delta,
+    })
+}
+
+/// The complementary problem: true iff `txn` does not affect `view`
+/// (upward interpretation of `{¬ins View(x̄), ¬del View(x̄)}`), in which
+/// case its stored extension needs no maintenance.
+pub fn view_unaffected(
+    db: &Database,
+    old: &Interpretation,
+    txn: &Transaction,
+    view: Pred,
+    engine: Engine,
+) -> Result<bool> {
+    let res = upward::interpret_with(db, old, txn, engine)?;
+    Ok(res.derived.relation(EventKind::Ins, view).is_empty()
+        && res.derived.relation(EventKind::Del, view).is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::eval::materialize;
+    use dduf_datalog::parser::parse_database;
+
+    fn setup() -> (Database, Interpretation, MaterializedViewStore) {
+        let db = parse_database(
+            "emp(john, sales). dept(sales, bcn).
+             emp_city(E, C) :- emp(E, D), dept(D, C).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        let store = MaterializedViewStore::materialize(db.program(), &old);
+        (db, old, store)
+    }
+
+    #[test]
+    fn maintenance_matches_rematerialization() {
+        let (db, old, mut store) = setup();
+        let txn = Transaction::parse(&db, "+emp(mary, sales). -emp(john, sales).").unwrap();
+        let report = maintain(&db, &old, &txn, &mut store, Engine::Incremental).unwrap();
+        assert_eq!(report.delta.insertions, 1);
+        assert_eq!(report.delta.deletions, 1);
+        let fresh = materialize(&txn.apply(&db)).unwrap();
+        assert!(store.consistent_with(&fresh));
+    }
+
+    #[test]
+    fn unaffected_view_detected() {
+        let (db, old, _) = setup();
+        // A new department with no employees does not change emp_city.
+        let txn = Transaction::parse(&db, "+dept(hr, madrid).").unwrap();
+        assert!(view_unaffected(
+            &db,
+            &old,
+            &txn,
+            Pred::new("emp_city", 2),
+            Engine::Incremental
+        )
+        .unwrap());
+        let txn2 = Transaction::parse(&db, "+emp(pere, sales).").unwrap();
+        assert!(!view_unaffected(
+            &db,
+            &old,
+            &txn2,
+            Pred::new("emp_city", 2),
+            Engine::Incremental
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn repeated_maintenance_converges() {
+        let (mut db, mut old, mut store) = setup();
+        for (i, t) in ["+emp(a, sales).", "+emp(b, sales).", "-emp(a, sales)."]
+            .iter()
+            .enumerate()
+        {
+            let txn = Transaction::parse(&db, t).unwrap();
+            maintain(&db, &old, &txn, &mut store, Engine::Incremental).unwrap();
+            db = txn.apply(&db);
+            old = materialize(&db).unwrap();
+            assert!(store.consistent_with(&old), "diverged after step {i}");
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! The uniform update processing system (§1, §5.3).
+//!
+//! "Deductive databases include an update processing system that provides
+//! the users with a uniform interface." [`UpdateProcessor`] is that
+//! interface: it owns a database and its materialized old state, exposes
+//! every problem of Table 4.1 as a method, and implements the combinations
+//! of §5.3 — upward sets, downward sets, and downward-then-upward
+//! pipelines (e.g. view updating with maintained *and* checked
+//! constraints).
+
+use crate::downward::{Alternative, DownwardOptions, DownwardResult, Request};
+use crate::error::{Error, Result};
+use crate::matview::MaterializedViewStore;
+use crate::problems::{
+    condition_activation, condition_monitoring, condition_prevention, ic_checking,
+    ic_maintenance, repair, side_effects, view_maintenance, view_updating,
+};
+use crate::transaction::Transaction;
+use crate::upward::{self, Engine, UpwardResult};
+use dduf_datalog::ast::{Atom, Pred};
+use dduf_datalog::eval::{materialize, Interpretation, StateView};
+use dduf_datalog::storage::database::Database;
+use dduf_events::event::{EventAtom, EventKind};
+
+/// The uniform update-processing interface over one deductive database.
+#[derive(Clone, Debug)]
+pub struct UpdateProcessor {
+    db: Database,
+    old: Interpretation,
+    engine: Engine,
+    opts: DownwardOptions,
+}
+
+impl UpdateProcessor {
+    /// Creates a processor, materializing the current state.
+    pub fn new(db: Database) -> Result<UpdateProcessor> {
+        let old = materialize(&db).map_err(Error::from)?;
+        Ok(UpdateProcessor {
+            db,
+            old,
+            engine: Engine::default(),
+            opts: DownwardOptions::default(),
+        })
+    }
+
+    /// Selects the upward engine.
+    pub fn with_engine(mut self, engine: Engine) -> UpdateProcessor {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the downward options.
+    pub fn with_options(mut self, opts: DownwardOptions) -> UpdateProcessor {
+        self.opts = opts;
+        self
+    }
+
+    /// The database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The materialized current state of the derived predicates.
+    pub fn interpretation(&self) -> &Interpretation {
+        &self.old
+    }
+
+    /// The full current state (base + derived).
+    pub fn state(&self) -> StateView<'_> {
+        StateView::new(&self.db, &self.old)
+    }
+
+    /// Parses a transaction against this database.
+    pub fn transaction(&self, src: &str) -> Result<Transaction> {
+        Transaction::parse(&self.db, src)
+    }
+
+    // ----- upward problems (§5.1) -----
+
+    /// The raw upward interpretation of a transaction.
+    pub fn upward(&self, txn: &Transaction) -> Result<UpwardResult> {
+        upward::interpret_with(&self.db, &self.old, txn, self.engine)
+    }
+
+    /// §5.1.1 — does `txn` violate the integrity constraints?
+    pub fn check_integrity(&self, txn: &Transaction) -> Result<ic_checking::CheckOutcome> {
+        ic_checking::check(&self.db, &self.old, txn, self.engine)
+    }
+
+    /// §5.1.1 — does `txn` restore a currently inconsistent database?
+    pub fn restores_consistency(
+        &self,
+        txn: &Transaction,
+    ) -> Result<ic_checking::RestoreOutcome> {
+        ic_checking::restores_consistency(&self.db, &self.old, txn, self.engine)
+    }
+
+    /// §5.1.2 — changes induced on monitored conditions.
+    pub fn monitor_conditions(
+        &self,
+        txn: &Transaction,
+    ) -> Result<condition_monitoring::ConditionChanges> {
+        condition_monitoring::monitor(&self.db, &self.old, txn, None, self.engine)
+    }
+
+    /// §5.1.3 — maintain materialized views under `txn`.
+    pub fn maintain_views(
+        &self,
+        txn: &Transaction,
+        store: &mut MaterializedViewStore,
+    ) -> Result<view_maintenance::MaintenanceReport> {
+        view_maintenance::maintain(&self.db, &self.old, txn, store, self.engine)
+    }
+
+    // ----- downward problems (§5.2) -----
+
+    /// §5.2.1 — translate a view update request.
+    pub fn translate_view_update(&self, request: &Request) -> Result<DownwardResult> {
+        view_updating::translate(&self.db, &self.old, request, &self.opts)
+    }
+
+    /// §5.2.1 — view validation.
+    pub fn validate_view(
+        &self,
+        view: Pred,
+        kind: EventKind,
+    ) -> Result<Option<view_updating::ValidationWitness>> {
+        view_updating::validate(&self.db, &self.old, view, kind, &self.opts)
+    }
+
+    /// §5.2.2 — prevent given side effects of `txn`.
+    pub fn prevent_side_effects(
+        &self,
+        txn: &Transaction,
+        unwanted: &[EventAtom],
+    ) -> Result<DownwardResult> {
+        side_effects::prevent(&self.db, &self.old, txn, unwanted, &self.opts)
+    }
+
+    /// §5.2.3 — repairs of an inconsistent database.
+    pub fn repairs(&self) -> Result<repair::RepairOutcome> {
+        repair::repairs(&self.db, &self.old, &self.opts)
+    }
+
+    /// §5.2.3 — integrity-constraint satisfiability.
+    pub fn satisfiable(&self) -> Result<repair::Satisfiability> {
+        repair::satisfiable(&self.db, &self.old, &self.opts)
+    }
+
+    /// §5.2.3 — ways the database could become inconsistent.
+    pub fn violating_transactions(&self) -> Result<Option<DownwardResult>> {
+        repair::violating_transactions(&self.db, &self.old, &self.opts)
+    }
+
+    /// §5.2.4 — integrity maintenance of `txn`.
+    pub fn maintain_integrity(&self, txn: &Transaction) -> Result<ic_maintenance::MaintenanceOutcome> {
+        ic_maintenance::maintain(&self.db, &self.old, txn, &self.opts)
+    }
+
+    /// §5.2.4 — maintaining inconsistency under `txn`.
+    pub fn maintain_inconsistency(
+        &self,
+        txn: &Transaction,
+    ) -> Result<ic_maintenance::MaintenanceOutcome> {
+        ic_maintenance::maintain_inconsistency(&self.db, &self.old, txn, &self.opts)
+    }
+
+    /// §5.2.5 — enforce a condition (de)activation.
+    pub fn enforce_condition(&self, kind: EventKind, cond_atom: Atom) -> Result<DownwardResult> {
+        condition_activation::enforce(&self.db, &self.old, kind, cond_atom, &self.opts)
+    }
+
+    /// §5.2.5 — condition validation.
+    pub fn validate_condition(
+        &self,
+        cond: Pred,
+        kind: EventKind,
+    ) -> Result<Option<view_updating::ValidationWitness>> {
+        condition_activation::validate(&self.db, &self.old, cond, kind, &self.opts)
+    }
+
+    /// §5.2.6 — prevent condition activation under `txn`.
+    pub fn prevent_condition_activation(
+        &self,
+        txn: &Transaction,
+        cond: Pred,
+        kinds: condition_prevention::PreventKinds,
+    ) -> Result<DownwardResult> {
+        condition_prevention::prevent_activation(&self.db, &self.old, txn, cond, kinds, &self.opts)
+    }
+
+    // ----- combinations (§5.3) -----
+
+    /// View updating combined with integrity maintenance: downward
+    /// `{request, ¬ins Ic}` — translations that both satisfy the request
+    /// and keep every constraint satisfied.
+    pub fn view_update_with_integrity(&self, request: &Request) -> Result<DownwardResult> {
+        let mut req = request.clone();
+        if let Some(global) = self.db.program().global_ic() {
+            req = req.prevent(
+                EventKind::Ins,
+                Atom {
+                    pred: global,
+                    terms: vec![],
+                },
+            );
+        }
+        crate::downward::interpret_with(&self.db, &self.old, &req, &self.opts)
+    }
+
+    /// View updating combined with integrity *checking*: translate the
+    /// request, then upward-check each alternative and keep only those
+    /// that violate no constraint (the generate-and-test pipeline of
+    /// §5.3's closing discussion).
+    pub fn view_update_checked(&self, request: &Request) -> Result<DownwardResult> {
+        let mut res = self.translate_view_update(request)?;
+        let mut kept = Vec::new();
+        for alt in res.alternatives.drain(..) {
+            let txn = alt.to_transaction(&self.db)?;
+            if self.check_integrity(&txn)?.accepts() {
+                kept.push(alt);
+            }
+        }
+        res.alternatives = kept;
+        Ok(res)
+    }
+
+    /// The mixed pipeline of §5.3: maintain the constraints in
+    /// `maintained` downward (their violation is prevented inside the
+    /// search, possibly adding compensating updates) and check the
+    /// constraints in `checked` upward (alternatives violating them are
+    /// rejected).
+    pub fn view_update_mixed(
+        &self,
+        request: &Request,
+        maintained: &[Pred],
+        checked: &[Pred],
+    ) -> Result<DownwardResult> {
+        let mut req = request.clone();
+        for &icp in maintained {
+            let vars: Vec<dduf_datalog::ast::Term> = (0..icp.arity)
+                .map(|i| dduf_datalog::ast::Term::var(&format!("Vm{i}")))
+                .collect();
+            req = req.prevent(
+                EventKind::Ins,
+                Atom {
+                    pred: icp,
+                    terms: vars,
+                },
+            );
+        }
+        let mut res = crate::downward::interpret_with(&self.db, &self.old, &req, &self.opts)?;
+        let mut kept = Vec::new();
+        for alt in res.alternatives.drain(..) {
+            let txn = alt.to_transaction(&self.db)?;
+            let up = self.upward(&txn)?;
+            let violates = checked.iter().any(|&icp| {
+                !up.derived
+                    .relation(EventKind::Ins, icp)
+                    .is_empty()
+            });
+            if !violates {
+                kept.push(alt);
+            }
+        }
+        res.alternatives = kept;
+        Ok(res)
+    }
+
+    // ----- state evolution -----
+
+    /// Applies a transaction: updates the extensional database and
+    /// refreshes the materialized state from the upward result (old state
+    /// plus induced events), returning that result.
+    pub fn commit(&mut self, txn: &Transaction) -> Result<UpwardResult> {
+        let result = self.upward(txn)?;
+        self.db = txn.apply(&self.db);
+        let mut new = self.old.clone();
+        for (pred, _role) in self.db.program().predicates() {
+            if !self.db.program().is_derived(pred) {
+                continue;
+            }
+            let ins = result.derived.relation(EventKind::Ins, pred);
+            let del = result.derived.relation(EventKind::Del, pred);
+            if ins.is_empty() && del.is_empty() {
+                continue;
+            }
+            let rel = new.relation(pred).difference(del).union(ins);
+            new.set(pred, rel);
+        }
+        self.old = new;
+        Ok(result)
+    }
+
+    /// Applies the chosen alternative of a downward result.
+    pub fn commit_alternative(&mut self, alt: &Alternative) -> Result<UpwardResult> {
+        let txn = alt.to_transaction(&self.db)?;
+        self.commit(&txn)
+    }
+
+    // ----- rule updates (§5.3 closing paragraph) -----
+
+    /// Adds a deductive rule, reporting the changed event rules and the
+    /// derived events the schema change induces (derived facts appearing
+    /// although no base fact changed).
+    pub fn add_rule(&mut self, rule: dduf_datalog::ast::Rule) -> Result<crate::evolution::EvolutionResult> {
+        let program = crate::evolution::rebuild_program(self.db.program(), &[rule], &[])?;
+        self.swap_program(program)
+    }
+
+    /// Removes the first rule equal to `rule`.
+    pub fn remove_rule(
+        &mut self,
+        rule: &dduf_datalog::ast::Rule,
+    ) -> Result<crate::evolution::EvolutionResult> {
+        let program =
+            crate::evolution::rebuild_program(self.db.program(), &[], std::slice::from_ref(rule))?;
+        self.swap_program(program)
+    }
+
+    /// Adds an integrity constraint in denial form; returns the outcome
+    /// plus the synthesized inconsistency predicate.
+    pub fn add_constraint(
+        &mut self,
+        body: Vec<dduf_datalog::ast::Literal>,
+    ) -> Result<(crate::evolution::EvolutionResult, Pred)> {
+        let (program, pred) =
+            crate::evolution::rebuild_with_denial(self.db.program(), body)?;
+        Ok((self.swap_program(program)?, pred))
+    }
+
+    /// Removes every rule defining the given inconsistency predicate
+    /// (dropping the constraint).
+    pub fn remove_constraint(&mut self, ic: Pred) -> Result<crate::evolution::EvolutionResult> {
+        let doomed: Vec<dduf_datalog::ast::Rule> = self
+            .db
+            .program()
+            .rules_for(ic)
+            .into_iter()
+            .cloned()
+            .collect();
+        let program = crate::evolution::rebuild_program(self.db.program(), &[], &doomed)?;
+        self.swap_program(program)
+    }
+
+    /// Installs a new program: rebinds the facts, rematerializes, diffs.
+    fn swap_program(
+        &mut self,
+        program: dduf_datalog::schema::Program,
+    ) -> Result<crate::evolution::EvolutionResult> {
+        let rule_changes = crate::evolution::diff_event_rules(self.db.program(), &program);
+        let new_db = crate::evolution::rebind_database(&self.db, program)?;
+        let new_interp = materialize(&new_db).map_err(Error::from)?;
+        let induced = crate::upward::semantic::diff_interpretations(
+            &new_db,
+            &self.old,
+            &new_interp,
+        );
+        self.db = new_db;
+        self.old = new_interp;
+        Ok(crate::evolution::EvolutionResult {
+            induced,
+            rule_changes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::ast::Const;
+    use dduf_datalog::parser::parse_database;
+
+    fn processor() -> UpdateProcessor {
+        let db = parse_database(
+            "la(dolors). u_benefit(dolors).
+             unemp(X) :- la(X), not works(X).
+             :- unemp(X), not u_benefit(X).",
+        )
+        .unwrap();
+        UpdateProcessor::new(db).unwrap()
+    }
+
+    #[test]
+    fn uniform_interface_covers_both_directions() {
+        let p = processor();
+        let txn = p.transaction("-u_benefit(dolors).").unwrap();
+        assert!(!p.check_integrity(&txn).unwrap().accepts());
+
+        let req = Request::new().achieve(
+            EventKind::Del,
+            Atom::ground("unemp", vec![Const::sym("dolors")]),
+        );
+        let down = p.translate_view_update(&req).unwrap();
+        assert_eq!(down.alternatives.len(), 2);
+    }
+
+    #[test]
+    fn view_update_with_integrity_blocks_violations() {
+        // Insert unemp(maria) — i.e. put her in labour age jobless — while
+        // maintaining the benefit constraint: the translation must add
+        // +u_benefit(maria).
+        let p = processor();
+        let req = Request::new().achieve(
+            EventKind::Ins,
+            Atom::ground("unemp", vec![Const::sym("maria")]),
+        );
+        let plain = p.translate_view_update(&req).unwrap();
+        assert!(plain
+            .alternatives
+            .iter()
+            .any(|a| a.to_do.to_string() == "{+la(maria)}"));
+
+        let safe = p.view_update_with_integrity(&req).unwrap();
+        assert!(!safe.alternatives.is_empty());
+        for alt in &safe.alternatives {
+            let txn = alt.to_transaction(p.database()).unwrap();
+            assert!(
+                p.check_integrity(&txn).unwrap().accepts(),
+                "unsafe alternative {alt}"
+            );
+        }
+        assert!(safe
+            .alternatives
+            .iter()
+            .any(|a| a.to_do.to_string().contains("+u_benefit(maria)")));
+    }
+
+    #[test]
+    fn checked_pipeline_equals_maintained_acceptance() {
+        let p = processor();
+        let req = Request::new().achieve(
+            EventKind::Ins,
+            Atom::ground("unemp", vec![Const::sym("maria")]),
+        );
+        let checked = p.view_update_checked(&req).unwrap();
+        // Checking rejects the bare +la(maria) translation (it violates),
+        // keeping only those whose *own* events already satisfy the ICs.
+        for alt in &checked.alternatives {
+            let txn = alt.to_transaction(p.database()).unwrap();
+            assert!(p.check_integrity(&txn).unwrap().accepts());
+        }
+    }
+
+    #[test]
+    fn mixed_pipeline_runs() {
+        let p = processor();
+        let req = Request::new().achieve(
+            EventKind::Ins,
+            Atom::ground("unemp", vec![Const::sym("maria")]),
+        );
+        let ic1 = Pred::new("ic1", 0);
+        let res = p.view_update_mixed(&req, &[ic1], &[]).unwrap();
+        assert!(!res.alternatives.is_empty());
+        let res2 = p.view_update_mixed(&req, &[], &[ic1]).unwrap();
+        for alt in &res2.alternatives {
+            let txn = alt.to_transaction(p.database()).unwrap();
+            assert!(p.check_integrity(&txn).unwrap().accepts());
+        }
+    }
+
+    #[test]
+    fn commit_keeps_interpretation_fresh() {
+        let mut p = processor();
+        let txn = p.transaction("+works(dolors).").unwrap();
+        p.commit(&txn).unwrap();
+        let fresh = materialize(p.database()).unwrap();
+        assert_eq!(p.interpretation(), &fresh);
+        // unemp(dolors) no longer holds.
+        assert!(fresh.relation(Pred::new("unemp", 1)).is_empty());
+        // Further updates still work.
+        let txn2 = p.transaction("-works(dolors).").unwrap();
+        p.commit(&txn2).unwrap();
+        let fresh2 = materialize(p.database()).unwrap();
+        assert_eq!(p.interpretation(), &fresh2);
+    }
+
+    #[test]
+    fn commit_alternative_applies_choice() {
+        let mut p = processor();
+        let req = Request::new().achieve(
+            EventKind::Del,
+            Atom::ground("unemp", vec![Const::sym("dolors")]),
+        );
+        let res = p.translate_view_update(&req).unwrap();
+        let alt = res.alternatives[0].clone();
+        p.commit_alternative(&alt).unwrap();
+        assert!(p
+            .interpretation()
+            .relation(Pred::new("unemp", 1))
+            .is_empty());
+    }
+}

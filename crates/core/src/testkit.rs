@@ -1,0 +1,193 @@
+//! Canned databases and synthetic workload generators.
+//!
+//! The canned databases are the paper's running examples (so tests,
+//! examples and benches all speak about the same worlds); the generators
+//! produce the parameterized schemas used by the benchmark harness and the
+//! property-based tests. Everything here is deterministic given its
+//! parameters — generators take explicit seeds/shapes, never ambient
+//! randomness.
+
+use dduf_datalog::parser::parse_database;
+use dduf_datalog::storage::database::Database;
+use std::fmt::Write as _;
+
+/// The database of examples 4.1/4.2: `P(x) ← Q(x) ∧ ¬R(x)` with
+/// `Q = {a, b}`, `R = {b}`.
+pub fn example_db() -> Database {
+    parse_database(
+        "q(a). q(b). r(b).
+         p(X) :- q(X), not r(X).",
+    )
+    .expect("canned database parses")
+}
+
+/// The employment database of examples 5.1–5.3: labour age, work,
+/// unemployment benefit, the derived `unemp`, and the constraint that all
+/// unemployed receive a benefit.
+pub fn employment_db() -> Database {
+    parse_database(
+        "la(dolors). u_benefit(dolors).
+         unemp(X) :- la(X), not works(X).
+         :- unemp(X), not u_benefit(X).",
+    )
+    .expect("canned database parses")
+}
+
+/// The employment database with `unemp` additionally monitored as a
+/// condition (`needy`), exercising all three roles at once.
+pub fn employment_db_with_condition() -> Database {
+    parse_database(
+        "#cond needy/1.
+         la(dolors). u_benefit(dolors).
+         unemp(X) :- la(X), not works(X).
+         needy(X) :- la(X), not works(X), not u_benefit(X).
+         :- unemp(X), not u_benefit(X).",
+    )
+    .expect("canned database parses")
+}
+
+/// Parameters for the synthetic *view tower* workloads: a chain of derived
+/// predicates `v1 ... v_depth`, each defined over the previous one joined
+/// with a fresh base predicate, optionally with a negated base literal —
+/// the shape that drives both upward cascade depth and downward search
+/// depth.
+#[derive(Clone, Copy, Debug)]
+pub struct TowerShape {
+    /// Number of derived levels.
+    pub depth: usize,
+    /// Base facts per base predicate.
+    pub facts_per_level: usize,
+    /// Give every level a negated base literal too.
+    pub with_negation: bool,
+}
+
+/// Builds a view-tower database:
+///
+/// ```text
+/// v1(X) :- b0(X), b1(X) [, not n1(X)]
+/// v2(X) :- v1(X), b2(X) [, not n2(X)]
+/// ...
+/// ```
+///
+/// Facts: `b0 ... b_depth` each hold `c0 ... c_{facts-1}`; the `n_i` are
+/// empty, so `v_depth` holds for every constant.
+pub fn tower_db(shape: TowerShape) -> Database {
+    let mut src = String::new();
+    for lvl in 1..=shape.depth {
+        let prev = if lvl == 1 {
+            "b0(X)".to_string()
+        } else {
+            format!("v{}(X)", lvl - 1)
+        };
+        let neg = if shape.with_negation {
+            format!(", not n{lvl}(X)")
+        } else {
+            String::new()
+        };
+        let _ = writeln!(src, "v{lvl}(X) :- {prev}, b{lvl}(X){neg}.");
+    }
+    for lvl in 0..=shape.depth {
+        for k in 0..shape.facts_per_level {
+            let _ = writeln!(src, "b{lvl}(c{k}).");
+        }
+    }
+    parse_database(&src).expect("generated tower parses")
+}
+
+/// Builds a chain-graph transitive-closure database with `n` edges
+/// `e(i, i+1)` — the standard recursive workload.
+pub fn chain_tc_db(n: usize) -> Database {
+    let mut src = String::from(
+        "tc(X, Y) :- e(X, Y).
+         tc(X, Y) :- e(X, Z), tc(Z, Y).\n",
+    );
+    for i in 0..n {
+        let _ = writeln!(src, "e({i}, {}).", i + 1);
+    }
+    parse_database(&src).expect("generated chain parses")
+}
+
+/// A flat wide database: one view `v(X) :- b(X), not r(X)` with `n` facts
+/// in `b` and every third one shadowed by `r` — the workload for
+/// incremental-vs-recompute scaling.
+pub fn wide_db(n: usize) -> Database {
+    let mut src = String::from("v(X) :- b(X), not r(X).\n");
+    for i in 0..n {
+        let _ = writeln!(src, "b({i}).");
+        if i % 3 == 0 {
+            let _ = writeln!(src, "r({i}).");
+        }
+    }
+    parse_database(&src).expect("generated wide db parses")
+}
+
+/// An employment-style database scaled to `n` people with `k` constraints
+/// of increasing arity of concern — the integrity-checking workload.
+pub fn constraint_db(n: usize) -> Database {
+    let mut src = String::from(
+        "unemp(X) :- la(X), not works(X).
+         :- unemp(X), not u_benefit(X).
+         :- works(X), retired(X).
+         :- u_benefit(X), works(X).\n",
+    );
+    for i in 0..n {
+        let _ = writeln!(src, "la(p{i}).");
+        if i % 2 == 0 {
+            let _ = writeln!(src, "works(p{i}).");
+        } else {
+            let _ = writeln!(src, "u_benefit(p{i}).");
+        }
+    }
+    parse_database(&src).expect("generated constraint db parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::ast::Pred;
+    use dduf_datalog::eval::materialize;
+
+    #[test]
+    fn canned_dbs_materialize() {
+        for db in [example_db(), employment_db(), employment_db_with_condition()] {
+            let m = materialize(&db).unwrap();
+            // All canned DBs are consistent.
+            if let Some(ic) = db.program().global_ic() {
+                assert!(m.relation(ic).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn tower_materializes_to_full_extension() {
+        let db = tower_db(TowerShape {
+            depth: 4,
+            facts_per_level: 10,
+            with_negation: true,
+        });
+        let m = materialize(&db).unwrap();
+        assert_eq!(m.relation(Pred::new("v4", 1)).len(), 10);
+    }
+
+    #[test]
+    fn chain_tc_counts() {
+        let db = chain_tc_db(8);
+        let m = materialize(&db).unwrap();
+        assert_eq!(m.relation(Pred::new("tc", 2)).len(), 8 * 9 / 2);
+    }
+
+    #[test]
+    fn wide_db_shadows_every_third() {
+        let db = wide_db(9);
+        let m = materialize(&db).unwrap();
+        assert_eq!(m.relation(Pred::new("v", 1)).len(), 6);
+    }
+
+    #[test]
+    fn constraint_db_consistent() {
+        let db = constraint_db(20);
+        let m = materialize(&db).unwrap();
+        let ic = db.program().global_ic().unwrap();
+        assert!(m.relation(ic).is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Transactions: sets of base event facts (§3.1).
+//!
+//! "We assume from now on that T consists of an unspecified set of
+//! insertion and/or deletion base event facts." A [`Transaction`] is such a
+//! set, validated against a database (base predicates only, internally
+//! consistent) and applicable to produce the new extensional state.
+
+use crate::error::{Error, Result};
+use dduf_datalog::ast::Atom;
+use dduf_datalog::parser;
+use dduf_datalog::storage::database::Database;
+use dduf_events::event::{EventKind, GroundEvent};
+use dduf_events::store::EventStore;
+use std::fmt;
+
+/// A set of ground base events.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Transaction {
+    events: EventStore,
+}
+
+impl Transaction {
+    /// The empty transaction.
+    pub fn new() -> Transaction {
+        Transaction::default()
+    }
+
+    /// Builds a transaction from events, validating against `db`:
+    /// every event must target a *base* predicate, and the set must not
+    /// both insert and delete the same atom.
+    pub fn from_events(
+        db: &Database,
+        events: impl IntoIterator<Item = GroundEvent>,
+    ) -> Result<Transaction> {
+        let mut store = EventStore::new();
+        for e in events {
+            if db.program().is_derived(e.pred) {
+                return Err(Error::DerivedEventInTransaction(e));
+            }
+            store.insert(e);
+        }
+        if let Some((pred, tuple)) = store.conflicts().next() {
+            return Err(Error::ConflictingEvents {
+                pred,
+                atom: tuple.to_atom(pred).to_string(),
+            });
+        }
+        Ok(Transaction { events: store })
+    }
+
+    /// Parses a transaction from surface syntax (`+p(a). -q(b).`),
+    /// validating against `db`.
+    pub fn parse(db: &Database, src: &str) -> Result<Transaction> {
+        let parsed = parser::parse_events(src)?;
+        let mut events = Vec::with_capacity(parsed.len());
+        for pe in parsed {
+            let kind = if pe.insert {
+                EventKind::Ins
+            } else {
+                EventKind::Del
+            };
+            let tuple = pe.atom.as_tuple().ok_or({
+                Error::Datalog(dduf_datalog::error::Error::Schema(
+                    dduf_datalog::error::SchemaError::ArityMismatch {
+                        pred: pe.atom.pred,
+                        got: pe.atom.terms.len(),
+                    },
+                ))
+            })?;
+            events.push(GroundEvent::new(kind, pe.atom.pred, tuple.into()));
+        }
+        Transaction::from_events(db, events)
+    }
+
+    /// Convenience: a single-event transaction from an atom.
+    pub fn single(db: &Database, kind: EventKind, atom: &Atom) -> Result<Transaction> {
+        let tuple = atom.as_tuple().expect("transaction atoms must be ground");
+        Transaction::from_events(db, [GroundEvent::new(kind, atom.pred, tuple.into())])
+    }
+
+    /// The events.
+    pub fn events(&self) -> &EventStore {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Splits the transaction into *effective* events and *no-ops* with
+    /// respect to the old state: by definitions (1)/(2), `+p(c̄)` is only an
+    /// event if `p(c̄)` did not hold, and `-p(c̄)` only if it held.
+    pub fn normalize(&self, db: &Database) -> (Transaction, Vec<GroundEvent>) {
+        let mut effective = EventStore::new();
+        let mut noops = Vec::new();
+        for e in self.events.iter() {
+            let held = db.holds(e.pred, &e.tuple);
+            let is_event = match e.kind {
+                EventKind::Ins => !held,
+                EventKind::Del => held,
+            };
+            if is_event {
+                effective.insert(e);
+            } else {
+                noops.push(e);
+            }
+        }
+        (
+            Transaction { events: effective },
+            noops,
+        )
+    }
+
+    /// Applies the transaction to `db`, producing the new state `Dⁿ`.
+    /// No-op events are silently ignored (they do not change the state).
+    pub fn apply(&self, db: &Database) -> Database {
+        let mut new_db = db.clone();
+        for e in self.events.iter() {
+            match e.kind {
+                EventKind::Ins => {
+                    new_db
+                        .assert_tuple(e.pred, e.tuple.clone())
+                        .expect("validated base event");
+                }
+                EventKind::Del => {
+                    new_db.retract_tuple(e.pred, &e.tuple);
+                }
+            }
+        }
+        new_db
+    }
+
+    /// Returns a transaction extended with more events (re-validated).
+    pub fn extended(
+        &self,
+        db: &Database,
+        extra: impl IntoIterator<Item = GroundEvent>,
+    ) -> Result<Transaction> {
+        Transaction::from_events(db, self.events.iter().chain(extra))
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::ast::Pred;
+    use dduf_datalog::parser::parse_database;
+    use dduf_datalog::storage::tuple::syms;
+
+    fn db() -> Database {
+        parse_database(
+            "q(a). q(b). r(b).
+             p(X) :- q(X), not r(X).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_and_apply() {
+        let db = db();
+        let t = Transaction::parse(&db, "-r(b).").unwrap();
+        assert_eq!(t.len(), 1);
+        let new_db = t.apply(&db);
+        assert!(!new_db.holds(Pred::new("r", 1), &syms(&["b"])));
+        assert!(db.holds(Pred::new("r", 1), &syms(&["b"]))); // old untouched
+    }
+
+    #[test]
+    fn derived_event_rejected() {
+        let db = db();
+        let err = Transaction::parse(&db, "+p(a).").unwrap_err();
+        assert!(matches!(err, Error::DerivedEventInTransaction(_)));
+    }
+
+    #[test]
+    fn conflicting_events_rejected() {
+        let db = db();
+        let err = Transaction::parse(&db, "+q(z). -q(z).").unwrap_err();
+        assert!(matches!(err, Error::ConflictingEvents { .. }));
+    }
+
+    #[test]
+    fn normalize_drops_noops() {
+        let db = db();
+        // +q(a) is a no-op (q(a) already holds); -q(z) is a no-op (absent).
+        let t = Transaction::parse(&db, "+q(a). -q(z). -r(b).").unwrap();
+        let (eff, noops) = t.normalize(&db);
+        assert_eq!(eff.len(), 1);
+        assert_eq!(noops.len(), 2);
+        assert!(eff
+            .events()
+            .contains(&GroundEvent::del(Pred::new("r", 1), syms(&["b"]))));
+    }
+
+    #[test]
+    fn extended_revalidates() {
+        let db = db();
+        let t = Transaction::parse(&db, "+q(z).").unwrap();
+        let err = t.extended(&db, [GroundEvent::del(Pred::new("q", 1), syms(&["z"]))]);
+        assert!(matches!(err, Err(Error::ConflictingEvents { .. })));
+        let ok = t
+            .extended(&db, [GroundEvent::del(Pred::new("r", 1), syms(&["b"]))])
+            .unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn single_event_constructor() {
+        let db = db();
+        let t = Transaction::single(
+            &db,
+            EventKind::Del,
+            &dduf_datalog::ast::Atom::ground("r", vec![dduf_datalog::ast::Const::sym("b")]),
+        )
+        .unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t
+            .events()
+            .contains(&GroundEvent::del(Pred::new("r", 1), syms(&["b"]))));
+    }
+
+    #[test]
+    fn display_set_syntax() {
+        let db = db();
+        let t = Transaction::parse(&db, "-r(b).").unwrap();
+        assert_eq!(t.to_string(), "{-r(b)}");
+    }
+}

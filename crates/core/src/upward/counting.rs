@@ -1,0 +1,403 @@
+//! The counting maintenance engine, after Gupta, Mumick & Subrahmanian
+//! (SIGMOD 1993) — the \[GMS93\] the paper cites for materialized view
+//! maintenance (§5.1.3).
+//!
+//! For every derived tuple the engine maintains its **support count**: the
+//! number of rule bindings deriving it. A tuple holds iff its count is
+//! positive, so the induced events of a transaction are exactly the
+//! `0 → >0` (insertion) and `>0 → 0` (deletion) count transitions. Count
+//! *changes* are computed by finite differencing of each rule body:
+//!
+//! ```text
+//! Δ(L₁ ⋈ … ⋈ Lₙ) = Σᵢ  L₁ⁿ ⋈ … ⋈ Lᵢ₋₁ⁿ ⋈ ΔLᵢ ⋈ Lᵢ₊₁ᵒ ⋈ … ⋈ Lₙᵒ
+//! ```
+//!
+//! with signed deltas (`+1` per inserted tuple, `−1` per deleted; signs
+//! flipped under negation). Unlike the event-rule incremental engine
+//! (DRed-style), deletions need **no re-derivation check**: the count
+//! tells whether alternative support remains. The price is the stored
+//! counts. Restricted to non-recursive programs, as in \[GMS93\].
+
+use crate::error::{Error, Result};
+use crate::transaction::Transaction;
+use crate::upward::UpwardResult;
+use dduf_datalog::ast::{Pred, Rule};
+use dduf_datalog::eval::join::{eval_conjunct, ground_terms, Bindings};
+use dduf_datalog::eval::Interpretation;
+use dduf_datalog::storage::database::Database;
+use dduf_datalog::storage::relation::Relation;
+use dduf_datalog::storage::tuple::Tuple;
+use dduf_datalog::stratify::Stratification;
+use dduf_events::event::{EventKind, GroundEvent};
+use dduf_events::store::EventStore;
+use std::collections::{BTreeMap, HashMap};
+
+/// Support-count deltas per derived predicate, as produced by
+/// [`CountingEngine::interpret`].
+pub type CountDeltas = BTreeMap<Pred, HashMap<Tuple, i64>>;
+
+/// Stateful counting engine over one database.
+#[derive(Clone, Debug)]
+pub struct CountingEngine {
+    counts: BTreeMap<Pred, HashMap<Tuple, i64>>,
+    /// Derived predicates in dependency order.
+    order: Vec<Pred>,
+}
+
+impl CountingEngine {
+    /// Builds the initial counts from the current state. Errors on
+    /// recursive programs.
+    pub fn new(db: &Database, old: &Interpretation) -> Result<CountingEngine> {
+        let program = db.program();
+        let strat = Stratification::compute(program)
+            .map_err(|e| Error::from(dduf_datalog::error::Error::from(e)))?;
+        let mut order = Vec::new();
+        for component in strat.components() {
+            if component.recursive {
+                return Err(Error::RecursiveCounting(component.preds[0]));
+            }
+            order.extend(component.preds.iter().copied());
+        }
+
+        let mut counts: BTreeMap<Pred, HashMap<Tuple, i64>> = BTreeMap::new();
+        for &pred in &order {
+            let mut map: HashMap<Tuple, i64> = HashMap::new();
+            for rule in program.rules_for(pred) {
+                let rel_of = |i: usize| -> &Relation {
+                    let p = rule.body[i].atom.pred;
+                    if program.is_derived(p) {
+                        old.relation(p)
+                    } else {
+                        db.relation(p)
+                    }
+                };
+                for b in eval_conjunct(&rule.body, &rel_of, &Bindings::new()) {
+                    let t = ground_terms(&rule.head.terms, &b).expect("allowed heads");
+                    *map.entry(t).or_insert(0) += 1;
+                }
+            }
+            // Sanity: counts agree with the materialized state.
+            debug_assert!(
+                map.keys().all(|t| old.relation(pred).contains(t))
+                    && old.relation(pred).iter().all(|t| map.contains_key(t)),
+                "initial counts disagree with the model for {pred}"
+            );
+            counts.insert(pred, map);
+        }
+        Ok(CountingEngine { counts, order })
+    }
+
+    /// The stored support count of a derived tuple.
+    pub fn count(&self, pred: Pred, tuple: &Tuple) -> i64 {
+        self.counts
+            .get(&pred)
+            .and_then(|m| m.get(tuple))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total number of counted tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.counts.values().map(HashMap::len).sum()
+    }
+
+    /// Computes the induced events of `txn` and the count deltas, without
+    /// mutating the engine.
+    pub fn interpret(
+        &self,
+        db: &Database,
+        txn: &Transaction,
+    ) -> Result<(UpwardResult, CountDeltas)> {
+        let program = db.program();
+        let (effective, _noops) = txn.normalize(db);
+        let new_db = effective.apply(db);
+
+        // Signed base deltas from the transaction.
+        let mut events = effective.events().clone();
+        let mut derived_events = EventStore::new();
+        let mut deltas: BTreeMap<Pred, HashMap<Tuple, i64>> = BTreeMap::new();
+        // New relations of derived predicates, built in dependency order.
+        let mut new_rels: BTreeMap<Pred, Relation> = BTreeMap::new();
+        // Old relations of derived predicates reconstructed from counts.
+        let old_rel = |pred: Pred| -> Relation {
+            self.counts
+                .get(&pred)
+                .map(|m| m.keys().cloned().collect())
+                .unwrap_or_default()
+        };
+
+        for &pred in &self.order {
+            let mut delta: HashMap<Tuple, i64> = HashMap::new();
+            for rule in program.rules_for(pred) {
+                self.rule_delta(
+                    rule, db, &new_db, &events, &new_rels, &mut delta,
+                )?;
+            }
+            delta.retain(|_, d| *d != 0);
+
+            // Count transitions → events; new relation for upper strata.
+            let mut new_rel = old_rel(pred);
+            for (t, d) in &delta {
+                let before = self.count(pred, t);
+                let after = before + d;
+                debug_assert!(after >= 0, "negative count for {pred}{t}");
+                if before == 0 && after > 0 {
+                    let e = GroundEvent::ins(pred, t.clone());
+                    events.insert(e.clone());
+                    derived_events.insert(e);
+                    new_rel.insert(t.clone());
+                } else if before > 0 && after == 0 {
+                    let e = GroundEvent::del(pred, t.clone());
+                    events.insert(e.clone());
+                    derived_events.insert(e);
+                    new_rel.remove(t);
+                }
+            }
+            new_rels.insert(pred, new_rel);
+            deltas.insert(pred, delta);
+        }
+
+        Ok((
+            UpwardResult {
+                base: effective.events().clone(),
+                derived: derived_events,
+            },
+            deltas,
+        ))
+    }
+
+    /// Computes the induced events and commits the count deltas.
+    pub fn apply(&mut self, db: &Database, txn: &Transaction) -> Result<UpwardResult> {
+        let (result, deltas) = self.interpret(db, txn)?;
+        for (pred, delta) in deltas {
+            let map = self.counts.entry(pred).or_default();
+            for (t, d) in delta {
+                let c = map.entry(t.clone()).or_insert(0);
+                *c += d;
+                debug_assert!(*c >= 0, "negative count for {pred}{t}");
+                if *c == 0 {
+                    map.remove(&t);
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Adds one rule's finite-difference contribution to `delta`.
+    ///
+    /// For each body position `i` whose predicate changed, evaluates
+    /// `L₁ⁿ … Lᵢ₋₁ⁿ ΔLᵢ Lᵢ₊₁ᵒ … Lₙᵒ`, seeding bindings from each delta
+    /// tuple with its sign (positive occurrence: +1 insert / −1 delete;
+    /// negative occurrence: signs flipped).
+    fn rule_delta(
+        &self,
+        rule: &Rule,
+        db: &Database,
+        new_db: &Database,
+        events: &EventStore,
+        new_rels: &BTreeMap<Pred, Relation>,
+        delta: &mut HashMap<Tuple, i64>,
+    ) -> Result<()> {
+        let program = db.program();
+        let old_derived: BTreeMap<Pred, Relation> = rule
+            .body
+            .iter()
+            .filter(|l| program.is_derived(l.atom.pred))
+            .map(|l| {
+                let p = l.atom.pred;
+                let rel: Relation = self
+                    .counts
+                    .get(&p)
+                    .map(|m| m.keys().cloned().collect())
+                    .unwrap_or_default();
+                (p, rel)
+            })
+            .collect();
+
+        for (i, lit) in rule.body.iter().enumerate() {
+            let p = lit.atom.pred;
+            let ins = events.relation(EventKind::Ins, p);
+            let del = events.relation(EventKind::Del, p);
+            if ins.is_empty() && del.is_empty() {
+                continue;
+            }
+            // Signed delta tuples for this occurrence.
+            let signed: Vec<(&Tuple, i64)> = ins
+                .iter()
+                .map(|t| (t, if lit.positive { 1 } else { -1 }))
+                .chain(del.iter().map(|t| (t, if lit.positive { -1 } else { 1 })))
+                .collect();
+
+            // Remaining literals: j<i on the new side, j>i on the old side.
+            let rest: Vec<&dduf_datalog::ast::Literal> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, l)| l)
+                .collect();
+            let sides: Vec<bool> = (0..rule.body.len())
+                .filter(|&j| j != i)
+                .map(|j| j < i) // true = new side
+                .collect();
+            let rel_of = |k: usize| -> &Relation {
+                let l = rest[k];
+                let q = l.atom.pred;
+                let new_side = sides[k];
+                if program.is_derived(q) {
+                    if new_side {
+                        new_rels.get(&q).expect("dependency order")
+                    } else {
+                        old_derived.get(&q).expect("collected above")
+                    }
+                } else if new_side {
+                    new_db.relation(q)
+                } else {
+                    db.relation(q)
+                }
+            };
+
+            for (t, sign) in signed {
+                let Some(seed) =
+                    dduf_datalog::eval::join::match_tuple(&lit.atom.terms, t, &Bindings::new())
+                else {
+                    continue;
+                };
+                for b in eval_conjunct(&rest, &rel_of, &seed) {
+                    let head = ground_terms(&rule.head.terms, &b).expect("allowed heads");
+                    *delta.entry(head).or_insert(0) += sign;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upward::{self, Engine};
+    use dduf_datalog::eval::materialize;
+    use dduf_datalog::parser::parse_database;
+    use dduf_datalog::storage::tuple::syms;
+
+    fn check_against_incremental(src: &str, txns: &[&str]) {
+        let mut db = parse_database(src).unwrap();
+        let mut old = materialize(&db).unwrap();
+        let mut engine = CountingEngine::new(&db, &old).unwrap();
+        for (step, t) in txns.iter().enumerate() {
+            let txn = Transaction::parse(&db, t).unwrap();
+            let expected =
+                upward::interpret_with(&db, &old, &txn, Engine::Incremental).unwrap();
+            let got = engine.apply(&db, &txn).unwrap();
+            assert_eq!(got, expected, "step {step}: {t}");
+            db = txn.apply(&db);
+            old = materialize(&db).unwrap();
+            // Counts stay consistent with the model.
+            for (pred, _role) in db.program().predicates() {
+                if !db.program().is_derived(pred) {
+                    continue;
+                }
+                for tup in old.relation(pred).iter() {
+                    assert!(
+                        engine.count(pred, tup) > 0,
+                        "step {step}: zero count for live {pred}{tup}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_incremental_on_example_4_1() {
+        check_against_incremental(
+            "q(a). q(b). r(b). p(X) :- q(X), not r(X).",
+            &["-r(b).", "+r(a).", "-q(a)."],
+        );
+    }
+
+    #[test]
+    fn multi_support_deletion_needs_no_recheck() {
+        // v(k) has two supports; deleting one leaves count 1 (no event),
+        // deleting both drops it to 0 (event).
+        let mut db = parse_database("a(k). b(k). v(X) :- a(X). v(X) :- b(X).").unwrap();
+        let old = materialize(&db).unwrap();
+        let mut engine = CountingEngine::new(&db, &old).unwrap();
+        assert_eq!(engine.count(Pred::new("v", 1), &syms(&["k"])), 2);
+
+        let t1 = Transaction::parse(&db, "-a(k).").unwrap();
+        let r1 = engine.apply(&db, &t1).unwrap();
+        assert!(r1.derived.is_empty());
+        assert_eq!(engine.count(Pred::new("v", 1), &syms(&["k"])), 1);
+        db = t1.apply(&db);
+
+        let t2 = Transaction::parse(&db, "-b(k).").unwrap();
+        let r2 = engine.apply(&db, &t2).unwrap();
+        assert!(r2
+            .derived
+            .contains(&GroundEvent::del(Pred::new("v", 1), syms(&["k"]))));
+        assert_eq!(engine.count(Pred::new("v", 1), &syms(&["k"])), 0);
+    }
+
+    #[test]
+    fn join_counts_multiply() {
+        let db = parse_database(
+            "emp(john, sales). emp(mary, sales). dept(sales, bcn).
+             city_has(C) :- emp(E, D), dept(D, C).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        let engine = CountingEngine::new(&db, &old).unwrap();
+        // Two employees derive city_has(bcn) twice.
+        assert_eq!(engine.count(Pred::new("city_has", 1), &syms(&["bcn"])), 2);
+    }
+
+    #[test]
+    fn negation_deltas() {
+        check_against_incremental(
+            "la(dolors). la(joan). works(joan). u_benefit(dolors).
+             unemp(X) :- la(X), not works(X).
+             :- unemp(X), not u_benefit(X).",
+            &[
+                "+works(dolors).",
+                "-works(dolors).",
+                "+la(maria). +u_benefit(maria).",
+                "-works(joan).",
+            ],
+        );
+    }
+
+    #[test]
+    fn layered_views() {
+        check_against_incremental(
+            "b(x). b(y). r(y).
+             v1(X) :- b(X), not r(X).
+             v2(X) :- v1(X).
+             v3(X) :- v2(X), b(X).",
+            &["-r(y).", "+r(x).", "-b(x).", "+b(z)."],
+        );
+    }
+
+    #[test]
+    fn recursive_program_rejected() {
+        let db = parse_database(
+            "e(a, b). tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        assert!(matches!(
+            CountingEngine::new(&db, &old),
+            Err(Error::RecursiveCounting(_))
+        ));
+    }
+
+    #[test]
+    fn simultaneous_mixed_updates() {
+        check_against_incremental(
+            "q(a). r(a). q(b). s(b).
+             p(X) :- q(X), not r(X).
+             w(X) :- p(X), s(X).",
+            &["-r(a). +s(a). +q(c). +s(c)."],
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! The incremental upward engine: delta-driven evaluation of the event
+//! rules, stratum by stratum.
+//!
+//! For every derived predicate `P`, in dependency (stratification) order:
+//!
+//! * **Insertions** — evaluate the disjunctands of the simplified
+//!   insertion event rule that contain at least one positive event literal
+//!   (the others cannot derive anything new; see
+//!   [`dduf_events::simplify::for_insertion`]), joining old literals
+//!   against the old state and event literals against the events computed
+//!   so far (base events from the transaction, derived events from lower
+//!   strata).
+//! * **Deletions** — a tuple can only leave `P` if one of its supports is
+//!   *broken*: for each defining rule and each body literal, join the rest
+//!   of the old body with the literal's breaking event (`del Q` for a
+//!   positive occurrence of `Q`, `ins Q` for a negative one). Candidates
+//!   that held before and for which no transition-rule disjunct holds are
+//!   the deletions (`del P(x̄) ← P°(x̄) ∧ ¬Pⁿ(x̄)`).
+//!
+//! Recursive components fall back to recomputing the component under the
+//! new state with the semi-naive engine and diffing (see DESIGN.md §4.1);
+//! everything below and above the component stays incremental.
+
+use crate::error::{Error, Result};
+use crate::transaction::Transaction;
+use crate::upward::UpwardResult;
+use dduf_datalog::ast::{Atom, Pred};
+use dduf_datalog::eval::join::{eval_conjunct, ground_terms, match_tuple, Bindings};
+use dduf_datalog::eval::{seminaive, Interpretation};
+use dduf_datalog::storage::database::Database;
+use dduf_datalog::storage::relation::Relation;
+use dduf_datalog::storage::tuple::Tuple;
+use dduf_datalog::stratify::Stratification;
+use dduf_events::event::{EventKind, GroundEvent};
+use dduf_events::formula::TrLit;
+use dduf_events::simplify::{for_insertion, simplify_transition};
+use dduf_events::store::EventStore;
+use dduf_events::transition::TransitionRule;
+
+/// Resolves the relation backing a transition literal: old literals query
+/// the old state, event literals query the accumulated events.
+fn trlit_relation<'a>(
+    lit: &TrLit,
+    db: &'a Database,
+    old: &'a Interpretation,
+    events: &'a EventStore,
+) -> &'a Relation {
+    match lit {
+        TrLit::Old(l) => {
+            if db.program().is_derived(l.atom.pred) {
+                old.relation(l.atom.pred)
+            } else {
+                db.relation(l.atom.pred)
+            }
+        }
+        TrLit::Event { event, .. } => events.relation(event.kind, event.pred()),
+    }
+}
+
+/// Unifies a (possibly non-variable) rule head against a concrete tuple.
+fn unify_head(head: &Atom, tuple: &Tuple) -> Option<Bindings> {
+    match_tuple(&head.terms, tuple, &Bindings::new())
+}
+
+/// True iff `Pⁿ(tuple)` holds: some disjunctand of the transition rule is
+/// satisfiable with the head unified to `tuple`, old literals evaluated
+/// against `old` and event literals against `events`. This is the
+/// executable form of the transition rule of §3.2 and is exposed for
+/// verification: `Pⁿ(c̄)` must coincide with membership of `c̄` in the
+/// materialized new state (property-tested in `tests/transition_semantics.rs`).
+pub fn new_state_holds(
+    tr: &TransitionRule,
+    tuple: &Tuple,
+    db: &Database,
+    old: &Interpretation,
+    events: &EventStore,
+) -> bool {
+    for branch in &tr.branches {
+        let Some(seed) = unify_head(&branch.head, tuple) else {
+            continue;
+        };
+        for conj in &branch.dnf.0 {
+            let rel_of = |i: usize| -> &Relation { trlit_relation(&conj.0[i], db, old, events) };
+            if !eval_conjunct(&conj.0, &rel_of, &seed).is_empty() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Computes the induced insertions of a non-recursive derived predicate.
+fn insertions(
+    tr: &TransitionRule,
+    db: &Database,
+    old: &Interpretation,
+    events: &EventStore,
+) -> Relation {
+    let mut out = Relation::new();
+    for branch in &tr.branches {
+        for conj in &for_insertion(&branch.dnf).0 {
+            // Rule (6): conjoin ¬P°(head).
+            let mut lits = conj.0.clone();
+            lits.push(TrLit::old_neg(branch.head.clone()));
+            // Fast path: a positive event literal over an empty event
+            // relation kills the disjunct.
+            if lits.iter().any(|l| {
+                l.is_positive_event() && trlit_relation(l, db, old, events).is_empty()
+            }) {
+                continue;
+            }
+            let rel_of = |i: usize| -> &Relation { trlit_relation(&lits[i], db, old, events) };
+            for b in eval_conjunct(&lits, &rel_of, &Bindings::new()) {
+                let t = ground_terms(&branch.head.terms, &b)
+                    .expect("allowedness grounds transition heads");
+                out.insert(t);
+            }
+        }
+    }
+    out
+}
+
+/// Computes the induced deletions of a non-recursive derived predicate.
+fn deletions(
+    pred: Pred,
+    tr: &TransitionRule,
+    db: &Database,
+    old: &Interpretation,
+    events: &EventStore,
+) -> Relation {
+    // Candidate tuples: supports broken by some event.
+    let mut candidates = Relation::new();
+    for rule in db.program().rules_for(pred) {
+        for (i, lit) in rule.body.iter().enumerate() {
+            let breaking = if lit.positive {
+                EventKind::Del
+            } else {
+                EventKind::Ins
+            };
+            if events.relation(breaking, lit.atom.pred).is_empty() {
+                continue;
+            }
+            let lits: Vec<TrLit> = rule
+                .body
+                .iter()
+                .enumerate()
+                .map(|(j, l)| {
+                    if j == i {
+                        TrLit::event(breaking, l.atom.clone())
+                    } else {
+                        TrLit::Old(l.clone())
+                    }
+                })
+                .collect();
+            let rel_of = |k: usize| -> &Relation { trlit_relation(&lits[k], db, old, events) };
+            for b in eval_conjunct(&lits, &rel_of, &Bindings::new()) {
+                if let Some(t) = ground_terms(&rule.head.terms, &b) {
+                    candidates.insert(t);
+                }
+            }
+        }
+    }
+    // Rule (7): del P = P° ∩ candidates, minus tuples still derivable.
+    let old_rel = old.relation(pred);
+    candidates
+        .iter()
+        .filter(|t| old_rel.contains(t) && !new_state_holds(tr, t, db, old, events))
+        .cloned()
+        .collect()
+}
+
+/// Upward-interprets `txn` incrementally.
+pub fn interpret(
+    db: &Database,
+    old: &Interpretation,
+    txn: &Transaction,
+) -> Result<UpwardResult> {
+    let program = db.program();
+    let strat = Stratification::compute(program)
+        .map_err(|e| Error::from(dduf_datalog::error::Error::from(e)))?;
+    let graph = dduf_datalog::depgraph::DepGraph::build(program);
+
+    let (effective, _noops) = txn.normalize(db);
+    let mut events = effective.events().clone();
+    let mut derived_events = EventStore::new();
+    let mut new_interp = Interpretation::default();
+    // New base state, needed only for recursive components.
+    let new_db = effective.apply(db);
+
+    // Predicates whose extension may have changed: base predicates with
+    // events, extended with every derived predicate that produced events.
+    // A component none of whose body predicates is touched cannot change
+    // and is skipped wholesale.
+    let mut touched: std::collections::BTreeSet<Pred> = effective
+        .events()
+        .iter()
+        .map(|e| e.pred)
+        .collect();
+    // Components actually evaluated (their entry in `new_interp` is
+    // authoritative, even when empty).
+    let mut evaluated: std::collections::BTreeSet<Pred> = std::collections::BTreeSet::new();
+
+    for component in strat.components() {
+        let affected = component.preds.iter().any(|&p| {
+            program
+                .rules_for(p)
+                .iter()
+                .flat_map(|r| r.body.iter())
+                .any(|lit| touched.contains(&lit.atom.pred))
+        });
+        if !affected {
+            continue; // unchanged: old extension remains valid
+        }
+
+        if component.recursive {
+            // Lower derived dependencies evaluated lazily so far: the
+            // fixpoint below reads them from `new_interp`, so fill in the
+            // (unchanged) old extensions of any that were skipped.
+            for &p in &component.preds {
+                for dep in graph.reachable(p) {
+                    if program.is_derived(dep)
+                        && !component.preds.contains(&dep)
+                        && !evaluated.contains(&dep)
+                    {
+                        new_interp.set(dep, old.relation(dep).clone());
+                        evaluated.insert(dep);
+                    }
+                }
+            }
+            // Recompute the component under the new state and diff.
+            for (pred, new_rel) in seminaive::eval_component(&new_db, &new_interp, component) {
+                let old_rel = old.relation(pred);
+                for t in new_rel.difference(old_rel).iter() {
+                    let e = GroundEvent::ins(pred, t.clone());
+                    events.insert(e.clone());
+                    derived_events.insert(e);
+                }
+                for t in old_rel.difference(&new_rel).iter() {
+                    let e = GroundEvent::del(pred, t.clone());
+                    events.insert(e.clone());
+                    derived_events.insert(e);
+                }
+                if new_rel != *old_rel {
+                    touched.insert(pred);
+                }
+                new_interp.set(pred, new_rel);
+                evaluated.insert(pred);
+            }
+            continue;
+        }
+
+        let pred = component.preds[0];
+        let tr = simplify_transition(&TransitionRule::build(program, pred));
+        let ins = insertions(&tr, db, old, &events);
+        let del = deletions(pred, &tr, db, old, &events);
+
+        let old_rel = old.relation(pred);
+        if !ins.is_empty() || !del.is_empty() {
+            touched.insert(pred);
+        }
+        new_interp.set(pred, old_rel.difference(&del).union(&ins));
+        evaluated.insert(pred);
+        for t in ins.iter() {
+            let e = GroundEvent::ins(pred, t.clone());
+            events.insert(e.clone());
+            derived_events.insert(e);
+        }
+        for t in del.iter() {
+            let e = GroundEvent::del(pred, t.clone());
+            events.insert(e.clone());
+            derived_events.insert(e);
+        }
+    }
+
+    Ok(UpwardResult {
+        base: effective.events().clone(),
+        derived: derived_events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upward::semantic;
+    use dduf_datalog::eval::materialize;
+    use dduf_datalog::parser::parse_database;
+    use dduf_datalog::storage::tuple::syms;
+
+    fn check_against_semantic(src: &str, txn_src: &str) -> UpwardResult {
+        let db = parse_database(src).unwrap();
+        let old = materialize(&db).unwrap();
+        let txn = Transaction::parse(&db, txn_src).unwrap();
+        let inc = interpret(&db, &old, &txn).unwrap();
+        let sem = semantic::interpret(&db, &old, &txn).unwrap();
+        assert_eq!(inc, sem, "incremental vs semantic mismatch");
+        inc
+    }
+
+    #[test]
+    fn example_4_1() {
+        let res = check_against_semantic(
+            "q(a). q(b). r(b). p(X) :- q(X), not r(X).",
+            "-r(b).",
+        );
+        assert_eq!(res.derived.len(), 1);
+        assert!(res
+            .derived
+            .contains(&GroundEvent::ins(Pred::new("p", 1), syms(&["b"]))));
+    }
+
+    #[test]
+    fn insertion_through_negation() {
+        // +works(dolors) deletes unemp(dolors) and raises nothing else.
+        let res = check_against_semantic(
+            "la(dolors). u_benefit(dolors).
+             unemp(X) :- la(X), not works(X).
+             :- unemp(X), not u_benefit(X).",
+            "+works(dolors).",
+        );
+        assert!(res
+            .derived
+            .contains(&GroundEvent::del(Pred::new("unemp", 1), syms(&["dolors"]))));
+    }
+
+    #[test]
+    fn constraint_violation_propagates() {
+        let res = check_against_semantic(
+            "la(dolors). u_benefit(dolors).
+             unemp(X) :- la(X), not works(X).
+             :- unemp(X), not u_benefit(X).",
+            "-u_benefit(dolors).",
+        );
+        assert!(res
+            .derived
+            .contains(&GroundEvent::ins(Pred::new("ic1", 0), syms(&[]))));
+        assert!(res
+            .derived
+            .contains(&GroundEvent::ins(Pred::new("ic", 0), syms(&[]))));
+    }
+
+    #[test]
+    fn multi_rule_view_needs_all_supports_broken() {
+        // v(X) :- a(X).  v(X) :- b(X).  Deleting a(k) alone does not delete
+        // v(k) while b(k) still holds.
+        let res = check_against_semantic("a(k). b(k). v(X) :- a(X). v(X) :- b(X).", "-a(k).");
+        assert!(res.derived.is_empty());
+        let res = check_against_semantic("a(k). v(X) :- a(X). v(X) :- b(X).", "-a(k).");
+        assert!(res
+            .derived
+            .contains(&GroundEvent::del(Pred::new("v", 1), syms(&["k"]))));
+    }
+
+    #[test]
+    fn recursive_component_incremental() {
+        let res = check_against_semantic(
+            "e(a, b). e(b, c).
+             tc(X, Y) :- e(X, Y).
+             tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            "+e(c, d). -e(a, b).",
+        );
+        let ins = res.derived.relation(EventKind::Ins, Pred::new("tc", 2));
+        let del = res.derived.relation(EventKind::Del, Pred::new("tc", 2));
+        // gains: (c,d), (b,d); loses: (a,b), (a,c) — and (a,d) never existed.
+        assert!(ins.contains(&syms(&["c", "d"])));
+        assert!(ins.contains(&syms(&["b", "d"])));
+        assert_eq!(ins.len(), 2);
+        assert!(del.contains(&syms(&["a", "b"])));
+        assert!(del.contains(&syms(&["a", "c"])));
+        assert_eq!(del.len(), 2);
+    }
+
+    #[test]
+    fn mixed_recursive_and_nonrecursive_strata() {
+        let res = check_against_semantic(
+            "e(a, b). node(a). node(b). node(c).
+             tc(X, Y) :- e(X, Y).
+             tc(X, Y) :- e(X, Z), tc(Z, Y).
+             isolated(X) :- node(X), not reaches(X).
+             reaches(X) :- tc(X, _).",
+            "+e(b, c).",
+        );
+        assert!(res
+            .derived
+            .contains(&GroundEvent::del(Pred::new("isolated", 1), syms(&["b"]))));
+    }
+
+    #[test]
+    fn simultaneous_insert_and_delete_on_same_view() {
+        let res = check_against_semantic(
+            "q(a). r(a). q(b). p(X) :- q(X), not r(X).",
+            "-r(a). +r(b).",
+        );
+        assert!(res
+            .derived
+            .contains(&GroundEvent::ins(Pred::new("p", 1), syms(&["a"]))));
+        assert!(res
+            .derived
+            .contains(&GroundEvent::del(Pred::new("p", 1), syms(&["b"]))));
+    }
+
+    #[test]
+    fn constant_head_rules() {
+        // any_unemp is a 0-ary-style flag via a constant head argument.
+        let res = check_against_semantic(
+            "la(dolors).
+             alarm(red) :- la(X), not works(X).",
+            "+works(dolors).",
+        );
+        assert!(res
+            .derived
+            .contains(&GroundEvent::del(Pred::new("alarm", 1), syms(&["red"]))));
+        let res = check_against_semantic(
+            "la(dolors). works(dolors).
+             alarm(red) :- la(X), not works(X).",
+            "-works(dolors).",
+        );
+        assert!(res
+            .derived
+            .contains(&GroundEvent::ins(Pred::new("alarm", 1), syms(&["red"]))));
+    }
+
+    #[test]
+    fn repeated_predicate_in_body() {
+        // sibling-style self join: e occurs twice in one body.
+        let res = check_against_semantic(
+            "e(a, b). e(a, c).
+             sib(X, Y) :- e(Z, X), e(Z, Y).",
+            "+e(a, d).",
+        );
+        let ins = res.derived.relation(EventKind::Ins, Pred::new("sib", 2));
+        // New pairs involving d: (b,d),(c,d),(d,b),(d,c),(d,d).
+        assert_eq!(ins.len(), 5);
+    }
+
+    #[test]
+    fn two_argument_join_views() {
+        let res = check_against_semantic(
+            "emp(john, sales). dept(sales, bcn).
+             emp_city(E, C) :- emp(E, D), dept(D, C).",
+            "+emp(mary, sales). +dept(hr, madrid).",
+        );
+        let ins = res
+            .derived
+            .relation(EventKind::Ins, Pred::new("emp_city", 2));
+        assert!(ins.contains(&syms(&["mary", "bcn"])));
+        assert_eq!(ins.len(), 1); // hr has no employees yet
+    }
+}

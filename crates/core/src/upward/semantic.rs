@@ -1,0 +1,122 @@
+//! The semantic (state-diff) upward engine.
+//!
+//! Directly applies the event definitions (1)/(2) of §3.1: apply the
+//! transaction, materialize the new state, and compute
+//! `ins P = Pⁿ \ P°`, `del P = P° \ Pⁿ` for every derived predicate. This
+//! engine is the specification itself — the incremental engine is tested
+//! against it.
+
+use crate::error::Result;
+use crate::transaction::Transaction;
+use crate::upward::UpwardResult;
+use dduf_datalog::eval::{materialize, Interpretation};
+use dduf_datalog::storage::database::Database;
+use dduf_events::event::GroundEvent;
+use dduf_events::store::EventStore;
+
+/// Upward-interprets `txn` by materializing the new state and diffing.
+pub fn interpret(
+    db: &Database,
+    old: &Interpretation,
+    txn: &Transaction,
+) -> Result<UpwardResult> {
+    let (effective, _noops) = txn.normalize(db);
+    let new_db = effective.apply(db);
+    let new = materialize(&new_db).map_err(crate::error::Error::from)?;
+    Ok(UpwardResult {
+        base: effective.events().clone(),
+        derived: diff_interpretations(db, old, &new),
+    })
+}
+
+/// The events implied by two interpretations of the same program:
+/// insertions are `new \ old`, deletions `old \ new`, per derived
+/// predicate.
+pub fn diff_interpretations(
+    db: &Database,
+    old: &Interpretation,
+    new: &Interpretation,
+) -> EventStore {
+    let mut events = EventStore::new();
+    for (pred, _role) in db.program().predicates() {
+        if !db.program().is_derived(pred) {
+            continue;
+        }
+        let o = old.relation(pred);
+        let n = new.relation(pred);
+        for t in n.difference(o).iter() {
+            events.insert(GroundEvent::ins(pred, t.clone()));
+        }
+        for t in o.difference(n).iter() {
+            events.insert(GroundEvent::del(pred, t.clone()));
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::ast::Pred;
+    use dduf_datalog::parser::parse_database;
+    use dduf_datalog::storage::tuple::syms;
+    use dduf_events::event::EventKind;
+
+    #[test]
+    fn deletion_induces_derived_deletion() {
+        let db = parse_database("q(a). p(X) :- q(X).").unwrap();
+        let old = materialize(&db).unwrap();
+        let txn = Transaction::parse(&db, "-q(a).").unwrap();
+        let res = interpret(&db, &old, &txn).unwrap();
+        assert!(res
+            .derived
+            .contains(&GroundEvent::del(Pred::new("p", 1), syms(&["a"]))));
+        assert_eq!(res.derived.len(), 1);
+    }
+
+    #[test]
+    fn cascades_through_strata() {
+        // Example 5.1 setup: deleting u_benefit(dolors) raises ic1 (and ic).
+        let db = parse_database(
+            "la(dolors). u_benefit(dolors).
+             unemp(X) :- la(X), not works(X).
+             :- unemp(X), not u_benefit(X).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        let txn = Transaction::parse(&db, "-u_benefit(dolors).").unwrap();
+        let res = interpret(&db, &old, &txn).unwrap();
+        assert!(res
+            .derived
+            .contains(&GroundEvent::ins(Pred::new("ic1", 0), syms(&[]))));
+        assert!(res
+            .derived
+            .contains(&GroundEvent::ins(Pred::new("ic", 0), syms(&[]))));
+        // unemp(dolors) held before and still holds: no event on it.
+        assert!(res
+            .derived
+            .relation(EventKind::Ins, Pred::new("unemp", 1))
+            .is_empty());
+        assert!(res
+            .derived
+            .relation(EventKind::Del, Pred::new("unemp", 1))
+            .is_empty());
+    }
+
+    #[test]
+    fn recursive_views_diffed() {
+        let db = parse_database(
+            "e(a, b).
+             tc(X, Y) :- e(X, Y).
+             tc(X, Y) :- e(X, Z), tc(Z, Y).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        let txn = Transaction::parse(&db, "+e(b, c).").unwrap();
+        let res = interpret(&db, &old, &txn).unwrap();
+        let ins = res.derived.relation(EventKind::Ins, Pred::new("tc", 2));
+        assert!(ins.contains(&syms(&["b", "c"])));
+        assert!(ins.contains(&syms(&["a", "c"])));
+        assert_eq!(ins.len(), 2);
+    }
+}

@@ -1,0 +1,400 @@
+//! Abstract syntax of the deductive database language of §2 of the paper:
+//! function-free first-order terms, atoms, literals, deductive rules and
+//! integrity constraints in denial form.
+
+use crate::symbol::Sym;
+use std::fmt;
+
+/// A constant: a symbolic constant (`john`, `'New York'`) or an integer.
+///
+/// The paper restricts terms to constants and variables over finite domains;
+/// there are no function symbols.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Const {
+    /// Symbolic constant.
+    Sym(Sym),
+    /// Integer constant.
+    Int(i64),
+}
+
+impl Const {
+    /// Convenience constructor for symbolic constants.
+    pub fn sym(s: &str) -> Const {
+        Const::Sym(Sym::new(s))
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Sym(s) => {
+                let str = s.as_str();
+                // Unquoted only if the lexer would read it back as a
+                // symbolic constant: lowercase-leading identifier.
+                let plain = str.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                    && str.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+                if plain {
+                    f.write_str(str)
+                } else {
+                    write!(f, "'{str}'")
+                }
+            }
+            Const::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<i64> for Const {
+    fn from(i: i64) -> Const {
+        Const::Int(i)
+    }
+}
+
+impl From<&str> for Const {
+    fn from(s: &str) -> Const {
+        Const::sym(s)
+    }
+}
+
+/// A variable, identified by its (interned) name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub Sym);
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: &str) -> Var {
+        Var(Sym::new(name))
+    }
+
+    /// The variable's name.
+    pub fn name(self) -> Sym {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A term: a variable or a constant (§2: function-free).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A variable term.
+    Var(Var),
+    /// A constant term.
+    Const(Const),
+}
+
+impl Term {
+    /// Convenience constructor for a variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Var::new(name))
+    }
+
+    /// Convenience constructor for a symbolic-constant term.
+    pub fn sym(name: &str) -> Term {
+        Term::Const(Const::sym(name))
+    }
+
+    /// Convenience constructor for an integer-constant term.
+    pub fn int(i: i64) -> Term {
+        Term::Const(Const::Int(i))
+    }
+
+    /// Returns the variable if this term is one.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant if this term is one.
+    pub fn as_const(self) -> Option<Const> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// True iff the term is a constant.
+    pub fn is_ground(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<Const> for Term {
+    fn from(c: Const) -> Term {
+        Term::Const(c)
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Term {
+        Term::Var(v)
+    }
+}
+
+/// A predicate symbol together with its arity.
+///
+/// Two predicates with the same name but different arities are distinct, as
+/// is conventional (`p/1` vs `p/2`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Pred {
+    /// Predicate name.
+    pub name: Sym,
+    /// Number of arguments.
+    pub arity: usize,
+}
+
+impl Pred {
+    /// Creates a predicate symbol.
+    pub fn new(name: &str, arity: usize) -> Pred {
+        Pred {
+            name: Sym::new(name),
+            arity,
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// An atom `P(t1, ..., tm)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Atom {
+    /// The predicate symbol (name + arity; `terms.len() == pred.arity`).
+    pub pred: Pred,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom; the predicate's arity is taken from `terms.len()`.
+    pub fn new(name: &str, terms: Vec<Term>) -> Atom {
+        Atom {
+            pred: Pred::new(name, terms.len()),
+            terms,
+        }
+    }
+
+    /// Creates a ground atom from constants.
+    pub fn ground(name: &str, consts: Vec<Const>) -> Atom {
+        Atom::new(name, consts.into_iter().map(Term::Const).collect())
+    }
+
+    /// True iff every argument is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| t.is_ground())
+    }
+
+    /// The variables occurring in the atom, in order of first occurrence.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// If ground, the argument constants.
+    pub fn as_tuple(&self) -> Option<Vec<Const>> {
+        self.terms.iter().map(|t| t.as_const()).collect()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pred.name)?;
+        if !self.terms.is_empty() {
+            write!(f, "(")?;
+            for (i, t) in self.terms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A literal: an atom or a negated atom (§2).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Literal {
+    /// `true` for a positive condition, `false` for a negative one.
+    pub positive: bool,
+    /// The underlying atom.
+    pub atom: Atom,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn pos(atom: Atom) -> Literal {
+        Literal {
+            positive: true,
+            atom,
+        }
+    }
+
+    /// A negative literal.
+    pub fn neg(atom: Atom) -> Literal {
+        Literal {
+            positive: false,
+            atom,
+        }
+    }
+
+    /// The logical complement of this literal.
+    pub fn negated(&self) -> Literal {
+        Literal {
+            positive: !self.positive,
+            atom: self.atom.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.positive {
+            write!(f, "not ")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+/// A deductive rule `head :- body` (§2). A fact is represented as a ground
+/// atom stored in the extensional database, not as a body-less rule.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Rule {
+    /// The conclusion.
+    pub head: Atom,
+    /// The conditions (conjunction); non-empty for deductive rules.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// All variables occurring in the rule (head and body), in order of
+    /// first occurrence.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = self.head.vars();
+        for lit in &self.body {
+            for v in lit.atom.vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, lit) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unemp_rule() -> Rule {
+        // unemp(X) :- la(X), not works(X).
+        Rule::new(
+            Atom::new("unemp", vec![Term::var("X")]),
+            vec![
+                Literal::pos(Atom::new("la", vec![Term::var("X")])),
+                Literal::neg(Atom::new("works", vec![Term::var("X")])),
+            ],
+        )
+    }
+
+    #[test]
+    fn display_rule_round_trips_syntax() {
+        assert_eq!(unemp_rule().to_string(), "unemp(X) :- la(X), not works(X)");
+    }
+
+    #[test]
+    fn zero_ary_atom_displays_bare() {
+        let ic = Atom::new("ic1", vec![]);
+        assert_eq!(ic.to_string(), "ic1");
+        assert!(ic.is_ground());
+    }
+
+    #[test]
+    fn vars_in_first_occurrence_order() {
+        let r = Rule::new(
+            Atom::new("p", vec![Term::var("Y"), Term::var("X")]),
+            vec![Literal::pos(Atom::new(
+                "q",
+                vec![Term::var("X"), Term::var("Z")],
+            ))],
+        );
+        assert_eq!(r.vars(), vec![Var::new("Y"), Var::new("X"), Var::new("Z")]);
+    }
+
+    #[test]
+    fn atom_groundness_and_tuple() {
+        let a = Atom::ground("works", vec![Const::sym("john"), Const::sym("sales")]);
+        assert!(a.is_ground());
+        assert_eq!(
+            a.as_tuple().unwrap(),
+            vec![Const::sym("john"), Const::sym("sales")]
+        );
+        let b = Atom::new("works", vec![Term::var("X")]);
+        assert!(!b.is_ground());
+        assert!(b.as_tuple().is_none());
+    }
+
+    #[test]
+    fn quoted_constant_display() {
+        let c = Const::sym("New York");
+        assert_eq!(c.to_string(), "'New York'");
+        assert_eq!(Const::sym("john").to_string(), "john");
+        assert_eq!(Const::Int(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn literal_negation_is_involutive() {
+        let l = Literal::neg(Atom::new("p", vec![]));
+        assert_eq!(l.negated().negated(), l);
+    }
+
+    #[test]
+    fn pred_identity_includes_arity() {
+        assert_ne!(Pred::new("p", 1), Pred::new("p", 2));
+        assert_eq!(Pred::new("p", 1), Pred::new("p", 1));
+    }
+}

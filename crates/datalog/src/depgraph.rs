@@ -1,0 +1,249 @@
+//! Predicate dependency graph: which predicates (transitively) depend on
+//! which, through positive or negative body occurrences. This underlies
+//! stratification, recursion detection, and the ordering of both upward
+//! interpretation (compute events bottom-up) and downward interpretation
+//! (descend through definitions).
+
+use crate::ast::Pred;
+use crate::schema::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An edge kind in the dependency graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum EdgeSign {
+    /// The body occurrence is positive.
+    Positive,
+    /// The body occurrence is negative (under `not`).
+    Negative,
+}
+
+/// Dependency graph over the predicates of a program.
+#[derive(Clone, Debug, Default)]
+pub struct DepGraph {
+    /// head → (body predicate, sign) edges, deduplicated. A pair may appear
+    /// with both signs if the predicate occurs both positively and
+    /// negatively.
+    edges: BTreeMap<Pred, BTreeSet<(Pred, EdgeSign)>>,
+    nodes: BTreeSet<Pred>,
+}
+
+impl DepGraph {
+    /// Builds the graph from a program's rules.
+    pub fn build(program: &Program) -> DepGraph {
+        let mut g = DepGraph::default();
+        for rule in program.rules() {
+            let head = rule.head.pred;
+            g.nodes.insert(head);
+            for lit in &rule.body {
+                let sign = if lit.positive {
+                    EdgeSign::Positive
+                } else {
+                    EdgeSign::Negative
+                };
+                g.nodes.insert(lit.atom.pred);
+                g.edges.entry(head).or_default().insert((lit.atom.pred, sign));
+            }
+        }
+        g
+    }
+
+    /// All nodes (predicates mentioned anywhere in the rules).
+    pub fn nodes(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Direct dependencies of `pred` (its rule bodies' predicates).
+    pub fn deps(&self, pred: Pred) -> impl Iterator<Item = (Pred, EdgeSign)> + '_ {
+        self.edges.get(&pred).into_iter().flatten().copied()
+    }
+
+    /// Predicates reachable from `pred` (excluding `pred` itself unless it
+    /// is reachable through a cycle).
+    pub fn reachable(&self, pred: Pred) -> BTreeSet<Pred> {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<Pred> = self.deps(pred).map(|(p, _)| p).collect();
+        while let Some(p) = stack.pop() {
+            if seen.insert(p) {
+                stack.extend(self.deps(p).map(|(q, _)| q));
+            }
+        }
+        seen
+    }
+
+    /// True iff `pred`'s definition is recursive (it can reach itself).
+    pub fn is_recursive(&self, pred: Pred) -> bool {
+        self.reachable(pred).contains(&pred)
+    }
+
+    /// Strongly connected components in reverse topological order
+    /// (dependencies before dependents), computed with Tarjan's algorithm.
+    pub fn sccs(&self) -> Vec<Vec<Pred>> {
+        // Iterative Tarjan over the deterministic node order.
+        #[derive(Default)]
+        struct State {
+            index: BTreeMap<Pred, usize>,
+            lowlink: BTreeMap<Pred, usize>,
+            on_stack: BTreeSet<Pred>,
+            stack: Vec<Pred>,
+            next: usize,
+            out: Vec<Vec<Pred>>,
+        }
+        let mut st = State::default();
+
+        for &root in &self.nodes {
+            if st.index.contains_key(&root) {
+                continue;
+            }
+            // Explicit DFS stack of (node, iterator position).
+            let mut dfs: Vec<(Pred, Vec<Pred>, usize)> = Vec::new();
+            let succs =
+                |g: &DepGraph, p: Pred| -> Vec<Pred> { g.deps(p).map(|(q, _)| q).collect() };
+            st.index.insert(root, st.next);
+            st.lowlink.insert(root, st.next);
+            st.next += 1;
+            st.stack.push(root);
+            st.on_stack.insert(root);
+            dfs.push((root, succs(self, root), 0));
+
+            while let Some((node, children, pos)) = dfs.last_mut() {
+                if *pos < children.len() {
+                    let child = children[*pos];
+                    *pos += 1;
+                    if !st.index.contains_key(&child) {
+                        st.index.insert(child, st.next);
+                        st.lowlink.insert(child, st.next);
+                        st.next += 1;
+                        st.stack.push(child);
+                        st.on_stack.insert(child);
+                        let ch = succs(self, child);
+                        dfs.push((child, ch, 0));
+                    } else if st.on_stack.contains(&child) {
+                        let low = st.lowlink[node].min(st.index[&child]);
+                        st.lowlink.insert(*node, low);
+                    }
+                } else {
+                    let node = *node;
+                    dfs.pop();
+                    if let Some((parent, _, _)) = dfs.last() {
+                        let low = st.lowlink[parent].min(st.lowlink[&node]);
+                        st.lowlink.insert(*parent, low);
+                    }
+                    if st.lowlink[&node] == st.index[&node] {
+                        let mut comp = Vec::new();
+                        while let Some(p) = st.stack.pop() {
+                            st.on_stack.remove(&p);
+                            comp.push(p);
+                            if p == node {
+                                break;
+                            }
+                        }
+                        comp.sort();
+                        st.out.push(comp);
+                    }
+                }
+            }
+        }
+        st.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Literal, Rule, Term};
+
+    fn atom(name: &str, vars: &[&str]) -> Atom {
+        Atom::new(name, vars.iter().map(|v| Term::var(v)).collect())
+    }
+
+    fn program(rules: Vec<Rule>) -> Program {
+        let mut b = Program::builder();
+        for r in rules {
+            b.rule(r);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn edges_and_signs() {
+        let p = program(vec![Rule::new(
+            atom("unemp", &["X"]),
+            vec![
+                Literal::pos(atom("la", &["X"])),
+                Literal::neg(atom("works", &["X"])),
+            ],
+        )]);
+        let g = DepGraph::build(&p);
+        let deps: Vec<_> = g.deps(Pred::new("unemp", 1)).collect();
+        assert!(deps.contains(&(Pred::new("la", 1), EdgeSign::Positive)));
+        assert!(deps.contains(&(Pred::new("works", 1), EdgeSign::Negative)));
+    }
+
+    #[test]
+    fn recursion_detected() {
+        // tc(X,Y) :- e(X,Y).  tc(X,Y) :- e(X,Z), tc(Z,Y).
+        let p = program(vec![
+            Rule::new(
+                atom("tc", &["X", "Y"]),
+                vec![Literal::pos(atom("e", &["X", "Y"]))],
+            ),
+            Rule::new(
+                atom("tc", &["X", "Y"]),
+                vec![
+                    Literal::pos(atom("e", &["X", "Z"])),
+                    Literal::pos(atom("tc", &["Z", "Y"])),
+                ],
+            ),
+        ]);
+        let g = DepGraph::build(&p);
+        assert!(g.is_recursive(Pred::new("tc", 2)));
+        assert!(!g.is_recursive(Pred::new("e", 2)));
+    }
+
+    #[test]
+    fn sccs_in_dependency_order() {
+        // v :- u. u :- b.  (linear chain, SCCs: {b}, {u}, {v})
+        let p = program(vec![
+            Rule::new(atom("v", &["X"]), vec![Literal::pos(atom("u", &["X"]))]),
+            Rule::new(atom("u", &["X"]), vec![Literal::pos(atom("b", &["X"]))]),
+        ]);
+        let g = DepGraph::build(&p);
+        let sccs = g.sccs();
+        let pos = |name: &str| {
+            sccs.iter()
+                .position(|c| c.contains(&Pred::new(name, 1)))
+                .unwrap()
+        };
+        assert!(pos("b") < pos("u"));
+        assert!(pos("u") < pos("v"));
+    }
+
+    #[test]
+    fn mutual_recursion_single_scc() {
+        let p = program(vec![
+            Rule::new(atom("p", &["X"]), vec![Literal::pos(atom("q", &["X"]))]),
+            Rule::new(atom("q", &["X"]), vec![Literal::pos(atom("p", &["X"]))]),
+        ]);
+        let g = DepGraph::build(&p);
+        let sccs = g.sccs();
+        let comp = sccs
+            .iter()
+            .find(|c| c.contains(&Pred::new("p", 1)))
+            .unwrap();
+        assert!(comp.contains(&Pred::new("q", 1)));
+        assert!(g.is_recursive(Pred::new("p", 1)));
+    }
+
+    #[test]
+    fn reachable_transitive() {
+        let p = program(vec![
+            Rule::new(atom("v", &["X"]), vec![Literal::pos(atom("u", &["X"]))]),
+            Rule::new(atom("u", &["X"]), vec![Literal::pos(atom("b", &["X"]))]),
+        ]);
+        let g = DepGraph::build(&p);
+        let r = g.reachable(Pred::new("v", 1));
+        assert!(r.contains(&Pred::new("u", 1)));
+        assert!(r.contains(&Pred::new("b", 1)));
+        assert!(!r.contains(&Pred::new("v", 1)));
+    }
+}

@@ -1,0 +1,238 @@
+//! Bottom-up evaluation of stratified programs: computing the perfect model
+//! of the deductive database, stratum by stratum.
+
+pub mod join;
+pub mod naive;
+pub mod topdown;
+pub mod seminaive;
+
+use crate::ast::Pred;
+use crate::error::Error;
+use crate::safety;
+use crate::schema::Program;
+use crate::storage::database::Database;
+use crate::storage::relation::Relation;
+use crate::storage::tuple::Tuple;
+use crate::stratify::Stratification;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+fn empty_relation() -> &'static Relation {
+    static EMPTY: OnceLock<Relation> = OnceLock::new();
+    EMPTY.get_or_init(Relation::new)
+}
+
+/// Fixpoint strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Re-evaluate every rule against full relations each round. Simple;
+    /// used as the oracle in differential tests.
+    Naive,
+    /// Differential evaluation: recursive literals are driven by the
+    /// previous round's delta.
+    #[default]
+    SemiNaive,
+}
+
+/// The computed extensions of the derived predicates (the intensional part
+/// of the perfect model).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Interpretation {
+    derived: BTreeMap<Pred, Relation>,
+}
+
+impl Interpretation {
+    /// The extension of a derived predicate (empty if not computed).
+    pub fn relation(&self, pred: Pred) -> &Relation {
+        self.derived.get(&pred).unwrap_or_else(|| empty_relation())
+    }
+
+    /// True iff the ground derived fact holds.
+    pub fn holds(&self, pred: Pred, tuple: &Tuple) -> bool {
+        self.relation(pred).contains(tuple)
+    }
+
+    /// All derived predicates with their extensions.
+    pub fn iter(&self) -> impl Iterator<Item = (Pred, &Relation)> + '_ {
+        self.derived.iter().map(|(&p, r)| (p, r))
+    }
+
+    /// Total number of derived facts.
+    pub fn fact_count(&self) -> usize {
+        self.derived.values().map(Relation::len).sum()
+    }
+
+    /// Sets the extension of a derived predicate. Intended for engines that
+    /// assemble interpretations incrementally (e.g. the upward interpreter
+    /// building the new state from the old state plus events).
+    pub fn set(&mut self, pred: Pred, rel: Relation) {
+        self.derived.insert(pred, rel);
+    }
+
+    fn insert(&mut self, pred: Pred, rel: Relation) {
+        self.derived.insert(pred, rel);
+    }
+}
+
+/// A complete database state: extensional facts plus the computed
+/// interpretation of the derived predicates. This is what "evaluating a
+/// literal in the old (or new) state" queries.
+#[derive(Clone, Copy)]
+pub struct StateView<'a> {
+    /// The extensional database.
+    pub db: &'a Database,
+    /// The computed derived extensions.
+    pub interp: &'a Interpretation,
+}
+
+impl<'a> StateView<'a> {
+    /// Creates a view.
+    pub fn new(db: &'a Database, interp: &'a Interpretation) -> StateView<'a> {
+        StateView { db, interp }
+    }
+
+    /// The extension of any predicate in this state.
+    pub fn relation(&self, pred: Pred) -> &'a Relation {
+        if self.db.program().is_derived(pred) {
+            self.interp.relation(pred)
+        } else {
+            self.db.relation(pred)
+        }
+    }
+
+    /// True iff the ground fact holds in this state.
+    pub fn holds(&self, pred: Pred, tuple: &Tuple) -> bool {
+        self.relation(pred).contains(tuple)
+    }
+}
+
+/// Materializes all derived predicates of `db` with the default (semi-naive)
+/// strategy.
+pub fn materialize(db: &Database) -> Result<Interpretation, Error> {
+    materialize_with(db, Strategy::default())
+}
+
+/// Materializes all derived predicates of `db` with an explicit strategy.
+///
+/// Checks allowedness and stratifiability first; both are required by §2.
+pub fn materialize_with(db: &Database, strategy: Strategy) -> Result<Interpretation, Error> {
+    materialize_restricted(db, strategy, None)
+}
+
+/// Materializes only the derived predicates *relevant to* `roots`: the
+/// roots themselves plus everything they transitively depend on
+/// (predicate-level magic restriction — sound because a predicate's
+/// extension depends only on predicates reachable from it in the
+/// dependency graph). Useful for point problems (e.g. checking one
+/// constraint) where materializing unrelated views is wasted work.
+pub fn materialize_for(
+    db: &Database,
+    roots: &[Pred],
+    strategy: Strategy,
+) -> Result<Interpretation, Error> {
+    materialize_restricted(db, strategy, Some(roots))
+}
+
+fn materialize_restricted(
+    db: &Database,
+    strategy: Strategy,
+    roots: Option<&[Pred]>,
+) -> Result<Interpretation, Error> {
+    let program = db.program();
+    safety::check_program(program)?;
+    let strat = Stratification::compute(program)?;
+
+    let relevant: Option<std::collections::BTreeSet<Pred>> = roots.map(|roots| {
+        let graph = crate::depgraph::DepGraph::build(program);
+        let mut set: std::collections::BTreeSet<Pred> = roots.iter().copied().collect();
+        for &r in roots {
+            set.extend(graph.reachable(r));
+        }
+        set
+    });
+
+    let mut interp = Interpretation::default();
+    for component in strat.components() {
+        if let Some(rel) = &relevant {
+            if !component.preds.iter().any(|p| rel.contains(p)) {
+                continue;
+            }
+        }
+        let results = match strategy {
+            Strategy::Naive => naive::eval_component(db, &interp, component),
+            Strategy::SemiNaive => seminaive::eval_component(db, &interp, component),
+        };
+        for (pred, rel) in results {
+            interp.insert(pred, rel);
+        }
+    }
+    Ok(interp)
+}
+
+/// Looks up the relation backing a body literal during component
+/// evaluation: base → EDB; lower-stratum derived → completed interpretation;
+/// same-component derived → the in-progress `current` map.
+pub(crate) fn body_relation<'a>(
+    db: &'a Database,
+    interp: &'a Interpretation,
+    current: &'a BTreeMap<Pred, Relation>,
+    program: &Program,
+    pred: Pred,
+) -> &'a Relation {
+    if let Some(rel) = current.get(&pred) {
+        rel
+    } else if program.is_derived(pred) {
+        interp.relation(pred)
+    } else {
+        db.relation(pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_database;
+
+    #[test]
+    fn materialize_for_restricts_to_reachable() {
+        let db = parse_database(
+            "b(a).
+             v(X) :- b(X).
+             w(X) :- v(X).
+             unrelated(X) :- b(X).",
+        )
+        .unwrap();
+        let full = materialize(&db).unwrap();
+        let part = materialize_for(&db, &[Pred::new("w", 1)], Strategy::SemiNaive).unwrap();
+        // w and its dependency v computed, and equal to the full model.
+        assert_eq!(part.relation(Pred::new("w", 1)), full.relation(Pred::new("w", 1)));
+        assert_eq!(part.relation(Pred::new("v", 1)), full.relation(Pred::new("v", 1)));
+        // unrelated was skipped.
+        assert!(part.relation(Pred::new("unrelated", 1)).is_empty());
+        assert!(!full.relation(Pred::new("unrelated", 1)).is_empty());
+    }
+
+    #[test]
+    fn materialize_for_handles_recursive_roots() {
+        let db = parse_database(
+            "e(a, b). e(b, c).
+             tc(X, Y) :- e(X, Y).
+             tc(X, Y) :- e(X, Z), tc(Z, Y).
+             other(X) :- e(X, _).",
+        )
+        .unwrap();
+        let part = materialize_for(&db, &[Pred::new("tc", 2)], Strategy::SemiNaive).unwrap();
+        assert_eq!(part.relation(Pred::new("tc", 2)).len(), 3);
+        assert!(part.relation(Pred::new("other", 1)).is_empty());
+    }
+
+    #[test]
+    fn state_view_dispatches_base_and_derived() {
+        let db = parse_database("b(a). v(X) :- b(X).").unwrap();
+        let m = materialize(&db).unwrap();
+        let view = StateView::new(&db, &m);
+        assert_eq!(view.relation(Pred::new("b", 1)).len(), 1);
+        assert_eq!(view.relation(Pred::new("v", 1)).len(), 1);
+        assert!(view.holds(Pred::new("v", 1), &crate::storage::tuple::syms(&["a"])));
+    }
+}

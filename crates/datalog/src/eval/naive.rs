@@ -1,0 +1,146 @@
+//! Naive fixpoint evaluation of one stratification component.
+//!
+//! Every rule is re-evaluated against the full current relations each round
+//! until no new tuple appears. Quadratic in the number of rounds, but
+//! trivially correct — it serves as the oracle against which the semi-naive
+//! engine is differentially tested.
+
+use crate::ast::Pred;
+use crate::eval::join::{eval_conjunct, ground_terms, Bindings};
+use crate::eval::{body_relation, Interpretation};
+use crate::storage::database::Database;
+use crate::storage::relation::Relation;
+use crate::storage::tuple::Tuple;
+use crate::stratify::Component;
+use std::collections::BTreeMap;
+
+/// Evaluates `component` to fixpoint, returning the extension of each of
+/// its predicates. `interp` must already contain every lower component.
+pub fn eval_component(
+    db: &Database,
+    interp: &Interpretation,
+    component: &Component,
+) -> Vec<(Pred, Relation)> {
+    let program = db.program();
+    let mut current: BTreeMap<Pred, Relation> = component
+        .preds
+        .iter()
+        .map(|&p| (p, Relation::new()))
+        .collect();
+
+    let rules: Vec<_> = component
+        .preds
+        .iter()
+        .flat_map(|&p| program.rules_for(p))
+        .collect();
+
+    loop {
+        let mut fresh: Vec<(Pred, Tuple)> = Vec::new();
+        for rule in &rules {
+            let rel_of = |i: usize| -> &Relation {
+                body_relation(db, interp, &current, program, rule.body[i].atom.pred)
+            };
+            for b in eval_conjunct(&rule.body, &rel_of, &Bindings::new()) {
+                let tuple = ground_terms(&rule.head.terms, &b)
+                    .expect("allowedness guarantees ground heads");
+                if !current[&rule.head.pred].contains(&tuple) {
+                    fresh.push((rule.head.pred, tuple));
+                }
+            }
+        }
+        let mut changed = false;
+        for (pred, tuple) in fresh {
+            if current.get_mut(&pred).expect("component pred").insert(tuple) {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    current.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Const, Literal, Rule, Term};
+    use crate::eval::{materialize_with, Strategy};
+    use crate::schema::Program;
+    use crate::storage::tuple::syms;
+
+    fn atom(name: &str, vars: &[&str]) -> Atom {
+        Atom::new(name, vars.iter().map(|v| Term::var(v)).collect())
+    }
+
+    fn edge_db(edges: &[(&str, &str)]) -> Database {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("tc", &["X", "Y"]),
+            vec![Literal::pos(atom("e", &["X", "Y"]))],
+        ));
+        b.rule(Rule::new(
+            atom("tc", &["X", "Y"]),
+            vec![
+                Literal::pos(atom("e", &["X", "Z"])),
+                Literal::pos(atom("tc", &["Z", "Y"])),
+            ],
+        ));
+        let mut db = Database::new(b.build().unwrap());
+        for (a, bb) in edges {
+            db.assert_fact(&Atom::ground("e", vec![Const::sym(a), Const::sym(bb)]))
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let db = edge_db(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        let m = materialize_with(&db, Strategy::Naive).unwrap();
+        let tc = m.relation(crate::ast::Pred::new("tc", 2));
+        assert_eq!(tc.len(), 6); // ab ac ad bc bd cd
+        assert!(tc.contains(&syms(&["a", "d"])));
+        assert!(!tc.contains(&syms(&["d", "a"])));
+    }
+
+    #[test]
+    fn cycle_terminates() {
+        let db = edge_db(&[("a", "b"), ("b", "a")]);
+        let m = materialize_with(&db, Strategy::Naive).unwrap();
+        let tc = m.relation(crate::ast::Pred::new("tc", 2));
+        assert_eq!(tc.len(), 4); // aa ab ba bb
+        assert!(tc.contains(&syms(&["a", "a"])));
+    }
+
+    #[test]
+    fn stratified_negation() {
+        // unemp(X) :- la(X), not works(X).
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("unemp", &["X"]),
+            vec![
+                Literal::pos(atom("la", &["X"])),
+                Literal::neg(atom("works", &["X"])),
+            ],
+        ));
+        let mut db = Database::new(b.build().unwrap());
+        db.assert_fact(&Atom::ground("la", vec![Const::sym("dolors")]))
+            .unwrap();
+        db.assert_fact(&Atom::ground("la", vec![Const::sym("joan")]))
+            .unwrap();
+        db.assert_fact(&Atom::ground("works", vec![Const::sym("joan")]))
+            .unwrap();
+        let m = materialize_with(&db, Strategy::Naive).unwrap();
+        let unemp = m.relation(crate::ast::Pred::new("unemp", 1));
+        assert_eq!(unemp.len(), 1);
+        assert!(unemp.contains(&syms(&["dolors"])));
+    }
+
+    #[test]
+    fn empty_database_empty_model() {
+        let db = edge_db(&[]);
+        let m = materialize_with(&db, Strategy::Naive).unwrap();
+        assert_eq!(m.fact_count(), 0);
+    }
+}

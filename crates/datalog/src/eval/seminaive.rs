@@ -1,0 +1,220 @@
+//! Semi-naive (differential) fixpoint evaluation of one stratification
+//! component.
+//!
+//! After the first round, each rule is only re-evaluated with one recursive
+//! positive literal restricted to the previous round's *delta* (the tuples
+//! derived in that round), so already-explored derivations are not repeated.
+//! Negative literals always refer to lower strata (guaranteed by
+//! stratification) and are therefore static during the fixpoint.
+
+use crate::ast::{Literal, Pred, Rule};
+use crate::eval::join::{eval_conjunct, ground_terms, Bindings};
+use crate::eval::{body_relation, Interpretation};
+use crate::storage::database::Database;
+use crate::storage::relation::Relation;
+use crate::storage::tuple::Tuple;
+use crate::stratify::Component;
+use std::collections::BTreeMap;
+
+/// Evaluates `component` to fixpoint semi-naively.
+pub fn eval_component(
+    db: &Database,
+    interp: &Interpretation,
+    component: &Component,
+) -> Vec<(Pred, Relation)> {
+    let program = db.program();
+    let members: Vec<Pred> = component.preds.clone();
+    let mut current: BTreeMap<Pred, Relation> =
+        members.iter().map(|&p| (p, Relation::new())).collect();
+
+    let rules: Vec<&Rule> = members
+        .iter()
+        .flat_map(|&p| program.rules_for(p))
+        .collect();
+
+    // Round 0: full evaluation (recursive predicates are empty, so this
+    // costs the same as the non-recursive case).
+    let mut delta: BTreeMap<Pred, Relation> =
+        members.iter().map(|&p| (p, Relation::new())).collect();
+    for rule in &rules {
+        let rel_of = |i: usize| -> &Relation {
+            body_relation(db, interp, &current, program, rule.body[i].atom.pred)
+        };
+        for b in eval_conjunct(&rule.body, &rel_of, &Bindings::new()) {
+            let t = ground_terms(&rule.head.terms, &b).expect("ground head");
+            delta.get_mut(&rule.head.pred).expect("member").insert(t);
+        }
+    }
+    merge_delta(&mut current, &mut delta);
+
+    if !component.recursive {
+        return current.into_iter().collect();
+    }
+
+    // Differential rounds.
+    while delta.values().any(|r| !r.is_empty()) {
+        let mut next: BTreeMap<Pred, Relation> =
+            members.iter().map(|&p| (p, Relation::new())).collect();
+        for rule in &rules {
+            for (occ, lit) in rule.body.iter().enumerate() {
+                if !is_recursive_occurrence(lit, &members) {
+                    continue;
+                }
+                let rel_of = |i: usize| -> &Relation {
+                    if i == occ {
+                        delta.get(&rule.body[i].atom.pred).expect("member")
+                    } else {
+                        body_relation(db, interp, &current, program, rule.body[i].atom.pred)
+                    }
+                };
+                for b in eval_conjunct(&rule.body, &rel_of, &Bindings::new()) {
+                    let t = ground_terms(&rule.head.terms, &b).expect("ground head");
+                    if !current[&rule.head.pred].contains(&t) {
+                        next.get_mut(&rule.head.pred).expect("member").insert(t);
+                    }
+                }
+            }
+        }
+        delta = next;
+        merge_delta(&mut current, &mut delta);
+    }
+
+    current.into_iter().collect()
+}
+
+/// True iff `lit` is a positive occurrence of a component member (negative
+/// member occurrences are impossible in a stratifiable program).
+fn is_recursive_occurrence(lit: &Literal, members: &[Pred]) -> bool {
+    lit.positive && members.contains(&lit.atom.pred)
+}
+
+/// Adds `delta` into `current`, shrinking `delta` to the genuinely new
+/// tuples.
+fn merge_delta(current: &mut BTreeMap<Pred, Relation>, delta: &mut BTreeMap<Pred, Relation>) {
+    for (pred, d) in delta.iter_mut() {
+        let cur = current.get_mut(pred).expect("member");
+        let fresh: Vec<Tuple> = cur.merge(d);
+        *d = fresh.into_iter().collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Const, Term};
+    use crate::eval::{materialize_with, Strategy};
+    use crate::schema::Program;
+
+    fn atom(name: &str, vars: &[&str]) -> Atom {
+        Atom::new(name, vars.iter().map(|v| Term::var(v)).collect())
+    }
+
+    fn chain_db(n: usize) -> Database {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("tc", &["X", "Y"]),
+            vec![Literal::pos(atom("e", &["X", "Y"]))],
+        ));
+        b.rule(Rule::new(
+            atom("tc", &["X", "Y"]),
+            vec![
+                Literal::pos(atom("e", &["X", "Z"])),
+                Literal::pos(atom("tc", &["Z", "Y"])),
+            ],
+        ));
+        let mut db = Database::new(b.build().unwrap());
+        for i in 0..n {
+            db.assert_fact(&Atom::ground(
+                "e",
+                vec![Const::Int(i as i64), Const::Int(i as i64 + 1)],
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn matches_naive_on_chain() {
+        let db = chain_db(12);
+        let a = materialize_with(&db, Strategy::Naive).unwrap();
+        let b = materialize_with(&db, Strategy::SemiNaive).unwrap();
+        assert_eq!(a, b);
+        // n*(n+1)/2 pairs for a chain of n edges
+        assert_eq!(a.relation(Pred::new("tc", 2)).len(), 12 * 13 / 2);
+    }
+
+    #[test]
+    fn matches_naive_on_mutual_recursion() {
+        // even(X) :- zero(X).  even(Y) :- succ2(X, Y), even(X).
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("even", &["X"]),
+            vec![Literal::pos(atom("zero", &["X"]))],
+        ));
+        b.rule(Rule::new(
+            atom("even", &["Y"]),
+            vec![
+                Literal::pos(atom("succ2", &["X", "Y"])),
+                Literal::pos(atom("even", &["X"])),
+            ],
+        ));
+        let mut db = Database::new(b.build().unwrap());
+        db.assert_fact(&Atom::ground("zero", vec![Const::Int(0)]))
+            .unwrap();
+        for i in (0..10).step_by(2) {
+            db.assert_fact(&Atom::ground(
+                "succ2",
+                vec![Const::Int(i), Const::Int(i + 2)],
+            ))
+            .unwrap();
+        }
+        let a = materialize_with(&db, Strategy::Naive).unwrap();
+        let b2 = materialize_with(&db, Strategy::SemiNaive).unwrap();
+        assert_eq!(a, b2);
+        assert_eq!(a.relation(Pred::new("even", 1)).len(), 6);
+    }
+
+    #[test]
+    fn negation_across_strata_matches_naive() {
+        // reach(X) :- src(X).  reach(Y) :- reach(X), e(X, Y).
+        // unreachable(X) :- node(X), not reach(X).
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("reach", &["X"]),
+            vec![Literal::pos(atom("src", &["X"]))],
+        ));
+        b.rule(Rule::new(
+            atom("reach", &["Y"]),
+            vec![
+                Literal::pos(atom("reach", &["X"])),
+                Literal::pos(atom("e", &["X", "Y"])),
+            ],
+        ));
+        b.rule(Rule::new(
+            atom("unreachable", &["X"]),
+            vec![
+                Literal::pos(atom("node", &["X"])),
+                Literal::neg(atom("reach", &["X"])),
+            ],
+        ));
+        let mut db = Database::new(b.build().unwrap());
+        for n in ["a", "b", "c", "d"] {
+            db.assert_fact(&Atom::ground("node", vec![Const::sym(n)]))
+                .unwrap();
+        }
+        db.assert_fact(&Atom::ground("src", vec![Const::sym("a")]))
+            .unwrap();
+        db.assert_fact(&Atom::ground("e", vec![Const::sym("a"), Const::sym("b")]))
+            .unwrap();
+        db.assert_fact(&Atom::ground("e", vec![Const::sym("b"), Const::sym("c")]))
+            .unwrap();
+        let a = materialize_with(&db, Strategy::Naive).unwrap();
+        let s = materialize_with(&db, Strategy::SemiNaive).unwrap();
+        assert_eq!(a, s);
+        assert_eq!(s.relation(Pred::new("unreachable", 1)).len(), 1);
+        assert!(s.holds(
+            Pred::new("unreachable", 1),
+            &crate::storage::tuple::syms(&["d"])
+        ));
+    }
+}

@@ -1,0 +1,362 @@
+//! Top-down (SLD-style) query evaluation for hierarchical programs.
+//!
+//! §4 of the paper notes that "a particular implementation of these
+//! interpretations could be based either on a top-down or on a bottom-up
+//! query evaluation procedure". The bottom-up procedure is
+//! [`super::materialize`]; this module is the top-down counterpart: goals
+//! are resolved against rules with unification and fresh variable
+//! renaming, enumerating answer bindings without materializing anything.
+//!
+//! Negation is handled by negation-as-failure on *ground* subgoals, which
+//! allowedness guarantees once the positive body literals are solved.
+//! Recursive predicates are rejected with a typed error (resolution would
+//! not terminate without full tabling); callers fall back to
+//! [`super::materialize_for`] for those.
+
+use crate::ast::{Atom, Literal, Pred, Term, Var};
+use crate::depgraph::DepGraph;
+use crate::error::{Error, EvalError};
+use crate::eval::join::Bindings;
+use crate::safety;
+use crate::storage::database::Database;
+use crate::stratify::Stratification;
+use crate::symbol::Sym;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maximum resolution depth (defense in depth; hierarchical programs
+/// cannot exceed their definition height).
+const MAX_DEPTH: usize = 512;
+
+/// An environment binding variables to terms (constants or other
+/// variables).
+type Env = BTreeMap<Var, Term>;
+
+/// Follows variable bindings to a representative term.
+fn walk(mut t: Term, env: &Env) -> Term {
+    while let Term::Var(v) = t {
+        match env.get(&v) {
+            Some(&next) => t = next,
+            None => break,
+        }
+    }
+    t
+}
+
+/// Unifies two (function-free) terms under `env`.
+fn unify(a: Term, b: Term, env: &mut Env) -> bool {
+    let a = walk(a, env);
+    let b = walk(b, env);
+    match (a, b) {
+        (Term::Const(x), Term::Const(y)) => x == y,
+        (Term::Var(v), other) => {
+            if Term::Var(v) == other {
+                true
+            } else {
+                env.insert(v, other);
+                true
+            }
+        }
+        (other, Term::Var(v)) => {
+            env.insert(v, other);
+            true
+        }
+    }
+}
+
+/// A top-down resolution engine over one database.
+pub struct TopDown<'a> {
+    db: &'a Database,
+    recursive: BTreeSet<Pred>,
+    fresh: Cell<u64>,
+}
+
+impl<'a> TopDown<'a> {
+    /// Creates a prover; validates allowedness and stratifiability.
+    pub fn new(db: &'a Database) -> Result<TopDown<'a>, Error> {
+        safety::check_program(db.program())?;
+        Stratification::compute(db.program())?;
+        let graph = DepGraph::build(db.program());
+        let recursive = graph
+            .nodes()
+            .filter(|&p| graph.is_recursive(p))
+            .collect();
+        Ok(TopDown {
+            db,
+            recursive,
+            fresh: Cell::new(0),
+        })
+    }
+
+    /// All bindings of `atom`'s variables for which it holds.
+    pub fn solve(&self, atom: &Atom) -> Result<Vec<Bindings>, Error> {
+        let envs = self.solve_goal(atom, &Env::new(), 0)?;
+        let vars = atom.vars();
+        let mut out: Vec<Bindings> = Vec::new();
+        for env in envs {
+            let mut b = Bindings::new();
+            for &v in &vars {
+                if let Term::Const(c) = walk(Term::Var(v), &env) {
+                    b.insert(v, c);
+                }
+            }
+            if !out.contains(&b) {
+                out.push(b);
+            }
+        }
+        Ok(out)
+    }
+
+    /// True iff some instance of `atom` holds.
+    pub fn holds(&self, atom: &Atom) -> Result<bool, Error> {
+        Ok(!self.solve_goal(atom, &Env::new(), 0)?.is_empty())
+    }
+
+    fn rename_rule(&self, rule: &crate::ast::Rule) -> crate::ast::Rule {
+        let n = self.fresh.get();
+        self.fresh.set(n + 1);
+        let rename_term = |t: Term| -> Term {
+            match t {
+                Term::Var(v) => Term::Var(Var(Sym::new(&format!("{}%{}", v.name(), n)))),
+                c => c,
+            }
+        };
+        let rename_atom = |a: &Atom| -> Atom {
+            Atom {
+                pred: a.pred,
+                terms: a.terms.iter().map(|&t| rename_term(t)).collect(),
+            }
+        };
+        crate::ast::Rule {
+            head: rename_atom(&rule.head),
+            body: rule
+                .body
+                .iter()
+                .map(|l| Literal {
+                    positive: l.positive,
+                    atom: rename_atom(&l.atom),
+                })
+                .collect(),
+        }
+    }
+
+    fn solve_goal(&self, atom: &Atom, env: &Env, depth: usize) -> Result<Vec<Env>, Error> {
+        if depth > MAX_DEPTH {
+            return Err(EvalError::LimitExceeded {
+                what: "top-down resolution depth",
+                limit: MAX_DEPTH,
+            }
+            .into());
+        }
+        let pred = atom.pred;
+        if !self.db.program().is_derived(pred) {
+            // Base predicate: match against the extensional relation.
+            let pattern: Vec<Option<crate::ast::Const>> = atom
+                .terms
+                .iter()
+                .map(|&t| walk(t, env).as_const())
+                .collect();
+            let mut out = Vec::new();
+            for tuple in self.db.relation(pred).select(&pattern) {
+                let mut e2 = env.clone();
+                if atom
+                    .terms
+                    .iter()
+                    .zip(tuple.iter())
+                    .all(|(&t, &c)| unify(t, Term::Const(c), &mut e2))
+                {
+                    out.push(e2);
+                }
+            }
+            return Ok(out);
+        }
+        if self.recursive.contains(&pred) {
+            return Err(EvalError::RecursiveTopDown(pred).into());
+        }
+
+        let mut out = Vec::new();
+        for rule in self.db.program().rules_for(pred) {
+            let rule = self.rename_rule(rule);
+            let mut e2 = env.clone();
+            if !atom
+                .terms
+                .iter()
+                .zip(rule.head.terms.iter())
+                .all(|(&g, &h)| unify(g, h, &mut e2))
+            {
+                continue;
+            }
+            // Positive subgoals first (they bind), then ground negation
+            // as failure (allowedness guarantees groundness).
+            let (positives, negatives): (Vec<&Literal>, Vec<&Literal>) =
+                rule.body.iter().partition(|l| l.positive);
+            let mut envs = vec![e2];
+            for lit in positives {
+                let mut next = Vec::new();
+                for e in &envs {
+                    next.extend(self.solve_goal(&lit.atom, e, depth + 1)?);
+                }
+                envs = next;
+                if envs.is_empty() {
+                    break;
+                }
+            }
+            'env: for e in envs {
+                for lit in &negatives {
+                    debug_assert!(
+                        lit.atom.terms.iter().all(|&t| walk(t, &e).is_ground()),
+                        "allowedness violated: non-ground negative subgoal"
+                    );
+                    if !self.solve_goal(&lit.atom, &e, depth + 1)?.is_empty() {
+                        continue 'env;
+                    }
+                }
+                out.push(e);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::materialize;
+    use crate::parser::parse_database;
+    use crate::query::answers;
+    use crate::eval::StateView;
+
+    fn both_ways(src: &str, query: &str) -> (Vec<String>, Vec<String>) {
+        let db = parse_database(src).unwrap();
+        // Parse the query atom by parsing "<query>." as a rule head.
+        let out = crate::parser::parse_program(&format!("q_tmp :- {query}.")).unwrap();
+        let atom = out.program.rules()[0].body[0].atom.clone();
+
+        let m = materialize(&db).unwrap();
+        let mut bottom: Vec<String> = answers(StateView::new(&db, &m), &atom)
+            .into_iter()
+            .map(|t| t.to_string())
+            .collect();
+        bottom.sort();
+
+        let td = TopDown::new(&db).unwrap();
+        let mut top: Vec<String> = td
+            .solve(&atom)
+            .unwrap()
+            .into_iter()
+            .map(|b| {
+                crate::eval::join::ground_terms(&atom.terms, &b)
+                    .expect("solved atoms are ground")
+                    .to_string()
+            })
+            .collect();
+        top.sort();
+        top.dedup();
+        (bottom, top)
+    }
+
+    #[test]
+    fn matches_bottom_up_on_joins() {
+        let (b, t) = both_ways(
+            "emp(john, sales). emp(mary, hr). dept(sales, bcn). dept(hr, madrid).
+             emp_city(E, C) :- emp(E, D), dept(D, C).",
+            "emp_city(X, Y)",
+        );
+        assert_eq!(b, t);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn matches_bottom_up_with_negation() {
+        let (b, t) = both_ways(
+            "la(dolors). la(joan). works(joan).
+             unemp(X) :- la(X), not works(X).",
+            "unemp(X)",
+        );
+        assert_eq!(b, t);
+        assert_eq!(b, vec!["(dolors)"]);
+    }
+
+    #[test]
+    fn ground_goal_check() {
+        let db = parse_database(
+            "la(dolors). unemp(X) :- la(X), not works(X).",
+        )
+        .unwrap();
+        let td = TopDown::new(&db).unwrap();
+        let yes = Atom::ground("unemp", vec![crate::ast::Const::sym("dolors")]);
+        let no = Atom::ground("unemp", vec![crate::ast::Const::sym("ghost")]);
+        assert!(td.holds(&yes).unwrap());
+        assert!(!td.holds(&no).unwrap());
+    }
+
+    #[test]
+    fn multi_rule_union() {
+        let (b, t) = both_ways(
+            "a(x). b(y). v(X) :- a(X). v(X) :- b(X).",
+            "v(Z)",
+        );
+        assert_eq!(b, t);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn nested_definitions() {
+        let (b, t) = both_ways(
+            "q(a). q(b). r(b).
+             p(X) :- q(X), not r(X).
+             w(X) :- p(X), q(X).",
+            "w(X)",
+        );
+        assert_eq!(b, t);
+        assert_eq!(b, vec!["(a)"]);
+    }
+
+    #[test]
+    fn constants_in_heads_and_bodies() {
+        let (b, t) = both_ways(
+            "works(john, sales). works(mary, hr).
+             in_sales(E) :- works(E, sales).",
+            "in_sales(X)",
+        );
+        assert_eq!(b, t);
+        assert_eq!(b, vec!["(john)"]);
+    }
+
+    #[test]
+    fn recursive_predicate_rejected() {
+        let db = parse_database(
+            "e(a, b). tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+        )
+        .unwrap();
+        let td = TopDown::new(&db).unwrap();
+        let goal = Atom::new("tc", vec![Term::var("X"), Term::var("Y")]);
+        assert!(td.solve(&goal).is_err());
+        // Non-recursive predicates of the same program still work.
+        let ok = Atom::new("e", vec![Term::var("X"), Term::var("Y")]);
+        assert_eq!(td.solve(&ok).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn repeated_variables_in_goal() {
+        let (b, t) = both_ways(
+            "e(a, a). e(a, b).
+             refl(X) :- e(X, X).",
+            "refl(X)",
+        );
+        assert_eq!(b, t);
+        assert_eq!(b, vec!["(a)"]);
+    }
+
+    #[test]
+    fn variable_sharing_across_subgoals() {
+        // Head variable bound through a chain of body joins.
+        let (b, t) = both_ways(
+            "f(a, b). g(b, c). h(c, d).
+             path3(X, W) :- f(X, Y), g(Y, Z), h(Z, W).",
+            "path3(X, Y)",
+        );
+        assert_eq!(b, t);
+        assert_eq!(b, vec!["(a, d)"]);
+    }
+}

@@ -1,0 +1,331 @@
+//! Hand-written lexer for the surface language.
+//!
+//! Tokens: lowercase identifiers (predicate names / symbolic constants),
+//! capitalized or `_`-prefixed identifiers (variables), single-quoted
+//! symbols, integers, and punctuation. `%` starts a line comment.
+
+use crate::error::{ParseError, Span};
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Lowercase identifier: predicate name or symbolic constant.
+    Ident(String),
+    /// Capitalized or underscore-prefixed identifier: variable.
+    Var(String),
+    /// Single-quoted symbolic constant (quotes stripped).
+    Quoted(String),
+    /// Unsigned integer literal (sign handled by the parser).
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-`
+    Implies,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `#`
+    Hash,
+    /// `/`
+    Slash,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Var(s) => write!(f, "variable `{s}`"),
+            Tok::Quoted(s) => write!(f, "'{s}'"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Implies => write!(f, "`:-`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Hash => write!(f, "`#`"),
+            Tok::Slash => write!(f, "`/`"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Tokenizes `src`.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let span = Span { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '%' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '(' => {
+                bump!();
+                out.push(Spanned { tok: Tok::LParen, span });
+            }
+            ')' => {
+                bump!();
+                out.push(Spanned { tok: Tok::RParen, span });
+            }
+            '{' => {
+                bump!();
+                out.push(Spanned { tok: Tok::LBrace, span });
+            }
+            '}' => {
+                bump!();
+                out.push(Spanned { tok: Tok::RBrace, span });
+            }
+            ',' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Comma, span });
+            }
+            '.' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Dot, span });
+            }
+            '+' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Plus, span });
+            }
+            '-' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Minus, span });
+            }
+            '#' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Hash, span });
+            }
+            '/' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Slash, span });
+            }
+            ':' => {
+                bump!();
+                match chars.peek() {
+                    Some('-') => {
+                        bump!();
+                        out.push(Spanned { tok: Tok::Implies, span });
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            span,
+                            message: "expected `:-`".into(),
+                        })
+                    }
+                }
+            }
+            '\'' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('\'') => break,
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(ParseError {
+                                span,
+                                message: "unterminated quoted symbol".into(),
+                            })
+                        }
+                    }
+                }
+                out.push(Spanned { tok: Tok::Quoted(s), span });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let val: i64 = s.parse().map_err(|_| ParseError {
+                    span,
+                    message: format!("integer literal `{s}` out of range"),
+                })?;
+                out.push(Spanned { tok: Tok::Int(val), span });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = if s.starts_with(|c: char| c.is_ascii_uppercase()) || s.starts_with('_')
+                {
+                    Tok::Var(s)
+                } else {
+                    Tok::Ident(s)
+                };
+                out.push(Spanned { tok, span });
+            }
+            other => {
+                return Err(ParseError {
+                    span,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_rule() {
+        assert_eq!(
+            toks("unemp(X) :- la(X), not works(X)."),
+            vec![
+                Tok::Ident("unemp".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::Implies,
+                Tok::Ident("la".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::Comma,
+                Tok::Ident("not".into()),
+                Tok::Ident("works".into()),
+                Tok::LParen,
+                Tok::Var("X".into()),
+                Tok::RParen,
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("% hello\np. % trailing\n"), vec![
+            Tok::Ident("p".into()),
+            Tok::Dot
+        ]);
+    }
+
+    #[test]
+    fn quoted_symbols_and_ints() {
+        assert_eq!(
+            toks("p('New York', 42)."),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::LParen,
+                Tok::Quoted("New York".into()),
+                Tok::Comma,
+                Tok::Int(42),
+                Tok::RParen,
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn events_and_directives() {
+        assert_eq!(
+            toks("+p(a). -q(b). #view v/1."),
+            vec![
+                Tok::Plus,
+                Tok::Ident("p".into()),
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Minus,
+                Tok::Ident("q".into()),
+                Tok::LParen,
+                Tok::Ident("b".into()),
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Hash,
+                Tok::Ident("view".into()),
+                Tok::Ident("v".into()),
+                Tok::Slash,
+                Tok::Int(1),
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn underscore_is_variable() {
+        assert_eq!(toks("_x"), vec![Tok::Var("_x".into())]);
+        assert_eq!(toks("X1"), vec![Tok::Var("X1".into())]);
+    }
+
+    #[test]
+    fn error_position_reported() {
+        let err = lex("p.\n  ?").unwrap_err();
+        assert_eq!(err.span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(lex("'abc").is_err());
+    }
+
+    #[test]
+    fn lone_colon_errors() {
+        assert!(lex("p :").is_err());
+    }
+}

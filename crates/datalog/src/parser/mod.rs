@@ -1,0 +1,471 @@
+//! Recursive-descent parser for the surface language.
+//!
+//! ```text
+//! program   := item*
+//! item      := directive | clause
+//! directive := '#' ('base'|'view'|'ic'|'cond') name '/' INT '.'
+//!            | '#' 'domain' '{' const (',' const)* '}' '.'
+//! clause    := atom '.'                    -- ground fact
+//!            | atom ':-' body '.'          -- deductive / integrity rule
+//!            | ':-' body '.'               -- denial (auto-named icN)
+//! body      := literal (',' literal)*
+//! literal   := ['not'] atom
+//! atom      := name [ '(' term (',' term)* ')' ]
+//! term      := VARIABLE | const
+//! const     := name | QUOTED | ['-'] INT
+//! ```
+//!
+//! Transactions (sets of base events) use the same token stream:
+//!
+//! ```text
+//! events    := (('+'|'-') atom '.')*
+//! ```
+
+pub mod lexer;
+
+use crate::ast::{Atom, Const, Literal, Pred, Rule, Term};
+use crate::error::{Error, ParseError, Span};
+use crate::schema::{DerivedRole, Program, Role};
+use crate::storage::database::Database;
+use lexer::{lex, Spanned, Tok};
+
+/// A parsed base event: `+atom` (insertion) or `-atom` (deletion).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParsedEvent {
+    /// `true` for an insertion event, `false` for a deletion event.
+    pub insert: bool,
+    /// The (ground) atom.
+    pub atom: Atom,
+}
+
+/// Result of parsing a database source: the intensional program plus the
+/// extensional facts.
+#[derive(Clone, Debug)]
+pub struct ParseOutput {
+    /// The validated program.
+    pub program: Program,
+    /// Ground facts from the source, in order.
+    pub facts: Vec<Atom>,
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn span(&self) -> Span {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|s| s.span)
+            .unwrap_or(Span { line: 1, col: 1 })
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            span: self.span(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected {tok}, found {t}"))),
+            None => Err(self.err(format!("expected {tok}, found end of input"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => match self.bump() {
+                Some(Tok::Ident(s)) => Ok(s),
+                _ => unreachable!(),
+            },
+            Some(t) => Err(self.err(format!("expected identifier, found {t}"))),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    fn constant(&mut self) -> Result<Const, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(s)) => {
+                self.pos += 1;
+                Ok(Const::sym(&s))
+            }
+            Some(Tok::Quoted(s)) => {
+                self.pos += 1;
+                Ok(Const::sym(&s))
+            }
+            Some(Tok::Int(i)) => {
+                self.pos += 1;
+                Ok(Const::Int(i))
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                match self.peek().cloned() {
+                    Some(Tok::Int(i)) => {
+                        self.pos += 1;
+                        Ok(Const::Int(-i))
+                    }
+                    _ => Err(self.err("expected integer after `-`")),
+                }
+            }
+            Some(t) => Err(self.err(format!("expected constant, found {t}"))),
+            None => Err(self.err("expected constant, found end of input")),
+        }
+    }
+
+    fn term(&mut self, fresh: &mut u32) -> Result<Term, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Var(name)) => {
+                self.pos += 1;
+                if name == "_" {
+                    *fresh += 1;
+                    Ok(Term::var(&format!("_Anon{fresh}")))
+                } else {
+                    Ok(Term::var(&name))
+                }
+            }
+            _ => Ok(Term::Const(self.constant()?)),
+        }
+    }
+
+    fn atom(&mut self, fresh: &mut u32) -> Result<Atom, ParseError> {
+        let name = self.ident()?;
+        let mut terms = Vec::new();
+        if self.peek() == Some(&Tok::LParen) {
+            self.pos += 1;
+            loop {
+                terms.push(self.term(fresh)?);
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.pos += 1;
+                    }
+                    Some(Tok::RParen) => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected `,` or `)` in argument list")),
+                }
+            }
+        }
+        Ok(Atom::new(&name, terms))
+    }
+
+    fn literal(&mut self, fresh: &mut u32) -> Result<Literal, ParseError> {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == "not" {
+                self.pos += 1;
+                return Ok(Literal::neg(self.atom(fresh)?));
+            }
+        }
+        Ok(Literal::pos(self.atom(fresh)?))
+    }
+
+    fn body(&mut self, fresh: &mut u32) -> Result<Vec<Literal>, ParseError> {
+        let mut lits = vec![self.literal(fresh)?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.pos += 1;
+            lits.push(self.literal(fresh)?);
+        }
+        Ok(lits)
+    }
+
+    fn directive(
+        &mut self,
+        builder: &mut crate::schema::ProgramBuilder,
+    ) -> Result<(), Error> {
+        self.expect(&Tok::Hash)?;
+        let kind = self.ident()?;
+        match kind.as_str() {
+            "base" | "view" | "ic" | "cond" => {
+                let name = self.ident()?;
+                self.expect(&Tok::Slash)?;
+                let arity = match self.bump() {
+                    Some(Tok::Int(i)) if i >= 0 => i as usize,
+                    _ => return Err(self.err("expected arity after `/`").into()),
+                };
+                let role = match kind.as_str() {
+                    "base" => Role::Base,
+                    "view" => Role::Derived(DerivedRole::View),
+                    "ic" => Role::Derived(DerivedRole::Ic),
+                    "cond" => Role::Derived(DerivedRole::Cond),
+                    _ => unreachable!(),
+                };
+                builder.declare(Pred::new(&name, arity), role)?;
+            }
+            "domain" => {
+                // `#domain {a, b}.` (global) or `#domain p/1 {a, b}.`
+                // (per-predicate instantiation domain).
+                let target = if matches!(self.peek(), Some(Tok::Ident(_))) {
+                    let name = self.ident()?;
+                    self.expect(&Tok::Slash)?;
+                    let arity = match self.bump() {
+                        Some(Tok::Int(i)) if i >= 0 => i as usize,
+                        _ => return Err(self.err("expected arity after `/`").into()),
+                    };
+                    Some(Pred::new(&name, arity))
+                } else {
+                    None
+                };
+                self.expect(&Tok::LBrace)?;
+                let mut consts = Vec::new();
+                loop {
+                    consts.push(self.constant()?);
+                    match self.peek() {
+                        Some(Tok::Comma) => {
+                            self.pos += 1;
+                        }
+                        Some(Tok::RBrace) => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("expected `,` or `}` in domain").into()),
+                    }
+                }
+                match target {
+                    Some(pred) => {
+                        builder.pred_domain(pred, consts);
+                    }
+                    None => {
+                        builder.domain(consts);
+                    }
+                }
+            }
+            other => {
+                return Err(self
+                    .err(format!(
+                        "unknown directive `#{other}` (expected base/view/ic/cond/domain)"
+                    ))
+                    .into())
+            }
+        }
+        self.expect(&Tok::Dot)?;
+        Ok(())
+    }
+}
+
+/// Parses a database source (program + facts).
+pub fn parse_program(src: &str) -> Result<ParseOutput, Error> {
+    let mut p = Parser::new(src)?;
+    let mut builder = Program::builder();
+    let mut facts = Vec::new();
+    let mut fresh = 0u32;
+
+    while p.peek().is_some() {
+        match p.peek() {
+            Some(Tok::Hash) => p.directive(&mut builder)?,
+            Some(Tok::Implies) => {
+                // denial
+                p.pos += 1;
+                let body = p.body(&mut fresh)?;
+                builder.denial(body);
+                p.expect(&Tok::Dot)?;
+            }
+            _ => {
+                let head = p.atom(&mut fresh)?;
+                match p.peek() {
+                    Some(Tok::Implies) => {
+                        p.pos += 1;
+                        let body = p.body(&mut fresh)?;
+                        builder.rule(Rule::new(head, body));
+                        p.expect(&Tok::Dot)?;
+                    }
+                    Some(Tok::Dot) => {
+                        p.pos += 1;
+                        if !head.is_ground() {
+                            return Err(p
+                                .err(format!("fact `{head}` must be ground"))
+                                .into());
+                        }
+                        facts.push(head);
+                    }
+                    _ => return Err(p.err("expected `.` or `:-` after atom").into()),
+                }
+            }
+        }
+    }
+
+    let program = builder.build()?;
+    Ok(ParseOutput { program, facts })
+}
+
+/// Parses a database source and loads it into a [`Database`].
+pub fn parse_database(src: &str) -> Result<Database, Error> {
+    let out = parse_program(src)?;
+    let mut db = Database::new(out.program);
+    for f in &out.facts {
+        db.assert_fact(f)?;
+    }
+    Ok(db)
+}
+
+/// Parses a transaction source: a sequence of `+atom.` / `-atom.` events.
+pub fn parse_events(src: &str) -> Result<Vec<ParsedEvent>, Error> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    let mut fresh = 0u32;
+    while p.peek().is_some() {
+        let insert = match p.bump() {
+            Some(Tok::Plus) => true,
+            Some(Tok::Minus) => false,
+            Some(t) => return Err(p.err(format!("expected `+` or `-`, found {t}")).into()),
+            None => break,
+        };
+        let atom = p.atom(&mut fresh)?;
+        p.expect(&Tok::Dot)?;
+        out.push(ParsedEvent { insert, atom });
+    }
+    Ok(out)
+}
+
+/// Parses a single event, e.g. `+p(a)` (trailing `.` optional).
+pub fn parse_event(src: &str) -> Result<ParsedEvent, Error> {
+    let src = src.trim();
+    let src_dotted;
+    let src = if src.ends_with('.') {
+        src
+    } else {
+        src_dotted = format!("{src}.");
+        &src_dotted
+    };
+    let events = parse_events(src)?;
+    match <[ParsedEvent; 1]>::try_from(events) {
+        Ok([e]) => Ok(e),
+        Err(_) => Err(Error::Parse(ParseError {
+            span: Span { line: 1, col: 1 },
+            message: "expected exactly one event".into(),
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::GLOBAL_IC;
+
+    const EMPLOYMENT: &str = "
+        % Example 5.1 of the paper
+        la(dolors).
+        u_benefit(dolors).
+        unemp(X) :- la(X), not works(X).
+        :- unemp(X), not u_benefit(X).
+    ";
+
+    #[test]
+    fn parses_employment_database() {
+        let db = parse_database(EMPLOYMENT).unwrap();
+        assert_eq!(db.fact_count(), 2);
+        assert!(db.program().is_derived(Pred::new("unemp", 1)));
+        assert!(db.program().is_base(Pred::new("works", 1)));
+        // denial became ic1 + global ic
+        assert!(db.program().is_derived(Pred::new("ic1", 0)));
+        assert!(db.program().global_ic().is_some());
+        assert_eq!(db.program().global_ic().unwrap().name.as_str(), GLOBAL_IC);
+    }
+
+    #[test]
+    fn parses_directives() {
+        let db = parse_database(
+            "#cond needy/1.\n#domain {a, b, -3}.\nneedy(X) :- la(X), not works(X).\n",
+        )
+        .unwrap();
+        assert_eq!(
+            db.program().role(Pred::new("needy", 1)),
+            Some(Role::Derived(DerivedRole::Cond))
+        );
+        assert_eq!(db.program().declared_domain().len(), 3);
+        assert!(db
+            .program()
+            .declared_domain()
+            .contains(&Const::Int(-3)));
+    }
+
+    #[test]
+    fn non_ground_fact_rejected() {
+        assert!(parse_database("p(X).").is_err());
+    }
+
+    #[test]
+    fn parses_transaction() {
+        let evs = parse_events("+works(john, sales).\n-u_benefit(dolors).").unwrap();
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].insert);
+        assert!(!evs[1].insert);
+        assert_eq!(evs[1].atom.to_string(), "u_benefit(dolors)");
+    }
+
+    #[test]
+    fn parse_single_event() {
+        let e = parse_event("-r(b)").unwrap();
+        assert!(!e.insert);
+        assert_eq!(e.atom.to_string(), "r(b)");
+        assert!(parse_event("+a(x). +b(y).").is_err());
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh() {
+        let out = parse_program("p(X) :- q(X, _), r(_, X).").unwrap();
+        let rule = &out.program.rules()[0];
+        let v1 = rule.body[0].atom.terms[1];
+        let v2 = rule.body[1].atom.terms[0];
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn quoted_and_negative_constants() {
+        let db = parse_database("p('New York', -5).").unwrap();
+        assert_eq!(db.fact_count(), 1);
+        assert!(db.holds(
+            Pred::new("p", 2),
+            &crate::storage::tuple::Tuple::new(vec![Const::sym("New York"), Const::Int(-5)])
+        ));
+    }
+
+    #[test]
+    fn error_messages_carry_position() {
+        let err = parse_database("p(a)\nq(b).").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("2:1"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        assert!(parse_database("#frobnicate p/1.").is_err());
+    }
+
+    #[test]
+    fn multiple_denials_get_distinct_names() {
+        let out = parse_program(":- p(X).\n:- q(X).").unwrap();
+        assert!(out.program.role(Pred::new("ic1", 0)).is_some());
+        assert!(out.program.role(Pred::new("ic2", 0)).is_some());
+    }
+
+    #[test]
+    fn rule_with_constant_argument() {
+        let out = parse_program("vip(X) :- works(X, 'head office').").unwrap();
+        let rule = &out.program.rules()[0];
+        assert_eq!(rule.body[0].atom.terms[1], Term::sym("head office"));
+    }
+}

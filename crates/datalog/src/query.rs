@@ -1,0 +1,104 @@
+//! Query answering over a materialized state.
+//!
+//! Old-database literals in the event rules "correspond to a query that must
+//! be performed in the current state of the database" (§4.1). This module
+//! is that query facility: match an atom (or a conjunction of literals)
+//! against a [`StateView`].
+
+use crate::ast::{Atom, Literal};
+use crate::eval::join::{eval_conjunct, ground_terms, Bindings};
+use crate::eval::StateView;
+use crate::storage::relation::Relation;
+use crate::storage::tuple::Tuple;
+
+/// All bindings satisfying `atom` in `state`.
+pub fn query_atom(state: StateView<'_>, atom: &Atom) -> Vec<Bindings> {
+    let lits = [Literal::pos(atom.clone())];
+    let rel_of = |_: usize| -> &Relation { state.relation(atom.pred) };
+    eval_conjunct(&lits, &rel_of, &Bindings::new())
+}
+
+/// All tuples of `atom`'s instantiations that hold in `state`.
+pub fn answers(state: StateView<'_>, atom: &Atom) -> Vec<Tuple> {
+    query_atom(state, atom)
+        .into_iter()
+        .map(|b| ground_terms(&atom.terms, &b).expect("query bindings ground the atom"))
+        .collect()
+}
+
+/// True iff the (possibly non-ground) atom has at least one instance in
+/// `state`.
+pub fn holds(state: StateView<'_>, atom: &Atom) -> bool {
+    if let Some(t) = atom.as_tuple() {
+        return state.holds(atom.pred, &t.into());
+    }
+    !query_atom(state, atom).is_empty()
+}
+
+/// All bindings satisfying the conjunction `body` in `state`.
+pub fn query_body(state: StateView<'_>, body: &[Literal], seed: &Bindings) -> Vec<Bindings> {
+    let rel_of = |i: usize| -> &Relation { state.relation(body[i].atom.pred) };
+    eval_conjunct(body, &rel_of, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Const, Term};
+    use crate::eval::materialize;
+    use crate::parser::parse_database;
+    use crate::storage::tuple::syms;
+
+    fn setup() -> (crate::storage::database::Database, crate::eval::Interpretation) {
+        let db = parse_database(
+            "la(dolors). la(joan). works(joan).
+             unemp(X) :- la(X), not works(X).",
+        )
+        .unwrap();
+        let m = materialize(&db).unwrap();
+        (db, m)
+    }
+
+    #[test]
+    fn query_derived_predicate() {
+        let (db, m) = setup();
+        let state = StateView::new(&db, &m);
+        let ans = answers(state, &Atom::new("unemp", vec![Term::var("X")]));
+        assert_eq!(ans, vec![syms(&["dolors"])]);
+    }
+
+    #[test]
+    fn ground_holds() {
+        let (db, m) = setup();
+        let state = StateView::new(&db, &m);
+        assert!(holds(
+            state,
+            &Atom::ground("unemp", vec![Const::sym("dolors")])
+        ));
+        assert!(!holds(
+            state,
+            &Atom::ground("unemp", vec![Const::sym("joan")])
+        ));
+        assert!(holds(state, &Atom::ground("la", vec![Const::sym("joan")])));
+    }
+
+    #[test]
+    fn open_query_on_base() {
+        let (db, m) = setup();
+        let state = StateView::new(&db, &m);
+        let ans = answers(state, &Atom::new("la", vec![Term::var("X")]));
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn conjunction_query() {
+        let (db, m) = setup();
+        let state = StateView::new(&db, &m);
+        let body = vec![
+            Literal::pos(Atom::new("la", vec![Term::var("X")])),
+            Literal::neg(Atom::new("unemp", vec![Term::var("X")])),
+        ];
+        let out = query_body(state, &body, &Bindings::new());
+        assert_eq!(out.len(), 1); // joan: in labour age, not unemployed
+    }
+}

@@ -1,0 +1,130 @@
+//! Allowedness (range restriction) checking.
+//!
+//! §2: "any variable that occurs in a deductive or integrity rule has an
+//! occurrence in a positive condition of the rule". This guarantees that
+//! bottom-up evaluation grounds every variable and that negation is applied
+//! only to ground atoms, and it is required of the database before and after
+//! every update.
+
+use crate::ast::{Rule, Term, Var};
+use crate::error::SchemaError;
+use crate::schema::Program;
+use std::collections::BTreeSet;
+
+/// Checks a single rule for allowedness.
+pub fn check_rule(rule: &Rule) -> Result<(), SchemaError> {
+    let mut positive: BTreeSet<Var> = BTreeSet::new();
+    for lit in &rule.body {
+        if lit.positive {
+            positive.extend(lit.atom.vars());
+        }
+    }
+    let check = |terms: &[Term]| -> Result<(), SchemaError> {
+        for t in terms {
+            if let Term::Var(v) = t {
+                if !positive.contains(v) {
+                    return Err(SchemaError::NotAllowed {
+                        rule: rule.clone(),
+                        var: *v,
+                    });
+                }
+            }
+        }
+        Ok(())
+    };
+    check(&rule.head.terms)?;
+    for lit in &rule.body {
+        if !lit.positive {
+            check(&lit.atom.terms)?;
+        }
+    }
+    Ok(())
+}
+
+/// Checks every rule of a program.
+pub fn check_program(program: &Program) -> Result<(), SchemaError> {
+    for rule in program.rules() {
+        check_rule(rule)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Literal};
+
+    fn atom(name: &str, vars: &[&str]) -> Atom {
+        Atom::new(name, vars.iter().map(|v| Term::var(v)).collect())
+    }
+
+    #[test]
+    fn allowed_rule_passes() {
+        let r = Rule::new(
+            atom("unemp", &["X"]),
+            vec![
+                Literal::pos(atom("la", &["X"])),
+                Literal::neg(atom("works", &["X"])),
+            ],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn head_var_without_positive_occurrence_rejected() {
+        // p(X) :- not q(X).
+        let r = Rule::new(atom("p", &["X"]), vec![Literal::neg(atom("q", &["X"]))]);
+        let err = check_rule(&r).unwrap_err();
+        assert!(matches!(err, SchemaError::NotAllowed { var, .. } if var == Var::new("X")));
+    }
+
+    #[test]
+    fn negative_only_var_rejected() {
+        // p(X) :- q(X), not r(Y).
+        let r = Rule::new(
+            atom("p", &["X"]),
+            vec![
+                Literal::pos(atom("q", &["X"])),
+                Literal::neg(atom("r", &["Y"])),
+            ],
+        );
+        assert!(check_rule(&r).is_err());
+    }
+
+    #[test]
+    fn ground_head_with_body_vars_allowed() {
+        // ic1 :- unemp(X), not u_benefit(X).
+        let r = Rule::new(
+            Atom::new("ic1", vec![]),
+            vec![
+                Literal::pos(atom("unemp", &["X"])),
+                Literal::neg(atom("u_benefit", &["X"])),
+            ],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn constants_are_always_allowed() {
+        let r = Rule::new(
+            Atom::new("p", vec![Term::sym("k")]),
+            vec![Literal::pos(atom("q", &["X"]))],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn program_check_reports_first_offender() {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("ok", &["X"]),
+            vec![Literal::pos(atom("b", &["X"]))],
+        ));
+        b.rule(Rule::new(
+            atom("bad", &["Y"]),
+            vec![Literal::neg(atom("b", &["Y"]))],
+        ));
+        let p = b.build().unwrap();
+        assert!(check_program(&p).is_err());
+    }
+}

@@ -1,0 +1,426 @@
+//! Predicate roles and intensional programs.
+//!
+//! §2 partitions predicates into *base* (extensional only) and *derived*
+//! (intensional only). §5 further endows derived predicates with a concrete
+//! semantics: ordinary **views**, **inconsistency predicates** (integrity
+//! constraints rewritten as integrity rules `Ic_k :- L1, ..., Ln`), and
+//! **conditions** to be monitored. The role carries no logical meaning — the
+//! same rule can be read as any of the three (the paper's point) — but the
+//! problem catalog dispatches on it.
+
+use crate::ast::{Atom, Pred, Rule, Term, Var};
+use crate::error::SchemaError;
+use crate::symbol::Sym;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Concrete semantics of a derived predicate (§5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DerivedRole {
+    /// An ordinary (possibly materialized) view.
+    View,
+    /// An inconsistency predicate: if any fact of it holds, the database is
+    /// inconsistent.
+    Ic,
+    /// A condition being monitored.
+    Cond,
+}
+
+/// Role of a predicate in the database schema.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// Appears only in the extensional part (and rule bodies).
+    Base,
+    /// Appears only in rule heads (and rule bodies).
+    Derived(DerivedRole),
+}
+
+/// Name of the synthesized global inconsistency predicate (§5): `ic` holds
+/// iff some integrity constraint is violated.
+pub const GLOBAL_IC: &str = "ic";
+
+/// The intensional part of a deductive database: deductive rules plus
+/// integrity rules, with role information for every predicate.
+///
+/// Build one with [`ProgramBuilder`]; `Program` itself is immutable and
+/// validated (allowedness is checked separately by [`crate::safety`]).
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    rules: Vec<Rule>,
+    roles: BTreeMap<Pred, Role>,
+    declared_domain: BTreeSet<crate::ast::Const>,
+    pred_domains: BTreeMap<Pred, BTreeSet<crate::ast::Const>>,
+}
+
+impl Program {
+    /// Creates a builder.
+    pub fn builder() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// All rules, in declaration order (global-`ic` rules, if synthesized,
+    /// come last).
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The rules defining `pred` (its *definition*, §2).
+    pub fn rules_for(&self, pred: Pred) -> Vec<&Rule> {
+        self.rules.iter().filter(|r| r.head.pred == pred).collect()
+    }
+
+    /// The role of `pred`, if known to the schema.
+    pub fn role(&self, pred: Pred) -> Option<Role> {
+        self.roles.get(&pred).copied()
+    }
+
+    /// True iff `pred` is a base predicate (unknown predicates — which can
+    /// only occur extensionally — count as base).
+    pub fn is_base(&self, pred: Pred) -> bool {
+        !matches!(self.role(pred), Some(Role::Derived(_)))
+    }
+
+    /// True iff `pred` is derived.
+    pub fn is_derived(&self, pred: Pred) -> bool {
+        matches!(self.role(pred), Some(Role::Derived(_)))
+    }
+
+    /// All predicates known to the schema with their roles.
+    pub fn predicates(&self) -> impl Iterator<Item = (Pred, Role)> + '_ {
+        self.roles.iter().map(|(&p, &r)| (p, r))
+    }
+
+    /// All derived predicates with the given role.
+    pub fn derived_with_role(&self, role: DerivedRole) -> Vec<Pred> {
+        self.roles
+            .iter()
+            .filter_map(|(&p, &r)| (r == Role::Derived(role)).then_some(p))
+            .collect()
+    }
+
+    /// The synthesized global inconsistency predicate, if this program has
+    /// integrity constraints.
+    pub fn global_ic(&self) -> Option<Pred> {
+        let p = Pred::new(GLOBAL_IC, 0);
+        self.roles.contains_key(&p).then_some(p)
+    }
+
+    /// Constants added to the finite domain by `#domain` directives.
+    pub fn declared_domain(&self) -> &BTreeSet<crate::ast::Const> {
+        &self.declared_domain
+    }
+
+    /// The declared instantiation domain of one predicate
+    /// (`#domain p/1 {a, b}.`), if any. Event variables of this predicate
+    /// range over exactly this set during the downward interpretation.
+    pub fn pred_domain(&self, pred: Pred) -> Option<&BTreeSet<crate::ast::Const>> {
+        self.pred_domains.get(&pred)
+    }
+
+    /// All per-predicate domain declarations.
+    pub fn pred_domains(
+        &self,
+    ) -> impl Iterator<Item = (Pred, &BTreeSet<crate::ast::Const>)> + '_ {
+        self.pred_domains.iter().map(|(&p, s)| (p, s))
+    }
+
+    /// Every constant occurring in the rules.
+    pub fn rule_constants(&self) -> BTreeSet<crate::ast::Const> {
+        let mut out = BTreeSet::new();
+        for r in &self.rules {
+            for t in r.head.terms.iter().chain(r.body.iter().flat_map(|l| l.atom.terms.iter())) {
+                if let Term::Const(c) = t {
+                    out.insert(*c);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Mutable builder for [`Program`].
+#[derive(Clone, Debug, Default)]
+pub struct ProgramBuilder {
+    rules: Vec<Rule>,
+    declared: BTreeMap<Pred, Role>,
+    declared_domain: BTreeSet<crate::ast::Const>,
+    pred_domains: BTreeMap<Pred, BTreeSet<crate::ast::Const>>,
+    anon_ic_count: usize,
+}
+
+impl ProgramBuilder {
+    /// Adds a deductive rule. The head predicate becomes derived; its role
+    /// defaults to [`DerivedRole::View`] unless previously declared (or its
+    /// name starts with `ic`, in which case it defaults to
+    /// [`DerivedRole::Ic`], matching the paper's `Ic_n` convention).
+    pub fn rule(&mut self, rule: Rule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Adds an integrity constraint in denial form `:- L1, ..., Ln`,
+    /// synthesizing a fresh 0-ary inconsistency predicate `ic1`, `ic2`, ...
+    /// (the paper's rewrite of denials into integrity rules). Returns the
+    /// synthesized head predicate.
+    pub fn denial(&mut self, body: Vec<crate::ast::Literal>) -> Pred {
+        self.anon_ic_count += 1;
+        let name = format!("ic{}", self.anon_ic_count);
+        let head = Atom::new(&name, vec![]);
+        let pred = head.pred;
+        self.declared.insert(pred, Role::Derived(DerivedRole::Ic));
+        self.rules.push(Rule::new(head, body));
+        pred
+    }
+
+    /// Declares the role of a predicate explicitly (from `#base`, `#view`,
+    /// `#ic`, `#cond` directives or API use).
+    pub fn declare(&mut self, pred: Pred, role: Role) -> Result<&mut Self, SchemaError> {
+        if let Some(prev) = self.declared.get(&pred) {
+            if *prev != role {
+                return Err(SchemaError::RoleConflict {
+                    pred,
+                    detail: format!("declared both {prev:?} and {role:?}"),
+                });
+            }
+        }
+        self.declared.insert(pred, role);
+        Ok(self)
+    }
+
+    /// Adds constants to the declared finite domain (`#domain` directive).
+    pub fn domain(&mut self, consts: impl IntoIterator<Item = crate::ast::Const>) -> &mut Self {
+        self.declared_domain.extend(consts);
+        self
+    }
+
+    /// Declares the instantiation domain of one predicate
+    /// (`#domain p/1 {a, b}.` directive).
+    pub fn pred_domain(
+        &mut self,
+        pred: Pred,
+        consts: impl IntoIterator<Item = crate::ast::Const>,
+    ) -> &mut Self {
+        self.pred_domains.entry(pred).or_default().extend(consts);
+        self
+    }
+
+    /// Finalizes the program: infers roles, checks role consistency, and —
+    /// when integrity constraints exist — synthesizes the global
+    /// inconsistency predicate `ic` with one rule `ic :- ic_k(X1, ..., Xn)`
+    /// per inconsistency predicate (§5).
+    pub fn build(mut self) -> Result<Program, SchemaError> {
+        let mut roles: BTreeMap<Pred, Role> = BTreeMap::new();
+
+        // Heads are derived.
+        for rule in &self.rules {
+            let pred = rule.head.pred;
+            let inferred = match self.declared.get(&pred) {
+                Some(Role::Base) => {
+                    return Err(SchemaError::RoleConflict {
+                        pred,
+                        detail: "declared base but appears in a rule head".into(),
+                    })
+                }
+                Some(r @ Role::Derived(_)) => *r,
+                None => {
+                    if pred.name.as_str().starts_with("ic") {
+                        Role::Derived(DerivedRole::Ic)
+                    } else {
+                        Role::Derived(DerivedRole::View)
+                    }
+                }
+            };
+            if let Some(prev) = roles.get(&pred) {
+                if *prev != inferred {
+                    return Err(SchemaError::RoleConflict {
+                        pred,
+                        detail: format!("inferred both {prev:?} and {inferred:?}"),
+                    });
+                }
+            }
+            roles.insert(pred, inferred);
+        }
+
+        // Body-only predicates are base unless declared otherwise.
+        for rule in &self.rules {
+            for lit in &rule.body {
+                let pred = lit.atom.pred;
+                roles
+                    .entry(pred)
+                    .or_insert_with(|| self.declared.get(&pred).copied().unwrap_or(Role::Base));
+            }
+        }
+
+        // Explicit declarations for predicates not mentioned in rules.
+        for (&pred, &role) in &self.declared {
+            match roles.get(&pred) {
+                Some(existing) if *existing != role => {
+                    return Err(SchemaError::RoleConflict {
+                        pred,
+                        detail: format!("declared {role:?} but inferred {existing:?}"),
+                    })
+                }
+                _ => {
+                    roles.insert(pred, role);
+                }
+            }
+        }
+
+        // Synthesize the global inconsistency predicate.
+        let ic_preds: Vec<Pred> = roles
+            .iter()
+            .filter_map(|(&p, &r)| (r == Role::Derived(DerivedRole::Ic)).then_some(p))
+            .collect();
+        let global = Pred::new(GLOBAL_IC, 0);
+        if !ic_preds.is_empty() && !ic_preds.contains(&global) {
+            if roles.contains_key(&global) {
+                return Err(SchemaError::RoleConflict {
+                    pred: global,
+                    detail: "`ic/0` is reserved for the global inconsistency predicate".into(),
+                });
+            }
+            for icp in &ic_preds {
+                let vars: Vec<Term> = (0..icp.arity)
+                    .map(|i| Term::Var(Var(Sym::new(&format!("Gic{i}")))))
+                    .collect();
+                self.rules.push(Rule::new(
+                    Atom::new(GLOBAL_IC, vec![]),
+                    vec![crate::ast::Literal::pos(Atom {
+                        pred: *icp,
+                        terms: vars,
+                    })],
+                ));
+            }
+            roles.insert(global, Role::Derived(DerivedRole::Ic));
+        }
+
+        Ok(Program {
+            rules: self.rules,
+            roles,
+            declared_domain: self.declared_domain,
+            pred_domains: self.pred_domains,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Const, Literal};
+
+    fn atom(name: &str, vars: &[&str]) -> Atom {
+        Atom::new(name, vars.iter().map(|v| Term::var(v)).collect())
+    }
+
+    #[test]
+    fn roles_inferred_from_rules() {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("unemp", &["X"]),
+            vec![
+                Literal::pos(atom("la", &["X"])),
+                Literal::neg(atom("works", &["X"])),
+            ],
+        ));
+        let p = b.build().unwrap();
+        assert_eq!(
+            p.role(Pred::new("unemp", 1)),
+            Some(Role::Derived(DerivedRole::View))
+        );
+        assert_eq!(p.role(Pred::new("la", 1)), Some(Role::Base));
+        assert_eq!(p.role(Pred::new("works", 1)), Some(Role::Base));
+    }
+
+    #[test]
+    fn ic_prefix_defaults_to_ic_role_and_global_ic_synthesized() {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            Atom::new("ic1", vec![]),
+            vec![Literal::pos(atom("unemp", &["X"]))],
+        ));
+        b.declare(
+            Pred::new("unemp", 1),
+            Role::Derived(DerivedRole::View),
+        )
+        .unwrap();
+        b.rule(Rule::new(
+            atom("unemp", &["X"]),
+            vec![Literal::pos(atom("la", &["X"]))],
+        ));
+        let p = b.build().unwrap();
+        assert_eq!(
+            p.role(Pred::new("ic1", 0)),
+            Some(Role::Derived(DerivedRole::Ic))
+        );
+        let global = p.global_ic().expect("global ic");
+        assert_eq!(p.rules_for(global).len(), 1);
+        assert_eq!(p.rules_for(global)[0].body[0].atom.pred, Pred::new("ic1", 0));
+    }
+
+    #[test]
+    fn denial_synthesizes_numbered_ic() {
+        let mut b = Program::builder();
+        let p1 = b.denial(vec![Literal::pos(atom("p", &["X"]))]);
+        let p2 = b.denial(vec![Literal::pos(atom("q", &["X"]))]);
+        assert_eq!(p1, Pred::new("ic1", 0));
+        assert_eq!(p2, Pred::new("ic2", 0));
+        let prog = b.build().unwrap();
+        // ic1, ic2 rules + 2 global rules.
+        assert_eq!(prog.rules().len(), 4);
+    }
+
+    #[test]
+    fn base_declaration_conflicts_with_head_use() {
+        let mut b = Program::builder();
+        b.declare(Pred::new("p", 1), Role::Base).unwrap();
+        b.rule(Rule::new(
+            atom("p", &["X"]),
+            vec![Literal::pos(atom("q", &["X"]))],
+        ));
+        assert!(matches!(
+            b.build(),
+            Err(SchemaError::RoleConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn conflicting_declarations_rejected() {
+        let mut b = Program::builder();
+        b.declare(Pred::new("v", 1), Role::Derived(DerivedRole::View))
+            .unwrap();
+        assert!(b
+            .declare(Pred::new("v", 1), Role::Derived(DerivedRole::Cond))
+            .is_err());
+    }
+
+    #[test]
+    fn declared_domain_collected() {
+        let mut b = Program::builder();
+        b.domain([Const::sym("a"), Const::sym("b")]);
+        let p = b.build().unwrap();
+        assert_eq!(p.declared_domain().len(), 2);
+    }
+
+    #[test]
+    fn rule_constants_collected() {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("p", &["X"]),
+            vec![Literal::pos(Atom::new(
+                "q",
+                vec![Term::var("X"), Term::sym("k")],
+            ))],
+        ));
+        let p = b.build().unwrap();
+        assert!(p.rule_constants().contains(&Const::sym("k")));
+    }
+
+    #[test]
+    fn no_constraints_no_global_ic() {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("v", &["X"]),
+            vec![Literal::pos(atom("b", &["X"]))],
+        ));
+        assert!(b.build().unwrap().global_ic().is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! The deductive database `D = (F, DR, IC)` of §2: an extensional store of
+//! base facts plus an intensional [`Program`] (deductive rules and integrity
+//! rules share one representation).
+
+use crate::ast::{Atom, Const, Pred};
+use crate::error::SchemaError;
+use crate::schema::Program;
+use crate::storage::relation::Relation;
+use crate::storage::tuple::Tuple;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::OnceLock;
+
+fn empty_relation() -> &'static Relation {
+    static EMPTY: OnceLock<Relation> = OnceLock::new();
+    EMPTY.get_or_init(Relation::new)
+}
+
+/// A deductive database: extensional facts + intensional program.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    program: Program,
+    edb: BTreeMap<Pred, Relation>,
+}
+
+impl Database {
+    /// Creates a database with the given intensional part and no facts.
+    pub fn new(program: Program) -> Database {
+        Database {
+            program,
+            edb: BTreeMap::new(),
+        }
+    }
+
+    /// The intensional part.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Asserts a ground base fact. Errors if the predicate is derived (§2:
+    /// base and derived predicates are disjoint). Returns `true` if the
+    /// fact was new.
+    pub fn assert_fact(&mut self, atom: &Atom) -> Result<bool, SchemaError> {
+        let tuple = atom
+            .as_tuple()
+            .ok_or(SchemaError::ArityMismatch {
+                pred: atom.pred,
+                got: atom.terms.len(),
+            })?
+            .into();
+        self.assert_tuple(atom.pred, tuple)
+    }
+
+    /// Asserts a base fact given as predicate + tuple.
+    pub fn assert_tuple(&mut self, pred: Pred, tuple: Tuple) -> Result<bool, SchemaError> {
+        if self.program.is_derived(pred) {
+            return Err(SchemaError::FactOnDerivedPredicate(pred));
+        }
+        if tuple.arity() != pred.arity {
+            return Err(SchemaError::ArityMismatch {
+                pred,
+                got: tuple.arity(),
+            });
+        }
+        Ok(self.edb.entry(pred).or_default().insert(tuple))
+    }
+
+    /// Retracts a ground base fact; returns `true` if it was present.
+    pub fn retract_tuple(&mut self, pred: Pred, tuple: &Tuple) -> bool {
+        self.edb.get_mut(&pred).is_some_and(|r| r.remove(tuple))
+    }
+
+    /// The extensional relation for `pred` (empty if no facts).
+    pub fn relation(&self, pred: Pred) -> &Relation {
+        self.edb.get(&pred).unwrap_or_else(|| empty_relation())
+    }
+
+    /// True iff the ground base fact holds extensionally.
+    pub fn holds(&self, pred: Pred, tuple: &Tuple) -> bool {
+        self.relation(pred).contains(tuple)
+    }
+
+    /// All base predicates with at least one fact, in deterministic order.
+    pub fn extensional_predicates(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.edb
+            .iter()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(&p, _)| p)
+    }
+
+    /// Total number of stored base facts.
+    pub fn fact_count(&self) -> usize {
+        self.edb.values().map(Relation::len).sum()
+    }
+
+    /// The *active domain*: every constant in the extensional database, the
+    /// rules, and the `#domain` declarations. §2 assumes terms range over
+    /// finite domains; this is the default such domain.
+    pub fn active_domain(&self) -> BTreeSet<Const> {
+        let mut dom = self.program.declared_domain().clone();
+        dom.extend(self.program.rule_constants());
+        for rel in self.edb.values() {
+            dom.extend(rel.constants());
+        }
+        dom
+    }
+
+    /// Bulk load of base facts; errors on the first invalid fact.
+    pub fn load_facts<'a>(
+        &mut self,
+        facts: impl IntoIterator<Item = &'a Atom>,
+    ) -> Result<usize, SchemaError> {
+        let mut n = 0;
+        for f in facts {
+            if self.assert_fact(f)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Rebuilds this database under a different intensional part, keeping
+    /// the extensional facts. Fails if a stored fact's predicate is
+    /// derived in the new program (§2's base/derived partition must hold
+    /// before and after any update, including rule updates).
+    pub fn with_program(&self, program: Program) -> Result<Database, SchemaError> {
+        let mut out = Database::new(program);
+        for (pred, rel) in &self.edb {
+            for t in rel.iter() {
+                out.assert_tuple(*pred, t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Literal, Rule, Term};
+    use crate::storage::tuple::syms;
+
+    fn db_with_unemp() -> Database {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            Atom::new("unemp", vec![Term::var("X")]),
+            vec![
+                Literal::pos(Atom::new("la", vec![Term::var("X")])),
+                Literal::neg(Atom::new("works", vec![Term::var("X")])),
+            ],
+        ));
+        Database::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn assert_and_query_base_fact() {
+        let mut db = db_with_unemp();
+        let fact = Atom::ground("la", vec![Const::sym("dolors")]);
+        assert!(db.assert_fact(&fact).unwrap());
+        assert!(!db.assert_fact(&fact).unwrap()); // duplicate
+        assert!(db.holds(Pred::new("la", 1), &syms(&["dolors"])));
+        assert_eq!(db.fact_count(), 1);
+    }
+
+    #[test]
+    fn fact_on_derived_predicate_rejected() {
+        let mut db = db_with_unemp();
+        let err = db
+            .assert_fact(&Atom::ground("unemp", vec![Const::sym("x")]))
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::FactOnDerivedPredicate(_)));
+    }
+
+    #[test]
+    fn non_ground_fact_rejected() {
+        let mut db = db_with_unemp();
+        let err = db
+            .assert_fact(&Atom::new("la", vec![Term::var("X")]))
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn retract() {
+        let mut db = db_with_unemp();
+        db.assert_fact(&Atom::ground("la", vec![Const::sym("a")]))
+            .unwrap();
+        assert!(db.retract_tuple(Pred::new("la", 1), &syms(&["a"])));
+        assert!(!db.retract_tuple(Pred::new("la", 1), &syms(&["a"])));
+        assert_eq!(db.fact_count(), 0);
+    }
+
+    #[test]
+    fn active_domain_includes_facts_and_declared() {
+        let mut b = Program::builder();
+        b.domain([Const::sym("extra")]);
+        b.rule(Rule::new(
+            Atom::new("p", vec![Term::var("X")]),
+            vec![Literal::pos(Atom::new(
+                "q",
+                vec![Term::var("X"), Term::sym("rulec")],
+            ))],
+        ));
+        let mut db = Database::new(b.build().unwrap());
+        db.assert_fact(&Atom::ground(
+            "q",
+            vec![Const::sym("factc"), Const::sym("rulec")],
+        ))
+        .unwrap();
+        let dom = db.active_domain();
+        for c in ["extra", "rulec", "factc"] {
+            assert!(dom.contains(&Const::sym(c)), "missing {c}");
+        }
+    }
+
+    #[test]
+    fn relation_for_unknown_pred_is_empty() {
+        let db = db_with_unemp();
+        assert!(db.relation(Pred::new("nothing", 3)).is_empty());
+    }
+}

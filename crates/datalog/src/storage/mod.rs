@@ -1,0 +1,9 @@
+//! Extensional storage: tuples, relations, and the database itself.
+
+pub mod database;
+pub mod relation;
+pub mod tuple;
+
+pub use database::Database;
+pub use relation::Relation;
+pub use tuple::Tuple;

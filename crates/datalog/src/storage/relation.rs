@@ -1,0 +1,257 @@
+//! In-memory relations: ordered tuple sets with pattern selection and an
+//! optional single-column hash index for the hot lookup path of the join
+//! pipeline.
+
+use crate::ast::Const;
+use crate::storage::tuple::Tuple;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
+
+type ColumnIndex = HashMap<Const, Vec<Tuple>>;
+
+/// A set of ground tuples of a single arity.
+///
+/// Tuples are kept in a `BTreeSet` so iteration order — and therefore every
+/// answer the engine produces — is deterministic. Joins that probe a bound
+/// column go through an internal column index, which is built (and cached until
+/// the next mutation) a column → tuples hash index.
+#[derive(Debug, Default)]
+pub struct Relation {
+    tuples: BTreeSet<Tuple>,
+    /// Lazily built per-column indexes, invalidated on mutation. The cache
+    /// is not cloned with the relation and does not participate in
+    /// equality.
+    index: Mutex<HashMap<usize, ColumnIndex>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Relation {
+        Relation {
+            tuples: self.tuples.clone(),
+            index: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new() -> Relation {
+        Relation::default()
+    }
+
+    /// Creates a relation from tuples.
+    pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Relation {
+        Relation {
+            tuples: tuples.into_iter().collect(),
+            index: Default::default(),
+        }
+    }
+
+    /// Inserts a tuple; returns `true` if it was not already present.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        let fresh = self.tuples.insert(t);
+        if fresh {
+            self.index.get_mut().expect("index lock").clear();
+        }
+        fresh
+    }
+
+    /// Removes a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        let removed = self.tuples.remove(t);
+        if removed {
+            self.index.get_mut().expect("index lock").clear();
+        }
+        removed
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates tuples in deterministic (ordered) fashion.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// The tuples matching a binding pattern (`Some(c)` = column must equal
+    /// `c`, `None` = free). Uses the column index when exactly one column is
+    /// bound and the relation is large enough for indexing to pay off.
+    pub fn select(&self, pattern: &[Option<Const>]) -> Vec<Tuple> {
+        debug_assert!(self
+            .tuples
+            .first()
+            .is_none_or(|t| t.arity() == pattern.len()));
+        let bound: Vec<(usize, Const)> = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (i, c)))
+            .collect();
+        if bound.is_empty() {
+            return self.tuples.iter().cloned().collect();
+        }
+        if self.tuples.len() >= 16 {
+            // Probe via an index on the first bound column, filter the rest.
+            let (col, key) = bound[0];
+            return self
+                .probe(col, key)
+                .into_iter()
+                .filter(|t| bound.iter().all(|&(i, c)| t[i] == c))
+                .collect();
+        }
+        self.tuples
+            .iter()
+            .filter(|t| bound.iter().all(|&(i, c)| t[i] == c))
+            .cloned()
+            .collect()
+    }
+
+    /// Looks up the tuples whose column `col` equals `key`, via a cached
+    /// column index (built on first use, invalidated on mutation).
+    fn probe(&self, col: usize, key: Const) -> Vec<Tuple> {
+        let mut cache = self.index.lock().expect("index lock");
+        let idx = cache.entry(col).or_insert_with(|| {
+            let mut idx: ColumnIndex = HashMap::new();
+            for t in &self.tuples {
+                idx.entry(t[col]).or_default().push(t.clone());
+            }
+            idx
+        });
+        idx.get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Set union (self ∪ other).
+    pub fn union(&self, other: &Relation) -> Relation {
+        Relation::from_tuples(self.tuples.union(&other.tuples).cloned())
+    }
+
+    /// Set difference (self \ other).
+    pub fn difference(&self, other: &Relation) -> Relation {
+        Relation::from_tuples(self.tuples.difference(&other.tuples).cloned())
+    }
+
+    /// Set intersection (self ∩ other).
+    pub fn intersection(&self, other: &Relation) -> Relation {
+        Relation::from_tuples(self.tuples.intersection(&other.tuples).cloned())
+    }
+
+    /// Inserts all tuples of `other`; returns the tuples that were new.
+    pub fn merge(&mut self, other: &Relation) -> Vec<Tuple> {
+        let mut fresh = Vec::new();
+        for t in other.iter() {
+            if self.insert(t.clone()) {
+                fresh.push(t.clone());
+            }
+        }
+        fresh
+    }
+
+    /// All constants appearing in any tuple.
+    pub fn constants(&self) -> BTreeSet<Const> {
+        self.tuples.iter().flat_map(|t| t.iter().copied()).collect()
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+impl FromIterator<Tuple> for Relation {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Relation {
+        Relation::from_tuples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::tuple::syms;
+
+    fn rel(rows: &[&[&str]]) -> Relation {
+        rows.iter().map(|r| syms(r)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut r = Relation::new();
+        assert!(r.insert(syms(&["a"])));
+        assert!(!r.insert(syms(&["a"])));
+        assert!(r.contains(&syms(&["a"])));
+        assert!(r.remove(&syms(&["a"])));
+        assert!(!r.remove(&syms(&["a"])));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn select_with_bound_columns() {
+        let r = rel(&[&["john", "sales"], &["mary", "sales"], &["john", "hr"]]);
+        let sales = r.select(&[None, Some(Const::sym("sales"))]);
+        assert_eq!(sales.len(), 2);
+        let john_sales = r.select(&[Some(Const::sym("john")), Some(Const::sym("sales"))]);
+        assert_eq!(john_sales.len(), 1);
+        let all = r.select(&[None, None]);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn select_uses_index_on_large_relations() {
+        let mut r = Relation::new();
+        for i in 0..100 {
+            r.insert(Tuple::new(vec![Const::Int(i), Const::Int(i % 7)]));
+        }
+        let hits = r.select(&[None, Some(Const::Int(3))]);
+        assert_eq!(hits.len(), 100 / 7 + usize::from(3 < 100 % 7));
+        // Mutation invalidates the index.
+        r.insert(Tuple::new(vec![Const::Int(1000), Const::Int(3)]));
+        assert_eq!(r.select(&[None, Some(Const::Int(3))]).len(), hits.len() + 1);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = rel(&[&["x"], &["y"]]);
+        let b = rel(&[&["y"], &["z"]]);
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.difference(&b), rel(&[&["x"]]));
+        assert_eq!(a.intersection(&b), rel(&[&["y"]]));
+    }
+
+    #[test]
+    fn merge_reports_fresh_tuples() {
+        let mut a = rel(&[&["x"]]);
+        let b = rel(&[&["x"], &["y"]]);
+        let fresh = a.merge(&b);
+        assert_eq!(fresh, vec![syms(&["y"])]);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let r = rel(&[&["b"], &["a"], &["c"]]);
+        let order: Vec<Tuple> = r.iter().cloned().collect();
+        let order2: Vec<Tuple> = r.iter().cloned().collect();
+        assert_eq!(order, order2);
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn constants_collects_all_columns() {
+        let r = rel(&[&["a", "b"], &["c", "a"]]);
+        let cs = r.constants();
+        assert_eq!(cs.len(), 3);
+    }
+}

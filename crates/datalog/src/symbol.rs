@@ -1,0 +1,119 @@
+//! Global string interner.
+//!
+//! Every identifier in the system (predicate names, symbolic constants,
+//! variable names) is interned once into a process-global table and
+//! afterwards represented by a 4-byte [`Sym`]. Interned strings live for the
+//! lifetime of the process, which makes `Sym::as_str` return `&'static str`
+//! and keeps every AST node `Copy`-friendly and cheap to hash and compare.
+//!
+//! Ordering of `Sym` is *interning order*, which is deterministic for a
+//! deterministic program but not lexicographic; code that needs
+//! human-friendly ordering (pretty-printers, test assertions) should sort by
+//! `as_str()` instead. [`Sym::cmp_str`] is provided for that purpose.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Cheap to copy, hash and compare.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Interns `s`, returning its symbol. Idempotent: the same string always
+    /// yields the same `Sym` within a process.
+    pub fn new(s: &str) -> Sym {
+        let mut int = interner().lock().expect("interner poisoned");
+        if let Some(&id) = int.map.get(s) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(int.strings.len()).expect("interner overflow");
+        int.strings.push(leaked);
+        int.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        let int = interner().lock().expect("interner poisoned");
+        int.strings[self.0 as usize]
+    }
+
+    /// Lexicographic comparison by the underlying string (interning order is
+    /// arbitrary; use this when presenting output).
+    pub fn cmp_str(self, other: Sym) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Sym::new("works");
+        let b = Sym::new("works");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "works");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_syms() {
+        assert_ne!(Sym::new("p"), Sym::new("q"));
+    }
+
+    #[test]
+    fn display_matches_source() {
+        assert_eq!(Sym::new("u_benefit").to_string(), "u_benefit");
+    }
+
+    #[test]
+    fn cmp_str_is_lexicographic() {
+        // Intern in reverse order so id order differs from lexicographic.
+        let z = Sym::new("zzz_cmp_test");
+        let a = Sym::new("aaa_cmp_test");
+        assert_eq!(a.cmp_str(z), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn syms_usable_across_threads() {
+        let a = Sym::new("threaded");
+        let handle = std::thread::spawn(move || Sym::new("threaded"));
+        assert_eq!(handle.join().unwrap(), a);
+    }
+}

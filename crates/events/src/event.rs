@@ -1,0 +1,173 @@
+//! Events: the insertions and deletions that occur in a transition from an
+//! old database state to a new one (§3.1).
+//!
+//! For every predicate `P` there is an insertion event predicate `ins P`
+//! (the paper's ιP) and a deletion event predicate `del P` (δP), defined by
+//!
+//! ```text
+//! (1)  ∀x ( ins P(x) ↔  Pⁿ(x) ∧ ¬P°(x) )
+//! (2)  ∀x ( del P(x) ↔  P°(x) ∧ ¬Pⁿ(x) )
+//! ```
+//!
+//! On base predicates, event facts are the updates of a transaction; on
+//! derived predicates they are the induced updates.
+
+use dduf_datalog::ast::{Atom, Pred};
+use dduf_datalog::storage::tuple::Tuple;
+use std::fmt;
+
+/// Whether an event inserts or deletes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EventKind {
+    /// Insertion event (the paper's ιP): true after, false before.
+    Ins,
+    /// Deletion event (δP): true before, false after.
+    Del,
+}
+
+impl EventKind {
+    /// The opposite kind.
+    pub fn flipped(self) -> EventKind {
+        match self {
+            EventKind::Ins => EventKind::Del,
+            EventKind::Del => EventKind::Ins,
+        }
+    }
+
+    /// Surface-syntax sigil (`+` / `-`).
+    pub fn sigil(self) -> char {
+        match self {
+            EventKind::Ins => '+',
+            EventKind::Del => '-',
+        }
+    }
+}
+
+/// A (possibly non-ground) event atom: `ins P(t̄)` or `del P(t̄)`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventAtom {
+    /// Insertion or deletion.
+    pub kind: EventKind,
+    /// The predicate atom the event is about.
+    pub atom: Atom,
+}
+
+impl EventAtom {
+    /// Creates an event atom.
+    pub fn new(kind: EventKind, atom: Atom) -> EventAtom {
+        EventAtom { kind, atom }
+    }
+
+    /// `ins P(t̄)`.
+    pub fn ins(atom: Atom) -> EventAtom {
+        EventAtom::new(EventKind::Ins, atom)
+    }
+
+    /// `del P(t̄)`.
+    pub fn del(atom: Atom) -> EventAtom {
+        EventAtom::new(EventKind::Del, atom)
+    }
+
+    /// The event's predicate.
+    pub fn pred(&self) -> Pred {
+        self.atom.pred
+    }
+
+    /// Converts to a ground event if all arguments are constants.
+    pub fn to_ground(&self) -> Option<GroundEvent> {
+        self.atom.as_tuple().map(|t| GroundEvent {
+            kind: self.kind,
+            pred: self.atom.pred,
+            tuple: t.into(),
+        })
+    }
+}
+
+impl fmt::Display for EventAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.kind.sigil(), self.atom)
+    }
+}
+
+/// A ground event fact: the unit of transactions and of interpretation
+/// results.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GroundEvent {
+    /// Insertion or deletion.
+    pub kind: EventKind,
+    /// The affected predicate.
+    pub pred: Pred,
+    /// The affected tuple.
+    pub tuple: Tuple,
+}
+
+impl GroundEvent {
+    /// Creates a ground event.
+    pub fn new(kind: EventKind, pred: Pred, tuple: Tuple) -> GroundEvent {
+        debug_assert_eq!(pred.arity, tuple.arity());
+        GroundEvent { kind, pred, tuple }
+    }
+
+    /// `ins P(c̄)`.
+    pub fn ins(pred: Pred, tuple: Tuple) -> GroundEvent {
+        GroundEvent::new(EventKind::Ins, pred, tuple)
+    }
+
+    /// `del P(c̄)`.
+    pub fn del(pred: Pred, tuple: Tuple) -> GroundEvent {
+        GroundEvent::new(EventKind::Del, pred, tuple)
+    }
+
+    /// The event as a (ground) event atom.
+    pub fn to_atom(&self) -> EventAtom {
+        EventAtom::new(self.kind, self.tuple.to_atom(self.pred))
+    }
+
+    /// The event that would exactly undo this one.
+    pub fn inverse(&self) -> GroundEvent {
+        GroundEvent::new(self.kind.flipped(), self.pred, self.tuple.clone())
+    }
+}
+
+impl fmt::Display for GroundEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.kind.sigil(), self.tuple.to_atom(self.pred))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::ast::{Const, Term};
+    use dduf_datalog::storage::tuple::syms;
+
+    #[test]
+    fn display_matches_transaction_syntax() {
+        let e = GroundEvent::del(Pred::new("r", 1), syms(&["b"]));
+        assert_eq!(e.to_string(), "-r(b)");
+        let i = GroundEvent::ins(Pred::new("works", 2), syms(&["john", "sales"]));
+        assert_eq!(i.to_string(), "+works(john, sales)");
+    }
+
+    #[test]
+    fn event_atom_groundness() {
+        let g = EventAtom::ins(Atom::ground("p", vec![Const::sym("a")]));
+        assert!(g.to_ground().is_some());
+        let ng = EventAtom::ins(Atom::new("p", vec![Term::var("X")]));
+        assert!(ng.to_ground().is_none());
+    }
+
+    #[test]
+    fn inverse_flips_kind() {
+        let e = GroundEvent::ins(Pred::new("p", 1), syms(&["a"]));
+        assert_eq!(e.inverse().kind, EventKind::Del);
+        assert_eq!(e.inverse().inverse(), e);
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let a = GroundEvent::ins(Pred::new("p", 1), syms(&["a"]));
+        let b = GroundEvent::del(Pred::new("p", 1), syms(&["a"]));
+        assert_ne!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+}

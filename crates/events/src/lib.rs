@@ -1,0 +1,46 @@
+//! # dduf-events
+//!
+//! Transition rules and insertion/deletion **event rules** for deductive
+//! databases, after Olivé \[Oli91\], as used by Teniente & Urpí's common
+//! framework for deductive database updating problems (ICDE 1995, §3).
+//!
+//! Given a deductive database, this crate constructs, for every derived
+//! predicate `P`:
+//!
+//! * the **transition rule** defining the new state `Pⁿ` in terms of the
+//!   old state and events, in DNF with `2^k` disjunctands per defining rule
+//!   ([`transition`]);
+//! * the **event rules** `ins P(x̄) ↔ Pⁿ(x̄) ∧ ¬P°(x̄)` and
+//!   `del P(x̄) ↔ P°(x̄) ∧ ¬Pⁿ(x̄)` ([`rules`]);
+//! * the \[Oli91\]-style **simplifications** of these rules ([`simplify`]).
+//!
+//! The *interpretations* of the event rules — upward (induced changes) and
+//! downward (translating requested changes) — live in `dduf-core`; this
+//! crate is purely the rule machinery both share.
+//!
+//! ```
+//! use dduf_datalog::parser::parse_database;
+//! use dduf_datalog::ast::Pred;
+//! use dduf_events::transition::TransitionRule;
+//!
+//! let db = parse_database("p(X) :- q(X), not r(X).").unwrap();
+//! let tr = TransitionRule::build(db.program(), Pred::new("p", 1));
+//! assert_eq!(tr.disjunct_count(), 4); // 2^2 (example 3.1 of the paper)
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod event;
+pub mod formula;
+pub mod pretty;
+pub mod rules;
+pub mod simplify;
+pub mod store;
+pub mod transition;
+
+pub use event::{EventAtom, EventKind, GroundEvent};
+pub use formula::{Conjunct, Dnf, TrLit};
+pub use rules::{EventRuleSystem, EventRules};
+pub use store::EventStore;
+pub use transition::{TransitionBranch, TransitionRule};

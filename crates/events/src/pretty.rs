@@ -1,0 +1,182 @@
+//! Paper-style rendering of transition and event rules.
+//!
+//! The `Display` impls of [`crate::formula`] use the ASCII keywords of the
+//! surface language (`ins p(X)`, `not del q(X)`, `qᵒ(X)`). This module
+//! additionally offers the paper's own notation — ι for insertion events,
+//! δ for deletion events — so that printed rules can be compared
+//! symbol-for-symbol against the figures of §3 and §4.
+
+use crate::event::EventKind;
+use crate::formula::{Conjunct, Dnf, TrLit};
+use crate::rules::{EventRuleSystem, EventRules};
+use crate::transition::TransitionRule;
+use dduf_datalog::ast::Term;
+use std::fmt::Write as _;
+
+/// Rendering notation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Style {
+    /// Surface-language keywords: `ins p(X)`, `del p(X)`.
+    #[default]
+    Ascii,
+    /// The paper's Greek notation: `ιp(X)`, `δp(X)`.
+    Paper,
+}
+
+fn args(terms: &[Term]) -> String {
+    if terms.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = terms.iter().map(|t| t.to_string()).collect();
+    format!("({})", inner.join(", "))
+}
+
+/// Renders one transition literal.
+pub fn literal(lit: &TrLit, style: Style) -> String {
+    match lit {
+        TrLit::Old(l) => {
+            let neg = if l.positive { "" } else { "¬" };
+            format!("{neg}{}ᵒ{}", l.atom.pred.name, args(&l.atom.terms))
+        }
+        TrLit::Event { positive, event } => {
+            let neg = if *positive { "" } else { "¬" };
+            let kw = match (style, event.kind) {
+                (Style::Paper, EventKind::Ins) => "ι".to_string(),
+                (Style::Paper, EventKind::Del) => "δ".to_string(),
+                (Style::Ascii, EventKind::Ins) => "ins ".to_string(),
+                (Style::Ascii, EventKind::Del) => "del ".to_string(),
+            };
+            format!("{neg}{kw}{}{}", event.atom.pred.name, args(&event.atom.terms))
+        }
+    }
+}
+
+/// Renders a conjunct.
+pub fn conjunct(c: &Conjunct, style: Style) -> String {
+    if c.0.is_empty() {
+        return "true".to_string();
+    }
+    c.0.iter()
+        .map(|l| literal(l, style))
+        .collect::<Vec<_>>()
+        .join(" ∧ ")
+}
+
+/// Renders a DNF, one disjunct per line (the paper's layout).
+pub fn dnf(d: &Dnf, style: Style, indent: &str) -> String {
+    if d.0.is_empty() {
+        return format!("{indent}false");
+    }
+    let mut out = String::new();
+    for (i, c) in d.0.iter().enumerate() {
+        let sep = if i == 0 { "  " } else { "∨ " };
+        let _ = writeln!(out, "{indent}{sep}({})", conjunct(c, style));
+    }
+    out.pop();
+    out
+}
+
+/// Renders a transition rule (`Pⁿ(x̄) ↔ DNF`).
+pub fn transition(tr: &TransitionRule, style: Style) -> String {
+    let mut out = String::new();
+    for branch in &tr.branches {
+        let _ = writeln!(
+            out,
+            "{}ⁿ{} ↔",
+            branch.head.pred.name,
+            args(&branch.head.terms)
+        );
+        let _ = writeln!(out, "{}", dnf(&branch.dnf, style, "    "));
+    }
+    out
+}
+
+/// Renders the pair of event rules of one predicate:
+/// `ιP(x̄) ↔ Pⁿ(x̄) ∧ ¬P°(x̄)` and `δP(x̄) ↔ P°(x̄) ∧ ¬Pⁿ(x̄)`, followed by
+/// the transition rule they refer to.
+pub fn event_rules(er: &EventRules, style: Style) -> String {
+    let name = er.pred.name;
+    let head_args = er
+        .transition
+        .branches
+        .first()
+        .map(|b| args(&b.head.terms))
+        .unwrap_or_default();
+    let (ins, del) = match style {
+        Style::Paper => (format!("ι{name}"), format!("δ{name}")),
+        Style::Ascii => (format!("ins {name}"), format!("del {name}")),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{ins}{head_args} ↔ {name}ⁿ{head_args} ∧ ¬{name}ᵒ{head_args}"
+    );
+    let _ = writeln!(
+        out,
+        "{del}{head_args} ↔ {name}ᵒ{head_args} ∧ ¬{name}ⁿ{head_args}"
+    );
+    let _ = write!(out, "{}", transition(&er.transition, style));
+    out
+}
+
+/// Renders every event rule of a program.
+pub fn system(sys: &EventRuleSystem, style: Style) -> String {
+    let mut out = String::new();
+    for (_, er) in sys.iter() {
+        let _ = writeln!(out, "{}", event_rules(er, style));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::ast::Pred;
+    use dduf_datalog::parser::parse_database;
+
+    fn example_rules() -> EventRules {
+        let db = parse_database("p(X) :- q(X), not r(X).").unwrap();
+        EventRules::build(db.program(), Pred::new("p", 1))
+    }
+
+    #[test]
+    fn paper_style_matches_section_3() {
+        let er = example_rules();
+        let s = event_rules(&er, Style::Paper);
+        assert!(s.contains("ιp(X) ↔ pⁿ(X) ∧ ¬pᵒ(X)"), "{s}");
+        assert!(s.contains("δp(X) ↔ pᵒ(X) ∧ ¬pⁿ(X)"), "{s}");
+        // Second disjunct of example 3.1: (Q°(x) ∧ ¬δQ(x) ∧ δR(x))
+        assert!(s.contains("(qᵒ(X) ∧ ¬δq(X) ∧ δr(X))"), "{s}");
+    }
+
+    #[test]
+    fn ascii_style_uses_keywords() {
+        let er = example_rules();
+        let s = event_rules(&er, Style::Ascii);
+        assert!(s.contains("ins p(X)"), "{s}");
+        assert!(s.contains("¬del q(X)"), "{s}");
+    }
+
+    #[test]
+    fn zero_ary_predicates_render_bare() {
+        let db = parse_database(":- q(X), not r(X).").unwrap();
+        let er = EventRules::build(db.program(), Pred::new("ic1", 0));
+        let s = event_rules(&er, Style::Paper);
+        assert!(s.contains("ιic1 ↔ ic1ⁿ ∧ ¬ic1ᵒ"), "{s}");
+    }
+
+    #[test]
+    fn empty_dnf_renders_false() {
+        let d = Dnf::falsum();
+        assert_eq!(dnf(&d, Style::Paper, ""), "false");
+    }
+
+    #[test]
+    fn system_covers_all_derived() {
+        let db = parse_database("v(X) :- b(X). w(X) :- v(X).").unwrap();
+        let sys = EventRuleSystem::build(db.program());
+        let s = system(&sys, Style::Paper);
+        assert!(s.contains("ιv(X)"));
+        assert!(s.contains("ιw(X)"));
+    }
+}

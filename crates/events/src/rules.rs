@@ -1,0 +1,155 @@
+//! Insertion and deletion event rules (§3.3).
+//!
+//! For each derived predicate `P`:
+//!
+//! ```text
+//! (6)  ins P(x̄) ↔ Pⁿ(x̄) ∧ ¬P°(x̄)
+//! (7)  del P(x̄) ↔ P°(x̄) ∧ ¬Pⁿ(x̄)
+//! ```
+//!
+//! where `Pⁿ` refers to the transition rule of `P` and `P°` to the old
+//! state. Both interpretations of the framework (upward: §4.1, downward:
+//! §4.2) are *readings* of these same rules — this module only represents
+//! them; the interpreters live in `dduf-core`.
+
+use crate::formula::{Conjunct, TrLit};
+use crate::transition::TransitionRule;
+use dduf_datalog::ast::{Atom, Pred};
+use dduf_datalog::schema::Program;
+use std::collections::BTreeMap;
+
+/// The pair of event rules of one derived predicate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EventRules {
+    /// The derived predicate `P`.
+    pub pred: Pred,
+    /// The transition rule defining `Pⁿ`.
+    pub transition: TransitionRule,
+}
+
+impl EventRules {
+    /// Builds the event rules of `pred` from its definition.
+    pub fn build(program: &Program, pred: Pred) -> EventRules {
+        EventRules {
+            pred,
+            transition: TransitionRule::build(program, pred),
+        }
+    }
+
+    /// The insertion event rule as executable disjuncts: for each
+    /// transition disjunct with head `h` and body `c`, the conjunct
+    /// `c ∧ ¬P°(h)` (rule (6) with `Pⁿ` unfolded). Any disjunct true in
+    /// the transition implies `Pⁿ`, and `¬P°` is appended literally.
+    pub fn insertion_disjuncts(&self) -> Vec<(Atom, Conjunct)> {
+        self.transition
+            .disjuncts()
+            .map(|(head, c)| {
+                let mut lits = c.0.clone();
+                lits.push(TrLit::old_neg(head.clone()));
+                (head.clone(), Conjunct(lits))
+            })
+            .collect()
+    }
+
+    /// The deletion event rule (7) cannot be unfolded into a DNF of the
+    /// same literals — `¬Pⁿ` is the negation of the whole transition DNF.
+    /// Engines therefore treat deletion as `P°(x̄)` minus the tuples for
+    /// which some transition disjunct holds; this accessor exposes the
+    /// transition rule they must refute.
+    pub fn transition(&self) -> &TransitionRule {
+        &self.transition
+    }
+}
+
+/// The event rules of every derived predicate of a program.
+#[derive(Clone, Debug, Default)]
+pub struct EventRuleSystem {
+    rules: BTreeMap<Pred, EventRules>,
+}
+
+impl EventRuleSystem {
+    /// Builds event rules for all derived predicates.
+    pub fn build(program: &Program) -> EventRuleSystem {
+        let mut rules = BTreeMap::new();
+        for (pred, role) in program.predicates() {
+            if matches!(role, dduf_datalog::schema::Role::Derived(_)) {
+                rules.insert(pred, EventRules::build(program, pred));
+            }
+        }
+        EventRuleSystem { rules }
+    }
+
+    /// The event rules of `pred`, if derived.
+    pub fn get(&self, pred: Pred) -> Option<&EventRules> {
+        self.rules.get(&pred)
+    }
+
+    /// All event rules in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Pred, &EventRules)> + '_ {
+        self.rules.iter()
+    }
+
+    /// Number of derived predicates covered.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True iff there are no derived predicates.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::ast::{Literal, Rule, Term};
+
+    fn atom(name: &str, vars: &[&str]) -> Atom {
+        Atom::new(name, vars.iter().map(|v| Term::var(v)).collect())
+    }
+
+    fn example_program() -> Program {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("p", &["X"]),
+            vec![
+                Literal::pos(atom("q", &["X"])),
+                Literal::neg(atom("r", &["X"])),
+            ],
+        ));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn insertion_disjuncts_append_not_old_head() {
+        let prog = example_program();
+        let er = EventRules::build(&prog, Pred::new("p", 1));
+        let ds = er.insertion_disjuncts();
+        assert_eq!(ds.len(), 4);
+        for (_, c) in &ds {
+            let last = c.0.last().unwrap();
+            assert_eq!(last.to_string(), "not pᵒ(X)");
+        }
+    }
+
+    #[test]
+    fn system_covers_all_derived() {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("v", &["X"]),
+            vec![Literal::pos(atom("b", &["X"]))],
+        ));
+        b.rule(Rule::new(
+            Atom::new("ic1", vec![]),
+            vec![Literal::pos(atom("v", &["X"]))],
+        ));
+        let prog = b.build().unwrap();
+        let sys = EventRuleSystem::build(&prog);
+        // v, ic1, global ic
+        assert_eq!(sys.len(), 3);
+        assert!(sys.get(Pred::new("v", 1)).is_some());
+        assert!(sys.get(Pred::new("ic", 0)).is_some());
+        assert!(sys.get(Pred::new("b", 1)).is_none());
+    }
+}

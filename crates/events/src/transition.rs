@@ -1,0 +1,245 @@
+//! Transition rules (§3.2): definitions of the *new-state* predicates `Pⁿ`
+//! in terms of old-state predicates and events.
+//!
+//! For each deductive rule `P(x̄) ← L₁ ∧ ... ∧ Lₙ`, the rule evaluated in
+//! the new state is `Pⁿ(x̄) ← L₁ⁿ ∧ ... ∧ Lₙⁿ`, and each new-state literal
+//! is replaced by its equivalent in terms of the old state and events:
+//!
+//! ```text
+//! (3)  Qⁿ(t̄)   ≡  ( Q°(t̄) ∧ ¬del Q(t̄) ) ∨ ins Q(t̄)
+//! (4)  ¬Qⁿ(t̄)  ≡  ( ¬Q°(t̄) ∧ ¬ins Q(t̄) ) ∨ del Q(t̄)
+//! ```
+//!
+//! Distributing ∧ over ∨ yields the transition rule in disjunctive normal
+//! form with `2^k` disjunctands for a `k`-literal body. Disjunct order
+//! follows the paper's examples: the all-old disjunct first, then binary
+//! counting with the first body literal as the most significant choice.
+
+use crate::formula::{Conjunct, Dnf, TrLit};
+use crate::event::EventKind;
+use dduf_datalog::ast::{Atom, Pred, Rule};
+use dduf_datalog::schema::Program;
+use std::fmt;
+
+/// The expansion of one defining rule of a derived predicate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TransitionBranch {
+    /// The head of the originating rule (its terms may contain constants
+    /// or repeated variables; evaluation unifies against them).
+    pub head: Atom,
+    /// The `2^k` disjunctands.
+    pub dnf: Dnf,
+    /// The originating deductive rule.
+    pub source: Rule,
+}
+
+/// The transition rule of a derived predicate `P`: the union of the DNF
+/// expansions of all of its defining rules (`Pⁿ ↔ P₁ⁿ ∨ ... ∨ Pₘⁿ`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TransitionRule {
+    /// The derived predicate.
+    pub pred: Pred,
+    /// One branch per defining rule, in declaration order.
+    pub branches: Vec<TransitionBranch>,
+}
+
+impl TransitionRule {
+    /// Builds the transition rule for `pred` from its definition in
+    /// `program`. A predicate with no rules yields no branches (its new
+    /// state is identical to its — empty — old state).
+    pub fn build(program: &Program, pred: Pred) -> TransitionRule {
+        let branches = program
+            .rules_for(pred)
+            .into_iter()
+            .map(expand_rule)
+            .collect();
+        TransitionRule { pred, branches }
+    }
+
+    /// Total number of disjunctands across branches.
+    pub fn disjunct_count(&self) -> usize {
+        self.branches.iter().map(|b| b.dnf.len()).sum()
+    }
+
+    /// Iterates `(head, conjunct)` pairs across all branches.
+    pub fn disjuncts(&self) -> impl Iterator<Item = (&Atom, &Conjunct)> + '_ {
+        self.branches
+            .iter()
+            .flat_map(|b| b.dnf.0.iter().map(move |c| (&b.head, c)))
+    }
+}
+
+impl fmt::Display for TransitionRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.branches.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{}ⁿ", b.head)?;
+            write!(f, " ↔ {}", b.dnf)?;
+        }
+        Ok(())
+    }
+}
+
+/// Expands one rule body into its `2^k` disjunctands.
+fn expand_rule(rule: &Rule) -> TransitionBranch {
+    // Per body literal, the two replacement choices of (3)/(4):
+    // choice 0 ("old"):  positive L -> Q° ∧ ¬del Q ;  negative L -> ¬Q° ∧ ¬ins Q
+    // choice 1 ("event"): positive L -> ins Q ;        negative L -> del Q
+    let choices: Vec<[Vec<TrLit>; 2]> = rule
+        .body
+        .iter()
+        .map(|lit| {
+            let atom = lit.atom.clone();
+            if lit.positive {
+                [
+                    vec![
+                        TrLit::old_pos(atom.clone()),
+                        TrLit::not_event(EventKind::Del, atom.clone()),
+                    ],
+                    vec![TrLit::event(EventKind::Ins, atom)],
+                ]
+            } else {
+                [
+                    vec![
+                        TrLit::old_neg(atom.clone()),
+                        TrLit::not_event(EventKind::Ins, atom.clone()),
+                    ],
+                    vec![TrLit::event(EventKind::Del, atom)],
+                ]
+            }
+        })
+        .collect();
+
+    let k = choices.len();
+    debug_assert!(k < usize::BITS as usize, "rule body too large to expand");
+    let mut conjuncts = Vec::with_capacity(1usize << k);
+    for mask in 0..(1usize << k) {
+        let mut lits = Vec::new();
+        for (j, choice) in choices.iter().enumerate() {
+            // First literal = most significant bit, matching the paper's
+            // enumeration order in example 3.1.
+            let bit = (mask >> (k - 1 - j)) & 1;
+            lits.extend(choice[bit].iter().cloned());
+        }
+        conjuncts.push(Conjunct(lits));
+    }
+
+    TransitionBranch {
+        head: rule.head.clone(),
+        dnf: Dnf(conjuncts),
+        source: rule.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::ast::{Literal, Term};
+
+    fn atom(name: &str, vars: &[&str]) -> Atom {
+        Atom::new(name, vars.iter().map(|v| Term::var(v)).collect())
+    }
+
+    /// Example 3.1 of the paper: `P(x) ← Q(x) ∧ ¬R(x)` expands to exactly
+    /// four disjunctands in the paper's order.
+    #[test]
+    fn example_3_1_expansion() {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("p", &["X"]),
+            vec![
+                Literal::pos(atom("q", &["X"])),
+                Literal::neg(atom("r", &["X"])),
+            ],
+        ));
+        let prog = b.build().unwrap();
+        let tr = TransitionRule::build(&prog, Pred::new("p", 1));
+        assert_eq!(tr.branches.len(), 1);
+        let dnf = &tr.branches[0].dnf;
+        assert_eq!(dnf.len(), 4);
+        let rendered: Vec<String> = dnf.0.iter().map(|c| c.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "qᵒ(X) ∧ not del q(X) ∧ not rᵒ(X) ∧ not ins r(X)",
+                "qᵒ(X) ∧ not del q(X) ∧ del r(X)",
+                "ins q(X) ∧ not rᵒ(X) ∧ not ins r(X)",
+                "ins q(X) ∧ del r(X)",
+            ]
+        );
+    }
+
+    #[test]
+    fn disjunct_count_is_two_to_the_k() {
+        for k in 1..=8 {
+            let body: Vec<Literal> = (0..k)
+                .map(|i| Literal::pos(atom(&format!("b{i}"), &["X"])))
+                .collect();
+            let mut b = Program::builder();
+            b.rule(Rule::new(atom("p", &["X"]), body));
+            let prog = b.build().unwrap();
+            let tr = TransitionRule::build(&prog, Pred::new("p", 1));
+            assert_eq!(tr.disjunct_count(), 1 << k);
+        }
+    }
+
+    #[test]
+    fn multiple_defining_rules_union() {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("p", &["X"]),
+            vec![Literal::pos(atom("q", &["X"]))],
+        ));
+        b.rule(Rule::new(
+            atom("p", &["X"]),
+            vec![Literal::pos(atom("r", &["X"]))],
+        ));
+        let prog = b.build().unwrap();
+        let tr = TransitionRule::build(&prog, Pred::new("p", 1));
+        assert_eq!(tr.branches.len(), 2);
+        assert_eq!(tr.disjunct_count(), 4); // 2 + 2
+    }
+
+    #[test]
+    fn first_disjunct_is_all_old() {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("p", &["X"]),
+            vec![
+                Literal::pos(atom("q", &["X"])),
+                Literal::pos(atom("r", &["X"])),
+            ],
+        ));
+        let prog = b.build().unwrap();
+        let tr = TransitionRule::build(&prog, Pred::new("p", 1));
+        let first = &tr.branches[0].dnf.0[0];
+        assert!(first.is_event_free() || !first.has_positive_event());
+        assert!(!first.has_positive_event());
+        let last = tr.branches[0].dnf.0.last().unwrap();
+        assert!(last.0.iter().all(TrLit::is_positive_event));
+    }
+
+    #[test]
+    fn no_rules_no_branches() {
+        let prog = Program::builder().build().unwrap();
+        let tr = TransitionRule::build(&prog, Pred::new("ghost", 1));
+        assert!(tr.branches.is_empty());
+        assert_eq!(tr.disjunct_count(), 0);
+    }
+
+    #[test]
+    fn display_renders_equivalence() {
+        let mut b = Program::builder();
+        b.rule(Rule::new(
+            atom("p", &["X"]),
+            vec![Literal::pos(atom("q", &["X"]))],
+        ));
+        let prog = b.build().unwrap();
+        let tr = TransitionRule::build(&prog, Pred::new("p", 1));
+        let s = tr.to_string();
+        assert!(s.contains("↔"), "{s}");
+        assert!(s.starts_with("p(X)ⁿ"), "{s}");
+    }
+}

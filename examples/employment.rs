@@ -1,0 +1,93 @@
+//! The paper's §5 walkthrough on the employment database.
+//!
+//! Reproduces, in order: example 5.1 (integrity constraint checking),
+//! example 5.2 (view updating), example 5.3 (preventing side effects),
+//! and then the §5.3 combination: view updating with integrity
+//! maintenance.
+//!
+//! Run with: `cargo run --example employment`
+
+use dduf::core::problems::ic_checking::CheckOutcome;
+use dduf::core::testkit;
+use dduf::prelude::*;
+use dduf_events::event::EventAtom;
+
+fn main() -> Result<()> {
+    let proc = UpdateProcessor::new(testkit::employment_db())?;
+    println!("employment database (examples 5.1-5.3):");
+    println!("  la(dolors). u_benefit(dolors).");
+    println!("  unemp(X) :- la(X), not works(X).");
+    println!("  ic1 :- unemp(X), not u_benefit(X).   % all unemployed get benefits");
+
+    // ---- Example 5.1: integrity constraints checking (upward) ----
+    println!("\n== example 5.1: integrity checking ==");
+    let txn = proc.transaction("-u_benefit(dolors).")?;
+    match proc.check_integrity(&txn)? {
+        CheckOutcome::Violated(events) => {
+            println!("T = {txn} violates: {events:?} -> transaction must be rejected");
+            assert_eq!(events.len(), 1);
+        }
+        other => panic!("paper expects a violation, got {other:?}"),
+    }
+    let harmless = proc.transaction("+works(dolors).")?;
+    assert!(proc.check_integrity(&harmless)?.accepts());
+    println!("T = {harmless} is accepted");
+
+    // ---- Example 5.2: view updating (downward) ----
+    println!("\n== example 5.2: view updating ==");
+    let req = Request::new().achieve(
+        EventKind::Del,
+        Atom::ground("unemp", vec![Const::sym("dolors")]),
+    );
+    let res = proc.translate_view_update(&req)?;
+    println!("request del unemp(dolors); translations:");
+    for (i, alt) in res.alternatives.iter().enumerate() {
+        println!("  T{} = {}", i + 1, alt.to_do);
+    }
+    assert_eq!(res.alternatives.len(), 2); // {-la(dolors)} and {+works(dolors)}
+
+    // ---- Example 5.3: preventing side effects ----
+    println!("\n== example 5.3: preventing side effects ==");
+    let txn = proc.transaction("+la(maria).")?;
+    let fx = proc.upward(&txn)?;
+    println!("T = {txn} would induce {}", fx.derived);
+    let res = proc.prevent_side_effects(
+        &txn,
+        &[EventAtom::ins(Atom::ground(
+            "unemp",
+            vec![Const::sym("maria")],
+        ))],
+    )?;
+    println!("preventing ins unemp(maria); resulting transactions:");
+    for alt in &res.alternatives {
+        println!("  {}", alt.to_do);
+    }
+    assert_eq!(res.alternatives.len(), 1);
+    assert_eq!(
+        res.alternatives[0].to_do.to_string(),
+        "{+la(maria), +works(maria)}"
+    );
+
+    // ---- §5.3: view updating combined with integrity maintenance ----
+    println!("\n== section 5.3: view update + integrity maintenance ==");
+    let req = Request::new().achieve(
+        EventKind::Ins,
+        Atom::ground("unemp", vec![Const::sym("maria")]),
+    );
+    let unsafe_res = proc.translate_view_update(&req)?;
+    let safe_res = proc.view_update_with_integrity(&req)?;
+    println!("plain translations (may violate ic1):");
+    for alt in &unsafe_res.alternatives {
+        println!("  {}", alt.to_do);
+    }
+    println!("integrity-maintaining translations:");
+    for alt in &safe_res.alternatives {
+        println!("  {}", alt.to_do);
+        let t = alt.to_transaction(proc.database())?;
+        assert!(proc.check_integrity(&t)?.accepts());
+    }
+    assert!(!safe_res.alternatives.is_empty());
+
+    println!("\nall paper answers reproduced.");
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Repairing an inconsistent database, satisfiability, and design-time
+//! analysis (§5.2.3 / §5.2.4).
+//!
+//! Starts from an inconsistent payroll database, enumerates the repairs
+//! (downward `del Ic`), commits one, then demonstrates integrity
+//! *maintenance* (downward `{T, ¬ins Ic}`) for a follow-up update, and the
+//! design-time "ensuring satisfaction" analysis (downward `ins Ic`).
+//!
+//! Run with: `cargo run --example integrity_repair`
+
+use dduf::core::problems::ic_maintenance::MaintenanceOutcome;
+use dduf::core::problems::repair::{RepairOutcome, Satisfiability};
+use dduf::prelude::*;
+
+fn main() -> Result<()> {
+    // pere draws a benefit while working; rosa is unemployed w/o benefit.
+    let db = parse_database(
+        "la(pere). la(rosa). works(pere). u_benefit(pere).
+         unemp(X) :- la(X), not works(X).
+         :- unemp(X), not u_benefit(X).
+         :- works(X), u_benefit(X).",
+    )?;
+    let mut proc = UpdateProcessor::new(db)?;
+
+    // ---- Repair enumeration ----
+    let RepairOutcome::Repairs(repairs) = proc.repairs()? else {
+        panic!("database should be inconsistent");
+    };
+    println!("database is inconsistent; {} repairs found:", repairs.alternatives.len());
+    for alt in &repairs.alternatives {
+        println!("  {}", alt);
+    }
+    assert!(!repairs.alternatives.is_empty());
+
+    // Satisfiability is the same downward question (§5.2.3).
+    match proc.satisfiable()? {
+        Satisfiability::Satisfiable(_) => println!("constraints are satisfiable."),
+        other => panic!("expected satisfiable, got {other:?}"),
+    }
+
+    // ---- Commit the repair that stops pere's benefit and employs rosa ----
+    let chosen = repairs
+        .alternatives
+        .iter()
+        .find(|a| {
+            let s = a.to_do.to_string();
+            s.contains("-u_benefit(pere)") && s.contains("+works(rosa)")
+        })
+        .or(repairs.alternatives.first())
+        .expect("some repair exists")
+        .clone();
+    println!("\ncommitting repair: {}", chosen.to_do);
+    proc.commit_alternative(&chosen)?;
+    assert!(matches!(proc.repairs()?, RepairOutcome::AlreadyConsistent));
+    println!("database is now consistent.");
+
+    // ---- Integrity maintenance for a follow-up update ----
+    let txn = proc.transaction("+la(nuria).")?;
+    println!("\nproposed update: {txn}");
+    match proc.maintain_integrity(&txn)? {
+        MaintenanceOutcome::Resulting(res) => {
+            println!("integrity-maintaining resulting transactions:");
+            for alt in &res.alternatives {
+                println!("  {}", alt.to_do);
+                let t = alt.to_transaction(proc.database())?;
+                assert!(proc.check_integrity(&t)?.accepts());
+            }
+            assert!(!res.alternatives.is_empty());
+        }
+        other => panic!("expected resulting transactions, got {other:?}"),
+    }
+
+    // ---- Design-time: how could the DB become inconsistent at all? ----
+    let ways = proc
+        .violating_transactions()?
+        .expect("constraints exist");
+    println!(
+        "\ndesign-time analysis: {} minimal ways to reach inconsistency, e.g.:",
+        ways.alternatives.len()
+    );
+    for alt in ways.alternatives.iter().take(3) {
+        println!("  {}", alt);
+    }
+    assert!(!ways.alternatives.is_empty());
+    Ok(())
+}

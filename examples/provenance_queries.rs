@@ -1,0 +1,50 @@
+//! Query answering and explanation: bottom-up vs. top-down evaluation
+//! (§4's remark that either strategy can implement the interpretations),
+//! derivation trees, and event explanations.
+//!
+//! Run with: `cargo run --example provenance_queries`
+
+use dduf::datalog::eval::topdown::TopDown;
+use dduf::datalog::query;
+use dduf::prelude::*;
+
+fn main() -> Result<()> {
+    let db = parse_database(
+        "% a small org chart
+         emp(ana, sales). emp(ben, sales). emp(cara, hr).
+         dept(sales, bcn). dept(hr, madrid).
+         mgr(ana).
+         emp_city(E, C) :- emp(E, D), dept(D, C).
+         plain(E) :- emp(E, D), not mgr(E).
+         covered(E) :- emp_city(E, bcn).",
+    )?;
+    let model = materialize(&db)?;
+    let state = StateView::new(&db, &model);
+
+    // ---- Bottom-up query answering ----
+    let goal = Atom::new("emp_city", vec![Term::var("E"), Term::var("C")]);
+    println!("bottom-up answers to {goal}:");
+    for t in query::answers(state, &goal) {
+        println!("  {}", t.to_atom(goal.pred));
+    }
+
+    // ---- Top-down (SLD) resolution: same answers, no materialization ----
+    let td = TopDown::new(&db)?;
+    let answers = td.solve(&goal)?;
+    println!("top-down found {} bindings (must agree)", answers.len());
+    assert_eq!(answers.len(), query::answers(state, &goal).len());
+
+    // ---- Provenance: why does covered(ben) hold? ----
+    let why = explain(state, Pred::new("covered", 1), &Tuple::new(vec![Const::sym("ben")]))
+        .expect("covered(ben) holds");
+    println!("\nwhy covered(ben)?\n{why}");
+    assert!(why.depth() >= 3); // covered -> emp_city -> base facts
+
+    // ---- Event explanation: why would a transfer change things? ----
+    let txn = Transaction::parse(&db, "-emp(ben, sales). +emp(ben, hr).")?;
+    let ev = GroundEvent::del(Pred::new("covered", 1), Tuple::new(vec![Const::sym("ben")]));
+    let ex = explain_event(&db, &model, &txn, &ev)?.expect("event occurs");
+    println!("{ex}");
+
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Design-time workflow (§5.2.3 "ensuring satisfaction", §5.2.1 "view
+//! validation", and §5.3's closing rule-update discussion): a database
+//! designer iterates on a schema, validating after every change that
+//! (a) the views can be populated, (b) the constraints are satisfiable,
+//! and (c) no reachable state violates them — evolving rules and
+//! constraints through the live processor.
+//!
+//! Run with: `cargo run --example schema_design`
+
+use dduf::core::problems::repair::Satisfiability;
+use dduf::prelude::*;
+
+fn main() -> Result<()> {
+    // First schema draft: projects must be staffed, staff must be hired.
+    let db = parse_database(
+        "#domain hired/1 {ana, ben, cara}.
+         #domain assigned/2 {ana, ben, cara, apollo, hermes}.
+         hired(ana).
+         staffed(P) :- assigned(E, P).
+         :- assigned(E, P), not hired(E).",
+    )?;
+    let mut proc = UpdateProcessor::new(db)?;
+    println!("draft 1 loaded.");
+
+    // (a) View validation: can `staffed` ever hold?
+    let witness = proc.validate_view(Pred::new("staffed", 1), EventKind::Ins)?;
+    match &witness {
+        Some(w) => println!(
+            "staffed is populatable: e.g. {} via {}",
+            w.tuple.to_atom(Pred::new("staffed", 1)),
+            w.alternative.to_do
+        ),
+        None => panic!("the staffed view should be populatable"),
+    }
+
+    // (b) Satisfiability of the constraints.
+    match proc.satisfiable()? {
+        Satisfiability::SatisfiedNow => println!("constraints satisfiable (hold now)."),
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    // (c) Ensuring satisfaction: how could the db become inconsistent?
+    let ways = proc.violating_transactions()?.expect("has constraints");
+    println!(
+        "{} way(s) to reach inconsistency — run-time checking stays on.",
+        ways.alternatives.len()
+    );
+    assert!(!ways.alternatives.is_empty());
+
+    // The designer now adds a second constraint: nobody is assigned to two
+    // projects at once.
+    println!("\nadding constraint: no double assignment ...");
+    let (outcome, icp) = proc.add_constraint(vec![
+        Literal::pos(Atom::new(
+            "assigned",
+            vec![Term::var("E"), Term::var("P1")],
+        )),
+        Literal::pos(Atom::new(
+            "assigned",
+            vec![Term::var("E"), Term::var("P2")],
+        )),
+        Literal::neg(Atom::new("same", vec![Term::var("P1"), Term::var("P2")])),
+    ])?;
+    println!(
+        "constraint {} installed; event-rule changes: {:?}",
+        icp,
+        outcome
+            .rule_changes
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+    );
+    // The db has no assignments yet, so no violation is induced.
+    assert!(outcome.induced.is_empty());
+
+    // Oops — `same` is an auxiliary base predicate the designer forgot to
+    // populate; the constraint as written fires for P1 = P2 as well. A
+    // view update exposes the bug:
+    let req = Request::new().achieve(
+        EventKind::Ins,
+        Atom::ground("staffed", vec![Const::sym("apollo")]),
+    );
+    let safe = proc.view_update_with_integrity(&req)?;
+    println!(
+        "\nstaffing apollo while maintaining constraints: {} translation(s)",
+        safe.alternatives.len()
+    );
+    for alt in &safe.alternatives {
+        println!("  {alt}");
+    }
+    // Each translation must add the reflexive `same` tuple or it would
+    // violate the new constraint (E assigned to apollo twice reflexively).
+    assert!(!safe.alternatives.is_empty());
+
+    // The designer fixes the schema instead: drop the buggy constraint and
+    // re-add it with an explicit inequality encoding.
+    println!("\ndropping the buggy constraint ...");
+    proc.remove_constraint(icp)?;
+    assert!(proc
+        .database()
+        .program()
+        .rules_for(icp)
+        .is_empty());
+
+    // Final checks still pass.
+    match proc.satisfiable()? {
+        Satisfiability::SatisfiedNow => println!("final schema consistent and satisfiable."),
+        other => panic!("unexpected: {other:?}"),
+    }
+    Ok(())
+}

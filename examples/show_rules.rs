@@ -1,0 +1,43 @@
+//! Designer tool: print the transition and event rules of a database in
+//! the paper's notation (§3), before and after simplification.
+//!
+//! Pass a path to a `.dl` file, or run without arguments to inspect the
+//! paper's employment database.
+//!
+//! Run with: `cargo run --example show_rules [-- path/to/db.dl]`
+
+use dduf::prelude::*;
+use dduf_events::pretty::{self, Style};
+use dduf_events::simplify::simplify_transition;
+
+fn main() -> Result<()> {
+    let src = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        None => "la(dolors). u_benefit(dolors).
+                 unemp(X) :- la(X), not works(X).
+                 :- unemp(X), not u_benefit(X)."
+            .to_string(),
+    };
+    let db = parse_database(&src)?;
+
+    println!("program:");
+    print!("{}", dduf::datalog::pretty::program(db.program()));
+
+    let sys = EventRuleSystem::build(db.program());
+    println!("\nevent rules (paper notation, §3.3):\n");
+    for (pred, er) in sys.iter() {
+        println!("{}", pretty::event_rules(er, Style::Paper));
+        let simplified = simplify_transition(&er.transition);
+        if simplified.disjunct_count() != er.transition.disjunct_count() {
+            println!(
+                "  [simplified: {} -> {} disjunctands]",
+                er.transition.disjunct_count(),
+                simplified.disjunct_count()
+            );
+        }
+        let _ = pred;
+    }
+
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! The `dduf` shell: load a deductive database and work through the whole
+//! updating-problem catalog interactively (or from a piped script).
+//!
+//! ```sh
+//! cargo run --bin dduf -- db.dl
+//! echo ':update -unemp(dolors).
+//! :do 1
+//! :show' | cargo run --bin dduf -- db.dl
+//! ```
+
+use dduf::cli::{is_quit, Session, HELP};
+use std::io::{BufRead, IsTerminal, Write};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: dduf <database.dl>");
+        std::process::exit(2);
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dduf: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut session = match Session::from_source(&src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dduf: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let interactive = std::io::stdin().is_terminal();
+    if interactive {
+        println!("dduf — deductive database updating framework (:help for commands)");
+    }
+    let stdin = std::io::stdin();
+    loop {
+        if interactive {
+            print!("dduf> ");
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("dduf: {e}");
+                break;
+            }
+        }
+        if is_quit(&line) {
+            break;
+        }
+        if line.trim() == ":help" {
+            print!("{HELP}");
+            continue;
+        }
+        match session.run(&line) {
+            Ok(out) => {
+                if !out.is_empty() {
+                    print!("{out}");
+                    if !out.ends_with('\n') {
+                        println!();
+                    }
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

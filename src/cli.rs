@@ -1,0 +1,585 @@
+//! The interactive shell behind the `dduf` binary: a thin, scriptable
+//! command layer over [`UpdateProcessor`] exposing the whole problem
+//! catalog. Commands return their output as strings so the layer is unit
+//! testable without a terminal.
+
+use dduf_core::downward::{Alternative, Request};
+use dduf_core::problems::condition_prevention::PreventKinds;
+use dduf_core::problems::ic_checking::CheckOutcome;
+use dduf_core::problems::repair::{RepairOutcome, Satisfiability};
+use dduf_core::processor::UpdateProcessor;
+use dduf_core::{Error, Result};
+use dduf_datalog::ast::Pred;
+use dduf_datalog::parser::parse_database;
+use dduf_events::pretty::{self, Style};
+use dduf_events::rules::EventRuleSystem;
+use std::fmt::Write as _;
+
+/// One interactive session: a processor plus the alternatives offered by
+/// the most recent downward command (for `:do <n>`).
+pub struct Session {
+    proc: UpdateProcessor,
+    pending: Vec<Alternative>,
+}
+
+impl Session {
+    /// Starts a session over a database source.
+    pub fn from_source(src: &str) -> Result<Session> {
+        Ok(Session {
+            proc: UpdateProcessor::new(parse_database(src)?)?,
+            pending: Vec::new(),
+        })
+    }
+
+    /// The underlying processor (for assertions in tests).
+    pub fn processor(&self) -> &UpdateProcessor {
+        &self.proc
+    }
+
+    /// Executes one command line, returning the text to display.
+    pub fn run(&mut self, line: &str) -> Result<String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            return Ok(String::new());
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            ":help" => Ok(HELP.to_string()),
+            ":show" => self.show(rest),
+            ":rules" => Ok(self.rules()),
+            ":check" => self.check(rest),
+            ":apply" => self.apply(rest, true),
+            ":force" => self.apply(rest, false),
+            ":update" => self.update(rest),
+            ":safe-update" => self.safe_update(rest),
+            ":monitor" => self.monitor(rest),
+            ":prevent" => self.prevent(rest),
+            ":repair" => self.repair(),
+            ":satisfiable" => self.satisfiable(),
+            ":why" => self.why(rest),
+            ":save" => self.save(rest),
+            ":query" => self.query(rest),
+            ":do" => self.commit_pending(rest),
+            other => Err(Error::Datalog(dduf_datalog::error::Error::Parse(
+                dduf_datalog::error::ParseError {
+                    span: dduf_datalog::error::Span { line: 1, col: 1 },
+                    message: format!(
+                        "unknown command `{other}`; try :help"
+                    ),
+                },
+            ))),
+        }
+    }
+
+    fn show(&self, pred: &str) -> Result<String> {
+        let mut out = String::new();
+        let state = self.proc.state();
+        let wanted: Option<&str> = (!pred.is_empty()).then_some(pred);
+        let mut preds: Vec<(Pred, bool)> = self
+            .proc
+            .database()
+            .extensional_predicates()
+            .map(|p| (p, false))
+            .collect();
+        preds.extend(
+            self.proc
+                .interpretation()
+                .iter()
+                .filter(|(_, r)| !r.is_empty())
+                .map(|(p, _)| (p, true)),
+        );
+        for (p, derived) in preds {
+            if wanted.is_some_and(|w| w != p.name.as_str()) {
+                continue;
+            }
+            for t in state.relation(p).iter() {
+                let mark = if derived { " %= derived" } else { "" };
+                let _ = writeln!(out, "{}.{mark}", t.to_atom(p));
+            }
+        }
+        Ok(out)
+    }
+
+    fn rules(&self) -> String {
+        let mut out = dduf_datalog::pretty::program(self.proc.database().program());
+        out.push('\n');
+        out.push_str(&pretty::system(
+            &EventRuleSystem::build(self.proc.database().program()),
+            Style::Paper,
+        ));
+        out
+    }
+
+    fn check(&self, txn_src: &str) -> Result<String> {
+        let txn = self.proc.transaction(txn_src)?;
+        Ok(match self.proc.check_integrity(&txn)? {
+            CheckOutcome::Violated(events) => {
+                format!("REJECT: violates {}", join(&events))
+            }
+            CheckOutcome::Consistent => "ok: no constraint violated".into(),
+            CheckOutcome::NoConstraints => "ok: no constraints declared".into(),
+            CheckOutcome::AlreadyInconsistent => {
+                "warning: database is already inconsistent (see :repair)".into()
+            }
+        })
+    }
+
+    fn apply(&mut self, txn_src: &str, checked: bool) -> Result<String> {
+        let txn = self.proc.transaction(txn_src)?;
+        if checked {
+            let outcome = self.proc.check_integrity(&txn)?;
+            if !outcome.accepts() {
+                if let CheckOutcome::Violated(events) = outcome {
+                    return Ok(format!(
+                        "REJECTED: violates {} (use :force to override)",
+                        join(&events)
+                    ));
+                }
+            }
+        }
+        let res = self.proc.commit(&txn)?;
+        Ok(format!(
+            "applied {}; induced {}",
+            res.base, res.derived
+        ))
+    }
+
+    fn update(&mut self, req_src: &str) -> Result<String> {
+        let req = Request::parse(req_src)?;
+        let res = self.proc.translate_view_update(&req)?;
+        self.render_alternatives(res.alternatives, &res.already_satisfied)
+    }
+
+    fn safe_update(&mut self, req_src: &str) -> Result<String> {
+        let req = Request::parse(req_src)?;
+        let res = self.proc.view_update_with_integrity(&req)?;
+        self.render_alternatives(res.alternatives, &res.already_satisfied)
+    }
+
+    fn monitor(&self, txn_src: &str) -> Result<String> {
+        let txn = self.proc.transaction(txn_src)?;
+        let ch = self.proc.monitor_conditions(&txn)?;
+        if ch.is_empty() {
+            return Ok("no condition changes".into());
+        }
+        let mut out = String::new();
+        for (p, ts) in &ch.activated {
+            for t in ts {
+                let _ = writeln!(out, "ACTIVATED   {}", t.to_atom(*p));
+            }
+        }
+        for (p, ts) in &ch.deactivated {
+            for t in ts {
+                let _ = writeln!(out, "deactivated {}", t.to_atom(*p));
+            }
+        }
+        Ok(out)
+    }
+
+    fn prevent(&mut self, rest: &str) -> Result<String> {
+        // :prevent <cond_name>/<arity> <txn>
+        let (spec, txn_src) = rest.split_once(char::is_whitespace).ok_or_else(|| {
+            parse_err("usage: :prevent <cond>/<arity> <transaction>")
+        })?;
+        let pred = parse_pred(spec)?;
+        let txn = self.proc.transaction(txn_src.trim())?;
+        let res = self.proc.prevent_condition_activation(
+            &txn,
+            pred,
+            PreventKinds::Activation,
+        )?;
+        self.render_alternatives(res.alternatives, &res.already_satisfied)
+    }
+
+    /// `:why p(a)` — derivation of a fact in the current state;
+    /// `:why +p(a). <txn...>` — why a transaction induces an event.
+    fn why(&self, rest: &str) -> Result<String> {
+        if rest.starts_with('+') || rest.starts_with('-') {
+            let events = dduf_datalog::parser::parse_events(rest)?;
+            let Some((first, txn_events)) = events.split_first() else {
+                return Err(parse_err("usage: :why +p(a). <transaction...>"));
+            };
+            let kind = if first.insert {
+                dduf_events::event::EventKind::Ins
+            } else {
+                dduf_events::event::EventKind::Del
+            };
+            let tuple = first
+                .atom
+                .as_tuple()
+                .ok_or_else(|| parse_err("event to explain must be ground"))?;
+            let event =
+                dduf_events::event::GroundEvent::new(kind, first.atom.pred, tuple.into());
+            let txn = dduf_core::transaction::Transaction::from_events(
+                self.proc.database(),
+                txn_events.iter().map(|pe| {
+                    let k = if pe.insert {
+                        dduf_events::event::EventKind::Ins
+                    } else {
+                        dduf_events::event::EventKind::Del
+                    };
+                    dduf_events::event::GroundEvent::new(
+                        k,
+                        pe.atom.pred,
+                        pe.atom.as_tuple().expect("ground").into(),
+                    )
+                }),
+            )?;
+            return Ok(
+                match dduf_core::explain::explain_event(
+                    self.proc.database(),
+                    self.proc.interpretation(),
+                    &txn,
+                    &event,
+                )? {
+                    Some(ex) => ex.to_string(),
+                    None => format!("{event} is not induced by that transaction"),
+                },
+            );
+        }
+        // Plain fact: derivation in the current state.
+        let atom_src = rest.trim().trim_end_matches('.');
+        let out = dduf_datalog::parser::parse_program(&format!("why_tmp :- {atom_src}."))?;
+        let atom = out.program.rules()[0].body[0].atom.clone();
+        let ds = dduf_datalog::provenance::explain_all(self.proc.state(), &atom);
+        if ds.is_empty() {
+            return Ok(format!("{atom} does not hold"));
+        }
+        Ok(ds
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n"))
+    }
+
+    /// `:query p(a, X)` — goal-directed query answering (magic sets when
+    /// the goal's subprogram is negation-free, relevance-restricted
+    /// materialization otherwise).
+    fn query(&self, rest: &str) -> Result<String> {
+        let atom_src = rest.trim().trim_end_matches('.');
+        if atom_src.is_empty() {
+            return Err(parse_err("usage: :query p(a, X)"));
+        }
+        let out = dduf_datalog::parser::parse_program(&format!("query_tmp :- {atom_src}."))?;
+        let atom = out.program.rules()[0].body[0].atom.clone();
+        let ans = dduf_datalog::magic::query(self.proc.database(), &atom)?;
+        let mut text = String::new();
+        for t in &ans.tuples {
+            let _ = writeln!(text, "{}", t.to_atom(atom.pred));
+        }
+        let _ = writeln!(
+            text,
+            "({} answer(s) via {:?})",
+            ans.tuples.len(),
+            ans.path
+        );
+        Ok(text)
+    }
+
+    /// `:save <path>` — write the current database (program + facts) to a
+    /// file in re-parseable surface syntax.
+    fn save(&self, path: &str) -> Result<String> {
+        if path.is_empty() {
+            return Err(parse_err("usage: :save <path>"));
+        }
+        let src = dduf_datalog::pretty::database(self.proc.database());
+        std::fs::write(path, &src).map_err(|e| parse_err(&format!("cannot write {path}: {e}")))?;
+        Ok(format!("saved {} bytes to {path}", src.len()))
+    }
+
+    fn repair(&mut self) -> Result<String> {
+        match self.proc.repairs()? {
+            RepairOutcome::AlreadyConsistent => Ok("database is consistent".into()),
+            RepairOutcome::NoConstraints => Ok("no constraints declared".into()),
+            RepairOutcome::Repairs(res) => {
+                self.render_alternatives(res.alternatives, &res.already_satisfied)
+            }
+        }
+    }
+
+    fn satisfiable(&self) -> Result<String> {
+        Ok(match self.proc.satisfiable()? {
+            Satisfiability::SatisfiedNow => "satisfiable (current state already consistent)".into(),
+            Satisfiability::Satisfiable(_) => "satisfiable (a repairing transaction exists)".into(),
+            Satisfiability::Unsatisfiable => {
+                "UNSATISFIABLE over the current finite domain".into()
+            }
+        })
+    }
+
+    fn commit_pending(&mut self, n: &str) -> Result<String> {
+        let idx: usize = n
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("usage: :do <alternative number>"))?;
+        let alt = self
+            .pending
+            .get(idx.wrapping_sub(1))
+            .cloned()
+            .ok_or_else(|| parse_err("no such alternative; run a downward command first"))?;
+        let res = self.proc.commit_alternative(&alt)?;
+        self.pending.clear();
+        Ok(format!("committed {}; induced {}", res.base, res.derived))
+    }
+
+    fn render_alternatives(
+        &mut self,
+        alternatives: Vec<Alternative>,
+        already: &[dduf_events::event::GroundEvent],
+    ) -> Result<String> {
+        let mut out = String::new();
+        for e in already {
+            let _ = writeln!(out, "already satisfied: {e}");
+        }
+        if alternatives.is_empty() {
+            if already.is_empty() {
+                out.push_str("no translation exists (request impossible by base updates)\n");
+            }
+            self.pending.clear();
+            return Ok(out);
+        }
+        for (i, alt) in alternatives.iter().enumerate() {
+            let _ = writeln!(out, "[{}] {}", i + 1, alt);
+        }
+        out.push_str("select with :do <n>\n");
+        self.pending = alternatives;
+        Ok(out)
+    }
+}
+
+fn join(events: &[dduf_events::event::GroundEvent]) -> String {
+    events
+        .iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn parse_pred(spec: &str) -> Result<Pred> {
+    let (name, arity) = spec
+        .split_once('/')
+        .ok_or_else(|| parse_err("expected <name>/<arity>"))?;
+    let arity: usize = arity
+        .parse()
+        .map_err(|_| parse_err("expected numeric arity"))?;
+    Ok(Pred::new(name, arity))
+}
+
+fn parse_err(msg: &str) -> Error {
+    Error::Datalog(dduf_datalog::error::Error::Parse(
+        dduf_datalog::error::ParseError {
+            span: dduf_datalog::error::Span { line: 1, col: 1 },
+            message: msg.to_string(),
+        },
+    ))
+}
+
+/// Help text for the shell.
+pub const HELP: &str = "\
+commands:
+  :show [pred]            list facts (derived marked %=)
+  :rules                  print program + event rules (paper notation)
+  :check <txn>            integrity checking, e.g. :check -u_benefit(dolors).
+  :apply <txn>            check, then commit; reports induced events
+  :force <txn>            commit without checking
+  :update <events>        view update request, e.g. :update -unemp(dolors).
+  :safe-update <events>   view update + integrity maintenance
+  :monitor <txn>          condition changes a transaction would induce
+  :prevent <c>/<n> <txn>  extend txn so condition c never activates
+  :repair                 repairs of an inconsistent database
+  :satisfiable            integrity constraint satisfiability
+  :why <atom>             derivation tree of a (derived) fact
+  :why <ev>. <txn>        why a transaction induces an event
+  :query <atom>           goal-directed query (magic sets)
+  :save <path>            write the database back to a file
+  :do <n>                 commit alternative n of the last listing
+  :help                   this text
+  :quit                   leave
+transactions use base events (+p(a). -q(b).); updates use derived events.
+";
+
+/// Whether a command line asks to leave the shell.
+pub fn is_quit(line: &str) -> bool {
+    matches!(line.trim(), ":quit" | ":q" | ":exit")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::ast::Const;
+    use dduf_datalog::storage::tuple::Tuple;
+
+    const EMPLOYMENT: &str = "
+        #cond needy/1.
+        la(dolors). u_benefit(dolors).
+        unemp(X) :- la(X), not works(X).
+        needy(X) :- la(X), not works(X), not u_benefit(X).
+        :- unemp(X), not u_benefit(X).
+    ";
+
+    fn session() -> Session {
+        Session::from_source(EMPLOYMENT).unwrap()
+    }
+
+    #[test]
+    fn check_rejects_violation() {
+        let mut s = session();
+        let out = s.run(":check -u_benefit(dolors).").unwrap();
+        assert!(out.contains("REJECT"), "{out}");
+        let out = s.run(":check +works(dolors).").unwrap();
+        assert!(out.contains("ok"), "{out}");
+    }
+
+    #[test]
+    fn apply_commits_and_reports_events() {
+        let mut s = session();
+        let out = s.run(":apply +works(dolors).").unwrap();
+        assert!(out.contains("-unemp(dolors)"), "{out}");
+        assert!(s
+            .processor()
+            .state()
+            .relation(Pred::new("unemp", 1))
+            .is_empty());
+    }
+
+    #[test]
+    fn apply_refuses_violating_transaction() {
+        let mut s = session();
+        let out = s.run(":apply -u_benefit(dolors).").unwrap();
+        assert!(out.contains("REJECTED"), "{out}");
+        // Not committed.
+        assert!(s.processor().state().holds(
+            Pred::new("u_benefit", 1),
+            &Tuple::new(vec![Const::sym("dolors")])
+        ));
+        let out = s.run(":force -u_benefit(dolors).").unwrap();
+        assert!(out.contains("+ic1"), "{out}");
+    }
+
+    #[test]
+    fn update_then_do() {
+        let mut s = session();
+        let out = s.run(":update -unemp(dolors).").unwrap();
+        assert!(out.contains("[1]"), "{out}");
+        assert!(out.contains("[2]"), "{out}");
+        let out = s.run(":do 1").unwrap();
+        assert!(out.contains("committed"), "{out}");
+        assert!(s
+            .processor()
+            .state()
+            .relation(Pred::new("unemp", 1))
+            .is_empty());
+    }
+
+    #[test]
+    fn safe_update_adds_repairs() {
+        let mut s = session();
+        let out = s.run(":safe-update +unemp(maria).").unwrap();
+        assert!(out.contains("+u_benefit(maria)"), "{out}");
+    }
+
+    #[test]
+    fn monitor_shows_condition_changes() {
+        let mut s = session();
+        let out = s.run(":monitor +la(maria).").unwrap();
+        assert!(out.contains("ACTIVATED   needy(maria)"), "{out}");
+    }
+
+    #[test]
+    fn prevent_condition() {
+        let mut s = session();
+        let out = s.run(":prevent needy/1 +la(maria).").unwrap();
+        assert!(out.contains("select with :do"), "{out}");
+        assert!(out.contains("+la(maria)"), "{out}");
+    }
+
+    #[test]
+    fn repair_on_consistent_db() {
+        let mut s = session();
+        assert_eq!(s.run(":repair").unwrap(), "database is consistent");
+        assert!(s.run(":satisfiable").unwrap().contains("satisfiable"));
+    }
+
+    #[test]
+    fn repair_cycle_on_inconsistent_db() {
+        let mut s = Session::from_source(
+            "la(dolors).
+             unemp(X) :- la(X), not works(X).
+             :- unemp(X), not u_benefit(X).",
+        )
+        .unwrap();
+        let out = s.run(":repair").unwrap();
+        assert!(out.contains("[1]"), "{out}");
+        let out = s.run(":do 1").unwrap();
+        assert!(out.contains("committed"), "{out}");
+        assert_eq!(s.run(":repair").unwrap(), "database is consistent");
+    }
+
+    #[test]
+    fn show_and_rules() {
+        let mut s = session();
+        let out = s.run(":show unemp").unwrap();
+        assert!(out.contains("unemp(dolors). %= derived"), "{out}");
+        let out = s.run(":rules").unwrap();
+        assert!(out.contains("ιunemp(X)"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = session();
+        assert!(s.run(":nonsense").is_err());
+        assert!(s.run(":do 7").is_err());
+        assert!(s.run(":check +unemp(x).").is_err()); // derived event in txn
+        // Session still alive.
+        assert!(s.run(":check +works(dolors).").is_ok());
+    }
+
+    #[test]
+    fn why_fact_and_event() {
+        let mut s = session();
+        let out = s.run(":why unemp(dolors)").unwrap();
+        assert!(out.contains("[via: unemp(X) :- la(X), not works(X)]"), "{out}");
+        assert!(out.contains("la(dolors)  [fact]"), "{out}");
+        let out = s.run(":why +ic1. -u_benefit(dolors).").unwrap();
+        assert!(out.contains("newly derivable"), "{out}");
+        let out = s.run(":why ghost(z)").unwrap();
+        assert!(out.contains("does not hold"), "{out}");
+        let out = s.run(":why -unemp(dolors). +la(maria).").unwrap();
+        assert!(out.contains("not induced"), "{out}");
+    }
+
+    #[test]
+    fn query_command() {
+        let mut s = session();
+        let out = s.run(":query unemp(X)").unwrap();
+        assert!(out.contains("unemp(dolors)"), "{out}");
+        assert!(out.contains("1 answer(s)"), "{out}");
+        let out = s.run(":query la(dolors)").unwrap();
+        assert!(out.contains("1 answer(s) via Extensional"), "{out}");
+        assert!(s.run(":query").is_err());
+    }
+
+    #[test]
+    fn save_round_trips() {
+        let mut s = session();
+        let path = std::env::temp_dir().join("dduf_cli_save_test.dl");
+        let path_str = path.to_str().unwrap().to_string();
+        let out = s.run(&format!(":save {path_str}")).unwrap();
+        assert!(out.contains("saved"), "{out}");
+        let reparsed = Session::from_source(&std::fs::read_to_string(&path).unwrap());
+        assert!(reparsed.is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn quit_detection_and_comments() {
+        assert!(is_quit(" :q "));
+        assert!(!is_quit(":help"));
+        let mut s = session();
+        assert_eq!(s.run("% just a comment").unwrap(), "");
+        assert_eq!(s.run("").unwrap(), "");
+    }
+}

@@ -1,0 +1,89 @@
+//! End-to-end test of the `dduf` shell binary: drive it with a piped
+//! script (the non-interactive mode) and check the printed answers.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn run_script(db_src: &str, script: &str) -> (String, String) {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!(
+        "dduf_bin_test_{}.dl",
+        std::process::id()
+    ));
+    std::fs::write(&path, db_src).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dduf"))
+        .arg(&path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let _ = std::fs::remove_file(&path);
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const EMPLOYMENT: &str = "la(dolors). u_benefit(dolors).
+unemp(X) :- la(X), not works(X).
+:- unemp(X), not u_benefit(X).
+";
+
+#[test]
+fn scripted_session_runs_the_catalog() {
+    let (stdout, stderr) = run_script(
+        EMPLOYMENT,
+        ":check -u_benefit(dolors).
+:update -unemp(dolors).
+:do 1
+:show
+:quit
+",
+    );
+    assert!(stdout.contains("REJECT"), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("[1]"), "{stdout}");
+    assert!(stdout.contains("committed"), "{stdout}");
+    // After committing {+works(dolors)}, unemp is empty (the `:show`
+    // listing must not include it as a derived fact); u_benefit remains.
+    assert!(stdout.contains("u_benefit(dolors)."), "{stdout}");
+    assert!(!stdout.contains("unemp(dolors). %= derived"), "{stdout}");
+    // The induced deletion was reported during the commit.
+    assert!(stdout.contains("induced {-unemp(dolors)}"), "{stdout}");
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+}
+
+#[test]
+fn errors_go_to_stderr_and_session_survives() {
+    let (stdout, stderr) = run_script(
+        EMPLOYMENT,
+        ":nonsense
+:check +works(dolors).
+",
+    );
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    assert!(stdout.contains("ok"), "{stdout}");
+}
+
+#[test]
+fn bad_database_file_reports_and_exits_nonzero() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("dduf_bin_bad_{}.dl", std::process::id()));
+    std::fs::write(&path, "p(X) :- not q(X).").unwrap(); // unsafe rule
+    let out = Command::new(env!("CARGO_BIN_EXE_dduf"))
+        .arg(&path)
+        .stdin(Stdio::null())
+        .output()
+        .unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not allowed"), "{stderr}");
+}

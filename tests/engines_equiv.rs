@@ -1,0 +1,206 @@
+//! Property-based differential testing: the incremental upward engine must
+//! agree with the semantic (state-diff) oracle on random stratified
+//! programs and random transactions — the central correctness property of
+//! the upward interpretation (the semantic engine *is* the event
+//! definitions (1)/(2) of §3.1).
+
+use dduf::prelude::*;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+const CONSTS: [&str; 4] = ["a", "b", "c", "d"];
+const BASES: [&str; 3] = ["b1", "b2", "b3"];
+
+#[derive(Clone, Debug)]
+struct RandLit {
+    pred: usize,   // index: 0..3 base, 3.. derived of lower layer
+    positive: bool,
+}
+
+#[derive(Clone, Debug)]
+struct RandProgram {
+    /// facts[i] = set of constants for base predicate i.
+    facts: Vec<Vec<usize>>,
+    /// layers[k] = body literals of derived predicate v{k+1}; references
+    /// base preds (0..3) and derived preds of strictly lower layers
+    /// (3 + j for layer j).
+    layers: Vec<Vec<RandLit>>,
+}
+
+impl RandProgram {
+    fn to_source(&self) -> String {
+        let mut src = String::new();
+        for (i, cs) in self.facts.iter().enumerate() {
+            for &c in cs {
+                let _ = writeln!(src, "{}({}).", BASES[i], CONSTS[c]);
+            }
+        }
+        // Declare base preds so empty relations still typecheck.
+        for b in BASES {
+            let _ = writeln!(src, "#base {b}/1.");
+        }
+        for (k, body) in self.layers.iter().enumerate() {
+            let name = format!("v{}", k + 1);
+            let mut lits: Vec<String> = Vec::new();
+            // Guarantee allowedness: ensure at least one positive literal
+            // by forcing the first literal positive.
+            for (j, lit) in body.iter().enumerate() {
+                let pname = if lit.pred < 3 {
+                    BASES[lit.pred].to_string()
+                } else {
+                    format!("v{}", lit.pred - 2) // lower layer: 3 -> v1, 4 -> v2
+                };
+                let positive = lit.positive || j == 0;
+                lits.push(if positive {
+                    format!("{pname}(X)")
+                } else {
+                    format!("not {pname}(X)")
+                });
+            }
+            let _ = writeln!(src, "{name}(X) :- {}.", lits.join(", "));
+        }
+        src
+    }
+}
+
+fn lit_strategy(layer: usize) -> impl Strategy<Value = RandLit> {
+    // Allowed predicate indexes: bases 0..3, derived 3..3+layer.
+    (0..3 + layer, proptest::bool::ANY).prop_map(|(pred, positive)| RandLit { pred, positive })
+}
+
+fn program_strategy() -> impl Strategy<Value = RandProgram> {
+    let facts = proptest::collection::vec(
+        proptest::collection::vec(0..CONSTS.len(), 0..5),
+        BASES.len(),
+    );
+    let layers = (1usize..=3).prop_flat_map(|depth| {
+        let mut strategies = Vec::new();
+        for layer in 0..depth {
+            strategies.push(proptest::collection::vec(lit_strategy(layer), 1..4));
+        }
+        strategies
+    });
+    (facts, layers).prop_map(|(facts, layers)| RandProgram { facts, layers })
+}
+
+fn txn_strategy() -> impl Strategy<Value = Vec<(bool, usize, usize)>> {
+    // (insert?, base pred index, constant index)
+    proptest::collection::vec(
+        (proptest::bool::ANY, 0..BASES.len(), 0..CONSTS.len()),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Engine B (incremental) ≡ engine A (semantic diff) on random
+    /// stratified programs and transactions.
+    #[test]
+    fn incremental_equals_semantic(prog in program_strategy(), txn in txn_strategy()) {
+        let db = parse_database(&prog.to_source()).expect("generated program parses");
+        let old = materialize(&db).expect("stratified");
+        // Drop conflicting events (both +p(c) and -p(c)).
+        let mut events = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for (ins, p, c) in txn {
+            if seen.insert((p, c)) {
+                let kind = if ins { EventKind::Ins } else { EventKind::Del };
+                events.push(GroundEvent::new(
+                    kind,
+                    Pred::new(BASES[p], 1),
+                    Tuple::new(vec![Const::sym(CONSTS[c])]),
+                ));
+            }
+        }
+        let txn = Transaction::from_events(&db, events).expect("validated");
+        let a = dduf::core::upward::interpret_with(&db, &old, &txn, UpwardEngine::Semantic)
+            .expect("semantic");
+        let b = dduf::core::upward::interpret_with(&db, &old, &txn, UpwardEngine::Incremental)
+            .expect("incremental");
+        prop_assert_eq!(a, b);
+    }
+
+    /// The upward result matches the definitional diff: applying the
+    /// transaction and rematerializing yields exactly old ± events.
+    #[test]
+    fn events_reconstruct_new_state(prog in program_strategy(), txn in txn_strategy()) {
+        let db = parse_database(&prog.to_source()).expect("parses");
+        let old = materialize(&db).expect("stratified");
+        let mut events = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for (ins, p, c) in txn {
+            if seen.insert((p, c)) {
+                let kind = if ins { EventKind::Ins } else { EventKind::Del };
+                events.push(GroundEvent::new(
+                    kind,
+                    Pred::new(BASES[p], 1),
+                    Tuple::new(vec![Const::sym(CONSTS[c])]),
+                ));
+            }
+        }
+        let txn = Transaction::from_events(&db, events).expect("validated");
+        let res = dduf::core::upward::interpret_with(&db, &old, &txn, UpwardEngine::Incremental)
+            .expect("incremental");
+        let new = materialize(&txn.apply(&db)).expect("new state");
+        for (pred, _role) in db.program().predicates() {
+            if !db.program().is_derived(pred) { continue; }
+            let expected = new.relation(pred);
+            let reconstructed = old
+                .relation(pred)
+                .difference(res.derived.relation(EventKind::Del, pred))
+                .union(res.derived.relation(EventKind::Ins, pred));
+            prop_assert_eq!(
+                expected, &reconstructed,
+                "mismatch on {}", pred
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The stateful counting engine ([GMS93]) agrees with the semantic
+    /// oracle across a whole *sequence* of transactions (statefulness is
+    /// the point: counts must stay correct step after step).
+    #[test]
+    fn counting_engine_matches_semantic_over_sequences(
+        prog in program_strategy(),
+        steps in proptest::collection::vec(txn_strategy(), 1..4),
+    ) {
+        let mut db = parse_database(&prog.to_source()).expect("parses");
+        let mut old = materialize(&db).expect("stratified");
+        let mut engine =
+            dduf::core::upward::counting::CountingEngine::new(&db, &old).expect("non-recursive");
+        for step in steps {
+            let mut events = Vec::new();
+            let mut seen = std::collections::BTreeSet::new();
+            for (ins, p, c) in step {
+                if seen.insert((p, c)) {
+                    let kind = if ins { EventKind::Ins } else { EventKind::Del };
+                    events.push(GroundEvent::new(
+                        kind,
+                        Pred::new(BASES[p], 1),
+                        Tuple::new(vec![Const::sym(CONSTS[c])]),
+                    ));
+                }
+            }
+            let txn = Transaction::from_events(&db, events).expect("validated");
+            let expected =
+                dduf::core::upward::interpret_with(&db, &old, &txn, UpwardEngine::Semantic)
+                    .expect("semantic");
+            let got = engine.apply(&db, &txn).expect("counting");
+            prop_assert_eq!(&got, &expected);
+            db = txn.apply(&db);
+            old = materialize(&db).expect("new state");
+            // Counts must reflect exactly the live tuples.
+            for (pred, _role) in db.program().predicates() {
+                if !db.program().is_derived(pred) { continue; }
+                for t in old.relation(pred).iter() {
+                    prop_assert!(engine.count(pred, t) > 0, "zero count for live {}{}", pred, t);
+                }
+            }
+        }
+    }
+}

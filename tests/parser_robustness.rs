@@ -1,0 +1,90 @@
+//! Parser robustness: arbitrary input never panics (errors are typed and
+//! positioned), and pretty-printing round-trips through the parser.
+
+use dduf::datalog::parser::{parse_database, parse_events, parse_program};
+use dduf::datalog::pretty;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No input string can panic the parser.
+    #[test]
+    fn arbitrary_strings_never_panic(src in ".*") {
+        let _ = parse_program(&src);
+        let _ = parse_events(&src);
+    }
+
+    /// Inputs built from the language's own token alphabet never panic
+    /// (denser coverage of near-valid programs than fully random bytes).
+    #[test]
+    fn token_soup_never_panics(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("p".to_string()),
+                Just("q(a)".to_string()),
+                Just("X".to_string()),
+                Just(":-".to_string()),
+                Just(",".to_string()),
+                Just(".".to_string()),
+                Just("not".to_string()),
+                Just("+".to_string()),
+                Just("-".to_string()),
+                Just("#view".to_string()),
+                Just("#domain".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("/".to_string()),
+                Just("1".to_string()),
+                Just("'qu oted'".to_string()),
+                Just("%comment\n".to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = parse_program(&src);
+        let _ = parse_events(&src);
+    }
+
+    /// Pretty-printed databases re-parse to the same program and facts.
+    #[test]
+    fn pretty_parse_fixpoint(
+        n_facts in 0usize..6,
+        with_denial in proptest::bool::ANY,
+        with_cond in proptest::bool::ANY,
+    ) {
+        let mut src = String::new();
+        if with_cond {
+            src.push_str("#cond c/1.\nc(X) :- b(X), not r(X).\n");
+        }
+        src.push_str("v(X) :- b(X), not r(X).\n");
+        if with_denial {
+            src.push_str(":- v(X), not w(X).\nw(X) :- b(X).\n");
+        }
+        for i in 0..n_facts {
+            src.push_str(&format!("b(k{i}).\n"));
+            if i % 2 == 0 {
+                src.push_str(&format!("r(k{i}).\n"));
+            }
+        }
+        let db1 = parse_database(&src).unwrap();
+        let printed1 = format!("{}{}", pretty::program(db1.program()), pretty::facts(&db1));
+        let db2 = parse_database(&printed1).unwrap();
+        let printed2 = format!("{}{}", pretty::program(db2.program()), pretty::facts(&db2));
+        prop_assert_eq!(printed1, printed2);
+        prop_assert_eq!(db1.fact_count(), db2.fact_count());
+        prop_assert_eq!(db1.program().rules().len(), db2.program().rules().len());
+    }
+
+    /// Quoted symbols with unusual characters survive the round trip.
+    #[test]
+    fn quoted_symbols_round_trip(name in "[a-zA-Z0-9 _.,;:+*-]{1,12}") {
+        prop_assume!(!name.contains('\''));
+        let src = format!("p('{name}').");
+        let db1 = parse_database(&src).unwrap();
+        let printed = pretty::facts(&db1);
+        let db2 = parse_database(&printed).unwrap();
+        prop_assert_eq!(db1.fact_count(), db2.fact_count());
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based verification of the transition rules themselves (§3.2):
+//! for every derived predicate `P` and candidate tuple `c̄`, the executable
+//! transition rule `Pⁿ(c̄)` — old literals evaluated on the old state,
+//! event literals on the transaction plus induced events — holds **iff**
+//! `c̄` belongs to the materialized new state. Also: simplification
+//! preserves this semantics.
+
+use dduf::core::upward::incremental::new_state_holds;
+use dduf::prelude::*;
+use dduf_events::simplify::simplify_transition;
+use dduf_events::transition::TransitionRule;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+const CONSTS: [&str; 3] = ["a", "b", "c"];
+const BASES: [&str; 3] = ["b1", "b2", "b3"];
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    facts: Vec<Vec<usize>>,
+    // one derived layer over bases + optionally a second over the first
+    layer1: Vec<(usize, bool)>,
+    layer2: Option<Vec<(usize, bool)>>, // preds: 0..3 bases, 3 = v1
+    txn: Vec<(bool, usize, usize)>,
+}
+
+impl Scenario {
+    fn source(&self) -> String {
+        let mut src = String::new();
+        for b in BASES {
+            let _ = writeln!(src, "#base {b}/1.");
+        }
+        for (i, cs) in self.facts.iter().enumerate() {
+            for &c in cs {
+                let _ = writeln!(src, "{}({}).", BASES[i], CONSTS[c]);
+            }
+        }
+        let body1: Vec<String> = self
+            .layer1
+            .iter()
+            .enumerate()
+            .map(|(j, &(p, pos))| {
+                let name = BASES[p % 3];
+                if pos || j == 0 {
+                    format!("{name}(X)")
+                } else {
+                    format!("not {name}(X)")
+                }
+            })
+            .collect();
+        let _ = writeln!(src, "v1(X) :- {}.", body1.join(", "));
+        if let Some(l2) = &self.layer2 {
+            let body2: Vec<String> = l2
+                .iter()
+                .enumerate()
+                .map(|(j, &(p, pos))| {
+                    let name = if p >= 3 { "v1" } else { BASES[p] };
+                    if pos || j == 0 {
+                        format!("{name}(X)")
+                    } else {
+                        format!("not {name}(X)")
+                    }
+                })
+                .collect();
+            let _ = writeln!(src, "v2(X) :- {}.", body2.join(", "));
+        }
+        src
+    }
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    let facts = proptest::collection::vec(
+        proptest::collection::vec(0..CONSTS.len(), 0..4),
+        BASES.len(),
+    );
+    let lit = (0..4usize, proptest::bool::ANY);
+    let layer1 = proptest::collection::vec((0..3usize, proptest::bool::ANY), 1..4);
+    let layer2 = proptest::option::of(proptest::collection::vec(lit, 1..4));
+    let txn = proptest::collection::vec(
+        (proptest::bool::ANY, 0..BASES.len(), 0..CONSTS.len()),
+        1..5,
+    );
+    (facts, layer1, layer2, txn).prop_map(|(facts, layer1, layer2, txn)| Scenario {
+        facts,
+        layer1,
+        layer2,
+        txn,
+    })
+}
+
+fn build(s: &Scenario) -> (Database, Transaction) {
+    let db = parse_database(&s.source()).expect("scenario parses");
+    let mut events = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for &(ins, p, c) in &s.txn {
+        if seen.insert((p, c)) {
+            let kind = if ins { EventKind::Ins } else { EventKind::Del };
+            events.push(GroundEvent::new(
+                kind,
+                Pred::new(BASES[p], 1),
+                Tuple::new(vec![Const::sym(CONSTS[c])]),
+            ));
+        }
+    }
+    let txn = Transaction::from_events(&db, events).expect("valid");
+    (db, txn)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// TR(c̄) ⟺ c̄ ∈ Pⁿ, for raw and simplified transition rules.
+    #[test]
+    fn transition_rule_matches_new_state(s in scenario()) {
+        let (db, txn) = build(&s);
+        let old = materialize(&db).unwrap();
+        // The upward result supplies the event sets TR literals refer to.
+        let up = dduf::core::upward::interpret_with(
+            &db, &old, &txn, UpwardEngine::Incremental,
+        ).unwrap();
+        let mut all_events = up.base.clone();
+        all_events.extend(&up.derived);
+        let new = materialize(&txn.apply(&db)).unwrap();
+
+        for (pred, _role) in db.program().predicates() {
+            if !db.program().is_derived(pred) {
+                continue;
+            }
+            let raw = TransitionRule::build(db.program(), pred);
+            let simplified = simplify_transition(&raw);
+            for c in CONSTS {
+                let tuple = Tuple::new(vec![Const::sym(c)]);
+                let expected = new.relation(pred).contains(&tuple);
+                let via_raw = new_state_holds(&raw, &tuple, &db, &old, &all_events);
+                let via_simplified =
+                    new_state_holds(&simplified, &tuple, &db, &old, &all_events);
+                prop_assert_eq!(
+                    via_raw, expected,
+                    "raw TR of {} disagrees on {}", pred, tuple
+                );
+                prop_assert_eq!(
+                    via_simplified, expected,
+                    "simplified TR of {} disagrees on {}", pred, tuple
+                );
+            }
+        }
+    }
+
+    /// Top-down resolution agrees with bottom-up materialization on the
+    /// same randomized (non-recursive) programs.
+    #[test]
+    fn topdown_matches_bottom_up(s in scenario()) {
+        let (db, _txn) = build(&s);
+        let m = materialize(&db).unwrap();
+        let td = dduf::datalog::eval::topdown::TopDown::new(&db).unwrap();
+        for (pred, _role) in db.program().predicates() {
+            if !db.program().is_derived(pred) {
+                continue;
+            }
+            for c in CONSTS {
+                let tuple = Tuple::new(vec![Const::sym(c)]);
+                let goal = tuple.to_atom(pred);
+                prop_assert_eq!(
+                    td.holds(&goal).unwrap(),
+                    m.relation(pred).contains(&tuple),
+                    "top-down disagrees on {}", goal
+                );
+            }
+        }
+    }
+}
