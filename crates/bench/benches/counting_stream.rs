@@ -39,8 +39,7 @@ fn stream(db: &Database, n: usize) -> Vec<Transaction> {
     (0..n.min(64))
         .map(|i| {
             let pred = ["a", "b", "c"][i % 3];
-            Transaction::parse(db, &format!("-{pred}(k{}).", i % n))
-                .expect("valid")
+            Transaction::parse(db, &format!("-{pred}(k{}).", i % n)).expect("valid")
         })
         .collect()
 }

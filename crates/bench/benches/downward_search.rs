@@ -35,12 +35,15 @@ fn bench_downward(c: &mut Criterion) {
             Atom {
                 pred: view,
                 terms: vec![Const::sym("c0").into()],
+                span: None,
             },
         );
         let opts = DownwardOptions::default();
-        group.bench_with_input(BenchmarkId::new("delete_by_depth", depth), &depth, |b, _| {
-            b.iter(|| downward::interpret_with(&db, &old, &req, &opts).expect("downward"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("delete_by_depth", depth),
+            &depth,
+            |b, _| b.iter(|| downward::interpret_with(&db, &old, &req, &opts).expect("downward")),
+        );
         let res = downward::interpret_with(&db, &old, &req, &opts).expect("downward");
         eprintln!(
             "downward_search,depth={depth},alternatives={}",
@@ -56,10 +59,7 @@ fn bench_downward(c: &mut Criterion) {
             with_negation: false,
         });
         let old = materialize(&db).expect("old");
-        let req = Request::new().achieve(
-            EventKind::Del,
-            Atom::new("v2", vec![Term::var("X")]),
-        );
+        let req = Request::new().achieve(EventKind::Del, Atom::new("v2", vec![Term::var("X")]));
         let opts = DownwardOptions::default();
         group.bench_with_input(BenchmarkId::new("open_by_domain", dom), &dom, |b, _| {
             b.iter(|| downward::interpret_with(&db, &old, &req, &opts).expect("downward"))

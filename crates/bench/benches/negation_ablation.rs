@@ -52,12 +52,18 @@ fn bench_negation(c: &mut Criterion) {
             ..DownwardOptions::default()
         });
         group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
-            b.iter(|| exhaustive.view_update_with_integrity(&req).expect("exhaustive"))
+            b.iter(|| {
+                exhaustive
+                    .view_update_with_integrity(&req)
+                    .expect("exhaustive")
+            })
         });
 
         // Shape data for EXPERIMENTS.md.
         let g = greedy.view_update_with_integrity(&req).expect("greedy");
-        let x = exhaustive.view_update_with_integrity(&req).expect("exhaustive");
+        let x = exhaustive
+            .view_update_with_integrity(&req)
+            .expect("exhaustive");
         eprintln!(
             "negation_ablation,n={n},greedy_alternatives={},exhaustive_alternatives={}",
             g.alternatives.len(),

@@ -25,9 +25,7 @@ fn bench_upward_scaling(c: &mut Criterion) {
         let txn = random_toggle_txn(&db, 4, 42);
 
         group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
-            b.iter(|| {
-                upward::interpret_with(&db, &old, &txn, Engine::Incremental).expect("upward")
-            })
+            b.iter(|| upward::interpret_with(&db, &old, &txn, Engine::Incremental).expect("upward"))
         });
         group.bench_with_input(BenchmarkId::new("semantic_diff", n), &n, |b, _| {
             b.iter(|| upward::interpret_with(&db, &old, &txn, Engine::Semantic).expect("upward"))

@@ -205,7 +205,10 @@ fn main() {
         println!("C-F8,n={n},greedy_us,{tg:.1}");
         println!("C-F8,n={n},exhaustive_us,{tx:.1}");
         println!("C-F8,n={n},greedy_alternatives,{}", g.alternatives.len());
-        println!("C-F8,n={n},exhaustive_alternatives,{}", x.alternatives.len());
+        println!(
+            "C-F8,n={n},exhaustive_alternatives,{}",
+            x.alternatives.len()
+        );
     }
 
     // ---- C-F9: relevance-restricted materialization ----

@@ -8,12 +8,12 @@
 //! Run with: `cargo run -p dduf-bench --bin table41`
 
 use dduf_core::downward::Request;
+use dduf_core::matview::MaterializedViewStore;
 use dduf_core::problems::condition_prevention::PreventKinds;
 use dduf_core::problems::ic_checking::CheckOutcome;
 use dduf_core::problems::ic_maintenance::MaintenanceOutcome;
 use dduf_core::problems::repair::RepairOutcome;
 use dduf_core::problems::TABLE_4_1;
-use dduf_core::matview::MaterializedViewStore;
 use dduf_core::processor::UpdateProcessor;
 use dduf_core::testkit;
 use dduf_datalog::ast::{Atom, Const, Pred};
@@ -69,20 +69,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // --- Upward / View: materialized view maintenance (ins + del) ---
-    let mut store = MaterializedViewStore::materialize(
-        proc.database().program(),
-        proc.interpretation(),
-    );
+    let mut store =
+        MaterializedViewStore::materialize(proc.database().program(), proc.interpretation());
     let txn = proc.transaction("+la(maria).")?;
     let rep = proc.maintain_views(&txn, &mut store)?;
-    demo(0, format!("applied +{} tuples to stored unemp", rep.delta.insertions));
-    let mut store2 = MaterializedViewStore::materialize(
-        proc.database().program(),
-        proc.interpretation(),
+    demo(
+        0,
+        format!("applied +{} tuples to stored unemp", rep.delta.insertions),
     );
+    let mut store2 =
+        MaterializedViewStore::materialize(proc.database().program(), proc.interpretation());
     let txn = proc.transaction("+works(dolors).")?;
     let rep = proc.maintain_views(&txn, &mut store2)?;
-    demo(1, format!("applied -{} tuples to stored unemp", rep.delta.deletions));
+    demo(
+        1,
+        format!("applied -{} tuples to stored unemp", rep.delta.deletions),
+    );
 
     // --- Upward / Ic: checking (violation + restoration) ---
     let txn = proc.transaction("-u_benefit(dolors).")?;
@@ -90,7 +92,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     demo(
         2,
         match out {
-            CheckOutcome::Violated(ref v) => format!("T violates {:?} (rejected)", v[0].to_string()),
+            CheckOutcome::Violated(ref v) => {
+                format!("T violates {:?} (rejected)", v[0].to_string())
+            }
             ref other => format!("{other:?}"),
         },
     );
@@ -100,15 +104,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          :- unemp(X), not u_benefit(X).",
     )?)?;
     let fix = inconsistent.transaction("+u_benefit(dolors).")?;
-    demo(
-        3,
-        format!("{:?}", inconsistent.restores_consistency(&fix)?),
-    );
+    demo(3, format!("{:?}", inconsistent.restores_consistency(&fix)?));
 
     // --- Upward / Cond: condition monitoring ---
     let txn = proc.transaction("+la(maria).")?;
     let ch = proc.monitor_conditions(&txn)?;
-    demo(4, format!("activated: {:?}", ch.activated[&needy][0].to_atom(needy).to_string()));
+    demo(
+        4,
+        format!(
+            "activated: {:?}",
+            ch.activated[&needy][0].to_atom(needy).to_string()
+        ),
+    );
     // For deactivation, start from a state where the condition is active:
     // dolors needy (in labour age, no work, no benefit).
     let active = UpdateProcessor::new(parse_database(
@@ -120,16 +127,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ch = active.monitor_conditions(&txn)?;
     demo(
         5,
-        format!(
-            "deactivated: {}",
-            ch.deactivated[&needy][0].to_atom(needy)
-        ),
+        format!("deactivated: {}", ch.deactivated[&needy][0].to_atom(needy)),
     );
 
     // --- Downward / View: view updating + validation ---
-    let req = Request::new().achieve(EventKind::Ins, Atom::ground("unemp", vec![Const::sym("maria")]));
+    let req = Request::new().achieve(
+        EventKind::Ins,
+        Atom::ground("unemp", vec![Const::sym("maria")]),
+    );
     let res = proc.translate_view_update(&req)?;
-    demo(6, format!("{} translations, e.g. {}", res.alternatives.len(), res.alternatives[0]));
+    demo(
+        6,
+        format!(
+            "{} translations, e.g. {}",
+            res.alternatives.len(),
+            res.alternatives[0]
+        ),
+    );
     let req = Request::new().achieve(EventKind::Del, dolors());
     let res = proc.translate_view_update(&req)?;
     demo(7, format!("{} translations", res.alternatives.len()));
@@ -138,37 +152,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let txn = proc.transaction("+la(maria).")?;
     let res = proc.prevent_side_effects(
         &txn,
-        &[EventAtom::ins(Atom::ground("unemp", vec![Const::sym("maria")]))],
+        &[EventAtom::ins(Atom::ground(
+            "unemp",
+            vec![Const::sym("maria")],
+        ))],
     )?;
-    demo(8, format!("resulting transaction: {}", res.alternatives[0].to_do));
+    demo(
+        8,
+        format!("resulting transaction: {}", res.alternatives[0].to_do),
+    );
     let txn = proc.transaction("+works(dolors).")?;
-    let res = proc.prevent_side_effects(
-        &txn,
-        &[EventAtom::del(dolors())],
-    )?;
-    demo(9, format!("{} resulting transactions (deletion unavoidable)", res.alternatives.len()));
+    let res = proc.prevent_side_effects(&txn, &[EventAtom::del(dolors())])?;
+    demo(
+        9,
+        format!(
+            "{} resulting transactions (deletion unavoidable)",
+            res.alternatives.len()
+        ),
+    );
 
     // --- Downward / Ic: ensuring satisfaction, repair/satisfiability ---
     let ways = proc.violating_transactions()?.expect("has constraints");
-    demo(10, format!("{} ways to reach inconsistency found", ways.alternatives.len()));
+    demo(
+        10,
+        format!(
+            "{} ways to reach inconsistency found",
+            ways.alternatives.len()
+        ),
+    );
     let RepairOutcome::Repairs(reps) = inconsistent.repairs()? else {
         unreachable!("inconsistent db");
     };
-    demo(11, format!("{} repairs, e.g. {}", reps.alternatives.len(), reps.alternatives[0]));
+    demo(
+        11,
+        format!(
+            "{} repairs, e.g. {}",
+            reps.alternatives.len(),
+            reps.alternatives[0]
+        ),
+    );
 
     // --- Downward / Ic: maintenance + maintaining inconsistency ---
     let txn = proc.transaction("+la(maria).")?;
     let MaintenanceOutcome::Resulting(res) = proc.maintain_integrity(&txn)? else {
         unreachable!()
     };
-    demo(12, format!("{} integrity-preserving resulting transactions", res.alternatives.len()));
+    demo(
+        12,
+        format!(
+            "{} integrity-preserving resulting transactions",
+            res.alternatives.len()
+        ),
+    );
     let txn = inconsistent.transaction("+u_benefit(dolors).")?;
     let out = inconsistent.maintain_inconsistency(&txn)?;
     demo(
         13,
         match out {
             MaintenanceOutcome::Resulting(r) => {
-                format!("{} inconsistency-preserving transactions", r.alternatives.len())
+                format!(
+                    "{} inconsistency-preserving transactions",
+                    r.alternatives.len()
+                )
             }
             other => format!("{other:?}"),
         },
@@ -179,7 +224,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         EventKind::Ins,
         Atom::ground("needy", vec![Const::sym("maria")]),
     )?;
-    demo(14, format!("{} activating transactions", res.alternatives.len()));
+    demo(
+        14,
+        format!("{} activating transactions", res.alternatives.len()),
+    );
     let w = active.validate_condition(needy, EventKind::Del)?;
     demo(
         15,
@@ -196,10 +244,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Downward / Cond: preventing activation/deactivation ---
     let txn = proc.transaction("+la(maria).")?;
     let res = proc.prevent_condition_activation(&txn, needy, PreventKinds::Activation)?;
-    demo(16, format!("{} safe resulting transactions", res.alternatives.len()));
+    demo(
+        16,
+        format!("{} safe resulting transactions", res.alternatives.len()),
+    );
     let txn = proc.transaction("+works(dolors).")?;
     let res = proc.prevent_condition_activation(&txn, unemp, PreventKinds::Deactivation)?;
-    demo(17, format!("{} resulting transactions (deactivation unavoidable)", res.alternatives.len()));
+    demo(
+        17,
+        format!(
+            "{} resulting transactions (deactivation unavoidable)",
+            res.alternatives.len()
+        ),
+    );
 
     println!("\nall 18 cells executed through the two interpretations.");
     Ok(())

@@ -10,12 +10,10 @@
 //! workload builders and a tiny wall-clock measurement utility used by the
 //! `experiments` binary to print the measured shapes as CSV.
 
+use dduf_core::rng::Rng;
 use dduf_core::testkit;
 use dduf_core::transaction::Transaction;
 use dduf_datalog::storage::database::Database;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 pub use dduf_core::testkit::{chain_tc_db, constraint_db, tower_db, wide_db, TowerShape};
@@ -24,7 +22,7 @@ pub use dduf_core::testkit::{chain_tc_db, constraint_db, tower_db, wide_db, Towe
 /// (deterministic for a given seed): present facts are deleted, absent
 /// constants inserted.
 pub fn random_toggle_txn(db: &Database, k: usize, seed: u64) -> Transaction {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut base: Vec<(dduf_datalog::ast::Pred, Vec<dduf_datalog::Tuple>)> = Vec::new();
     for (pred, role) in db.program().predicates() {
         if matches!(role, dduf_datalog::schema::Role::Base) {
@@ -39,14 +37,14 @@ pub fn random_toggle_txn(db: &Database, k: usize, seed: u64) -> Transaction {
     let mut attempts = 0;
     while events.len() < k && attempts < k * 10 {
         attempts += 1;
-        let (pred, tuples) = base.choose(&mut rng).expect("nonempty");
-        if rng.gen_bool(0.5) {
+        let (pred, tuples) = rng.choose(&base);
+        if rng.bool() {
             // delete an existing fact
-            let t = tuples.choose(&mut rng).expect("nonempty").clone();
+            let t = rng.choose(tuples).clone();
             events.push(dduf_events::event::GroundEvent::del(*pred, t));
         } else {
             // insert a fresh fact (new integer constant)
-            let c: i64 = rng.gen_range(1_000_000..2_000_000);
+            let c: i64 = rng.range_i64(1_000_000, 2_000_000);
             let t: dduf_datalog::Tuple = (0..pred.arity)
                 .map(|_| dduf_datalog::ast::Const::Int(c))
                 .collect();

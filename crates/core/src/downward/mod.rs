@@ -203,7 +203,11 @@ impl DownwardResult {
 
 /// Downward-interprets `request` against `db`, materializing the old state
 /// internally.
-pub fn interpret(db: &Database, request: &Request, opts: &DownwardOptions) -> Result<DownwardResult> {
+pub fn interpret(
+    db: &Database,
+    request: &Request,
+    opts: &DownwardOptions,
+) -> Result<DownwardResult> {
     let old = materialize(db).map_err(Error::from)?;
     interpret_with(db, &old, request, opts)
 }
@@ -241,10 +245,7 @@ fn interpret_once(
     request: &Request,
     opts: &DownwardOptions,
 ) -> Result<DownwardResult> {
-    let mut domain = opts
-        .domain
-        .clone()
-        .unwrap_or_else(|| Domain::active(db));
+    let mut domain = opts.domain.clone().unwrap_or_else(|| Domain::active(db));
     domain.extend(request.constants());
     let mut tr = Translator::new(db, old, domain, opts);
 
@@ -262,8 +263,8 @@ fn interpret_once(
             let mut acc = nf::falsum();
             let mut satisfied_trivially = false;
             for g in &groundings {
-                let tuple = ground_terms(&item.event.atom.terms, g)
-                    .expect("groundings bind all variables");
+                let tuple =
+                    ground_terms(&item.event.atom.terms, g).expect("groundings bind all variables");
                 let e = GroundEvent::new(kind, pred, tuple.clone());
                 if !tr.event_possible(&e) {
                     // Already in the desired state. For a fully-ground
@@ -290,8 +291,8 @@ fn interpret_once(
         } else {
             // Conjunction over groundings: none of the instances may occur.
             for g in &groundings {
-                let tuple = ground_terms(&item.event.atom.terms, g)
-                    .expect("groundings bind all variables");
+                let tuple =
+                    ground_terms(&item.event.atom.terms, g).expect("groundings bind all variables");
                 total = tr.apply_neg_event(kind, pred, &tuple, 0, &total)?;
                 if total.is_empty() {
                     break;
@@ -307,11 +308,7 @@ fn interpret_once(
     pruned.sort();
     if opts.minimal_only {
         let sets: Vec<_> = pruned.iter().map(|a| a.pos.clone()).collect();
-        pruned.retain(|a| {
-            !sets
-                .iter()
-                .any(|s| s != &a.pos && s.is_subset(&a.pos))
-        });
+        pruned.retain(|a| !sets.iter().any(|s| s != &a.pos && s.is_subset(&a.pos)));
     }
 
     Ok(DownwardResult {
@@ -415,10 +412,7 @@ mod tests {
     #[test]
     fn example_4_2() {
         let db = example_db();
-        let req = Request::new().achieve(
-            EventKind::Ins,
-            Atom::ground("p", vec![Const::sym("b")]),
-        );
+        let req = Request::new().achieve(EventKind::Ins, Atom::ground("p", vec![Const::sym("b")]));
         let res = interpret(&db, &req, &DownwardOptions::default()).unwrap();
         assert_eq!(res.alternatives.len(), 1);
         let alt = &res.alternatives[0];
@@ -453,7 +447,10 @@ mod tests {
     fn example_5_3() {
         let db = employment_db();
         let req = Request::new()
-            .achieve(EventKind::Ins, Atom::ground("la", vec![Const::sym("maria")]))
+            .achieve(
+                EventKind::Ins,
+                Atom::ground("la", vec![Const::sym("maria")]),
+            )
             .prevent(
                 EventKind::Ins,
                 Atom::ground("unemp", vec![Const::sym("maria")]),
@@ -461,20 +458,14 @@ mod tests {
         let res = interpret(&db, &req, &DownwardOptions::default()).unwrap();
         assert_eq!(res.alternatives.len(), 1);
         let alt = &res.alternatives[0];
-        assert_eq!(
-            alt.to_do.to_string(),
-            "{+la(maria), +works(maria)}"
-        );
+        assert_eq!(alt.to_do.to_string(), "{+la(maria), +works(maria)}");
     }
 
     #[test]
     fn already_satisfied_request() {
         let db = example_db();
         // p(a) already holds (q(a), not r(a)).
-        let req = Request::new().achieve(
-            EventKind::Ins,
-            Atom::ground("p", vec![Const::sym("a")]),
-        );
+        let req = Request::new().achieve(EventKind::Ins, Atom::ground("p", vec![Const::sym("a")]));
         let res = interpret(&db, &req, &DownwardOptions::default()).unwrap();
         assert_eq!(res.already_satisfied.len(), 1);
         assert!(res.is_trivial());
@@ -484,10 +475,7 @@ mod tests {
     fn impossible_request() {
         // No rules derive v; inserting it is impossible.
         let db = parse_database("#view v/1. q(a). p(X) :- q(X).").unwrap();
-        let req = Request::new().achieve(
-            EventKind::Ins,
-            Atom::ground("v", vec![Const::sym("a")]),
-        );
+        let req = Request::new().achieve(EventKind::Ins, Atom::ground("v", vec![Const::sym("a")]));
         let res = interpret(&db, &req, &DownwardOptions::default()).unwrap();
         assert!(res.is_impossible());
     }
@@ -504,10 +492,9 @@ mod tests {
         // p(b) can be inserted by deleting r(b); p(a) already holds (not a
         // candidate because ins p(a) is not a possible event).
         assert!(!res.alternatives.is_empty());
-        assert!(res
-            .alternatives
-            .iter()
-            .any(|a| a.to_do.contains(&GroundEvent::del(Pred::new("r", 1), syms(&["b"])))));
+        assert!(res.alternatives.iter().any(|a| a
+            .to_do
+            .contains(&GroundEvent::del(Pred::new("r", 1), syms(&["b"])))));
     }
 
     #[test]
@@ -523,8 +510,11 @@ mod tests {
             Atom::ground("alarm", vec![Const::sym("red")]),
         );
         let res = interpret(&db, &req, &DownwardOptions::default()).unwrap();
-        let shown: Vec<String> =
-            res.alternatives.iter().map(|a| a.to_do.to_string()).collect();
+        let shown: Vec<String> = res
+            .alternatives
+            .iter()
+            .map(|a| a.to_do.to_string())
+            .collect();
         assert!(shown.contains(&"{+works(dolors)}".to_string()), "{shown:?}");
         assert!(shown.contains(&"{-la(dolors)}".to_string()), "{shown:?}");
         // A request for a non-matching constant is impossible.
@@ -591,12 +581,15 @@ mod tests {
         let res = interpret(&db, &req, &DownwardOptions::default()).unwrap();
         assert!(!res.alternatives.is_empty());
         // Simplest: delete u_benefit(dolors).
-        assert!(res
-            .alternatives
-            .iter()
-            .any(|a| a.to_do.to_string() == "{-u_benefit(dolors)}"),
+        assert!(
+            res.alternatives
+                .iter()
+                .any(|a| a.to_do.to_string() == "{-u_benefit(dolors)}"),
             "{:?}",
-            res.alternatives.iter().map(|a| a.to_string()).collect::<Vec<_>>()
+            res.alternatives
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
         );
         let old = materialize(&db).unwrap();
         for alt in &res.alternatives {

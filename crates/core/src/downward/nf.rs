@@ -120,11 +120,7 @@ pub fn conj(a: &Nf, b: &Nf, cap: usize) -> Result<Nf> {
 /// decides whether a *positivized* literal (from negating `¬e`) denotes a
 /// possible event in the old state — impossible ones are dropped from their
 /// clause (they are false).
-pub fn negate(
-    nf: &Nf,
-    cap: usize,
-    event_possible: &dyn Fn(&GroundEvent) -> bool,
-) -> Result<Nf> {
+pub fn negate(nf: &Nf, cap: usize, event_possible: &dyn Fn(&GroundEvent) -> bool) -> Result<Nf> {
     let mut out = verum();
     for alt in nf {
         let mut clause: Nf = Vec::new();

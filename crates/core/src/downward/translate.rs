@@ -138,12 +138,7 @@ impl<'a> Translator<'a> {
     /// domain of `pred` (one binding per way to instantiate the unbound
     /// variables). A per-predicate `#domain` restriction takes precedence
     /// over the global pool.
-    pub fn groundings(
-        &self,
-        pred: Pred,
-        terms: &[Term],
-        seed: &Bindings,
-    ) -> Result<Vec<Bindings>> {
+    pub fn groundings(&self, pred: Pred, terms: &[Term], seed: &Bindings) -> Result<Vec<Bindings>> {
         let mut unbound: Vec<Var> = Vec::new();
         for &t in terms {
             if let Term::Var(v) = resolve(t, seed) {
@@ -244,13 +239,7 @@ impl<'a> Translator<'a> {
 
     /// Downward interpretation of the new-state literal `Pⁿ(c̄)` via the
     /// transition rule of `P`, conjoined into `ctx`.
-    fn down_new_state(
-        &mut self,
-        pred: Pred,
-        tuple: &Tuple,
-        depth: usize,
-        ctx: &Nf,
-    ) -> Result<Nf> {
+    fn down_new_state(&mut self, pred: Pred, tuple: &Tuple, depth: usize, ctx: &Nf) -> Result<Nf> {
         if depth >= self.opts.max_depth {
             return Err(Error::LimitExceeded {
                 what: "depth",
@@ -315,8 +304,7 @@ impl<'a> Translator<'a> {
                     .filter(|&&t| resolve(t, &probe).is_ground())
                     .count()
             };
-            let fully_ground =
-                |i: usize| -> bool { bound_count(i) == lits[i].lit_terms().len() };
+            let fully_ground = |i: usize| -> bool { bound_count(i) == lits[i].lit_terms().len() };
 
             // 1. Positive old literal with the most bound arguments.
             let pick = remaining
@@ -326,7 +314,9 @@ impl<'a> Translator<'a> {
                 .max_by_key(|&(_, &i)| bound_count(i));
             if let Some((pos, &i)) = pick {
                 remaining.remove(pos);
-                let TrLit::Old(l) = &lits[i] else { unreachable!() };
+                let TrLit::Old(l) = &lits[i] else {
+                    unreachable!()
+                };
                 let rel = self.old_relation(l.atom.pred);
                 let mut next = Vec::new();
                 for (b, acc) in &states {
@@ -347,12 +337,14 @@ impl<'a> Translator<'a> {
             }
 
             // 2. Ground negative old literal: filter.
-            let pick = remaining.iter().position(|&i| {
-                matches!(&lits[i], TrLit::Old(l) if !l.positive) && fully_ground(i)
-            });
+            let pick = remaining
+                .iter()
+                .position(|&i| matches!(&lits[i], TrLit::Old(l) if !l.positive) && fully_ground(i));
             if let Some(pos) = pick {
                 let i = remaining.remove(pos);
-                let TrLit::Old(l) = &lits[i] else { unreachable!() };
+                let TrLit::Old(l) = &lits[i] else {
+                    unreachable!()
+                };
                 let pred = l.atom.pred;
                 states.retain(|(b, _)| {
                     let t = ground_terms(&l.atom.terms, b).expect("checked ground");
@@ -400,7 +392,9 @@ impl<'a> Translator<'a> {
                 .position(|&i| matches!(&lits[i], TrLit::Old(l) if !l.positive));
             if let Some(pos) = pick {
                 let i = remaining.remove(pos);
-                let TrLit::Old(l) = &lits[i] else { unreachable!() };
+                let TrLit::Old(l) = &lits[i] else {
+                    unreachable!()
+                };
                 let pred = l.atom.pred;
                 states.retain(|(b, _)| {
                     let pattern: Vec<Option<dduf_datalog::ast::Const>> = l
@@ -428,8 +422,8 @@ impl<'a> Translator<'a> {
             for (b, acc) in states.clone() {
                 let mut acc2 = acc;
                 for g in self.groundings(event.pred(), &event.atom.terms, &b)? {
-                    let tuple = ground_terms(&event.atom.terms, &g)
-                        .expect("groundings bind all variables");
+                    let tuple =
+                        ground_terms(&event.atom.terms, &g).expect("groundings bind all variables");
                     acc2 = self.apply_neg_event(event.kind, event.pred(), &tuple, depth, &acc2)?;
                     if acc2.is_empty() {
                         break;

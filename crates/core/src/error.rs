@@ -56,7 +56,10 @@ impl fmt::Display for Error {
                 write!(f, "transaction both inserts and deletes {atom}")
             }
             Error::EmptyDomain => {
-                write!(f, "cannot instantiate event variables: the finite domain is empty")
+                write!(
+                    f,
+                    "cannot instantiate event variables: the finite domain is empty"
+                )
             }
             Error::RecursiveDownward(p) => {
                 write!(

@@ -57,11 +57,7 @@ pub struct EvolutionResult {
 /// `removed` dropped. The synthesized global-`ic` rules are excluded and
 /// re-synthesized by the builder; every predicate role is re-declared so
 /// role inference stays stable across the update.
-pub fn rebuild_program(
-    old: &Program,
-    added: &[Rule],
-    removed: &[Rule],
-) -> Result<Program> {
+pub fn rebuild_program(old: &Program, added: &[Rule], removed: &[Rule]) -> Result<Program> {
     let global = old.global_ic();
     let mut b = Program::builder();
     b.domain(old.declared_domain().iter().copied());
@@ -151,8 +147,7 @@ mod tests {
 
     fn rule(head: &str, body_src: &str) -> Rule {
         // tiny helper: parse "head :- body." through the real parser
-        let out =
-            dduf_datalog::parser::parse_program(&format!("{head} :- {body_src}.")).unwrap();
+        let out = dduf_datalog::parser::parse_program(&format!("{head} :- {body_src}.")).unwrap();
         out.program.rules()[0].clone()
     }
 
@@ -161,9 +156,12 @@ mod tests {
         let db = parse_database("q(a). p(X) :- q(X).").unwrap();
         let added = rule("w(X)", "q(X)");
         let removed = rule("p(X)", "q(X)");
-        let prog =
-            rebuild_program(db.program(), std::slice::from_ref(&added), std::slice::from_ref(&removed))
-                .unwrap();
+        let prog = rebuild_program(
+            db.program(),
+            std::slice::from_ref(&added),
+            std::slice::from_ref(&removed),
+        )
+        .unwrap();
         assert!(prog.rules_for(Pred::new("w", 1)).len() == 1);
         assert!(prog.rules_for(Pred::new("p", 1)).is_empty());
     }

@@ -77,8 +77,8 @@ pub fn explain_event(
             if held_before || !holds_after {
                 return Ok(None);
             }
-            let derivation = explain(new_state, event.pred, &event.tuple)
-                .expect("fact holds in the new state");
+            let derivation =
+                explain(new_state, event.pred, &event.tuple).expect("fact holds in the new state");
             Ok(Some(EventExplanation::Insertion {
                 event: event.clone(),
                 derivation,
@@ -88,8 +88,8 @@ pub fn explain_event(
             if !held_before || holds_after {
                 return Ok(None);
             }
-            let old_derivation = explain(old_state, event.pred, &event.tuple)
-                .expect("fact held in the old state");
+            let old_derivation =
+                explain(old_state, event.pred, &event.tuple).expect("fact held in the old state");
             Ok(Some(EventExplanation::Deletion {
                 event: event.clone(),
                 old_derivation,
@@ -125,7 +125,10 @@ mod tests {
         let shown = ex.to_string();
         assert!(shown.contains("+ic1: newly derivable"), "{shown}");
         assert!(shown.contains("unemp(dolors)"), "{shown}");
-        assert!(shown.contains("not u_benefit(dolors)  [checked absent]"), "{shown}");
+        assert!(
+            shown.contains("not u_benefit(dolors)  [checked absent]"),
+            "{shown}"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod explain;
 pub mod matview;
 pub mod problems;
 pub mod processor;
+pub mod rng;
 pub mod testkit;
 pub mod transaction;
 pub mod upward;

@@ -89,9 +89,7 @@ impl MaterializedViewStore {
     /// True iff every stored extension equals the given interpretation's —
     /// the invariant maintenance must preserve.
     pub fn consistent_with(&self, interp: &Interpretation) -> bool {
-        self.views
-            .iter()
-            .all(|(p, rel)| rel == interp.relation(*p))
+        self.views.iter().all(|(p, rel)| rel == interp.relation(*p))
     }
 }
 

@@ -104,12 +104,15 @@ mod tests {
             &DownwardOptions::default(),
         )
         .unwrap();
-        assert!(res
-            .alternatives
-            .iter()
-            .any(|a| a.to_do.to_string() == "{+low(gadget)}"),
+        assert!(
+            res.alternatives
+                .iter()
+                .any(|a| a.to_do.to_string() == "{+low(gadget)}"),
             "{:?}",
-            res.alternatives.iter().map(|a| a.to_string()).collect::<Vec<_>>()
+            res.alternatives
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -31,8 +31,7 @@ pub struct ConditionChanges {
 impl ConditionChanges {
     /// True iff no monitored condition changed.
     pub fn is_empty(&self) -> bool {
-        self.activated.values().all(Vec::is_empty)
-            && self.deactivated.values().all(Vec::is_empty)
+        self.activated.values().all(Vec::is_empty) && self.deactivated.values().all(Vec::is_empty)
     }
 
     /// Total number of condition events.
@@ -120,10 +119,7 @@ mod tests {
         let txn = Transaction::parse(&db, "+la(maria).").unwrap();
         let ch = monitor(&db, &old, &txn, None, Engine::Incremental).unwrap();
         assert_eq!(ch.len(), 1);
-        assert_eq!(
-            ch.activated[&Pred::new("needy", 1)],
-            vec![syms(&["maria"])]
-        );
+        assert_eq!(ch.activated[&Pred::new("needy", 1)], vec![syms(&["maria"])]);
     }
 
     #[test]
@@ -161,8 +157,14 @@ mod tests {
         .unwrap();
         let old = materialize(&db).unwrap();
         let txn = Transaction::parse(&db, "+b(z).").unwrap();
-        let ch = monitor(&db, &old, &txn, Some(&[Pred::new("c1", 1)]), Engine::Incremental)
-            .unwrap();
+        let ch = monitor(
+            &db,
+            &old,
+            &txn,
+            Some(&[Pred::new("c1", 1)]),
+            Engine::Incremental,
+        )
+        .unwrap();
         assert!(ch.activated.contains_key(&Pred::new("c1", 1)));
         assert!(!ch.activated.contains_key(&Pred::new("c2", 1)));
     }

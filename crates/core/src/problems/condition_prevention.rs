@@ -43,6 +43,7 @@ pub fn prevent_activation(
     let atom = Atom {
         pred: cond,
         terms: vars,
+        span: None,
     };
     let unwanted: Vec<EventAtom> = match kinds {
         PreventKinds::Activation => vec![EventAtom::ins(atom)],

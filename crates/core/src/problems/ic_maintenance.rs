@@ -50,6 +50,7 @@ pub fn maintain(
         Atom {
             pred: global,
             terms: vec![],
+            span: None,
         },
     );
     Ok(MaintenanceOutcome::Resulting(downward::interpret_with(
@@ -76,6 +77,7 @@ pub fn maintain_inconsistency(
         Atom {
             pred: global,
             terms: vec![],
+            span: None,
         },
     );
     Ok(MaintenanceOutcome::Resulting(downward::interpret_with(
@@ -132,7 +134,10 @@ mod tests {
             .iter()
             .map(|a| a.to_do.to_string())
             .collect();
-        assert!(shown.iter().any(|s| s.contains("+works(maria)")), "{shown:?}");
+        assert!(
+            shown.iter().any(|s| s.contains("+works(maria)")),
+            "{shown:?}"
+        );
         assert!(
             shown.iter().any(|s| s.contains("+u_benefit(maria)")),
             "{shown:?}"

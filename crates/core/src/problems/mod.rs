@@ -231,11 +231,9 @@ mod tests {
                 EventPattern::TxnNotDel,
             ] {
                 assert!(
-                    TABLE_4_1
-                        .iter()
-                        .any(|c| c.role == role
-                            && c.direction == Direction::Downward
-                            && c.pattern == pattern),
+                    TABLE_4_1.iter().any(|c| c.role == role
+                        && c.direction == Direction::Downward
+                        && c.pattern == pattern),
                     "missing downward {pattern:?} cell for {role:?}"
                 );
             }

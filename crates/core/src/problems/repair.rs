@@ -48,6 +48,7 @@ pub fn repairs(
         Atom {
             pred: global,
             terms: vec![],
+            span: None,
         },
     );
     Ok(RepairOutcome::Repairs(downward::interpret_with(
@@ -106,6 +107,7 @@ pub fn violating_transactions(
         Atom {
             pred: global,
             terms: vec![],
+            span: None,
         },
     );
     Ok(Some(downward::interpret_with(db, old, &req, opts)?))
@@ -156,8 +158,14 @@ mod tests {
             .iter()
             .map(|a| a.to_do.to_string())
             .collect();
-        assert!(shown.iter().any(|s| s.contains("+u_benefit(dolors)")), "{shown:?}");
-        assert!(shown.iter().any(|s| s.contains("+works(dolors)")), "{shown:?}");
+        assert!(
+            shown.iter().any(|s| s.contains("+u_benefit(dolors)")),
+            "{shown:?}"
+        );
+        assert!(
+            shown.iter().any(|s| s.contains("+works(dolors)")),
+            "{shown:?}"
+        );
         assert!(shown.iter().any(|s| s.contains("-la(dolors)")), "{shown:?}");
     }
 
@@ -249,8 +257,10 @@ mod tests {
             repairs(&db, &old, &DownwardOptions::default()).unwrap(),
             RepairOutcome::NoConstraints
         );
-        assert!(violating_transactions(&db, &old, &DownwardOptions::default())
-            .unwrap()
-            .is_none());
+        assert!(
+            violating_transactions(&db, &old, &DownwardOptions::default())
+                .unwrap()
+                .is_none()
+        );
     }
 }

@@ -59,11 +59,9 @@ pub fn prevent_all_on(
     let atom = Atom {
         pred: view,
         terms: vars,
+        span: None,
     };
-    let unwanted = [
-        EventAtom::ins(atom.clone()),
-        EventAtom::del(atom),
-    ];
+    let unwanted = [EventAtom::ins(atom.clone()), EventAtom::del(atom)];
     prevent(db, old, txn, &unwanted, opts)
 }
 

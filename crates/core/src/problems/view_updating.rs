@@ -72,6 +72,7 @@ pub fn validate(
     let atom = Atom {
         pred: view,
         terms: vars,
+        span: None,
     };
     let mut domain = opts
         .domain

@@ -12,8 +12,8 @@ use crate::downward::{Alternative, DownwardOptions, DownwardResult, Request};
 use crate::error::{Error, Result};
 use crate::matview::MaterializedViewStore;
 use crate::problems::{
-    condition_activation, condition_monitoring, condition_prevention, ic_checking,
-    ic_maintenance, repair, side_effects, view_maintenance, view_updating,
+    condition_activation, condition_monitoring, condition_prevention, ic_checking, ic_maintenance,
+    repair, side_effects, view_maintenance, view_updating,
 };
 use crate::transaction::Transaction;
 use crate::upward::{self, Engine, UpwardResult};
@@ -88,10 +88,7 @@ impl UpdateProcessor {
     }
 
     /// §5.1.1 — does `txn` restore a currently inconsistent database?
-    pub fn restores_consistency(
-        &self,
-        txn: &Transaction,
-    ) -> Result<ic_checking::RestoreOutcome> {
+    pub fn restores_consistency(&self, txn: &Transaction) -> Result<ic_checking::RestoreOutcome> {
         ic_checking::restores_consistency(&self.db, &self.old, txn, self.engine)
     }
 
@@ -153,7 +150,10 @@ impl UpdateProcessor {
     }
 
     /// §5.2.4 — integrity maintenance of `txn`.
-    pub fn maintain_integrity(&self, txn: &Transaction) -> Result<ic_maintenance::MaintenanceOutcome> {
+    pub fn maintain_integrity(
+        &self,
+        txn: &Transaction,
+    ) -> Result<ic_maintenance::MaintenanceOutcome> {
         ic_maintenance::maintain(&self.db, &self.old, txn, &self.opts)
     }
 
@@ -202,6 +202,7 @@ impl UpdateProcessor {
                 Atom {
                     pred: global,
                     terms: vec![],
+                    span: None,
                 },
             );
         }
@@ -246,6 +247,7 @@ impl UpdateProcessor {
                 Atom {
                     pred: icp,
                     terms: vars,
+                    span: None,
                 },
             );
         }
@@ -254,11 +256,9 @@ impl UpdateProcessor {
         for alt in res.alternatives.drain(..) {
             let txn = alt.to_transaction(&self.db)?;
             let up = self.upward(&txn)?;
-            let violates = checked.iter().any(|&icp| {
-                !up.derived
-                    .relation(EventKind::Ins, icp)
-                    .is_empty()
-            });
+            let violates = checked
+                .iter()
+                .any(|&icp| !up.derived.relation(EventKind::Ins, icp).is_empty());
             if !violates {
                 kept.push(alt);
             }
@@ -303,7 +303,10 @@ impl UpdateProcessor {
     /// Adds a deductive rule, reporting the changed event rules and the
     /// derived events the schema change induces (derived facts appearing
     /// although no base fact changed).
-    pub fn add_rule(&mut self, rule: dduf_datalog::ast::Rule) -> Result<crate::evolution::EvolutionResult> {
+    pub fn add_rule(
+        &mut self,
+        rule: dduf_datalog::ast::Rule,
+    ) -> Result<crate::evolution::EvolutionResult> {
         let program = crate::evolution::rebuild_program(self.db.program(), &[rule], &[])?;
         self.swap_program(program)
     }
@@ -324,8 +327,7 @@ impl UpdateProcessor {
         &mut self,
         body: Vec<dduf_datalog::ast::Literal>,
     ) -> Result<(crate::evolution::EvolutionResult, Pred)> {
-        let (program, pred) =
-            crate::evolution::rebuild_with_denial(self.db.program(), body)?;
+        let (program, pred) = crate::evolution::rebuild_with_denial(self.db.program(), body)?;
         Ok((self.swap_program(program)?, pred))
     }
 
@@ -351,11 +353,8 @@ impl UpdateProcessor {
         let rule_changes = crate::evolution::diff_event_rules(self.db.program(), &program);
         let new_db = crate::evolution::rebind_database(&self.db, program)?;
         let new_interp = materialize(&new_db).map_err(Error::from)?;
-        let induced = crate::upward::semantic::diff_interpretations(
-            &new_db,
-            &self.old,
-            &new_interp,
-        );
+        let induced =
+            crate::upward::semantic::diff_interpretations(&new_db, &self.old, &new_interp);
         self.db = new_db;
         self.old = new_interp;
         Ok(crate::evolution::EvolutionResult {

@@ -1,0 +1,113 @@
+//! A tiny deterministic pseudo-random number generator (SplitMix64).
+//!
+//! The workload builders in `dduf-bench` and the randomized integration
+//! tests need reproducible, seedable randomness but nothing
+//! cryptographic. Vendoring ~60 lines of SplitMix64 keeps the whole
+//! workspace buildable with no network access to crates.io (the external
+//! `rand` crate is deliberately not a dependency).
+//!
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) passes BigCrush, has a
+//! full 2^64 period over its seed sequence, and is two multiplies and a
+//! handful of xors per draw — more than enough statistical quality for
+//! test workloads.
+
+/// A seedable SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `0..bound` (`bound` must be nonzero).
+    pub fn usize(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty range");
+        // Modulo bias is negligible for the tiny bounds used in tests.
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// A uniform draw from `lo..hi` (half-open; `lo < hi`).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// A fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// A uniformly chosen element of a nonempty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            assert!(r.usize(3) < 3);
+            let v = r.range_i64(-5, 5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(9);
+        assert!(!(0..100).map(|_| r.chance(0.0)).any(|b| b));
+        assert!((0..100).map(|_| r.chance(1.0)).all(|b| b));
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut r = Rng::new(11);
+        let items = [1, 2, 3];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(*r.choose(&items));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut r = Rng::new(13);
+        let heads = (0..1000).filter(|_| r.bool()).count();
+        assert!((300..700).contains(&heads), "{heads}");
+    }
+}

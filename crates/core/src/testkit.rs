@@ -149,7 +149,11 @@ mod tests {
 
     #[test]
     fn canned_dbs_materialize() {
-        for db in [example_db(), employment_db(), employment_db_with_condition()] {
+        for db in [
+            example_db(),
+            employment_db(),
+            employment_db_with_condition(),
+        ] {
             let m = materialize(&db).unwrap();
             // All canned DBs are consistent.
             if let Some(ic) = db.program().global_ic() {

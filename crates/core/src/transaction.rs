@@ -111,10 +111,7 @@ impl Transaction {
                 noops.push(e);
             }
         }
-        (
-            Transaction { events: effective },
-            noops,
-        )
+        (Transaction { events: effective }, noops)
     }
 
     /// Applies the transaction to `db`, producing the new state `Dⁿ`.

@@ -129,9 +129,7 @@ impl CountingEngine {
         for &pred in &self.order {
             let mut delta: HashMap<Tuple, i64> = HashMap::new();
             for rule in program.rules_for(pred) {
-                self.rule_delta(
-                    rule, db, &new_db, &events, &new_rels, &mut delta,
-                )?;
+                self.rule_delta(rule, db, &new_db, &events, &new_rels, &mut delta)?;
             }
             delta.retain(|_, d| *d != 0);
 
@@ -287,8 +285,7 @@ mod tests {
         let mut engine = CountingEngine::new(&db, &old).unwrap();
         for (step, t) in txns.iter().enumerate() {
             let txn = Transaction::parse(&db, t).unwrap();
-            let expected =
-                upward::interpret_with(&db, &old, &txn, Engine::Incremental).unwrap();
+            let expected = upward::interpret_with(&db, &old, &txn, Engine::Incremental).unwrap();
             let got = engine.apply(&db, &txn).unwrap();
             assert_eq!(got, expected, "step {step}: {t}");
             db = txn.apply(&db);
@@ -380,10 +377,8 @@ mod tests {
 
     #[test]
     fn recursive_program_rejected() {
-        let db = parse_database(
-            "e(a, b). tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
-        )
-        .unwrap();
+        let db =
+            parse_database("e(a, b). tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).").unwrap();
         let old = materialize(&db).unwrap();
         assert!(matches!(
             CountingEngine::new(&db, &old),

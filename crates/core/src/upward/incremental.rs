@@ -104,9 +104,10 @@ fn insertions(
             lits.push(TrLit::old_neg(branch.head.clone()));
             // Fast path: a positive event literal over an empty event
             // relation kills the disjunct.
-            if lits.iter().any(|l| {
-                l.is_positive_event() && trlit_relation(l, db, old, events).is_empty()
-            }) {
+            if lits
+                .iter()
+                .any(|l| l.is_positive_event() && trlit_relation(l, db, old, events).is_empty())
+            {
                 continue;
             }
             let rel_of = |i: usize| -> &Relation { trlit_relation(&lits[i], db, old, events) };
@@ -170,11 +171,7 @@ fn deletions(
 }
 
 /// Upward-interprets `txn` incrementally.
-pub fn interpret(
-    db: &Database,
-    old: &Interpretation,
-    txn: &Transaction,
-) -> Result<UpwardResult> {
+pub fn interpret(db: &Database, old: &Interpretation, txn: &Transaction) -> Result<UpwardResult> {
     let program = db.program();
     let strat = Stratification::compute(program)
         .map_err(|e| Error::from(dduf_datalog::error::Error::from(e)))?;
@@ -191,11 +188,8 @@ pub fn interpret(
     // events, extended with every derived predicate that produced events.
     // A component none of whose body predicates is touched cannot change
     // and is skipped wholesale.
-    let mut touched: std::collections::BTreeSet<Pred> = effective
-        .events()
-        .iter()
-        .map(|e| e.pred)
-        .collect();
+    let mut touched: std::collections::BTreeSet<Pred> =
+        effective.events().iter().map(|e| e.pred).collect();
     // Components actually evaluated (their entry in `new_interp` is
     // authoritative, even when empty).
     let mut evaluated: std::collections::BTreeSet<Pred> = std::collections::BTreeSet::new();
@@ -298,10 +292,7 @@ mod tests {
 
     #[test]
     fn example_4_1() {
-        let res = check_against_semantic(
-            "q(a). q(b). r(b). p(X) :- q(X), not r(X).",
-            "-r(b).",
-        );
+        let res = check_against_semantic("q(a). q(b). r(b). p(X) :- q(X), not r(X).", "-r(b).");
         assert_eq!(res.derived.len(), 1);
         assert!(res
             .derived
@@ -386,10 +377,8 @@ mod tests {
 
     #[test]
     fn simultaneous_insert_and_delete_on_same_view() {
-        let res = check_against_semantic(
-            "q(a). r(a). q(b). p(X) :- q(X), not r(X).",
-            "-r(a). +r(b).",
-        );
+        let res =
+            check_against_semantic("q(a). r(a). q(b). p(X) :- q(X), not r(X).", "-r(a). +r(b).");
         assert!(res
             .derived
             .contains(&GroundEvent::ins(Pred::new("p", 1), syms(&["a"]))));

@@ -15,11 +15,7 @@ use dduf_events::event::GroundEvent;
 use dduf_events::store::EventStore;
 
 /// Upward-interprets `txn` by materializing the new state and diffing.
-pub fn interpret(
-    db: &Database,
-    old: &Interpretation,
-    txn: &Transaction,
-) -> Result<UpwardResult> {
+pub fn interpret(db: &Database, old: &Interpretation, txn: &Transaction) -> Result<UpwardResult> {
     let (effective, _noops) = txn.normalize(db);
     let new_db = effective.apply(db);
     let new = materialize(&new_db).map_err(crate::error::Error::from)?;

@@ -1,0 +1,122 @@
+//! Pass: allowedness / range restriction (§2) — code `E001`.
+//!
+//! "Any variable that occurs in a deductive or integrity rule has an
+//! occurrence in a positive condition of the rule." The strict checker in
+//! [`crate::safety`] is a thin wrapper over [`unallowed_vars`]; this pass
+//! reports *every* offending variable of every rule, with spans.
+
+use super::{AnalysisInput, Diagnostic, Label, Pass};
+use crate::ast::{Rule, Term, Var};
+use std::collections::BTreeSet;
+
+/// The variables of `rule` violating allowedness, each paired with the atom
+/// containing the offending occurrence (head, or a negative literal), in
+/// the order the strict checker would report them.
+pub fn unallowed_vars(rule: &Rule) -> Vec<(Var, &crate::ast::Atom)> {
+    fn collect<'a>(
+        atom: &'a crate::ast::Atom,
+        positive: &BTreeSet<Var>,
+        seen: &mut BTreeSet<Var>,
+        out: &mut Vec<(Var, &'a crate::ast::Atom)>,
+    ) {
+        for t in &atom.terms {
+            if let Term::Var(v) = t {
+                if !positive.contains(v) && seen.insert(*v) {
+                    out.push((*v, atom));
+                }
+            }
+        }
+    }
+
+    let mut positive: BTreeSet<Var> = BTreeSet::new();
+    for lit in &rule.body {
+        if lit.positive {
+            positive.extend(lit.atom.vars());
+        }
+    }
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    collect(&rule.head, &positive, &mut seen, &mut out);
+    for lit in &rule.body {
+        if !lit.positive {
+            collect(&lit.atom, &positive, &mut seen, &mut out);
+        }
+    }
+    out
+}
+
+/// The allowedness pass.
+pub struct Allowedness;
+
+impl Pass for Allowedness {
+    fn name(&self) -> &'static str {
+        "allowedness"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        for rule in input.program.rules() {
+            for (var, atom) in unallowed_vars(rule) {
+                let mut d = Diagnostic::error(
+                    "E001",
+                    format!(
+                        "rule for `{}` is not allowed: variable `{var}` has no occurrence \
+                         in a positive condition (§2)",
+                        rule.head.pred
+                    ),
+                )
+                .with_help(format!(
+                    "bind `{var}` in a positive body literal, or replace it with `_`"
+                ));
+                if let Some(label) = Label::of_atom(atom, format!("`{var}` occurs here unbound")) {
+                    d = d.with_primary(label);
+                } else if let Some(span) = rule.span() {
+                    d = d.with_primary(Label::new(span, "in this rule"));
+                }
+                out.push(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze_source, Severity};
+
+    #[test]
+    fn reports_every_offending_variable() {
+        // Two bad rules, two E001s — no fail-fast.
+        let a = analyze_source("p(X) :- not q(X).\nr(Y) :- not s(Y).\n");
+        let e001: Vec<_> = a.diagnostics.iter().filter(|d| d.code == "E001").collect();
+        assert_eq!(e001.len(), 2, "{:?}", a.diagnostics);
+        assert!(e001.iter().all(|d| d.severity == Severity::Error));
+        assert!(e001.iter().all(|d| d.primary.is_some()));
+    }
+
+    #[test]
+    fn clean_rule_silent() {
+        let a = analyze_source("p(X) :- q(X), not r(X).\n");
+        assert!(a.diagnostics.iter().all(|d| d.code != "E001"));
+    }
+
+    #[test]
+    fn span_points_at_offending_atom() {
+        let a = analyze_source("p(X) :- q(X), not r(Y).\n");
+        let d = a.diagnostics.iter().find(|d| d.code == "E001").unwrap();
+        let span = d.primary.as_ref().unwrap().span;
+        // `r` is at column 19 of line 1.
+        assert_eq!((span.line, span.col), (1, 19));
+    }
+
+    #[test]
+    fn unallowed_vars_order_matches_strict_checker() {
+        use crate::ast::{Atom, Literal, Term};
+        // p(A) :- not q(B), r stays deterministic: head var first.
+        let rule = Rule::new(
+            Atom::new("p", vec![Term::var("A")]),
+            vec![Literal::neg(Atom::new("q", vec![Term::var("B")]))],
+        );
+        let vars: Vec<Var> = unallowed_vars(&rule).into_iter().map(|(v, _)| v).collect();
+        assert_eq!(vars, vec![Var::new("A"), Var::new("B")]);
+    }
+}

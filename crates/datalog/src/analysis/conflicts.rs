@@ -1,0 +1,166 @@
+//! Pass: arity and type conflicts — codes `W006`, `W007`.
+//!
+//! Predicates with the same name but different arities are formally
+//! distinct (`p/1` vs `p/2`), so the strict path accepts them — but in a
+//! single program that is almost always one predicate misspelled or
+//! mis-called (`works(john)` vs `works(john, sales)`). Likewise a column
+//! that mixes integer and symbolic constants across rules and facts joins
+//! with nothing. Both are warnings: legal, suspicious.
+
+use super::{AnalysisInput, Diagnostic, Label, Pass};
+use crate::ast::{Atom, Const, Term};
+use crate::symbol::Sym;
+use std::collections::BTreeMap;
+
+/// The arity/type-conflict pass.
+pub struct Conflicts;
+
+/// Which constant families a column has seen.
+#[derive(Default, Clone)]
+struct ColTypes {
+    int: Option<Option<crate::error::Span>>,
+    sym: Option<Option<crate::error::Span>>,
+}
+
+impl Pass for Conflicts {
+    fn name(&self) -> &'static str {
+        "conflicts"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let program = input.program;
+
+        // Every atom occurrence in source order: heads, bodies, facts.
+        let atoms: Vec<&Atom> = program
+            .rules()
+            .iter()
+            .flat_map(|r| std::iter::once(&r.head).chain(r.body.iter().map(|l| &l.atom)))
+            .chain(input.facts.iter())
+            .collect();
+
+        // W006: same name, multiple arities. Values: first source
+        // occurrence per arity (None when it only appears in a declaration).
+        let mut arities: BTreeMap<Sym, BTreeMap<usize, Option<&Atom>>> = BTreeMap::new();
+        for atom in &atoms {
+            arities
+                .entry(atom.pred.name)
+                .or_default()
+                .entry(atom.pred.arity)
+                .or_insert(Some(atom));
+        }
+        // Declarations participate too (e.g. `#base works/2.` with
+        // `works(john)` in a body).
+        for (pred, _) in program.predicates() {
+            arities
+                .entry(pred.name)
+                .or_default()
+                .entry(pred.arity)
+                .or_insert(None);
+        }
+        for (name, by_arity) in &arities {
+            if by_arity.len() < 2 {
+                continue;
+            }
+            let list: Vec<String> = by_arity.keys().map(|a| format!("`{name}/{a}`")).collect();
+            let mut d = Diagnostic::warning(
+                "W006",
+                format!(
+                    "predicate name `{name}` is used with {} different arities: {}",
+                    by_arity.len(),
+                    list.join(", ")
+                ),
+            )
+            .with_help("these are distinct predicates; rename one if that is not intended");
+            // One label per distinct arity (first source occurrence each).
+            let mut labels = by_arity.iter().filter_map(|(arity, atom)| {
+                atom.and_then(|a| Label::of_atom(a, format!("used with {arity} argument(s) here")))
+            });
+            if let Some(first) = labels.next() {
+                d = d.with_primary(first);
+            }
+            for l in labels {
+                d = d.with_secondary(l);
+            }
+            out.push(d);
+        }
+
+        // W007: a column mixing Int and Sym constants.
+        let mut cols: BTreeMap<(crate::ast::Pred, usize), ColTypes> = BTreeMap::new();
+        for atom in &atoms {
+            for (i, t) in atom.terms.iter().enumerate() {
+                if let Term::Const(c) = t {
+                    let entry = cols.entry((atom.pred, i)).or_default();
+                    match c {
+                        Const::Int(_) => entry.int.get_or_insert(atom.span),
+                        Const::Sym(_) => entry.sym.get_or_insert(atom.span),
+                    };
+                }
+            }
+        }
+        for ((pred, col), types) in &cols {
+            let (Some(int_span), Some(sym_span)) = (&types.int, &types.sym) else {
+                continue;
+            };
+            let mut d = Diagnostic::warning(
+                "W007",
+                format!(
+                    "argument {} of `{pred}` mixes integer and symbolic constants",
+                    col + 1
+                ),
+            )
+            .with_help("values of one column should come from one domain to join/unify");
+            if let Some(span) = int_span {
+                d = d.with_primary(Label::new(*span, "an integer is used here"));
+            }
+            if let Some(span) = sym_span {
+                let l = Label::new(*span, "a symbolic constant is used here");
+                if d.primary.is_none() {
+                    d = d.with_primary(l);
+                } else {
+                    d = d.with_secondary(l);
+                }
+            }
+            out.push(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::analyze_source;
+
+    #[test]
+    fn mixed_arities_flagged_once_per_name() {
+        let a = analyze_source("works(john).\nv(X) :- works(X, Y), dept(Y).\n");
+        let w006: Vec<_> = a.diagnostics.iter().filter(|d| d.code == "W006").collect();
+        assert_eq!(w006.len(), 1, "{:?}", a.diagnostics);
+        assert!(w006[0].message.contains("`works/1`"), "{}", w006[0].message);
+        assert!(w006[0].message.contains("`works/2`"), "{}", w006[0].message);
+    }
+
+    #[test]
+    fn declaration_vs_use_arity_flagged() {
+        let a = analyze_source("#base works/2.\nv(X) :- works(X).\n");
+        assert!(a.diagnostics.iter().any(|d| d.code == "W006"));
+    }
+
+    #[test]
+    fn consistent_arities_silent() {
+        let a = analyze_source("works(john, sales).\nv(X) :- works(X, Y), dept(Y).\n");
+        assert!(a.diagnostics.iter().all(|d| d.code != "W006"));
+    }
+
+    #[test]
+    fn mixed_column_types_flagged() {
+        let a = analyze_source("age(ana, 33).\nage(ben, unknown).\n");
+        let d = a.diagnostics.iter().find(|d| d.code == "W007").unwrap();
+        assert!(d.message.contains("argument 2"), "{}", d.message);
+        assert!(d.primary.is_some());
+    }
+
+    #[test]
+    fn uniform_column_types_silent() {
+        let a = analyze_source("age(ana, 33).\nage(ben, 47).\nname(1, ana).\n");
+        assert!(a.diagnostics.iter().all(|d| d.code != "W007"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Diagnostics: stable codes, severities, labeled spans, and rendering.
+//!
+//! A [`Diagnostic`] is the unit every analysis pass produces. It carries a
+//! stable code (`E0xx` for errors, `W0xx` for warnings), a message, an
+//! optional *primary* labeled span plus any number of *secondary* ones, and
+//! an optional help note. Rendering is rustc-style: source excerpt, caret
+//! underline, label.
+
+use crate::ast::Atom;
+use crate::error::Span;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// The program violates a precondition of the framework (§2) and the
+    /// engines will reject or mis-handle it.
+    Error,
+    /// The program is accepted but something is suspicious or wasteful.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// A span with an explanatory label and an underline width (in characters;
+/// the caret starts at the span's column).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Label {
+    /// Where to point.
+    pub span: Span,
+    /// What to say there (may be empty).
+    pub message: String,
+    /// Width of the underline; at least 1.
+    pub width: usize,
+}
+
+impl Label {
+    /// Creates a label of width 1.
+    pub fn new(span: Span, message: impl Into<String>) -> Label {
+        Label {
+            span,
+            message: message.into(),
+            width: 1,
+        }
+    }
+
+    /// A label underlining an atom's predicate name, when the atom carries
+    /// a source span.
+    pub fn of_atom(atom: &Atom, message: impl Into<String>) -> Option<Label> {
+        atom.span.map(|span| Label {
+            span,
+            message: message.into(),
+            width: atom.pred.name.as_str().chars().count().max(1),
+        })
+    }
+}
+
+/// One finding of the static analysis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"E001"` or `"W004"`.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// One-line description of the problem.
+    pub message: String,
+    /// The main location, if the construct came from source text.
+    pub primary: Option<Label>,
+    /// Additional locations that explain the problem.
+    pub secondary: Vec<Label>,
+    /// A suggestion for fixing it.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            primary: None,
+            secondary: Vec::new(),
+            help: None,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// Sets the primary label.
+    pub fn with_primary(mut self, label: Label) -> Diagnostic {
+        self.primary = Some(label);
+        self
+    }
+
+    /// Sets the primary label to an atom's span, if it has one.
+    pub fn at_atom(mut self, atom: &Atom, message: impl Into<String>) -> Diagnostic {
+        self.primary = Label::of_atom(atom, message);
+        self
+    }
+
+    /// Adds a secondary label.
+    pub fn with_secondary(mut self, label: Label) -> Diagnostic {
+        self.secondary.push(label);
+        self
+    }
+
+    /// Adds a help note.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// The primary position, used for sorting (`None` sorts last).
+    pub fn position(&self) -> (u32, u32) {
+        self.primary
+            .as_ref()
+            .map(|l| (l.span.line, l.span.col))
+            .unwrap_or((u32::MAX, u32::MAX))
+    }
+
+    /// Renders the diagnostic rustc-style against its source text.
+    ///
+    /// ```text
+    /// warning[W001]: singleton variable `Y`
+    ///   --> db.dl:3:21
+    ///    |
+    ///  3 | p(X) :- q(X), not r(Y).
+    ///    |                     ^ `Y` occurs only here
+    ///    = help: use `_` if the variable is intentionally unused
+    /// ```
+    pub fn render(&self, path: &str, src: &str) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        let lines: Vec<&str> = src.lines().collect();
+        let gutter = self
+            .primary
+            .iter()
+            .chain(self.secondary.iter())
+            .map(|l| l.span.line.to_string().len())
+            .max()
+            .unwrap_or(1);
+        let mut excerpt = |label: &Label, caret: char, arrow: bool| {
+            use std::fmt::Write as _;
+            let Span { line, col } = label.span;
+            if arrow {
+                let _ = writeln!(out, "{:g$}--> {path}:{line}:{col}", "", g = gutter + 1);
+            }
+            if let Some(text) = lines.get(line as usize - 1) {
+                let _ = writeln!(out, "{:g$} |", "", g = gutter);
+                let _ = writeln!(out, "{line:>g$} | {text}", g = gutter);
+                let pad = " ".repeat(col.saturating_sub(1) as usize);
+                let underline: String = std::iter::repeat_n(caret, label.width.max(1)).collect();
+                let _ = writeln!(
+                    out,
+                    "{:g$} | {pad}{underline}{}{}",
+                    "",
+                    if label.message.is_empty() { "" } else { " " },
+                    label.message,
+                    g = gutter
+                );
+            } else if !label.message.is_empty() {
+                let _ = writeln!(out, "{:g$} = note: {}", "", label.message, g = gutter);
+            }
+        };
+        if let Some(primary) = &self.primary {
+            excerpt(primary, '^', true);
+        }
+        for sec in &self.secondary {
+            excerpt(sec, '-', true);
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("{:g$} = help: {help}\n", "", g = gutter));
+        }
+        out
+    }
+
+    /// Serializes the diagnostic as a JSON object (hand-rolled; the crate
+    /// has no serde dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"code\":{},", json_str(self.code)));
+        s.push_str(&format!(
+            "\"severity\":{},",
+            json_str(&self.severity.to_string())
+        ));
+        s.push_str(&format!("\"message\":{},", json_str(&self.message)));
+        s.push_str("\"spans\":[");
+        let mut first = true;
+        for (label, primary) in self
+            .primary
+            .iter()
+            .map(|l| (l, true))
+            .chain(self.secondary.iter().map(|l| (l, false)))
+        {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "{{\"line\":{},\"col\":{},\"width\":{},\"primary\":{},\"label\":{}}}",
+                label.span.line,
+                label.span.col,
+                label.width,
+                primary,
+                json_str(&label.message)
+            ));
+        }
+        s.push(']');
+        if let Some(help) = &self.help {
+            s.push_str(&format!(",\"help\":{}", json_str(help)));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic::warning("W001", "singleton variable `Y`")
+            .with_primary(Label {
+                span: Span { line: 1, col: 19 },
+                message: "`Y` occurs only here".into(),
+                width: 1,
+            })
+            .with_help("use `_` if the variable is intentionally unused")
+    }
+
+    #[test]
+    fn renders_excerpt_with_caret() {
+        let src = "p(X) :- q(X), not r(Y).\n";
+        let r = sample().render("db.dl", src);
+        assert!(r.contains("warning[W001]"), "{r}");
+        assert!(r.contains("--> db.dl:1:19"), "{r}");
+        assert!(r.contains("p(X) :- q(X), not r(Y)."), "{r}");
+        let caret_line = r.lines().find(|l| l.contains('^')).expect("caret line");
+        // Caret under column 19 (after the 4-char `  | ` gutter).
+        assert_eq!(caret_line.find('^'), Some(4 + 18), "{r}");
+        assert!(r.contains("= help:"), "{r}");
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let d = Diagnostic::error("E001", "bad \"quote\"\n");
+        let j = d.to_json();
+        assert!(j.contains("\"code\":\"E001\""), "{j}");
+        assert!(j.contains("bad \\\"quote\\\"\\n"), "{j}");
+        assert!(j.contains("\"spans\":[]"), "{j}");
+    }
+
+    #[test]
+    fn label_of_atom_uses_name_width() {
+        let mut a = Atom::new("needy", vec![]);
+        a.span = Some(Span { line: 2, col: 5 });
+        let l = Label::of_atom(&a, "here").unwrap();
+        assert_eq!(l.width, 5);
+        assert!(Label::of_atom(&Atom::new("p", vec![]), "x").is_none());
+    }
+
+    #[test]
+    fn diagnostics_without_spans_render_headline_only() {
+        let d = Diagnostic::error("E003", "conflicting declarations for `p/1`");
+        let r = d.render("db.dl", "p(a).\n");
+        assert!(r.starts_with("error[E003]:"), "{r}");
+        assert!(!r.contains("-->"), "{r}");
+    }
+}

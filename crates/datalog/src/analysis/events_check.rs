@@ -1,0 +1,89 @@
+//! Pass: event-domain well-formedness — code `W008`.
+//!
+//! §3.1 defines a transaction as a set of *base-fact* events: insertions
+//! `ins(p(..))` and deletions `del(p(..))` over extensional predicates
+//! only — derived predicates change as a *consequence* of base events,
+//! never directly. A `#domain p/n {…}` directive declares the
+//! instantiation domain the event machinery draws candidate events from,
+//! so it only makes sense over a predicate that (a) exists in the program
+//! and (b) is base:
+//!
+//! * over an *unknown* predicate it is dead schema (likely a typo);
+//! * over a *derived* predicate it suggests the user expects direct
+//!   updates to a view, which the framework forbids.
+//!
+//! The other half of event well-formedness — a base predicate appearing in
+//! a rule head — is a role conflict and surfaces as `E003` via the schema
+//! pass.
+
+use super::{AnalysisInput, Diagnostic, Pass};
+
+/// The event-domain pass.
+pub struct EventDomains;
+
+impl Pass for EventDomains {
+    fn name(&self) -> &'static str {
+        "event-domains"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let program = input.program;
+        for (pred, _) in program.pred_domains() {
+            match program.role(pred) {
+                None => out.push(
+                    Diagnostic::warning(
+                        "W008",
+                        format!("event domain declared for unknown predicate `{pred}`"),
+                    )
+                    .with_help(
+                        "ins/del events range over the program's base predicates; \
+                         check the spelling or add rules/facts for it",
+                    ),
+                ),
+                Some(_) if program.is_derived(pred) => out.push(
+                    Diagnostic::warning(
+                        "W008",
+                        format!(
+                            "event domain declared for derived predicate `{pred}`: \
+                             transactions contain base-fact events only (§3.1)"
+                        ),
+                    )
+                    .with_help(
+                        "derived predicates change through base events; \
+                         declare the domain on the base predicates it is defined from",
+                    ),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::analyze_source;
+
+    #[test]
+    fn domain_over_unknown_predicate_is_w008() {
+        let a = analyze_source("#domain wroks/1 {ana}.\nv(X) :- works(X).\n");
+        let d = a.diagnostics.iter().find(|d| d.code == "W008").unwrap();
+        assert!(d.message.contains("wroks"), "{}", d.message);
+    }
+
+    #[test]
+    fn domain_over_derived_predicate_is_w008() {
+        let a = analyze_source("#domain v/1 {ana}.\nv(X) :- works(X).\n");
+        let d = a.diagnostics.iter().find(|d| d.code == "W008").unwrap();
+        assert!(d.message.contains("derived"), "{}", d.message);
+    }
+
+    #[test]
+    fn domain_over_base_predicate_silent() {
+        let a = analyze_source("#domain works/1 {ana}.\nv(X) :- works(X).\n");
+        assert!(
+            a.diagnostics.iter().all(|d| d.code != "W008"),
+            "{:?}",
+            a.diagnostics
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Pass: predicate use — codes `W002` (unused) and `W003` (undefined).
+//!
+//! Driven by the dependency graph and the role table:
+//!
+//! * `W002`: a predicate declared explicitly (`#base`/`#view`/`#ic`/`#cond`)
+//!   that occurs in no rule and no fact — dead schema.
+//! * `W003`: a *derived* predicate referenced in some rule body but defined
+//!   by no rule — every reference evaluates to the empty relation, which is
+//!   almost always a misspelled name.
+
+use super::{AnalysisInput, Diagnostic, Label, Pass};
+use crate::ast::Pred;
+use crate::schema::GLOBAL_IC;
+use std::collections::BTreeSet;
+
+/// The predicate-use pass.
+pub struct PredicateUse;
+
+impl Pass for PredicateUse {
+    fn name(&self) -> &'static str {
+        "predicate-use"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let program = input.program;
+        let mut in_head: BTreeSet<Pred> = BTreeSet::new();
+        let mut in_body: BTreeSet<Pred> = BTreeSet::new();
+        for rule in program.rules() {
+            in_head.insert(rule.head.pred);
+            in_body.extend(rule.body.iter().map(|l| l.atom.pred));
+        }
+        let with_facts: BTreeSet<Pred> = input.facts.iter().map(|f| f.pred).collect();
+
+        // W002: declared, never used.
+        for &pred in program.declared_preds() {
+            if pred.name.as_str() == GLOBAL_IC {
+                continue;
+            }
+            if !in_head.contains(&pred) && !in_body.contains(&pred) && !with_facts.contains(&pred) {
+                out.push(
+                    Diagnostic::warning(
+                        "W002",
+                        format!("predicate `{pred}` is declared but never used"),
+                    )
+                    .with_help("remove the declaration, or add the missing rules/facts"),
+                );
+            }
+        }
+
+        // W003: derived, referenced, but defined by no rule.
+        for (pred, _role) in program.predicates() {
+            if !program.is_derived(pred) || in_head.contains(&pred) || !in_body.contains(&pred) {
+                continue;
+            }
+            let mut d = Diagnostic::warning(
+                "W003",
+                format!(
+                    "derived predicate `{pred}` is referenced but has no defining \
+                     rules: every reference evaluates to the empty relation"
+                ),
+            )
+            .with_help("define it with a rule, or check the spelling of the reference");
+            // Point at the first body reference.
+            if let Some(atom) = program
+                .rules()
+                .iter()
+                .flat_map(|r| r.body.iter().map(|l| &l.atom))
+                .find(|a| a.pred == pred && a.span.is_some())
+            {
+                if let Some(l) = Label::of_atom(atom, "referenced here") {
+                    d = d.with_primary(l);
+                }
+            }
+            out.push(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::analyze_source;
+
+    #[test]
+    fn declared_unused_is_w002() {
+        let a = analyze_source("#view ghost/2.\nv(X) :- b(X).\n");
+        let d = a.diagnostics.iter().find(|d| d.code == "W002").unwrap();
+        assert!(d.message.contains("ghost/2"), "{}", d.message);
+    }
+
+    #[test]
+    fn declared_and_used_silent() {
+        let a = analyze_source("#base la/1.\nla(ana).\nv(X) :- la(X).\n");
+        assert!(a.diagnostics.iter().all(|d| d.code != "W002"));
+    }
+
+    #[test]
+    fn referenced_undefined_view_is_w003() {
+        // `covered` is declared derived but never defined.
+        let a = analyze_source("#view covered/1.\nneedy(X) :- la(X), not covered(X).\n");
+        let d = a.diagnostics.iter().find(|d| d.code == "W003").unwrap();
+        let span = d.primary.as_ref().unwrap().span;
+        assert_eq!((span.line, span.col), (2, 24));
+    }
+
+    #[test]
+    fn base_predicates_without_facts_are_fine() {
+        // Base predicates may legitimately be empty.
+        let a = analyze_source("v(X) :- la(X).\n");
+        assert!(a.diagnostics.iter().all(|d| d.code != "W003"));
+    }
+}

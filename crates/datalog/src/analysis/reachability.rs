@@ -1,0 +1,128 @@
+//! Pass: unreachable rules — code `W004`.
+//!
+//! The problem catalog only ever evaluates predicates reachable from a
+//! *root*: an explicitly declared view/IC/condition, the (synthesized)
+//! global inconsistency predicate, or a top-of-hierarchy derived predicate
+//! (one no other rule references — the thing a user queries). A rule whose
+//! head is reachable from no root is dead weight: no update, check, or
+//! query can ever touch it. The classic case is an orphan cycle
+//! (`p :- q. q :- p.`) referenced by nothing.
+
+use super::{AnalysisInput, Diagnostic, Label, Pass};
+use crate::ast::Pred;
+use crate::depgraph::DepGraph;
+use std::collections::BTreeSet;
+
+/// The reachability pass.
+pub struct Reachability;
+
+impl Pass for Reachability {
+    fn name(&self) -> &'static str {
+        "reachability"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let program = input.program;
+        let graph = DepGraph::build(program);
+
+        // A self-reference inside a predicate's own definition (direct
+        // recursion, e.g. transitive closure) does not count: a standalone
+        // recursive view is still the top of its own hierarchy.
+        let mut referenced: BTreeSet<Pred> = BTreeSet::new();
+        for rule in program.rules() {
+            referenced.extend(
+                rule.body
+                    .iter()
+                    .map(|l| l.atom.pred)
+                    .filter(|p| *p != rule.head.pred),
+            );
+        }
+
+        // Roots: declared predicates, the global ic, and unreferenced
+        // derived predicates (exported tops of the rule hierarchy).
+        let mut roots: BTreeSet<Pred> = program.declared_preds().clone();
+        roots.extend(program.global_ic());
+        for (pred, _) in program.predicates() {
+            if program.is_derived(pred) && !referenced.contains(&pred) {
+                roots.insert(pred);
+            }
+        }
+
+        let mut reachable = roots.clone();
+        for &root in &roots {
+            reachable.extend(graph.reachable(root));
+        }
+
+        for rule in program.rules() {
+            if rule.span().is_none() {
+                continue; // synthesized / API-built
+            }
+            if !reachable.contains(&rule.head.pred) {
+                let mut d = Diagnostic::warning(
+                    "W004",
+                    format!(
+                        "rule for `{}` is unreachable from every view, constraint \
+                         and condition",
+                        rule.head.pred
+                    ),
+                )
+                .with_help(
+                    "no update, integrity check or query can use it; \
+                     delete it or reference it from a reachable rule",
+                );
+                if let Some(l) = Label::of_atom(&rule.head, "this head is never needed") {
+                    d = d.with_primary(l);
+                } else if let Some(span) = rule.span() {
+                    d = d.with_primary(Label::new(span, "this rule is never needed"));
+                }
+                out.push(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::analyze_source;
+
+    #[test]
+    fn orphan_cycle_flagged() {
+        let a = analyze_source("v(X) :- b(X).\np(X) :- q(X).\nq(X) :- p(X).\n");
+        let w004: Vec<_> = a.diagnostics.iter().filter(|d| d.code == "W004").collect();
+        assert_eq!(w004.len(), 2, "{:?}", a.diagnostics);
+        assert!(w004.iter().all(|d| d.primary.is_some()));
+    }
+
+    #[test]
+    fn top_level_views_are_roots() {
+        let a = analyze_source("v(X) :- w(X).\nw(X) :- b(X).\n");
+        assert!(a.diagnostics.iter().all(|d| d.code != "W004"));
+    }
+
+    #[test]
+    fn declared_predicates_are_roots() {
+        // `aux` is referenced by nothing but explicitly declared: intended.
+        let a = analyze_source("#view aux/1.\naux(X) :- b(X).\n");
+        assert!(a.diagnostics.iter().all(|d| d.code != "W004"));
+    }
+
+    #[test]
+    fn standalone_recursive_view_is_its_own_root() {
+        let a = analyze_source("tc(X, Y) :- e(X, Y).\ntc(X, Y) :- e(X, Z), tc(Z, Y).\n");
+        assert!(
+            a.diagnostics.iter().all(|d| d.code != "W004"),
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    #[test]
+    fn constraint_bodies_are_reachable() {
+        let a = analyze_source("w(X) :- b(X).\n:- w(X), not b2(X).\n");
+        assert!(
+            a.diagnostics.iter().all(|d| d.code != "W004"),
+            "{:?}",
+            a.diagnostics
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Pass: schema roles — codes `E003`, `E004`.
+//!
+//! §2 partitions predicates into base (extensional only) and derived
+//! (intensional only). The lenient front end recovers from violations and
+//! hands them to this pass, which turns each collected [`SchemaError`] into
+//! a diagnostic; it also re-checks the facts against the final role
+//! assignment (facts on derived predicates would be caught at
+//! `Database::assert_fact` time on the strict path, which lint never runs).
+
+use super::{AnalysisInput, Diagnostic, Label, Pass};
+use crate::error::SchemaError;
+
+/// The schema-role pass.
+pub struct SchemaCheck;
+
+impl Pass for SchemaCheck {
+    fn name(&self) -> &'static str {
+        "schema-roles"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        for err in input.schema_errors {
+            out.push(match err {
+                SchemaError::RoleConflict { pred, detail } => {
+                    let mut d = Diagnostic::error(
+                        "E003",
+                        format!("conflicting declarations for `{pred}`: {detail}"),
+                    )
+                    .with_help(
+                        "base and derived predicates are disjoint (§2); \
+                         drop either the declaration or the rules",
+                    );
+                    // Point at the first head occurrence, if any was parsed.
+                    if let Some(rule) = input
+                        .program
+                        .rules()
+                        .iter()
+                        .find(|r| r.head.pred == *pred && r.head.span.is_some())
+                    {
+                        if let Some(l) = Label::of_atom(&rule.head, "defined by a rule here") {
+                            d = d.with_primary(l);
+                        }
+                    }
+                    d
+                }
+                SchemaError::FactOnDerivedPredicate(pred) => Diagnostic::error(
+                    "E004",
+                    format!("fact asserted on derived predicate `{pred}` (§2)"),
+                ),
+                // The lenient build does not produce the remaining variants,
+                // but surface them faithfully if an embedder injects them.
+                SchemaError::NotAllowed { rule, var } => Diagnostic::error(
+                    "E001",
+                    format!("rule `{rule}` is not allowed: `{var}` has no positive occurrence"),
+                ),
+                SchemaError::NotStratifiable(pred) => Diagnostic::error(
+                    "E002",
+                    format!("program is not stratifiable: `{pred}` depends negatively on itself"),
+                ),
+                SchemaError::ArityMismatch { pred, got } => Diagnostic::error(
+                    "E003",
+                    format!("arity mismatch: `{pred}` used with {got} arguments"),
+                ),
+            });
+        }
+
+        // Facts on derived predicates (strict path: assert_fact error).
+        for fact in input.facts {
+            if input.program.is_derived(fact.pred) {
+                out.push(
+                    Diagnostic::error(
+                        "E004",
+                        format!(
+                            "fact asserted on derived predicate `{}`; base and derived \
+                             predicates are disjoint (§2)",
+                            fact.pred
+                        ),
+                    )
+                    .at_atom(fact, "this fact's predicate is defined by rules")
+                    .with_help("store it in a base relation and derive the view from that"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::analyze_source;
+
+    #[test]
+    fn base_declared_pred_in_head_is_e003() {
+        let a = analyze_source("#base works/1.\nworks(X) :- la(X).\n");
+        let d = a.diagnostics.iter().find(|d| d.code == "E003").unwrap();
+        assert!(d.message.contains("works/1"), "{}", d.message);
+        let span = d.primary.as_ref().unwrap().span;
+        assert_eq!((span.line, span.col), (2, 1));
+    }
+
+    #[test]
+    fn fact_on_derived_pred_is_e004() {
+        let a = analyze_source("v(a).\nv(X) :- b(X).\n");
+        let d = a.diagnostics.iter().find(|d| d.code == "E004").unwrap();
+        let span = d.primary.as_ref().unwrap().span;
+        assert_eq!((span.line, span.col), (1, 1));
+    }
+
+    #[test]
+    fn conflicting_directives_collected_not_fatal() {
+        let a = analyze_source("#view v/1.\n#cond v/1.\nv(X) :- b(X).\n");
+        assert!(
+            a.program.is_some(),
+            "lenient front end still built a program"
+        );
+        assert!(a.diagnostics.iter().any(|d| d.code == "E003"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Pass: stratifiable negation — code `E002`.
+//!
+//! A program is stratifiable iff no predicate depends *negatively* on
+//! itself through a cycle; the engines compute the perfect model stratum by
+//! stratum and reject anything else. The strict check lives in
+//! [`crate::stratify::Stratification::compute`] (unchanged, still used by the
+//! evaluators); this pass re-runs the same SCC condition but reports *every*
+//! offending negative edge, pointing at the negated body literals.
+
+use super::{AnalysisInput, Diagnostic, Label, Pass};
+use crate::depgraph::{DepGraph, EdgeSign};
+use std::collections::BTreeSet;
+
+/// The stratification pass.
+pub struct StratificationCheck;
+
+impl Pass for StratificationCheck {
+    fn name(&self) -> &'static str {
+        "stratification"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let graph = DepGraph::build(input.program);
+        // Every SCC with an internal negative edge breaks stratification.
+        for comp in graph.sccs() {
+            let members: BTreeSet<_> = comp.iter().copied().collect();
+            let has_negative_cycle = comp.iter().any(|&p| {
+                graph
+                    .deps(p)
+                    .any(|(q, sign)| sign == EdgeSign::Negative && members.contains(&q))
+            });
+            if !has_negative_cycle {
+                continue;
+            }
+            // Point at every negated literal inside the component.
+            let mut labels = Vec::new();
+            for rule in input.program.rules() {
+                if !members.contains(&rule.head.pred) {
+                    continue;
+                }
+                for lit in &rule.body {
+                    if !lit.positive && members.contains(&lit.atom.pred) {
+                        if let Some(l) = Label::of_atom(
+                            &lit.atom,
+                            format!("`{}` negated inside its own cycle", lit.atom.pred.name),
+                        ) {
+                            labels.push(l);
+                        }
+                    }
+                }
+            }
+            let cycle: Vec<String> = comp.iter().map(|p| format!("`{}`", p.name)).collect();
+            let mut d = Diagnostic::error(
+                "E002",
+                format!(
+                    "program is not stratifiable: {} depend{} negatively on {}",
+                    cycle.join(", "),
+                    if cycle.len() == 1 { "s" } else { "" },
+                    if cycle.len() == 1 {
+                        "itself"
+                    } else {
+                        "each other"
+                    },
+                ),
+            )
+            .with_help("break the cycle or move the negation onto a predicate of a lower stratum");
+            let mut labels = labels.into_iter();
+            if let Some(first) = labels.next() {
+                d = d.with_primary(first);
+            }
+            for l in labels {
+                d = d.with_secondary(l);
+            }
+            out.push(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::analyze_source;
+
+    #[test]
+    fn negative_cycle_reported_with_span() {
+        let a = analyze_source("p(X) :- q(X), not r(X).\nr(X) :- p(X).\n");
+        let d = a.diagnostics.iter().find(|d| d.code == "E002").unwrap();
+        assert!(d.message.contains("not stratifiable"), "{}", d.message);
+        let span = d.primary.as_ref().unwrap().span;
+        assert_eq!((span.line, span.col), (1, 19)); // the `r(X)` under `not`
+    }
+
+    #[test]
+    fn two_independent_cycles_two_diagnostics() {
+        let a = analyze_source(
+            "p(X) :- a(X), not q(X).\nq(X) :- p(X).\n\
+             s(X) :- a(X), not t(X).\nt(X) :- s(X).\n",
+        );
+        assert_eq!(
+            a.diagnostics.iter().filter(|d| d.code == "E002").count(),
+            2,
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    #[test]
+    fn stratified_negation_silent() {
+        let a = analyze_source("q(X) :- b(X).\np(X) :- b(X), not q(X).\n");
+        assert!(a.diagnostics.iter().all(|d| d.code != "E002"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Pass: singleton variables — code `W001`.
+//!
+//! A variable occurring exactly once in its rule constrains nothing and is
+//! usually a typo (`employe` vs `employee` in an argument, or a join that
+//! was meant to be on the same variable). Prolog tradition: warn, unless
+//! the name starts with `_` (the parser already renames the anonymous `_`
+//! to fresh `_Anon…` variables).
+//!
+//! Only rules parsed from source are checked (`Rule::span()` present):
+//! synthesized rules — e.g. the global `ic` rules, whose `Gic…` arguments
+//! are singletons by construction — and API-built rules are exempt.
+
+use super::{AnalysisInput, Diagnostic, Label, Pass};
+use crate::ast::{Rule, Term, Var};
+use std::collections::BTreeMap;
+
+/// The singleton-variable pass.
+pub struct SingletonVariables;
+
+/// Occurrence counts, with the atom of the first occurrence for the span.
+fn occurrences(rule: &Rule) -> BTreeMap<Var, (usize, &crate::ast::Atom)> {
+    let mut counts: BTreeMap<Var, (usize, &crate::ast::Atom)> = BTreeMap::new();
+    let atoms = std::iter::once(&rule.head).chain(rule.body.iter().map(|l| &l.atom));
+    for atom in atoms {
+        for t in &atom.terms {
+            if let Term::Var(v) = t {
+                counts
+                    .entry(*v)
+                    .and_modify(|(n, _)| *n += 1)
+                    .or_insert((1, atom));
+            }
+        }
+    }
+    counts
+}
+
+impl Pass for SingletonVariables {
+    fn name(&self) -> &'static str {
+        "singleton-variables"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        for rule in input.program.rules() {
+            if rule.span().is_none() {
+                continue; // synthesized or API-built
+            }
+            for (var, (count, atom)) in occurrences(rule) {
+                if count != 1 || var.name().as_str().starts_with('_') {
+                    continue;
+                }
+                let mut d = Diagnostic::warning(
+                    "W001",
+                    format!(
+                        "singleton variable `{var}` in rule for `{}`",
+                        rule.head.pred
+                    ),
+                )
+                .with_help(format!(
+                    "`{var}` joins with nothing; use `_` if a don't-care was intended"
+                ));
+                if let Some(l) = Label::of_atom(atom, format!("`{var}` occurs only here")) {
+                    d = d.with_primary(l);
+                }
+                out.push(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::analyze_source;
+
+    #[test]
+    fn singleton_flagged_with_span() {
+        let a = analyze_source("v(X) :- la(X), q(W).\n");
+        let d = a.diagnostics.iter().find(|d| d.code == "W001").unwrap();
+        assert!(d.message.contains('W'), "{}", d.message);
+        let span = d.primary.as_ref().unwrap().span;
+        assert_eq!((span.line, span.col), (1, 16)); // the `q(W)` atom
+    }
+
+    #[test]
+    fn anonymous_variable_exempt() {
+        let a = analyze_source("v(X) :- la(X), q(_).\n");
+        assert!(a.diagnostics.iter().all(|d| d.code != "W001"));
+    }
+
+    #[test]
+    fn repeated_variables_silent() {
+        let a = analyze_source("v(X) :- la(X), q(X).\n");
+        assert!(a.diagnostics.iter().all(|d| d.code != "W001"));
+    }
+
+    #[test]
+    fn synthesized_global_ic_rules_exempt() {
+        // The denial's ic1 and the synthesized `ic :- ic1` carry Gic-style
+        // singletons by construction; only real source singletons count.
+        let a = analyze_source(":- unemp(X), not works(X).\nunemp(X) :- la(X).\n");
+        assert!(
+            a.diagnostics.iter().all(|d| d.code != "W001"),
+            "{:?}",
+            a.diagnostics
+        );
+    }
+
+    #[test]
+    fn singleton_in_denial_flagged() {
+        // `:- p(X)` — X constrains nothing; `:- p(_)` is the idiom.
+        let a = analyze_source("p(a).\n:- p(X), q(Y).\n");
+        assert!(a.diagnostics.iter().filter(|d| d.code == "W001").count() >= 2);
+    }
+}

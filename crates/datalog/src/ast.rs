@@ -2,6 +2,7 @@
 //! function-free first-order terms, atoms, literals, deductive rules and
 //! integrity constraints in denial form.
 
+use crate::error::Span;
 use crate::symbol::Sym;
 use std::fmt;
 
@@ -175,12 +176,48 @@ impl fmt::Display for Pred {
 }
 
 /// An atom `P(t1, ..., tm)`.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+///
+/// Atoms parsed from source carry the [`Span`] of their predicate name so
+/// diagnostics can point back at the text; the span is *metadata* and is
+/// ignored by equality, ordering and hashing (two atoms from different
+/// source positions are still the same atom).
+#[derive(Clone, Debug)]
 pub struct Atom {
     /// The predicate symbol (name + arity; `terms.len() == pred.arity`).
     pub pred: Pred,
     /// Argument terms.
     pub terms: Vec<Term>,
+    /// Source position of the predicate name, when parsed from text.
+    pub span: Option<Span>,
+}
+
+impl PartialEq for Atom {
+    fn eq(&self, other: &Atom) -> bool {
+        self.pred == other.pred && self.terms == other.terms
+    }
+}
+
+impl Eq for Atom {}
+
+impl std::hash::Hash for Atom {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.pred.hash(state);
+        self.terms.hash(state);
+    }
+}
+
+impl PartialOrd for Atom {
+    fn partial_cmp(&self, other: &Atom) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Atom {
+    fn cmp(&self, other: &Atom) -> std::cmp::Ordering {
+        self.pred
+            .cmp(&other.pred)
+            .then_with(|| self.terms.cmp(&other.terms))
+    }
 }
 
 impl Atom {
@@ -189,7 +226,14 @@ impl Atom {
         Atom {
             pred: Pred::new(name, terms.len()),
             terms,
+            span: None,
         }
+    }
+
+    /// Attaches a source span (builder style, used by the parser).
+    pub fn with_span(mut self, span: Span) -> Atom {
+        self.span = Some(span);
+        self
     }
 
     /// Creates a ground atom from constants.
@@ -296,6 +340,15 @@ impl Rule {
     /// Creates a rule.
     pub fn new(head: Atom, body: Vec<Literal>) -> Rule {
         Rule { head, body }
+    }
+
+    /// The rule's source position: the head atom's span if it has one
+    /// (denials get the span of their `:-`), otherwise the first body
+    /// atom's. `None` for rules built through the API.
+    pub fn span(&self) -> Option<Span> {
+        self.head
+            .span
+            .or_else(|| self.body.iter().find_map(|l| l.atom.span))
     }
 
     /// All variables occurring in the rule (head and body), in order of

@@ -41,7 +41,10 @@ impl DepGraph {
                     EdgeSign::Negative
                 };
                 g.nodes.insert(lit.atom.pred);
-                g.edges.entry(head).or_default().insert((lit.atom.pred, sign));
+                g.edges
+                    .entry(head)
+                    .or_default()
+                    .insert((lit.atom.pred, sign));
             }
         }
         g

@@ -81,7 +81,10 @@ impl fmt::Display for SchemaError {
                 )
             }
             SchemaError::NotStratifiable(p) => {
-                write!(f, "program is not stratifiable: {p} depends negatively on itself")
+                write!(
+                    f,
+                    "program is not stratifiable: {p} depends negatively on itself"
+                )
             }
             SchemaError::RoleConflict { pred, detail } => {
                 write!(f, "conflicting declarations for {pred}: {detail}")

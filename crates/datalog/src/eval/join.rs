@@ -61,10 +61,7 @@ pub fn ground_terms(terms: &[Term], b: &Bindings) -> Option<Tuple> {
 
 /// Number of arguments that are ground under `b`.
 fn bound_count(terms: &[Term], b: &Bindings) -> usize {
-    terms
-        .iter()
-        .filter(|&&t| resolve(t, b).is_ground())
-        .count()
+    terms.iter().filter(|&&t| resolve(t, b).is_ground()).count()
 }
 
 /// Extends `b` by matching `terms` against a concrete `tuple`, handling
@@ -165,8 +162,7 @@ pub fn eval_conjunct<'a, L: JoinLit>(
         let i = remaining.remove(0);
         let rel = rel_of(i);
         frontier.retain(|b| {
-            !rel
-                .select(&pattern(lits[i].terms(), b))
+            !rel.select(&pattern(lits[i].terms(), b))
                 .iter()
                 .any(|t| match_tuple(lits[i].terms(), t, b).is_some())
         });

@@ -3,8 +3,8 @@
 
 pub mod join;
 pub mod naive;
-pub mod topdown;
 pub mod seminaive;
+pub mod topdown;
 
 use crate::ast::Pred;
 use crate::error::Error;
@@ -205,8 +205,14 @@ mod tests {
         let full = materialize(&db).unwrap();
         let part = materialize_for(&db, &[Pred::new("w", 1)], Strategy::SemiNaive).unwrap();
         // w and its dependency v computed, and equal to the full model.
-        assert_eq!(part.relation(Pred::new("w", 1)), full.relation(Pred::new("w", 1)));
-        assert_eq!(part.relation(Pred::new("v", 1)), full.relation(Pred::new("v", 1)));
+        assert_eq!(
+            part.relation(Pred::new("w", 1)),
+            full.relation(Pred::new("w", 1))
+        );
+        assert_eq!(
+            part.relation(Pred::new("v", 1)),
+            full.relation(Pred::new("v", 1))
+        );
         // unrelated was skipped.
         assert!(part.relation(Pred::new("unrelated", 1)).is_empty());
         assert!(!full.relation(Pred::new("unrelated", 1)).is_empty());

@@ -50,7 +50,11 @@ pub fn eval_component(
         }
         let mut changed = false;
         for (pred, tuple) in fresh {
-            if current.get_mut(&pred).expect("component pred").insert(tuple) {
+            if current
+                .get_mut(&pred)
+                .expect("component pred")
+                .insert(tuple)
+            {
                 changed = true;
             }
         }

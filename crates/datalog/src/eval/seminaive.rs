@@ -27,10 +27,7 @@ pub fn eval_component(
     let mut current: BTreeMap<Pred, Relation> =
         members.iter().map(|&p| (p, Relation::new())).collect();
 
-    let rules: Vec<&Rule> = members
-        .iter()
-        .flat_map(|&p| program.rules_for(p))
-        .collect();
+    let rules: Vec<&Rule> = members.iter().flat_map(|&p| program.rules_for(p)).collect();
 
     // Round 0: full evaluation (recursive predicates are empty, so this
     // costs the same as the non-recursive case).

@@ -77,10 +77,7 @@ impl<'a> TopDown<'a> {
         safety::check_program(db.program())?;
         Stratification::compute(db.program())?;
         let graph = DepGraph::build(db.program());
-        let recursive = graph
-            .nodes()
-            .filter(|&p| graph.is_recursive(p))
-            .collect();
+        let recursive = graph.nodes().filter(|&p| graph.is_recursive(p)).collect();
         Ok(TopDown {
             db,
             recursive,
@@ -125,6 +122,7 @@ impl<'a> TopDown<'a> {
             Atom {
                 pred: a.pred,
                 terms: a.terms.iter().map(|&t| rename_term(t)).collect(),
+                span: a.span,
             }
         };
         crate::ast::Rule {
@@ -222,9 +220,9 @@ impl<'a> TopDown<'a> {
 mod tests {
     use super::*;
     use crate::eval::materialize;
+    use crate::eval::StateView;
     use crate::parser::parse_database;
     use crate::query::answers;
-    use crate::eval::StateView;
 
     fn both_ways(src: &str, query: &str) -> (Vec<String>, Vec<String>) {
         let db = parse_database(src).unwrap();
@@ -279,10 +277,7 @@ mod tests {
 
     #[test]
     fn ground_goal_check() {
-        let db = parse_database(
-            "la(dolors). unemp(X) :- la(X), not works(X).",
-        )
-        .unwrap();
+        let db = parse_database("la(dolors). unemp(X) :- la(X), not works(X).").unwrap();
         let td = TopDown::new(&db).unwrap();
         let yes = Atom::ground("unemp", vec![crate::ast::Const::sym("dolors")]);
         let no = Atom::ground("unemp", vec![crate::ast::Const::sym("ghost")]);
@@ -292,10 +287,7 @@ mod tests {
 
     #[test]
     fn multi_rule_union() {
-        let (b, t) = both_ways(
-            "a(x). b(y). v(X) :- a(X). v(X) :- b(X).",
-            "v(Z)",
-        );
+        let (b, t) = both_ways("a(x). b(y). v(X) :- a(X). v(X) :- b(X).", "v(Z)");
         assert_eq!(b, t);
         assert_eq!(b.len(), 2);
     }
@@ -325,10 +317,8 @@ mod tests {
 
     #[test]
     fn recursive_predicate_rejected() {
-        let db = parse_database(
-            "e(a, b). tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
-        )
-        .unwrap();
+        let db =
+            parse_database("e(a, b). tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).").unwrap();
         let td = TopDown::new(&db).unwrap();
         let goal = Atom::new("tc", vec![Term::var("X"), Term::var("Y")]);
         assert!(td.solve(&goal).is_err());

@@ -11,6 +11,8 @@
 //! * the AST and a parser for a small surface language ([`parser`]);
 //! * predicate roles and program assembly ([`schema`]);
 //! * the *allowedness* (range restriction) check of §2 ([`safety`]);
+//! * a multi-pass static analyzer with span-accurate diagnostics
+//!   ([`analysis`]);
 //! * dependency analysis and stratification ([`depgraph`], [`stratify`]);
 //! * extensional storage ([`storage`]);
 //! * naive and semi-naive bottom-up evaluation of the perfect model
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analysis;
 pub mod ast;
 pub mod depgraph;
 pub mod error;

@@ -129,6 +129,7 @@ pub fn query(db: &Database, query: &Atom) -> Result<MagicAnswers, Error> {
             let magic_lit = Literal::pos(Atom {
                 pred: magic_pred(p, &ad),
                 terms: magic_head_args,
+                span: None,
             });
 
             let mut new_body: Vec<Literal> = vec![magic_lit.clone()];
@@ -151,10 +152,8 @@ pub fn query(db: &Database, query: &Atom) -> Result<MagicAnswers, Error> {
                     // before this literal.
                     let magic_q = Atom {
                         pred: magic_pred(q, &q_ad),
-                        terms: q_ad
-                            .bound_positions()
-                            .map(|i| lit.atom.terms[i])
-                            .collect(),
+                        terms: q_ad.bound_positions().map(|i| lit.atom.terms[i]).collect(),
+                        span: None,
                     };
                     rewritten.rule(Rule::new(magic_q, magic_prefix.clone()));
                     if seen.insert((q, q_ad.clone())) {
@@ -164,6 +163,7 @@ pub fn query(db: &Database, query: &Atom) -> Result<MagicAnswers, Error> {
                     let adorned = Literal::pos(Atom {
                         pred: adorned_pred(q, &q_ad),
                         terms: lit.atom.terms.clone(),
+                        span: None,
                     });
                     new_body.push(adorned.clone());
                     magic_prefix.push(adorned);
@@ -178,6 +178,7 @@ pub fn query(db: &Database, query: &Atom) -> Result<MagicAnswers, Error> {
                 Atom {
                     pred: adorned_pred(p, &ad),
                     terms: rule.head.terms.clone(),
+                    span: None,
                 },
                 new_body,
             ));
@@ -192,24 +193,20 @@ pub fn query(db: &Database, query: &Atom) -> Result<MagicAnswers, Error> {
         &format!("magicseed_{}_{}", pred.name, query_ad.suffix()),
         bound_n,
     );
-    let seed_vars: Vec<Term> = (0..bound_n)
-        .map(|i| Term::var(&format!("Ms{i}")))
-        .collect();
+    let seed_vars: Vec<Term> = (0..bound_n).map(|i| Term::var(&format!("Ms{i}"))).collect();
     rewritten.rule(Rule::new(
         Atom {
             pred: magic_pred(pred, &query_ad),
             terms: seed_vars.clone(),
+            span: None,
         },
         vec![Literal::pos(Atom {
             pred: seed_base,
             terms: seed_vars,
+            span: None,
         })],
     ));
-    let seed: Tuple = query
-        .terms
-        .iter()
-        .filter_map(|t| t.as_const())
-        .collect();
+    let seed: Tuple = query.terms.iter().filter_map(|t| t.as_const()).collect();
 
     let rewritten = rewritten.build()?;
     let mut magic_db = db.with_program(rewritten)?;
@@ -222,14 +219,13 @@ pub fn query(db: &Database, query: &Atom) -> Result<MagicAnswers, Error> {
     let lits = [Literal::pos(Atom {
         pred: goal,
         terms: query.terms.clone(),
+        span: None,
     })];
     let rel = interp.relation(goal);
     let rel_of = |_: usize| rel;
     let tuples = crate::eval::join::eval_conjunct(&lits, &rel_of, &Bindings::new())
         .into_iter()
-        .map(|b| {
-            crate::eval::join::ground_terms(&query.terms, &b).expect("query bindings ground")
-        })
+        .map(|b| crate::eval::join::ground_terms(&query.terms, &b).expect("query bindings ground"))
         .collect::<BTreeSet<Tuple>>()
         .into_iter()
         .collect();

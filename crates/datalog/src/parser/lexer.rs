@@ -108,50 +108,83 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             '(' => {
                 bump!();
-                out.push(Spanned { tok: Tok::LParen, span });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    span,
+                });
             }
             ')' => {
                 bump!();
-                out.push(Spanned { tok: Tok::RParen, span });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    span,
+                });
             }
             '{' => {
                 bump!();
-                out.push(Spanned { tok: Tok::LBrace, span });
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    span,
+                });
             }
             '}' => {
                 bump!();
-                out.push(Spanned { tok: Tok::RBrace, span });
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    span,
+                });
             }
             ',' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Comma, span });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    span,
+                });
             }
             '.' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Dot, span });
+                out.push(Spanned {
+                    tok: Tok::Dot,
+                    span,
+                });
             }
             '+' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Plus, span });
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    span,
+                });
             }
             '-' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Minus, span });
+                out.push(Spanned {
+                    tok: Tok::Minus,
+                    span,
+                });
             }
             '#' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Hash, span });
+                out.push(Spanned {
+                    tok: Tok::Hash,
+                    span,
+                });
             }
             '/' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Slash, span });
+                out.push(Spanned {
+                    tok: Tok::Slash,
+                    span,
+                });
             }
             ':' => {
                 bump!();
                 match chars.peek() {
                     Some('-') => {
                         bump!();
-                        out.push(Spanned { tok: Tok::Implies, span });
+                        out.push(Spanned {
+                            tok: Tok::Implies,
+                            span,
+                        });
                     }
                     _ => {
                         return Err(ParseError {
@@ -176,7 +209,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                         }
                     }
                 }
-                out.push(Spanned { tok: Tok::Quoted(s), span });
+                out.push(Spanned {
+                    tok: Tok::Quoted(s),
+                    span,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut s = String::new();
@@ -192,7 +228,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                     span,
                     message: format!("integer literal `{s}` out of range"),
                 })?;
-                out.push(Spanned { tok: Tok::Int(val), span });
+                out.push(Spanned {
+                    tok: Tok::Int(val),
+                    span,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -204,8 +243,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                         break;
                     }
                 }
-                let tok = if s.starts_with(|c: char| c.is_ascii_uppercase()) || s.starts_with('_')
-                {
+                let tok = if s.starts_with(|c: char| c.is_ascii_uppercase()) || s.starts_with('_') {
                     Tok::Var(s)
                 } else {
                     Tok::Ident(s)
@@ -258,10 +296,10 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(toks("% hello\np. % trailing\n"), vec![
-            Tok::Ident("p".into()),
-            Tok::Dot
-        ]);
+        assert_eq!(
+            toks("% hello\np. % trailing\n"),
+            vec![Tok::Ident("p".into()), Tok::Dot]
+        );
     }
 
     #[test]

@@ -24,8 +24,8 @@
 pub mod lexer;
 
 use crate::ast::{Atom, Const, Literal, Pred, Rule, Term};
-use crate::error::{Error, ParseError, Span};
-use crate::schema::{DerivedRole, Program, Role};
+use crate::error::{Error, ParseError, SchemaError, Span};
+use crate::schema::{DerivedRole, Program, ProgramBuilder, Role};
 use crate::storage::database::Database;
 use lexer::{lex, Spanned, Tok};
 
@@ -152,6 +152,7 @@ impl Parser {
     }
 
     fn atom(&mut self, fresh: &mut u32) -> Result<Atom, ParseError> {
+        let span = self.span();
         let name = self.ident()?;
         let mut terms = Vec::new();
         if self.peek() == Some(&Tok::LParen) {
@@ -170,7 +171,7 @@ impl Parser {
                 }
             }
         }
-        Ok(Atom::new(&name, terms))
+        Ok(Atom::new(&name, terms).with_span(span))
     }
 
     fn literal(&mut self, fresh: &mut u32) -> Result<Literal, ParseError> {
@@ -194,7 +195,8 @@ impl Parser {
 
     fn directive(
         &mut self,
-        builder: &mut crate::schema::ProgramBuilder,
+        builder: &mut ProgramBuilder,
+        lenient: Option<&mut Vec<SchemaError>>,
     ) -> Result<(), Error> {
         self.expect(&Tok::Hash)?;
         let kind = self.ident()?;
@@ -213,7 +215,12 @@ impl Parser {
                     "cond" => Role::Derived(DerivedRole::Cond),
                     _ => unreachable!(),
                 };
-                builder.declare(Pred::new(&name, arity), role)?;
+                if let Err(e) = builder.declare(Pred::new(&name, arity), role) {
+                    match lenient {
+                        Some(errors) => errors.push(e),
+                        None => return Err(e.into()),
+                    }
+                }
             }
             "domain" => {
                 // `#domain {a, b}.` (global) or `#domain p/1 {a, b}.`
@@ -266,8 +273,25 @@ impl Parser {
     }
 }
 
-/// Parses a database source (program + facts).
-pub fn parse_program(src: &str) -> Result<ParseOutput, Error> {
+/// Result of the *lenient* front end used by static analysis: a
+/// best-effort program plus every schema error encountered on the way
+/// (role conflicts from directives and from program assembly). Only true
+/// syntax errors abort a lenient parse.
+#[derive(Clone, Debug)]
+pub struct LenientParse {
+    /// Best-effort program and facts (role conflicts recovered).
+    pub output: ParseOutput,
+    /// Schema errors collected instead of failing fast.
+    pub schema_errors: Vec<SchemaError>,
+}
+
+/// Parses items into a builder; in lenient mode declaration conflicts are
+/// pushed onto `errors` instead of aborting.
+fn parse_items(
+    src: &str,
+    lenient: bool,
+    errors: &mut Vec<SchemaError>,
+) -> Result<(ProgramBuilder, Vec<Atom>), Error> {
     let mut p = Parser::new(src)?;
     let mut builder = Program::builder();
     let mut facts = Vec::new();
@@ -275,12 +299,16 @@ pub fn parse_program(src: &str) -> Result<ParseOutput, Error> {
 
     while p.peek().is_some() {
         match p.peek() {
-            Some(Tok::Hash) => p.directive(&mut builder)?,
+            Some(Tok::Hash) => {
+                let collect = lenient.then_some(&mut *errors);
+                p.directive(&mut builder, collect)?
+            }
             Some(Tok::Implies) => {
                 // denial
+                let span = p.span();
                 p.pos += 1;
                 let body = p.body(&mut fresh)?;
-                builder.denial(body);
+                builder.denial_at(Some(span), body);
                 p.expect(&Tok::Dot)?;
             }
             _ => {
@@ -295,9 +323,7 @@ pub fn parse_program(src: &str) -> Result<ParseOutput, Error> {
                     Some(Tok::Dot) => {
                         p.pos += 1;
                         if !head.is_ground() {
-                            return Err(p
-                                .err(format!("fact `{head}` must be ground"))
-                                .into());
+                            return Err(p.err(format!("fact `{head}` must be ground")).into());
                         }
                         facts.push(head);
                     }
@@ -306,9 +332,40 @@ pub fn parse_program(src: &str) -> Result<ParseOutput, Error> {
             }
         }
     }
+    Ok((builder, facts))
+}
 
+/// Parses a database source (program + facts).
+pub fn parse_program(src: &str) -> Result<ParseOutput, Error> {
+    let mut errors = Vec::new();
+    let (builder, facts) = parse_items(src, false, &mut errors)?;
+    debug_assert!(errors.is_empty());
     let program = builder.build()?;
     Ok(ParseOutput { program, facts })
+}
+
+/// Parses a database source without failing on schema errors: directive
+/// and role conflicts are collected, and a best-effort program is built
+/// for analysis. Only syntax errors are fatal.
+pub fn parse_program_lenient(src: &str) -> Result<LenientParse, ParseError> {
+    let mut errors = Vec::new();
+    let (builder, facts) = match parse_items(src, true, &mut errors) {
+        Ok(v) => v,
+        Err(Error::Parse(e)) => return Err(e),
+        // Lenient item parsing only surfaces syntax errors, but stay total.
+        Err(other) => {
+            return Err(ParseError {
+                span: Span { line: 1, col: 1 },
+                message: other.to_string(),
+            })
+        }
+    };
+    let (program, build_errors) = builder.build_lenient();
+    errors.extend(build_errors);
+    Ok(LenientParse {
+        output: ParseOutput { program, facts },
+        schema_errors: errors,
+    })
 }
 
 /// Parses a database source and loads it into a [`Database`].
@@ -396,10 +453,7 @@ mod tests {
             Some(Role::Derived(DerivedRole::Cond))
         );
         assert_eq!(db.program().declared_domain().len(), 3);
-        assert!(db
-            .program()
-            .declared_domain()
-            .contains(&Const::Int(-3)));
+        assert!(db.program().declared_domain().contains(&Const::Int(-3)));
     }
 
     #[test]

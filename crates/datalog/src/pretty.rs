@@ -16,7 +16,13 @@ pub fn program(p: &Program) -> String {
     }
     for (pred, dom) in p.pred_domains() {
         let consts: Vec<String> = dom.iter().map(|c| c.to_string()).collect();
-        let _ = writeln!(out, "#domain {}/{} {{{}}}.", pred.name, pred.arity, consts.join(", "));
+        let _ = writeln!(
+            out,
+            "#domain {}/{} {{{}}}.",
+            pred.name,
+            pred.arity,
+            consts.join(", ")
+        );
     }
     for (pred, role) in p.predicates() {
         let kw = match role {

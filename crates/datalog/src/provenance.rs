@@ -171,7 +171,12 @@ mod tests {
     use crate::parser::parse_database;
     use crate::storage::tuple::syms;
 
-    fn setup(src: &str) -> (crate::storage::database::Database, crate::eval::Interpretation) {
+    fn setup(
+        src: &str,
+    ) -> (
+        crate::storage::database::Database,
+        crate::eval::Interpretation,
+    ) {
         let db = parse_database(src).unwrap();
         let m = materialize(&db).unwrap();
         (db, m)
@@ -182,7 +187,10 @@ mod tests {
         let (db, m) = setup("q(a). p(X) :- q(X).");
         let state = StateView::new(&db, &m);
         let d = explain(state, Pred::new("q", 1), &syms(&["a"])).unwrap();
-        assert_eq!(d, Derivation::Extensional(Atom::ground("q", vec![Const::sym("a")])));
+        assert_eq!(
+            d,
+            Derivation::Extensional(Atom::ground("q", vec![Const::sym("a")]))
+        );
         assert_eq!(d.depth(), 1);
     }
 

@@ -49,7 +49,10 @@ mod tests {
     use crate::parser::parse_database;
     use crate::storage::tuple::syms;
 
-    fn setup() -> (crate::storage::database::Database, crate::eval::Interpretation) {
+    fn setup() -> (
+        crate::storage::database::Database,
+        crate::eval::Interpretation,
+    ) {
         let db = parse_database(
             "la(dolors). la(joan). works(joan).
              unemp(X) :- la(X), not works(X).",

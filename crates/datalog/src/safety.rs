@@ -6,39 +6,24 @@
 //! only to ground atoms, and it is required of the database before and after
 //! every update.
 
-use crate::ast::{Rule, Term, Var};
+use crate::ast::Rule;
 use crate::error::SchemaError;
 use crate::schema::Program;
-use std::collections::BTreeSet;
 
 /// Checks a single rule for allowedness.
+///
+/// Thin strict wrapper over the analysis pass's
+/// [`crate::analysis::allowedness::unallowed_vars`]: reports the first
+/// offending variable as a [`SchemaError`], exactly as before the analysis
+/// engine existed.
 pub fn check_rule(rule: &Rule) -> Result<(), SchemaError> {
-    let mut positive: BTreeSet<Var> = BTreeSet::new();
-    for lit in &rule.body {
-        if lit.positive {
-            positive.extend(lit.atom.vars());
-        }
+    match crate::analysis::allowedness::unallowed_vars(rule).first() {
+        Some(&(var, _)) => Err(SchemaError::NotAllowed {
+            rule: rule.clone(),
+            var,
+        }),
+        None => Ok(()),
     }
-    let check = |terms: &[Term]| -> Result<(), SchemaError> {
-        for t in terms {
-            if let Term::Var(v) = t {
-                if !positive.contains(v) {
-                    return Err(SchemaError::NotAllowed {
-                        rule: rule.clone(),
-                        var: *v,
-                    });
-                }
-            }
-        }
-        Ok(())
-    };
-    check(&rule.head.terms)?;
-    for lit in &rule.body {
-        if !lit.positive {
-            check(&lit.atom.terms)?;
-        }
-    }
-    Ok(())
 }
 
 /// Checks every rule of a program.
@@ -52,7 +37,7 @@ pub fn check_program(program: &Program) -> Result<(), SchemaError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{Atom, Literal};
+    use crate::ast::{Atom, Literal, Term, Var};
 
     fn atom(name: &str, vars: &[&str]) -> Atom {
         Atom::new(name, vars.iter().map(|v| Term::var(v)).collect())

@@ -11,7 +11,7 @@
 use crate::ast::{Atom, Pred, Rule, Term, Var};
 use crate::error::SchemaError;
 use crate::symbol::Sym;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{btree_map, BTreeMap, BTreeSet};
 
 /// Concrete semantics of a derived predicate (§5).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -47,6 +47,7 @@ pub const GLOBAL_IC: &str = "ic";
 pub struct Program {
     rules: Vec<Rule>,
     roles: BTreeMap<Pred, Role>,
+    declared: BTreeSet<Pred>,
     declared_domain: BTreeSet<crate::ast::Const>,
     pred_domains: BTreeMap<Pred, BTreeSet<crate::ast::Const>>,
 }
@@ -104,6 +105,15 @@ impl Program {
         self.roles.contains_key(&p).then_some(p)
     }
 
+    /// Predicates whose role was declared *explicitly* — `#base`/`#view`/
+    /// `#ic`/`#cond` directives, API [`ProgramBuilder::declare`] calls, and
+    /// denial-synthesized inconsistency predicates — as opposed to roles
+    /// inferred from rule positions. Static analysis treats these as
+    /// intentional entry points.
+    pub fn declared_preds(&self) -> &BTreeSet<Pred> {
+        &self.declared
+    }
+
     /// Constants added to the finite domain by `#domain` directives.
     pub fn declared_domain(&self) -> &BTreeSet<crate::ast::Const> {
         &self.declared_domain
@@ -117,9 +127,7 @@ impl Program {
     }
 
     /// All per-predicate domain declarations.
-    pub fn pred_domains(
-        &self,
-    ) -> impl Iterator<Item = (Pred, &BTreeSet<crate::ast::Const>)> + '_ {
+    pub fn pred_domains(&self) -> impl Iterator<Item = (Pred, &BTreeSet<crate::ast::Const>)> + '_ {
         self.pred_domains.iter().map(|(&p, s)| (p, s))
     }
 
@@ -127,7 +135,12 @@ impl Program {
     pub fn rule_constants(&self) -> BTreeSet<crate::ast::Const> {
         let mut out = BTreeSet::new();
         for r in &self.rules {
-            for t in r.head.terms.iter().chain(r.body.iter().flat_map(|l| l.atom.terms.iter())) {
+            for t in r
+                .head
+                .terms
+                .iter()
+                .chain(r.body.iter().flat_map(|l| l.atom.terms.iter()))
+            {
                 if let Term::Const(c) = t {
                     out.insert(*c);
                 }
@@ -162,9 +175,21 @@ impl ProgramBuilder {
     /// (the paper's rewrite of denials into integrity rules). Returns the
     /// synthesized head predicate.
     pub fn denial(&mut self, body: Vec<crate::ast::Literal>) -> Pred {
+        self.denial_at(None, body)
+    }
+
+    /// Like [`ProgramBuilder::denial`], but records a source span on the
+    /// synthesized head (the parser passes the span of the `:-`), so
+    /// diagnostics about the integrity rule can point at the denial.
+    pub fn denial_at(
+        &mut self,
+        span: Option<crate::error::Span>,
+        body: Vec<crate::ast::Literal>,
+    ) -> Pred {
         self.anon_ic_count += 1;
         let name = format!("ic{}", self.anon_ic_count);
-        let head = Atom::new(&name, vec![]);
+        let mut head = Atom::new(&name, vec![]);
+        head.span = span;
         let pred = head.pred;
         self.declared.insert(pred, Role::Derived(DerivedRole::Ic));
         self.rules.push(Rule::new(head, body));
@@ -207,7 +232,26 @@ impl ProgramBuilder {
     /// when integrity constraints exist — synthesizes the global
     /// inconsistency predicate `ic` with one rule `ic :- ic_k(X1, ..., Xn)`
     /// per inconsistency predicate (§5).
-    pub fn build(mut self) -> Result<Program, SchemaError> {
+    pub fn build(self) -> Result<Program, SchemaError> {
+        let (program, mut errors) = self.build_lenient();
+        if errors.is_empty() {
+            Ok(program)
+        } else {
+            Err(errors.remove(0))
+        }
+    }
+
+    /// Like [`ProgramBuilder::build`], but never fails: role conflicts are
+    /// *collected* instead of aborting the build, and a best-effort program
+    /// is produced alongside them (head occurrences win over conflicting
+    /// declarations). This is the entry point of the static-analysis
+    /// pipeline, which wants every problem at once; [`ProgramBuilder::build`]
+    /// is the strict wrapper returning the first collected error.
+    pub fn build_lenient(mut self) -> (Program, Vec<SchemaError>) {
+        let mut errors = Vec::new();
+        // Predicates whose role conflict was already reported; recovery can
+        // otherwise surface the same conflict from several build stages.
+        let mut reported: BTreeSet<Pred> = BTreeSet::new();
         let mut roles: BTreeMap<Pred, Role> = BTreeMap::new();
 
         // Heads are derived.
@@ -215,10 +259,18 @@ impl ProgramBuilder {
             let pred = rule.head.pred;
             let inferred = match self.declared.get(&pred) {
                 Some(Role::Base) => {
-                    return Err(SchemaError::RoleConflict {
-                        pred,
-                        detail: "declared base but appears in a rule head".into(),
-                    })
+                    if reported.insert(pred) {
+                        errors.push(SchemaError::RoleConflict {
+                            pred,
+                            detail: "declared base but appears in a rule head".into(),
+                        });
+                    }
+                    // Recover as if undeclared: the head occurrence wins.
+                    if pred.name.as_str().starts_with("ic") {
+                        Role::Derived(DerivedRole::Ic)
+                    } else {
+                        Role::Derived(DerivedRole::View)
+                    }
                 }
                 Some(r @ Role::Derived(_)) => *r,
                 None => {
@@ -229,15 +281,19 @@ impl ProgramBuilder {
                     }
                 }
             };
-            if let Some(prev) = roles.get(&pred) {
-                if *prev != inferred {
-                    return Err(SchemaError::RoleConflict {
-                        pred,
-                        detail: format!("inferred both {prev:?} and {inferred:?}"),
-                    });
+            match roles.get(&pred) {
+                Some(prev) if *prev != inferred => {
+                    if reported.insert(pred) {
+                        errors.push(SchemaError::RoleConflict {
+                            pred,
+                            detail: format!("inferred both {prev:?} and {inferred:?}"),
+                        });
+                    }
+                }
+                _ => {
+                    roles.insert(pred, inferred);
                 }
             }
-            roles.insert(pred, inferred);
         }
 
         // Body-only predicates are base unless declared otherwise.
@@ -254,10 +310,12 @@ impl ProgramBuilder {
         for (&pred, &role) in &self.declared {
             match roles.get(&pred) {
                 Some(existing) if *existing != role => {
-                    return Err(SchemaError::RoleConflict {
-                        pred,
-                        detail: format!("declared {role:?} but inferred {existing:?}"),
-                    })
+                    if reported.insert(pred) {
+                        errors.push(SchemaError::RoleConflict {
+                            pred,
+                            detail: format!("declared {role:?} but inferred {existing:?}"),
+                        });
+                    }
                 }
                 _ => {
                     roles.insert(pred, role);
@@ -272,33 +330,45 @@ impl ProgramBuilder {
             .collect();
         let global = Pred::new(GLOBAL_IC, 0);
         if !ic_preds.is_empty() && !ic_preds.contains(&global) {
-            if roles.contains_key(&global) {
-                return Err(SchemaError::RoleConflict {
-                    pred: global,
-                    detail: "`ic/0` is reserved for the global inconsistency predicate".into(),
-                });
+            match roles.entry(global) {
+                btree_map::Entry::Occupied(_) => {
+                    if reported.insert(global) {
+                        errors.push(SchemaError::RoleConflict {
+                            pred: global,
+                            detail: "`ic/0` is reserved for the global inconsistency predicate"
+                                .into(),
+                        });
+                    }
+                }
+                btree_map::Entry::Vacant(slot) => {
+                    for icp in &ic_preds {
+                        let vars: Vec<Term> = (0..icp.arity)
+                            .map(|i| Term::Var(Var(Sym::new(&format!("Gic{i}")))))
+                            .collect();
+                        self.rules.push(Rule::new(
+                            Atom::new(GLOBAL_IC, vec![]),
+                            vec![crate::ast::Literal::pos(Atom {
+                                pred: *icp,
+                                terms: vars,
+                                span: None,
+                            })],
+                        ));
+                    }
+                    slot.insert(Role::Derived(DerivedRole::Ic));
+                }
             }
-            for icp in &ic_preds {
-                let vars: Vec<Term> = (0..icp.arity)
-                    .map(|i| Term::Var(Var(Sym::new(&format!("Gic{i}")))))
-                    .collect();
-                self.rules.push(Rule::new(
-                    Atom::new(GLOBAL_IC, vec![]),
-                    vec![crate::ast::Literal::pos(Atom {
-                        pred: *icp,
-                        terms: vars,
-                    })],
-                ));
-            }
-            roles.insert(global, Role::Derived(DerivedRole::Ic));
         }
 
-        Ok(Program {
-            rules: self.rules,
-            roles,
-            declared_domain: self.declared_domain,
-            pred_domains: self.pred_domains,
-        })
+        (
+            Program {
+                rules: self.rules,
+                roles,
+                declared: self.declared.keys().copied().collect(),
+                declared_domain: self.declared_domain,
+                pred_domains: self.pred_domains,
+            },
+            errors,
+        )
     }
 }
 
@@ -337,11 +407,8 @@ mod tests {
             Atom::new("ic1", vec![]),
             vec![Literal::pos(atom("unemp", &["X"]))],
         ));
-        b.declare(
-            Pred::new("unemp", 1),
-            Role::Derived(DerivedRole::View),
-        )
-        .unwrap();
+        b.declare(Pred::new("unemp", 1), Role::Derived(DerivedRole::View))
+            .unwrap();
         b.rule(Rule::new(
             atom("unemp", &["X"]),
             vec![Literal::pos(atom("la", &["X"]))],
@@ -353,7 +420,10 @@ mod tests {
         );
         let global = p.global_ic().expect("global ic");
         assert_eq!(p.rules_for(global).len(), 1);
-        assert_eq!(p.rules_for(global)[0].body[0].atom.pred, Pred::new("ic1", 0));
+        assert_eq!(
+            p.rules_for(global)[0].body[0].atom.pred,
+            Pred::new("ic1", 0)
+        );
     }
 
     #[test]
@@ -376,10 +446,7 @@ mod tests {
             atom("p", &["X"]),
             vec![Literal::pos(atom("q", &["X"]))],
         ));
-        assert!(matches!(
-            b.build(),
-            Err(SchemaError::RoleConflict { .. })
-        ));
+        assert!(matches!(b.build(), Err(SchemaError::RoleConflict { .. })));
     }
 
     #[test]

@@ -30,6 +30,7 @@ impl Tuple {
         Atom {
             pred,
             terms: self.0.iter().map(|&c| c.into()).collect(),
+            span: None,
         }
     }
 }

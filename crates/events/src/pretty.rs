@@ -46,7 +46,11 @@ pub fn literal(lit: &TrLit, style: Style) -> String {
                 (Style::Ascii, EventKind::Ins) => "ins ".to_string(),
                 (Style::Ascii, EventKind::Del) => "del ".to_string(),
             };
-            format!("{neg}{kw}{}{}", event.atom.pred.name, args(&event.atom.terms))
+            format!(
+                "{neg}{kw}{}{}",
+                event.atom.pred.name,
+                args(&event.atom.terms)
+            )
         }
     }
 }

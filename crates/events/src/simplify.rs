@@ -275,7 +275,8 @@ mod tests {
             ],
         ));
         let prog = b.build().unwrap();
-        let tr = crate::transition::TransitionRule::build(&prog, dduf_datalog::ast::Pred::new("p", 1));
+        let tr =
+            crate::transition::TransitionRule::build(&prog, dduf_datalog::ast::Pred::new("p", 1));
         let pruned = for_insertion(&tr.branches[0].dnf);
         // The all-old disjunct is dropped; 3 remain.
         assert_eq!(pruned.len(), 3);
@@ -292,7 +293,8 @@ mod tests {
             vec![Literal::pos(atom("q", &["X"]))],
         ));
         let prog = b.build().unwrap();
-        let tr = crate::transition::TransitionRule::build(&prog, dduf_datalog::ast::Pred::new("p", 1));
+        let tr =
+            crate::transition::TransitionRule::build(&prog, dduf_datalog::ast::Pred::new("p", 1));
         let s = simplify_transition(&tr);
         assert_eq!(s.branches[0].head, tr.branches[0].head);
         assert!(s.disjunct_count() <= tr.disjunct_count());

@@ -40,7 +40,10 @@ impl EventStore {
 
     /// Adds an event; returns `true` if it was new.
     pub fn insert(&mut self, e: GroundEvent) -> bool {
-        self.side_mut(e.kind).entry(e.pred).or_default().insert(e.tuple)
+        self.side_mut(e.kind)
+            .entry(e.pred)
+            .or_default()
+            .insert(e.tuple)
     }
 
     /// Removes an event; returns `true` if it was present.
@@ -57,7 +60,9 @@ impl EventStore {
 
     /// The relation of `kind` events on `pred` (empty if none).
     pub fn relation(&self, kind: EventKind, pred: Pred) -> &Relation {
-        self.side(kind).get(&pred).unwrap_or_else(|| empty_relation())
+        self.side(kind)
+            .get(&pred)
+            .unwrap_or_else(|| empty_relation())
     }
 
     /// Iterates all events in deterministic order (insertions before
@@ -76,7 +81,11 @@ impl EventStore {
 
     /// Number of events.
     pub fn len(&self) -> usize {
-        self.ins.values().chain(self.del.values()).map(Relation::len).sum()
+        self.ins
+            .values()
+            .chain(self.del.values())
+            .map(Relation::len)
+            .sum()
     }
 
     /// True iff no events.

@@ -15,8 +15,8 @@
 //! follows the paper's examples: the all-old disjunct first, then binary
 //! counting with the first body literal as the most significant choice.
 
-use crate::formula::{Conjunct, Dnf, TrLit};
 use crate::event::EventKind;
+use crate::formula::{Conjunct, Dnf, TrLit};
 use dduf_datalog::ast::{Atom, Pred, Rule};
 use dduf_datalog::schema::Program;
 use std::fmt;

@@ -23,7 +23,11 @@ fn main() -> Result<()> {
 
     // ---- §5.1.2: monitoring a stream ----
     println!("== monitoring ==");
-    let stream = ["-in_stock(widget).", "-in_stock(gadget).", "+on_order(widget)."];
+    let stream = [
+        "-in_stock(widget).",
+        "-in_stock(gadget).",
+        "+on_order(widget).",
+    ];
     for src in stream {
         let txn = proc.transaction(src)?;
         let changes = proc.monitor_conditions(&txn)?;

@@ -26,7 +26,10 @@ fn main() -> Result<()> {
     let RepairOutcome::Repairs(repairs) = proc.repairs()? else {
         panic!("database should be inconsistent");
     };
-    println!("database is inconsistent; {} repairs found:", repairs.alternatives.len());
+    println!(
+        "database is inconsistent; {} repairs found:",
+        repairs.alternatives.len()
+    );
     for alt in &repairs.alternatives {
         println!("  {}", alt);
     }
@@ -71,9 +74,7 @@ fn main() -> Result<()> {
     }
 
     // ---- Design-time: how could the DB become inconsistent at all? ----
-    let ways = proc
-        .violating_transactions()?
-        .expect("constraints exist");
+    let ways = proc.violating_transactions()?.expect("constraints exist");
     println!(
         "\ndesign-time analysis: {} minimal ways to reach inconsistency, e.g.:",
         ways.alternatives.len()

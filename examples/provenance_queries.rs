@@ -15,7 +15,7 @@ fn main() -> Result<()> {
          dept(sales, bcn). dept(hr, madrid).
          mgr(ana).
          emp_city(E, C) :- emp(E, D), dept(D, C).
-         plain(E) :- emp(E, D), not mgr(E).
+         plain(E) :- emp(E, _), not mgr(E).
          covered(E) :- emp_city(E, bcn).",
     )?;
     let model = materialize(&db)?;
@@ -35,8 +35,12 @@ fn main() -> Result<()> {
     assert_eq!(answers.len(), query::answers(state, &goal).len());
 
     // ---- Provenance: why does covered(ben) hold? ----
-    let why = explain(state, Pred::new("covered", 1), &Tuple::new(vec![Const::sym("ben")]))
-        .expect("covered(ben) holds");
+    let why = explain(
+        state,
+        Pred::new("covered", 1),
+        &Tuple::new(vec![Const::sym("ben")]),
+    )
+    .expect("covered(ben) holds");
     println!("\nwhy covered(ben)?\n{why}");
     assert!(why.depth() >= 3); // covered -> emp_city -> base facts
 

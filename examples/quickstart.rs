@@ -23,7 +23,10 @@ fn main() -> Result<()> {
 
     // ---- §3.2: the transition rule (example 3.1) ----
     let tr = TransitionRule::build(db.program(), Pred::new("p", 1));
-    println!("\ntransition rule of p ({} disjunctands = 2^2):", tr.disjunct_count());
+    println!(
+        "\ntransition rule of p ({} disjunctands = 2^2):",
+        tr.disjunct_count()
+    );
     println!("{tr}");
     let simplified = simplify_transition(&tr);
     println!(
@@ -51,10 +54,14 @@ fn main() -> Result<()> {
     let chosen = &down.alternatives[0];
     let replay = chosen.to_transaction(&db)?;
     let up2 = dduf::core::upward::interpret_with(&db, &old, &replay, UpwardEngine::Incremental)?;
-    assert!(up2
-        .derived
-        .contains(&GroundEvent::ins(Pred::new("p", 1), Tuple::new(vec![Const::sym("b")]))));
-    println!("\nround trip: applying {} indeed induces +p(b) — request realized.", replay);
+    assert!(up2.derived.contains(&GroundEvent::ins(
+        Pred::new("p", 1),
+        Tuple::new(vec![Const::sym("b")])
+    )));
+    println!(
+        "\nround trip: applying {} indeed induces +p(b) — request realized.",
+        replay
+    );
 
     Ok(())
 }

@@ -16,8 +16,8 @@ fn main() -> Result<()> {
         "#domain hired/1 {ana, ben, cara}.
          #domain assigned/2 {ana, ben, cara, apollo, hermes}.
          hired(ana).
-         staffed(P) :- assigned(E, P).
-         :- assigned(E, P), not hired(E).",
+         staffed(P) :- assigned(_, P).
+         :- assigned(E, _), not hired(E).",
     )?;
     let mut proc = UpdateProcessor::new(db)?;
     println!("draft 1 loaded.");
@@ -51,14 +51,8 @@ fn main() -> Result<()> {
     // projects at once.
     println!("\nadding constraint: no double assignment ...");
     let (outcome, icp) = proc.add_constraint(vec![
-        Literal::pos(Atom::new(
-            "assigned",
-            vec![Term::var("E"), Term::var("P1")],
-        )),
-        Literal::pos(Atom::new(
-            "assigned",
-            vec![Term::var("E"), Term::var("P2")],
-        )),
+        Literal::pos(Atom::new("assigned", vec![Term::var("E"), Term::var("P1")])),
+        Literal::pos(Atom::new("assigned", vec![Term::var("E"), Term::var("P2")])),
         Literal::neg(Atom::new("same", vec![Term::var("P1"), Term::var("P2")])),
     ])?;
     println!(
@@ -96,11 +90,7 @@ fn main() -> Result<()> {
     // re-add it with an explicit inequality encoding.
     println!("\ndropping the buggy constraint ...");
     proc.remove_constraint(icp)?;
-    assert!(proc
-        .database()
-        .program()
-        .rules_for(icp)
-        .is_empty());
+    assert!(proc.database().program().rules_for(icp).is_empty());
 
     // Final checks still pass.
     match proc.satisfiable()? {

@@ -12,8 +12,9 @@ use dduf_events::simplify::simplify_transition;
 
 fn main() -> Result<()> {
     let src = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => "la(dolors). u_benefit(dolors).
                  unemp(X) :- la(X), not works(X).
                  :- unemp(X), not u_benefit(X)."

@@ -15,7 +15,7 @@ fn main() -> Result<()> {
         "customer(acme, bcn). customer(globex, madrid).
          order(o1, acme). order(o2, globex). shipped(o2).
          order_city(O, City) :- order(O, C), customer(C, City).
-         pending(O) :- order(O, C), not shipped(O).",
+         pending(O) :- order(O, _), not shipped(O).",
     )?;
     let mut proc = UpdateProcessor::new(db)?;
     let mut store =

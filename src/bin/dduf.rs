@@ -3,6 +3,7 @@
 //!
 //! ```sh
 //! cargo run --bin dduf -- db.dl
+//! cargo run --bin dduf -- lint --deny-warnings db.dl
 //! echo ':update -unemp(dolors).
 //! :do 1
 //! :show' | cargo run --bin dduf -- db.dl
@@ -13,10 +14,14 @@ use std::io::{BufRead, IsTerminal, Write};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: dduf <database.dl>");
+    let Some(first) = args.next() else {
+        eprintln!("usage: dduf <database.dl>\n       dduf lint [--deny-warnings] [--format=text|json] <database.dl>");
         std::process::exit(2);
     };
+    if first == "lint" {
+        std::process::exit(dduf::lint::run(args));
+    }
+    let path = first;
     let src = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => {

@@ -66,9 +66,7 @@ impl Session {
             other => Err(Error::Datalog(dduf_datalog::error::Error::Parse(
                 dduf_datalog::error::ParseError {
                     span: dduf_datalog::error::Span { line: 1, col: 1 },
-                    message: format!(
-                        "unknown command `{other}`; try :help"
-                    ),
+                    message: format!("unknown command `{other}`; try :help"),
                 },
             ))),
         }
@@ -141,10 +139,7 @@ impl Session {
             }
         }
         let res = self.proc.commit(&txn)?;
-        Ok(format!(
-            "applied {}; induced {}",
-            res.base, res.derived
-        ))
+        Ok(format!("applied {}; induced {}", res.base, res.derived))
     }
 
     fn update(&mut self, req_src: &str) -> Result<String> {
@@ -181,16 +176,14 @@ impl Session {
 
     fn prevent(&mut self, rest: &str) -> Result<String> {
         // :prevent <cond_name>/<arity> <txn>
-        let (spec, txn_src) = rest.split_once(char::is_whitespace).ok_or_else(|| {
-            parse_err("usage: :prevent <cond>/<arity> <transaction>")
-        })?;
+        let (spec, txn_src) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| parse_err("usage: :prevent <cond>/<arity> <transaction>"))?;
         let pred = parse_pred(spec)?;
         let txn = self.proc.transaction(txn_src.trim())?;
-        let res = self.proc.prevent_condition_activation(
-            &txn,
-            pred,
-            PreventKinds::Activation,
-        )?;
+        let res = self
+            .proc
+            .prevent_condition_activation(&txn, pred, PreventKinds::Activation)?;
         self.render_alternatives(res.alternatives, &res.already_satisfied)
     }
 
@@ -211,8 +204,7 @@ impl Session {
                 .atom
                 .as_tuple()
                 .ok_or_else(|| parse_err("event to explain must be ground"))?;
-            let event =
-                dduf_events::event::GroundEvent::new(kind, first.atom.pred, tuple.into());
+            let event = dduf_events::event::GroundEvent::new(kind, first.atom.pred, tuple.into());
             let txn = dduf_core::transaction::Transaction::from_events(
                 self.proc.database(),
                 txn_events.iter().map(|pe| {
@@ -270,12 +262,7 @@ impl Session {
         for t in &ans.tuples {
             let _ = writeln!(text, "{}", t.to_atom(atom.pred));
         }
-        let _ = writeln!(
-            text,
-            "({} answer(s) via {:?})",
-            ans.tuples.len(),
-            ans.path
-        );
+        let _ = writeln!(text, "({} answer(s) via {:?})", ans.tuples.len(), ans.path);
         Ok(text)
     }
 
@@ -304,9 +291,7 @@ impl Session {
         Ok(match self.proc.satisfiable()? {
             Satisfiability::SatisfiedNow => "satisfiable (current state already consistent)".into(),
             Satisfiability::Satisfiable(_) => "satisfiable (a repairing transaction exists)".into(),
-            Satisfiability::Unsatisfiable => {
-                "UNSATISFIABLE over the current finite domain".into()
-            }
+            Satisfiability::Unsatisfiable => "UNSATISFIABLE over the current finite domain".into(),
         })
     }
 
@@ -533,7 +518,7 @@ mod tests {
         assert!(s.run(":nonsense").is_err());
         assert!(s.run(":do 7").is_err());
         assert!(s.run(":check +unemp(x).").is_err()); // derived event in txn
-        // Session still alive.
+                                                      // Session still alive.
         assert!(s.run(":check +works(dolors).").is_ok());
     }
 
@@ -541,7 +526,10 @@ mod tests {
     fn why_fact_and_event() {
         let mut s = session();
         let out = s.run(":why unemp(dolors)").unwrap();
-        assert!(out.contains("[via: unemp(X) :- la(X), not works(X)]"), "{out}");
+        assert!(
+            out.contains("[via: unemp(X) :- la(X), not works(X)]"),
+            "{out}"
+        );
         assert!(out.contains("la(dolors)  [fact]"), "{out}");
         let out = s.run(":why +ic1. -u_benefit(dolors).").unwrap();
         assert!(out.contains("newly derivable"), "{out}");

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod cli;
+pub mod lint;
 
 pub use dduf_core as core;
 pub use dduf_datalog as datalog;
@@ -49,22 +50,20 @@ pub use dduf_events as events;
 
 /// The most commonly used items of all three layers.
 pub mod prelude {
-    pub use dduf_core::downward::{
-        Alternative, DownwardOptions, DownwardResult, Request,
-    };
+    pub use dduf_core::downward::{Alternative, DownwardOptions, DownwardResult, Request};
     pub use dduf_core::evolution::{EventRuleChange, EvolutionResult};
     pub use dduf_core::explain::{explain_event, EventExplanation};
     pub use dduf_core::matview::MaterializedViewStore;
     pub use dduf_core::processor::UpdateProcessor;
-    pub use dduf_core::upward::counting::CountingEngine;
-    pub use dduf_datalog::magic::{self, MagicAnswers, MagicPath};
-    pub use dduf_datalog::provenance::{explain, explain_all, Derivation};
     pub use dduf_core::transaction::Transaction;
+    pub use dduf_core::upward::counting::CountingEngine;
     pub use dduf_core::upward::{Engine as UpwardEngine, UpwardResult};
     pub use dduf_core::{Domain, Error, Result};
     pub use dduf_datalog::ast::{Atom, Const, Literal, Pred, Rule, Term, Var};
     pub use dduf_datalog::eval::{materialize, Interpretation, StateView};
+    pub use dduf_datalog::magic::{self, MagicAnswers, MagicPath};
     pub use dduf_datalog::parser::{parse_database, parse_events};
+    pub use dduf_datalog::provenance::{explain, explain_all, Derivation};
     pub use dduf_datalog::schema::{DerivedRole, Program, Role};
     pub use dduf_datalog::storage::{Database, Relation, Tuple};
     pub use dduf_events::event::{EventAtom, EventKind, GroundEvent};

@@ -1,0 +1,195 @@
+//! The `dduf lint` verb: run the static analyzer over a program file and
+//! report every diagnostic in one pass.
+//!
+//! ```sh
+//! dduf lint db.dl
+//! dduf lint --deny-warnings --format=json db.dl
+//! ```
+//!
+//! Exit codes: `0` — clean, or warnings only; `1` — at least one error, or
+//! any warning under `--deny-warnings`; `2` — usage or I/O error.
+
+use dduf_datalog::analysis::{analyze_source, json_str, Analysis};
+
+/// Output format for the lint report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Format {
+    /// Rustc-style text with source excerpts and carets.
+    Text,
+    /// One JSON object with the full diagnostic list.
+    Json,
+}
+
+/// Parsed `dduf lint` options.
+#[derive(Clone, Debug)]
+pub struct LintOptions {
+    /// Treat warnings as fatal for the exit code.
+    pub deny_warnings: bool,
+    /// Report format.
+    pub format: Format,
+    /// The program file to lint.
+    pub path: String,
+}
+
+/// Usage string for the lint verb.
+pub const LINT_USAGE: &str =
+    "usage: dduf lint [--deny-warnings] [--format=text|json] <database.dl>";
+
+impl LintOptions {
+    /// Parses the arguments after the `lint` verb. Returns `Err` with a
+    /// message for unknown flags, a missing file, or extra operands.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<LintOptions, String> {
+        let mut deny_warnings = false;
+        let mut format = Format::Text;
+        let mut path = None;
+        for arg in args {
+            match arg.as_str() {
+                "--deny-warnings" => deny_warnings = true,
+                "--format=text" => format = Format::Text,
+                "--format=json" => format = Format::Json,
+                s if s.starts_with("--") => {
+                    return Err(format!("unknown flag `{s}`\n{LINT_USAGE}"));
+                }
+                _ if path.is_some() => {
+                    return Err(format!("more than one file given\n{LINT_USAGE}"));
+                }
+                _ => path = Some(arg),
+            }
+        }
+        let Some(path) = path else {
+            return Err(LINT_USAGE.to_string());
+        };
+        Ok(LintOptions {
+            deny_warnings,
+            format,
+            path,
+        })
+    }
+}
+
+/// A finished lint run: what to print and how to exit.
+pub struct LintReport {
+    /// The rendered report (text or JSON).
+    pub output: String,
+    /// The process exit code (0 ok, 1 diagnostics deny, 2 I/O).
+    pub exit_code: i32,
+}
+
+/// Lints already-loaded source. `path` is used only for display.
+pub fn lint_source(path: &str, src: &str, opts: &LintOptions) -> LintReport {
+    let analysis = analyze_source(src);
+    let errors = analysis.error_count();
+    let warnings = analysis.warning_count();
+    let failed = errors > 0 || (opts.deny_warnings && warnings > 0);
+    let output = match opts.format {
+        Format::Text => render_text(path, src, &analysis),
+        Format::Json => render_json(path, &analysis),
+    };
+    LintReport {
+        output,
+        exit_code: if failed { 1 } else { 0 },
+    }
+}
+
+fn render_text(path: &str, src: &str, analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for d in &analysis.diagnostics {
+        out.push_str(&d.render(path, src));
+        out.push('\n');
+    }
+    let (e, w) = (analysis.error_count(), analysis.warning_count());
+    match (e, w) {
+        (0, 0) => out.push_str(&format!("{path}: no diagnostics\n")),
+        _ => out.push_str(&format!(
+            "{path}: {e} error{}, {w} warning{}\n",
+            if e == 1 { "" } else { "s" },
+            if w == 1 { "" } else { "s" },
+        )),
+    }
+    out
+}
+
+fn render_json(path: &str, analysis: &Analysis) -> String {
+    let diags: Vec<String> = analysis.diagnostics.iter().map(|d| d.to_json()).collect();
+    format!(
+        "{{\"file\":{},\"diagnostics\":[{}],\"errors\":{},\"warnings\":{}}}\n",
+        json_str(path),
+        diags.join(","),
+        analysis.error_count(),
+        analysis.warning_count(),
+    )
+}
+
+/// Full `dduf lint` entry point: parse flags, read the file, print the
+/// report to stdout (or the failure to stderr), return the exit code.
+pub fn run(args: impl IntoIterator<Item = String>) -> i32 {
+    let opts = match LintOptions::parse(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("dduf lint: {msg}");
+            return 2;
+        }
+    };
+    let src = match std::fs::read_to_string(&opts.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dduf lint: cannot read {}: {e}", opts.path);
+            return 2;
+        }
+    };
+    let report = lint_source(&opts.path, &src, &opts);
+    print!("{}", report.output);
+    report.exit_code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(format: Format, deny: bool) -> LintOptions {
+        LintOptions {
+            deny_warnings: deny,
+            format,
+            path: "t.dl".into(),
+        }
+    }
+
+    #[test]
+    fn parse_flags_and_file() {
+        let o = LintOptions::parse(["--deny-warnings", "--format=json", "db.dl"].map(String::from))
+            .unwrap();
+        assert!(o.deny_warnings);
+        assert_eq!(o.format, Format::Json);
+        assert_eq!(o.path, "db.dl");
+        assert!(LintOptions::parse([]).is_err());
+        assert!(LintOptions::parse(["--bogus".into(), "x.dl".into()]).is_err());
+        assert!(LintOptions::parse(["a.dl".into(), "b.dl".into()]).is_err());
+    }
+
+    #[test]
+    fn clean_program_exits_zero() {
+        let r = lint_source("t.dl", "v(X) :- la(X).\n", &opts(Format::Text, true));
+        assert_eq!(r.exit_code, 0);
+        assert!(r.output.contains("no diagnostics"), "{}", r.output);
+    }
+
+    #[test]
+    fn warnings_gate_on_deny() {
+        let src = "v(X) :- la(X), q(W).\n"; // W001 singleton
+        let ok = lint_source("t.dl", src, &opts(Format::Text, false));
+        assert_eq!(ok.exit_code, 0);
+        let deny = lint_source("t.dl", src, &opts(Format::Text, true));
+        assert_eq!(deny.exit_code, 1);
+        assert!(deny.output.contains("W001"), "{}", deny.output);
+    }
+
+    #[test]
+    fn errors_exit_one_and_json_has_counts() {
+        let src = "v(X) :- la(X), not other(Y).\n"; // E001: Y unbound
+        let r = lint_source("t.dl", src, &opts(Format::Json, false));
+        assert_eq!(r.exit_code, 1);
+        assert!(r.output.contains("\"file\":\"t.dl\""), "{}", r.output);
+        assert!(r.output.contains("\"errors\":1"), "{}", r.output);
+        assert!(r.output.contains("\"code\":\"E001\""), "{}", r.output);
+    }
+}

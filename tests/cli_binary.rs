@@ -6,10 +6,7 @@ use std::process::{Command, Stdio};
 
 fn run_script(db_src: &str, script: &str) -> (String, String) {
     let dir = std::env::temp_dir();
-    let path = dir.join(format!(
-        "dduf_bin_test_{}.dl",
-        std::process::id()
-    ));
+    let path = dir.join(format!("dduf_bin_test_{}.dl", std::process::id()));
     std::fs::write(&path, db_src).unwrap();
     let mut child = Command::new(env!("CARGO_BIN_EXE_dduf"))
         .arg(&path)
@@ -48,7 +45,10 @@ fn scripted_session_runs_the_catalog() {
 :quit
 ",
     );
-    assert!(stdout.contains("REJECT"), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        stdout.contains("REJECT"),
+        "stdout: {stdout}\nstderr: {stderr}"
+    );
     assert!(stdout.contains("[1]"), "{stdout}");
     assert!(stdout.contains("committed"), "{stdout}");
     // After committing {+works(dolors)}, unemp is empty (the `:show`

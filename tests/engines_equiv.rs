@@ -1,11 +1,15 @@
-//! Property-based differential testing: the incremental upward engine must
-//! agree with the semantic (state-diff) oracle on random stratified
-//! programs and random transactions — the central correctness property of
-//! the upward interpretation (the semantic engine *is* the event
-//! definitions (1)/(2) of §3.1).
+//! Differential testing: the incremental upward engine must agree with
+//! the semantic (state-diff) oracle on random stratified programs and
+//! random transactions — the central correctness property of the upward
+//! interpretation (the semantic engine *is* the event definitions
+//! (1)/(2) of §3.1).
+//!
+//! Uses deterministic fuzz loops over the in-tree PRNG instead of
+//! proptest so the suite builds offline; seeds are fixed, so every run
+//! explores the same program/transaction pairs.
 
+use dduf::core::rng::Rng;
 use dduf::prelude::*;
-use proptest::prelude::*;
 use std::fmt::Write as _;
 
 const CONSTS: [&str; 4] = ["a", "b", "c", "d"];
@@ -13,7 +17,7 @@ const BASES: [&str; 3] = ["b1", "b2", "b3"];
 
 #[derive(Clone, Debug)]
 struct RandLit {
-    pred: usize,   // index: 0..3 base, 3.. derived of lower layer
+    pred: usize, // index: 0..3 base, 3.. derived of lower layer
     positive: bool,
 }
 
@@ -28,6 +32,24 @@ struct RandProgram {
 }
 
 impl RandProgram {
+    fn gen(rng: &mut Rng) -> RandProgram {
+        let facts = (0..BASES.len())
+            .map(|_| (0..rng.usize(5)).map(|_| rng.usize(CONSTS.len())).collect())
+            .collect();
+        let depth = 1 + rng.usize(3);
+        let layers = (0..depth)
+            .map(|layer| {
+                (0..1 + rng.usize(3))
+                    .map(|_| RandLit {
+                        pred: rng.usize(3 + layer),
+                        positive: rng.bool(),
+                    })
+                    .collect()
+            })
+            .collect();
+        RandProgram { facts, layers }
+    }
+
     fn to_source(&self) -> String {
         let mut src = String::new();
         for (i, cs) in self.facts.iter().enumerate() {
@@ -63,142 +85,107 @@ impl RandProgram {
     }
 }
 
-fn lit_strategy(layer: usize) -> impl Strategy<Value = RandLit> {
-    // Allowed predicate indexes: bases 0..3, derived 3..3+layer.
-    (0..3 + layer, proptest::bool::ANY).prop_map(|(pred, positive)| RandLit { pred, positive })
-}
-
-fn program_strategy() -> impl Strategy<Value = RandProgram> {
-    let facts = proptest::collection::vec(
-        proptest::collection::vec(0..CONSTS.len(), 0..5),
-        BASES.len(),
-    );
-    let layers = (1usize..=3).prop_flat_map(|depth| {
-        let mut strategies = Vec::new();
-        for layer in 0..depth {
-            strategies.push(proptest::collection::vec(lit_strategy(layer), 1..4));
+/// Random transaction: deduplicated base-event toggles.
+fn gen_txn(rng: &mut Rng, db: &Database) -> Transaction {
+    let n = 1 + rng.usize(5);
+    let mut events = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..n {
+        let p = rng.usize(BASES.len());
+        let c = rng.usize(CONSTS.len());
+        if seen.insert((p, c)) {
+            let kind = if rng.bool() {
+                EventKind::Ins
+            } else {
+                EventKind::Del
+            };
+            events.push(GroundEvent::new(
+                kind,
+                Pred::new(BASES[p], 1),
+                Tuple::new(vec![Const::sym(CONSTS[c])]),
+            ));
         }
-        strategies
-    });
-    (facts, layers).prop_map(|(facts, layers)| RandProgram { facts, layers })
+    }
+    Transaction::from_events(db, events).expect("validated")
 }
 
-fn txn_strategy() -> impl Strategy<Value = Vec<(bool, usize, usize)>> {
-    // (insert?, base pred index, constant index)
-    proptest::collection::vec(
-        (proptest::bool::ANY, 0..BASES.len(), 0..CONSTS.len()),
-        1..6,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Engine B (incremental) ≡ engine A (semantic diff) on random
-    /// stratified programs and transactions.
-    #[test]
-    fn incremental_equals_semantic(prog in program_strategy(), txn in txn_strategy()) {
+/// Engine B (incremental) ≡ engine A (semantic diff) on random
+/// stratified programs and transactions.
+#[test]
+fn incremental_equals_semantic() {
+    let mut rng = Rng::new(0xE9E1);
+    for case in 0..128 {
+        let prog = RandProgram::gen(&mut rng);
         let db = parse_database(&prog.to_source()).expect("generated program parses");
         let old = materialize(&db).expect("stratified");
-        // Drop conflicting events (both +p(c) and -p(c)).
-        let mut events = Vec::new();
-        let mut seen = std::collections::BTreeSet::new();
-        for (ins, p, c) in txn {
-            if seen.insert((p, c)) {
-                let kind = if ins { EventKind::Ins } else { EventKind::Del };
-                events.push(GroundEvent::new(
-                    kind,
-                    Pred::new(BASES[p], 1),
-                    Tuple::new(vec![Const::sym(CONSTS[c])]),
-                ));
-            }
-        }
-        let txn = Transaction::from_events(&db, events).expect("validated");
+        let txn = gen_txn(&mut rng, &db);
         let a = dduf::core::upward::interpret_with(&db, &old, &txn, UpwardEngine::Semantic)
             .expect("semantic");
         let b = dduf::core::upward::interpret_with(&db, &old, &txn, UpwardEngine::Incremental)
             .expect("incremental");
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}: {}", prog.to_source());
     }
+}
 
-    /// The upward result matches the definitional diff: applying the
-    /// transaction and rematerializing yields exactly old ± events.
-    #[test]
-    fn events_reconstruct_new_state(prog in program_strategy(), txn in txn_strategy()) {
+/// The upward result matches the definitional diff: applying the
+/// transaction and rematerializing yields exactly old ± events.
+#[test]
+fn events_reconstruct_new_state() {
+    let mut rng = Rng::new(0x5EED2);
+    for case in 0..128 {
+        let prog = RandProgram::gen(&mut rng);
         let db = parse_database(&prog.to_source()).expect("parses");
         let old = materialize(&db).expect("stratified");
-        let mut events = Vec::new();
-        let mut seen = std::collections::BTreeSet::new();
-        for (ins, p, c) in txn {
-            if seen.insert((p, c)) {
-                let kind = if ins { EventKind::Ins } else { EventKind::Del };
-                events.push(GroundEvent::new(
-                    kind,
-                    Pred::new(BASES[p], 1),
-                    Tuple::new(vec![Const::sym(CONSTS[c])]),
-                ));
-            }
-        }
-        let txn = Transaction::from_events(&db, events).expect("validated");
+        let txn = gen_txn(&mut rng, &db);
         let res = dduf::core::upward::interpret_with(&db, &old, &txn, UpwardEngine::Incremental)
             .expect("incremental");
         let new = materialize(&txn.apply(&db)).expect("new state");
         for (pred, _role) in db.program().predicates() {
-            if !db.program().is_derived(pred) { continue; }
+            if !db.program().is_derived(pred) {
+                continue;
+            }
             let expected = new.relation(pred);
             let reconstructed = old
                 .relation(pred)
                 .difference(res.derived.relation(EventKind::Del, pred))
                 .union(res.derived.relation(EventKind::Ins, pred));
-            prop_assert_eq!(
-                expected, &reconstructed,
-                "mismatch on {}", pred
-            );
+            assert_eq!(expected, &reconstructed, "case {case}: mismatch on {pred}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The stateful counting engine ([GMS93]) agrees with the semantic
-    /// oracle across a whole *sequence* of transactions (statefulness is
-    /// the point: counts must stay correct step after step).
-    #[test]
-    fn counting_engine_matches_semantic_over_sequences(
-        prog in program_strategy(),
-        steps in proptest::collection::vec(txn_strategy(), 1..4),
-    ) {
+/// The stateful counting engine ([GMS93]) agrees with the semantic
+/// oracle across a whole *sequence* of transactions (statefulness is
+/// the point: counts must stay correct step after step).
+#[test]
+fn counting_engine_matches_semantic_over_sequences() {
+    let mut rng = Rng::new(0xC0117);
+    for case in 0..64 {
+        let prog = RandProgram::gen(&mut rng);
         let mut db = parse_database(&prog.to_source()).expect("parses");
         let mut old = materialize(&db).expect("stratified");
         let mut engine =
             dduf::core::upward::counting::CountingEngine::new(&db, &old).expect("non-recursive");
-        for step in steps {
-            let mut events = Vec::new();
-            let mut seen = std::collections::BTreeSet::new();
-            for (ins, p, c) in step {
-                if seen.insert((p, c)) {
-                    let kind = if ins { EventKind::Ins } else { EventKind::Del };
-                    events.push(GroundEvent::new(
-                        kind,
-                        Pred::new(BASES[p], 1),
-                        Tuple::new(vec![Const::sym(CONSTS[c])]),
-                    ));
-                }
-            }
-            let txn = Transaction::from_events(&db, events).expect("validated");
+        let steps = 1 + rng.usize(3);
+        for step in 0..steps {
+            let txn = gen_txn(&mut rng, &db);
             let expected =
                 dduf::core::upward::interpret_with(&db, &old, &txn, UpwardEngine::Semantic)
                     .expect("semantic");
             let got = engine.apply(&db, &txn).expect("counting");
-            prop_assert_eq!(&got, &expected);
+            assert_eq!(got, expected, "case {case} step {step}");
             db = txn.apply(&db);
             old = materialize(&db).expect("new state");
             // Counts must reflect exactly the live tuples.
             for (pred, _role) in db.program().predicates() {
-                if !db.program().is_derived(pred) { continue; }
+                if !db.program().is_derived(pred) {
+                    continue;
+                }
                 for t in old.relation(pred).iter() {
-                    prop_assert!(engine.count(pred, t) > 0, "zero count for live {}{}", pred, t);
+                    assert!(
+                        engine.count(pred, t) > 0,
+                        "case {case} step {step}: zero count for live {pred}{t}"
+                    );
                 }
             }
         }

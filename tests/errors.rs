@@ -20,7 +20,10 @@ fn unstratifiable_program_rejected_at_materialization() {
 fn unsafe_rule_rejected() {
     let db = parse_database("p(X) :- not q(X).").unwrap();
     let err = materialize(&db).unwrap_err();
-    assert!(matches!(err, DlError::Schema(SchemaError::NotAllowed { .. })));
+    assert!(matches!(
+        err,
+        DlError::Schema(SchemaError::NotAllowed { .. })
+    ));
 }
 
 #[test]
@@ -47,10 +50,8 @@ fn conflicting_transaction_rejected() {
 
 #[test]
 fn recursive_downward_reports_predicate() {
-    let db = parse_database(
-        "e(a, b). tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
-    )
-    .unwrap();
+    let db =
+        parse_database("e(a, b). tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).").unwrap();
     let req = Request::new().achieve(
         EventKind::Ins,
         Atom::ground("tc", vec![Const::sym("a"), Const::sym("c")]),
@@ -79,7 +80,13 @@ fn grounding_limit_enforced() {
         ..DownwardOptions::default()
     };
     let err = dduf::core::downward::interpret(&db, &req, &opts).unwrap_err();
-    assert!(matches!(err, CoreError::LimitExceeded { what: "groundings", .. }));
+    assert!(matches!(
+        err,
+        CoreError::LimitExceeded {
+            what: "groundings",
+            ..
+        }
+    ));
 }
 
 #[test]

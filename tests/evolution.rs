@@ -45,11 +45,10 @@ fn removing_a_rule_induces_derived_deletions() {
         Pred::new("unemp", 1),
         Tuple::new(vec![Const::sym("dolors")])
     )));
-    assert!(res
-        .rule_changes
-        .iter()
-        .any(|c| matches!(c, EventRuleChange::Rebuilt(p) | EventRuleChange::Removed(p)
-            if *p == Pred::new("unemp", 1))));
+    assert!(res.rule_changes.iter().any(
+        |c| matches!(c, EventRuleChange::Rebuilt(p) | EventRuleChange::Removed(p)
+            if *p == Pred::new("unemp", 1))
+    ));
 }
 
 #[test]
@@ -89,10 +88,7 @@ fn removing_a_constraint_restores_consistency() {
     )
     .unwrap();
     let mut proc = UpdateProcessor::new(db).unwrap();
-    assert!(matches!(
-        proc.repairs().unwrap(),
-        RepairOutcome::Repairs(_)
-    ));
+    assert!(matches!(proc.repairs().unwrap(), RepairOutcome::Repairs(_)));
     let res = proc.remove_constraint(Pred::new("ic1", 0)).unwrap();
     assert!(res
         .induced
@@ -107,10 +103,8 @@ fn removing_a_constraint_restores_consistency() {
 #[test]
 fn rule_update_then_transactions_keep_working() {
     let mut proc = UpdateProcessor::new(testkit::employment_db()).unwrap();
-    proc.add_rule(rule("covered(X) :- works(X). "))
-        .unwrap();
-    proc.add_rule(rule("covered(X) :- u_benefit(X)."))
-        .unwrap();
+    proc.add_rule(rule("covered(X) :- works(X). ")).unwrap();
+    proc.add_rule(rule("covered(X) :- u_benefit(X).")).unwrap();
     let txn = proc.transaction("+works(maria).").unwrap();
     let up = proc.upward(&txn).unwrap();
     assert!(up.induced_contains("covered", "maria"));
@@ -134,8 +128,7 @@ impl UpExt for UpwardResult {
 #[test]
 fn incompatible_rule_update_rejected() {
     // Adding a rule whose head predicate has stored facts must fail.
-    let mut proc =
-        UpdateProcessor::new(parse_database("s(a). q(b).").unwrap()).unwrap();
+    let mut proc = UpdateProcessor::new(parse_database("s(a). q(b).").unwrap()).unwrap();
     let err = proc.add_rule(rule("s(X) :- q(X).")).unwrap_err();
     assert!(err.to_string().contains("derived"), "{err}");
     // The processor is unchanged after the failed update.

@@ -1,0 +1,105 @@
+//! End-to-end tests for the `dduf lint` subcommand: exit codes, text
+//! rendering, and the JSON report shape.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("dduf-lint-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp program");
+    path
+}
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dduf"))
+        .arg("lint")
+        .args(args)
+        .output()
+        .expect("run dduf lint")
+}
+
+const BROKEN: &str = "\
+#base works/1.
+works(X) :- not emp(Z), la(X).
+v(X) :- la(X), q(W).
+";
+
+const CLEAN: &str = "\
+la(ana). la(ben). works(ben).
+unemp(X) :- la(X), not works(X).
+:- unemp(X), not la(X).
+";
+
+const WARN_ONLY: &str = "v(X) :- la(X), q(W).\n";
+
+#[test]
+fn broken_program_reports_multiple_diagnostics_in_one_run() {
+    let path = write_temp("broken.dl", BROKEN);
+    let out = lint(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    // One invocation surfaces at least two distinct codes with spans.
+    assert!(text.contains("error[E001]"), "{text}");
+    assert!(text.contains("error[E003]"), "{text}");
+    assert!(text.contains("warning[W001]"), "{text}");
+    assert!(text.contains("-->"), "{text}");
+    assert!(text.contains('^'), "{text}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn clean_program_exits_zero() {
+    let path = write_temp("clean.dl", CLEAN);
+    let out = lint(&[path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("no diagnostics"), "{text}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn deny_warnings_turns_warnings_fatal() {
+    let path = write_temp("warn.dl", WARN_ONLY);
+    let p = path.to_str().unwrap();
+    assert_eq!(lint(&[p]).status.code(), Some(0));
+    assert_eq!(lint(&["--deny-warnings", p]).status.code(), Some(1));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn json_format_has_expected_shape() {
+    let path = write_temp("json.dl", BROKEN);
+    let out = lint(&["--format=json", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    assert!(json.contains("\"file\":"), "{json}");
+    assert!(json.contains("\"diagnostics\":["), "{json}");
+    assert!(json.contains("\"code\":\"E001\""), "{json}");
+    assert!(json.contains("\"severity\":\"error\""), "{json}");
+    assert!(json.contains("\"spans\":["), "{json}");
+    assert!(json.contains("\"line\":"), "{json}");
+    assert!(json.contains("\"errors\":"), "{json}");
+    assert!(json.contains("\"warnings\":"), "{json}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn syntax_error_is_e000() {
+    let path = write_temp("syntax.dl", "p(a)\nq(b).\n");
+    let out = lint(&["--format=json", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"code\":\"E000\""), "{json}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let no_file = lint(&[]);
+    assert_eq!(no_file.status.code(), Some(2), "{no_file:?}");
+    let bad_flag = lint(&["--bogus", "x.dl"]);
+    assert_eq!(bad_flag.status.code(), Some(2), "{bad_flag:?}");
+    let missing = lint(&["/nonexistent/definitely-missing.dl"]);
+    assert_eq!(missing.status.code(), Some(2), "{missing:?}");
+}

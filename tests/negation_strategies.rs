@@ -16,13 +16,8 @@ fn todo_sets(res: &DownwardResult) -> BTreeSet<Vec<String>> {
 
 fn run_both(db: &Database, req: &Request) -> (DownwardResult, DownwardResult) {
     let old = materialize(db).unwrap();
-    let greedy = dduf::core::downward::interpret_with(
-        db,
-        &old,
-        req,
-        &DownwardOptions::default(),
-    )
-    .unwrap();
+    let greedy =
+        dduf::core::downward::interpret_with(db, &old, req, &DownwardOptions::default()).unwrap();
     let exhaustive = dduf::core::downward::interpret_with(
         db,
         &old,
@@ -68,7 +63,10 @@ fn paper_examples_agree_across_strategies() {
     // Example 5.3.
     let db = testkit::employment_db();
     let req = Request::new()
-        .achieve(EventKind::Ins, Atom::ground("la", vec![Const::sym("maria")]))
+        .achieve(
+            EventKind::Ins,
+            Atom::ground("la", vec![Const::sym("maria")]),
+        )
         .prevent(
             EventKind::Ins,
             Atom::ground("unemp", vec![Const::sym("maria")]),

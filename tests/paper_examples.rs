@@ -86,7 +86,11 @@ fn example_5_2_view_updating() {
         Atom::ground("unemp", vec![Const::sym("dolors")]),
     );
     let res = proc.translate_view_update(&req).unwrap();
-    let mut shown: Vec<String> = res.alternatives.iter().map(|a| a.to_do.to_string()).collect();
+    let mut shown: Vec<String> = res
+        .alternatives
+        .iter()
+        .map(|a| a.to_do.to_string())
+        .collect();
     shown.sort();
     assert_eq!(shown, vec!["{+works(dolors)}", "{-la(dolors)}"]);
 }

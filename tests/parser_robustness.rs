@@ -1,90 +1,120 @@
 //! Parser robustness: arbitrary input never panics (errors are typed and
 //! positioned), and pretty-printing round-trips through the parser.
+//!
+//! Written as deterministic fuzz loops over the in-tree PRNG
+//! (`dduf::core::rng`) rather than proptest, so the suite builds with no
+//! external dependencies. Seeds are fixed: every CI run explores the same
+//! inputs, and a failing case can be re-run by seed.
 
+use dduf::core::rng::Rng;
 use dduf::datalog::parser::{parse_database, parse_events, parse_program};
 use dduf::datalog::pretty;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// No input string can panic the parser.
-    #[test]
-    fn arbitrary_strings_never_panic(src in ".*") {
+/// No input string can panic the parser.
+#[test]
+fn arbitrary_strings_never_panic() {
+    let mut rng = Rng::new(0xA11CE);
+    for _ in 0..256 {
+        let len = rng.usize(64);
+        let src: String = (0..len)
+            .map(|_| {
+                // Mix printable ASCII with some multibyte and control chars.
+                match rng.usize(10) {
+                    0..=6 => (32 + rng.usize(95) as u8) as char,
+                    7 => '\n',
+                    8 => char::from_u32(0x3B1 + rng.usize(24) as u32).unwrap(), // Greek
+                    _ => char::from_u32(rng.usize(0xD7FF) as u32).unwrap_or('?'),
+                }
+            })
+            .collect();
         let _ = parse_program(&src);
         let _ = parse_events(&src);
     }
+}
 
-    /// Inputs built from the language's own token alphabet never panic
-    /// (denser coverage of near-valid programs than fully random bytes).
-    #[test]
-    fn token_soup_never_panics(
-        toks in proptest::collection::vec(
-            prop_oneof![
-                Just("p".to_string()),
-                Just("q(a)".to_string()),
-                Just("X".to_string()),
-                Just(":-".to_string()),
-                Just(",".to_string()),
-                Just(".".to_string()),
-                Just("not".to_string()),
-                Just("+".to_string()),
-                Just("-".to_string()),
-                Just("#view".to_string()),
-                Just("#domain".to_string()),
-                Just("{".to_string()),
-                Just("}".to_string()),
-                Just("/".to_string()),
-                Just("1".to_string()),
-                Just("'qu oted'".to_string()),
-                Just("%comment\n".to_string()),
-            ],
-            0..24,
-        )
-    ) {
-        let src = toks.join(" ");
+/// Inputs built from the language's own token alphabet never panic
+/// (denser coverage of near-valid programs than fully random bytes).
+#[test]
+fn token_soup_never_panics() {
+    const ALPHABET: [&str; 17] = [
+        "p",
+        "q(a)",
+        "X",
+        ":-",
+        ",",
+        ".",
+        "not",
+        "+",
+        "-",
+        "#view",
+        "#domain",
+        "{",
+        "}",
+        "/",
+        "1",
+        "'qu oted'",
+        "%comment\n",
+    ];
+    let mut rng = Rng::new(0x50FA);
+    for _ in 0..256 {
+        let n = rng.usize(24);
+        let src = (0..n)
+            .map(|_| *rng.choose(&ALPHABET))
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = parse_program(&src);
         let _ = parse_events(&src);
     }
+}
 
-    /// Pretty-printed databases re-parse to the same program and facts.
-    #[test]
-    fn pretty_parse_fixpoint(
-        n_facts in 0usize..6,
-        with_denial in proptest::bool::ANY,
-        with_cond in proptest::bool::ANY,
-    ) {
-        let mut src = String::new();
-        if with_cond {
-            src.push_str("#cond c/1.\nc(X) :- b(X), not r(X).\n");
-        }
-        src.push_str("v(X) :- b(X), not r(X).\n");
-        if with_denial {
-            src.push_str(":- v(X), not w(X).\nw(X) :- b(X).\n");
-        }
-        for i in 0..n_facts {
-            src.push_str(&format!("b(k{i}).\n"));
-            if i % 2 == 0 {
-                src.push_str(&format!("r(k{i}).\n"));
+/// Pretty-printed databases re-parse to the same program and facts —
+/// checked exhaustively over the small configuration grid the proptest
+/// version sampled from.
+#[test]
+fn pretty_parse_fixpoint() {
+    for n_facts in 0usize..6 {
+        for with_denial in [false, true] {
+            for with_cond in [false, true] {
+                let mut src = String::new();
+                if with_cond {
+                    src.push_str("#cond c/1.\nc(X) :- b(X), not r(X).\n");
+                }
+                src.push_str("v(X) :- b(X), not r(X).\n");
+                if with_denial {
+                    src.push_str(":- v(X), not w(X).\nw(X) :- b(X).\n");
+                }
+                for i in 0..n_facts {
+                    src.push_str(&format!("b(k{i}).\n"));
+                    if i % 2 == 0 {
+                        src.push_str(&format!("r(k{i}).\n"));
+                    }
+                }
+                let db1 = parse_database(&src).unwrap();
+                let printed1 = format!("{}{}", pretty::program(db1.program()), pretty::facts(&db1));
+                let db2 = parse_database(&printed1).unwrap();
+                let printed2 = format!("{}{}", pretty::program(db2.program()), pretty::facts(&db2));
+                assert_eq!(printed1, printed2);
+                assert_eq!(db1.fact_count(), db2.fact_count());
+                assert_eq!(db1.program().rules().len(), db2.program().rules().len());
             }
         }
-        let db1 = parse_database(&src).unwrap();
-        let printed1 = format!("{}{}", pretty::program(db1.program()), pretty::facts(&db1));
-        let db2 = parse_database(&printed1).unwrap();
-        let printed2 = format!("{}{}", pretty::program(db2.program()), pretty::facts(&db2));
-        prop_assert_eq!(printed1, printed2);
-        prop_assert_eq!(db1.fact_count(), db2.fact_count());
-        prop_assert_eq!(db1.program().rules().len(), db2.program().rules().len());
     }
+}
 
-    /// Quoted symbols with unusual characters survive the round trip.
-    #[test]
-    fn quoted_symbols_round_trip(name in "[a-zA-Z0-9 _.,;:+*-]{1,12}") {
-        prop_assume!(!name.contains('\''));
+/// Quoted symbols with unusual characters survive the round trip.
+#[test]
+fn quoted_symbols_round_trip() {
+    const CHARS: &[u8] = b"abcXYZ019 _.,;:+*-";
+    let mut rng = Rng::new(0x9047ED);
+    for _ in 0..128 {
+        let len = 1 + rng.usize(12);
+        let name: String = (0..len)
+            .map(|_| CHARS[rng.usize(CHARS.len())] as char)
+            .collect();
         let src = format!("p('{name}').");
         let db1 = parse_database(&src).unwrap();
         let printed = pretty::facts(&db1);
         let db2 = parse_database(&printed).unwrap();
-        prop_assert_eq!(db1.fact_count(), db2.fact_count());
+        assert_eq!(db1.fact_count(), db2.fact_count(), "name {name:?}");
     }
 }

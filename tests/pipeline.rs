@@ -32,11 +32,11 @@ fn combined_upward_set_interpretation() {
     // checking and condition monitoring by upward interpreting the set".
     let db = library_db();
     let proc = UpdateProcessor::new(db).unwrap();
-    let mut store = MaterializedViewStore::materialize(
-        proc.database().program(),
-        proc.interpretation(),
-    );
-    let txn = proc.transaction("+loan(dune, ben). +overdue(dune).").unwrap();
+    let mut store =
+        MaterializedViewStore::materialize(proc.database().program(), proc.interpretation());
+    let txn = proc
+        .transaction("+loan(dune, ben). +overdue(dune).")
+        .unwrap();
 
     // One upward pass answers all three problems.
     let check = proc.check_integrity(&txn).unwrap();
@@ -99,10 +99,8 @@ fn maintenance_stream_stays_consistent() {
     // problems engaged each step.
     let db = testkit::employment_db_with_condition();
     let mut proc = UpdateProcessor::new(db).unwrap();
-    let mut store = MaterializedViewStore::materialize(
-        proc.database().program(),
-        proc.interpretation(),
-    );
+    let mut store =
+        MaterializedViewStore::materialize(proc.database().program(), proc.interpretation());
     let stream = [
         "+la(maria). +u_benefit(maria).",
         "+works(maria).",
@@ -154,9 +152,15 @@ fn prevent_condition_while_updating() {
     let proc = UpdateProcessor::new(db).unwrap();
     // Lend the (overdue-flagged) book dune to ben without raising an
     // overdue alert for him: impossible unless overdue(dune) is cleared.
-    let txn = proc.transaction("+loan(dune, ben). +overdue(dune).").unwrap();
+    let txn = proc
+        .transaction("+loan(dune, ben). +overdue(dune).")
+        .unwrap();
     let res = proc
-        .prevent_condition_activation(&txn, Pred::new("overdue_alert", 1), PreventKinds::Activation)
+        .prevent_condition_activation(
+            &txn,
+            Pred::new("overdue_alert", 1),
+            PreventKinds::Activation,
+        )
         .unwrap();
     // The fixed transaction inserts overdue(dune) and the loan, so the
     // alert is unavoidable: no resulting transaction exists.
@@ -165,7 +169,11 @@ fn prevent_condition_while_updating() {
     // Without the overdue flag it goes through.
     let txn2 = proc.transaction("+loan(dune, ben).").unwrap();
     let res2 = proc
-        .prevent_condition_activation(&txn2, Pred::new("overdue_alert", 1), PreventKinds::Activation)
+        .prevent_condition_activation(
+            &txn2,
+            Pred::new("overdue_alert", 1),
+            PreventKinds::Activation,
+        )
         .unwrap();
     assert!(!res2.alternatives.is_empty());
 }
@@ -205,10 +213,7 @@ fn per_predicate_domains_restrict_downward_instantiation() {
     )
     .unwrap();
     let proc = UpdateProcessor::new(db).unwrap();
-    let req = Request::new().achieve(
-        EventKind::Ins,
-        Atom::new("unemp", vec![Term::var("X")]),
-    );
+    let req = Request::new().achieve(EventKind::Ins, Atom::new("unemp", vec![Term::var("X")]));
     let res = proc.translate_view_update(&req).unwrap();
     assert!(!res.alternatives.is_empty());
     for alt in &res.alternatives {

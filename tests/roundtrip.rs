@@ -1,18 +1,18 @@
-//! Property-based round-trip testing of the intro figure: every
-//! alternative produced by the **downward** interpretation, replayed
-//! **upward**, must realize the requested events (soundness), and on tiny
-//! domains the downward result must cover every minimal transaction that
-//! brute-force search finds (completeness).
+//! Round-trip testing of the intro figure: every alternative produced by
+//! the **downward** interpretation, replayed **upward**, must realize the
+//! requested events (soundness), and on tiny domains the downward result
+//! must cover every minimal transaction that brute-force search finds
+//! (completeness).
+//!
+//! The proptest version sampled tower shapes at random; the
+//! configuration space is small enough to sweep exhaustively, which is
+//! strictly stronger and needs no external dependency.
 
 use dduf::core::testkit::{tower_db, TowerShape};
 use dduf::prelude::*;
-use proptest::prelude::*;
 
 /// All subsets of candidate base events up to the given size.
-fn enumerate_transactions(
-    db: &Database,
-    max_size: usize,
-) -> Vec<Vec<GroundEvent>> {
+fn enumerate_transactions(db: &Database, max_size: usize) -> Vec<Vec<GroundEvent>> {
     // Candidate events: toggle any base fact over the active domain.
     let mut candidates = Vec::new();
     let domain: Vec<Const> = db.active_domain().into_iter().collect();
@@ -48,66 +48,101 @@ fn enumerate_transactions(
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Soundness: every downward alternative realizes the request.
-    #[test]
-    fn downward_alternatives_replay_upward(
-        depth in 1usize..4,
-        facts in 1usize..4,
-        with_negation in proptest::bool::ANY,
-        target in 0usize..3,
-    ) {
-        let db = tower_db(TowerShape { depth, facts_per_level: facts, with_negation });
-        let old = materialize(&db).unwrap();
-        let view = Pred::new(&format!("v{depth}"), 1);
-        let c = Const::sym(&format!("c{}", target % facts));
-        // Deleting the top of the tower for one constant; it currently
-        // holds for every constant.
-        let req = Request::new().achieve(EventKind::Del, Atom { pred: view, terms: vec![c.into()] });
-        let res = dduf::core::downward::interpret_with(&db, &old, &req, &DownwardOptions::default())
-            .unwrap();
-        prop_assert!(!res.alternatives.is_empty(), "tower deletions always possible");
-        for alt in &res.alternatives {
-            let ok = dduf::core::downward::verify(&db, &old, &req, alt).unwrap();
-            prop_assert!(ok, "alternative {} fails to realize the request", alt);
+/// Soundness: every downward alternative realizes the request. Swept
+/// exhaustively over depth × facts-per-level × negation × target.
+#[test]
+fn downward_alternatives_replay_upward() {
+    for depth in 1usize..4 {
+        for facts in 1usize..4 {
+            for with_negation in [false, true] {
+                for target in 0usize..3 {
+                    let db = tower_db(TowerShape {
+                        depth,
+                        facts_per_level: facts,
+                        with_negation,
+                    });
+                    let old = materialize(&db).unwrap();
+                    let view = Pred::new(&format!("v{depth}"), 1);
+                    let c = Const::sym(&format!("c{}", target % facts));
+                    // Deleting the top of the tower for one constant; it
+                    // currently holds for every constant.
+                    let req = Request::new().achieve(
+                        EventKind::Del,
+                        Atom::new(view.name.as_str(), vec![c.into()]),
+                    );
+                    let res = dduf::core::downward::interpret_with(
+                        &db,
+                        &old,
+                        &req,
+                        &DownwardOptions::default(),
+                    )
+                    .unwrap();
+                    assert!(
+                        !res.alternatives.is_empty(),
+                        "tower deletions always possible (depth {depth}, facts {facts})"
+                    );
+                    for alt in &res.alternatives {
+                        let ok = dduf::core::downward::verify(&db, &old, &req, alt).unwrap();
+                        assert!(
+                            ok,
+                            "alternative {alt} fails to realize the request \
+                             (depth {depth}, facts {facts}, neg {with_negation})"
+                        );
+                    }
+                }
+            }
         }
     }
+}
 
-    /// Completeness vs brute force on tiny instances: every transaction of
-    /// size ≤ 2 that realizes the request (without violating any
-    /// alternative's must_not) is covered by — i.e. is a superset of the
-    /// to_do of — some downward alternative.
-    #[test]
-    fn downward_covers_bruteforce(
-        facts in 1usize..3,
-        with_negation in proptest::bool::ANY,
-    ) {
-        let db = tower_db(TowerShape { depth: 2, facts_per_level: facts, with_negation });
-        let old = materialize(&db).unwrap();
-        let view = Pred::new("v2", 1);
-        let c = Const::sym("c0");
-        let req = Request::new().achieve(EventKind::Del, Atom { pred: view, terms: vec![c.into()] });
-        let res = dduf::core::downward::interpret_with(&db, &old, &req, &DownwardOptions::default())
-            .unwrap();
+/// Completeness vs brute force on tiny instances: every transaction of
+/// size ≤ 2 that realizes the request (without violating any
+/// alternative's must_not) is covered by — i.e. is a superset of the
+/// to_do of — some downward alternative.
+#[test]
+fn downward_covers_bruteforce() {
+    for facts in 1usize..3 {
+        for with_negation in [false, true] {
+            let db = tower_db(TowerShape {
+                depth: 2,
+                facts_per_level: facts,
+                with_negation,
+            });
+            let old = materialize(&db).unwrap();
+            let view = Pred::new("v2", 1);
+            let c = Const::sym("c0");
+            let req = Request::new().achieve(
+                EventKind::Del,
+                Atom::new(view.name.as_str(), vec![c.into()]),
+            );
+            let res =
+                dduf::core::downward::interpret_with(&db, &old, &req, &DownwardOptions::default())
+                    .unwrap();
 
-        for events in enumerate_transactions(&db, 2) {
-            if events.is_empty() { continue; }
-            let Ok(txn) = Transaction::from_events(&db, events.clone()) else { continue };
-            let new = materialize(&txn.apply(&db)).unwrap();
-            let realizes = !new.relation(view).contains(&Tuple::new(vec![c]));
-            if realizes {
-                let covered = res.alternatives.iter().any(|alt| {
-                    alt.to_do.iter().all(|e| txn.events().contains(&e))
-                        && alt.must_not.iter().all(|e| !txn.events().contains(&e))
-                });
-                prop_assert!(
-                    covered,
-                    "brute-force solution {:?} not covered by downward result {:?}",
-                    events.iter().map(|e| e.to_string()).collect::<Vec<_>>(),
-                    res.alternatives.iter().map(|a| a.to_string()).collect::<Vec<_>>()
-                );
+            for events in enumerate_transactions(&db, 2) {
+                if events.is_empty() {
+                    continue;
+                }
+                let Ok(txn) = Transaction::from_events(&db, events.clone()) else {
+                    continue;
+                };
+                let new = materialize(&txn.apply(&db)).unwrap();
+                let realizes = !new.relation(view).contains(&Tuple::new(vec![c]));
+                if realizes {
+                    let covered = res.alternatives.iter().any(|alt| {
+                        alt.to_do.iter().all(|e| txn.events().contains(&e))
+                            && alt.must_not.iter().all(|e| !txn.events().contains(&e))
+                    });
+                    assert!(
+                        covered,
+                        "brute-force solution {:?} not covered by downward result {:?}",
+                        events.iter().map(|e| e.to_string()).collect::<Vec<_>>(),
+                        res.alternatives
+                            .iter()
+                            .map(|a| a.to_string())
+                            .collect::<Vec<_>>()
+                    );
+                }
             }
         }
     }

@@ -9,10 +9,8 @@
 //! * the materialized view store equals the current view extensions;
 //! * every downward alternative offered verifies by upward replay.
 
+use dduf::core::rng::Rng;
 use dduf::prelude::*;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
 const PEOPLE: [&str; 6] = ["ana", "ben", "cara", "dan", "eva", "finn"];
 
@@ -31,27 +29,25 @@ fn db() -> Database {
 
 #[test]
 fn soak_300_steps() {
-    let mut rng = StdRng::seed_from_u64(20260705);
+    let mut rng = Rng::new(20260705);
     let mut proc = UpdateProcessor::new(db()).unwrap();
-    let mut store = MaterializedViewStore::materialize(
-        proc.database().program(),
-        proc.interpretation(),
-    );
+    let mut store =
+        MaterializedViewStore::materialize(proc.database().program(), proc.interpretation());
     let base_preds = ["la", "works", "u_benefit"];
     let mut commits = 0usize;
     let mut rejects = 0usize;
     let mut downwards = 0usize;
 
     for step in 0..300 {
-        match rng.gen_range(0..10) {
+        match rng.usize(10) {
             // 0..6: random base transaction through check-then-commit
             0..=5 => {
-                let k = rng.gen_range(1..=3);
+                let k = 1 + rng.usize(3);
                 let mut events = Vec::new();
                 let mut seen = std::collections::BTreeSet::new();
                 for _ in 0..k {
-                    let pred = *base_preds.choose(&mut rng).unwrap();
-                    let person = *PEOPLE.choose(&mut rng).unwrap();
+                    let pred = *rng.choose(&base_preds);
+                    let person = *rng.choose(&PEOPLE);
                     if !seen.insert((pred, person)) {
                         continue;
                     }
@@ -75,16 +71,14 @@ fn soak_300_steps() {
             }
             // 6..8: view update via downward, commit first alternative
             6 | 7 => {
-                let person = *PEOPLE.choose(&mut rng).unwrap();
-                let kind = if rng.gen_bool(0.5) {
+                let person = *rng.choose(&PEOPLE);
+                let kind = if rng.bool() {
                     EventKind::Ins
                 } else {
                     EventKind::Del
                 };
-                let req = Request::new().achieve(
-                    kind,
-                    Atom::ground("unemp", vec![Const::sym(person)]),
-                );
+                let req =
+                    Request::new().achieve(kind, Atom::ground("unemp", vec![Const::sym(person)]));
                 let res = proc.view_update_with_integrity(&req).unwrap();
                 downwards += 1;
                 for alt in res.alternatives.iter().take(3) {
@@ -108,7 +102,7 @@ fn soak_300_steps() {
             }
             // 8: monitoring (read-only)
             8 => {
-                let person = *PEOPLE.choose(&mut rng).unwrap();
+                let person = *rng.choose(&PEOPLE);
                 let txn = proc.transaction(&format!("+la({person}).")).unwrap();
                 let _ = proc.monitor_conditions(&txn).unwrap();
             }

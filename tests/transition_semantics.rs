@@ -1,15 +1,18 @@
-//! Property-based verification of the transition rules themselves (§3.2):
-//! for every derived predicate `P` and candidate tuple `c̄`, the executable
+//! Verification of the transition rules themselves (§3.2): for every
+//! derived predicate `P` and candidate tuple `c̄`, the executable
 //! transition rule `Pⁿ(c̄)` — old literals evaluated on the old state,
 //! event literals on the transaction plus induced events — holds **iff**
 //! `c̄` belongs to the materialized new state. Also: simplification
 //! preserves this semantics.
+//!
+//! Deterministic fuzz loops over the in-tree PRNG (no proptest): fixed
+//! seeds, same scenarios every run.
 
+use dduf::core::rng::Rng;
 use dduf::core::upward::incremental::new_state_holds;
 use dduf::prelude::*;
 use dduf_events::simplify::simplify_transition;
 use dduf_events::transition::TransitionRule;
-use proptest::prelude::*;
 use std::fmt::Write as _;
 
 const CONSTS: [&str; 3] = ["a", "b", "c"];
@@ -25,6 +28,29 @@ struct Scenario {
 }
 
 impl Scenario {
+    fn gen(rng: &mut Rng) -> Scenario {
+        let facts = (0..BASES.len())
+            .map(|_| (0..rng.usize(4)).map(|_| rng.usize(CONSTS.len())).collect())
+            .collect();
+        let layer1 = (0..1 + rng.usize(3))
+            .map(|_| (rng.usize(3), rng.bool()))
+            .collect();
+        let layer2 = rng.bool().then(|| {
+            (0..1 + rng.usize(3))
+                .map(|_| (rng.usize(4), rng.bool()))
+                .collect()
+        });
+        let txn = (0..1 + rng.usize(4))
+            .map(|_| (rng.bool(), rng.usize(BASES.len()), rng.usize(CONSTS.len())))
+            .collect();
+        Scenario {
+            facts,
+            layer1,
+            layer2,
+            txn,
+        }
+    }
+
     fn source(&self) -> String {
         let mut src = String::new();
         for b in BASES {
@@ -68,26 +94,6 @@ impl Scenario {
     }
 }
 
-fn scenario() -> impl Strategy<Value = Scenario> {
-    let facts = proptest::collection::vec(
-        proptest::collection::vec(0..CONSTS.len(), 0..4),
-        BASES.len(),
-    );
-    let lit = (0..4usize, proptest::bool::ANY);
-    let layer1 = proptest::collection::vec((0..3usize, proptest::bool::ANY), 1..4);
-    let layer2 = proptest::option::of(proptest::collection::vec(lit, 1..4));
-    let txn = proptest::collection::vec(
-        (proptest::bool::ANY, 0..BASES.len(), 0..CONSTS.len()),
-        1..5,
-    );
-    (facts, layer1, layer2, txn).prop_map(|(facts, layer1, layer2, txn)| Scenario {
-        facts,
-        layer1,
-        layer2,
-        txn,
-    })
-}
-
 fn build(s: &Scenario) -> (Database, Transaction) {
     let db = parse_database(&s.source()).expect("scenario parses");
     let mut events = Vec::new();
@@ -106,18 +112,17 @@ fn build(s: &Scenario) -> (Database, Transaction) {
     (db, txn)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// TR(c̄) ⟺ c̄ ∈ Pⁿ, for raw and simplified transition rules.
-    #[test]
-    fn transition_rule_matches_new_state(s in scenario()) {
+/// TR(c̄) ⟺ c̄ ∈ Pⁿ, for raw and simplified transition rules.
+#[test]
+fn transition_rule_matches_new_state() {
+    let mut rng = Rng::new(0x7124);
+    for case in 0..96 {
+        let s = Scenario::gen(&mut rng);
         let (db, txn) = build(&s);
         let old = materialize(&db).unwrap();
         // The upward result supplies the event sets TR literals refer to.
-        let up = dduf::core::upward::interpret_with(
-            &db, &old, &txn, UpwardEngine::Incremental,
-        ).unwrap();
+        let up =
+            dduf::core::upward::interpret_with(&db, &old, &txn, UpwardEngine::Incremental).unwrap();
         let mut all_events = up.base.clone();
         all_events.extend(&up.derived);
         let new = materialize(&txn.apply(&db)).unwrap();
@@ -132,24 +137,27 @@ proptest! {
                 let tuple = Tuple::new(vec![Const::sym(c)]);
                 let expected = new.relation(pred).contains(&tuple);
                 let via_raw = new_state_holds(&raw, &tuple, &db, &old, &all_events);
-                let via_simplified =
-                    new_state_holds(&simplified, &tuple, &db, &old, &all_events);
-                prop_assert_eq!(
+                let via_simplified = new_state_holds(&simplified, &tuple, &db, &old, &all_events);
+                assert_eq!(
                     via_raw, expected,
-                    "raw TR of {} disagrees on {}", pred, tuple
+                    "case {case}: raw TR of {pred} disagrees on {tuple}"
                 );
-                prop_assert_eq!(
+                assert_eq!(
                     via_simplified, expected,
-                    "simplified TR of {} disagrees on {}", pred, tuple
+                    "case {case}: simplified TR of {pred} disagrees on {tuple}"
                 );
             }
         }
     }
+}
 
-    /// Top-down resolution agrees with bottom-up materialization on the
-    /// same randomized (non-recursive) programs.
-    #[test]
-    fn topdown_matches_bottom_up(s in scenario()) {
+/// Top-down resolution agrees with bottom-up materialization on the
+/// same randomized (non-recursive) programs.
+#[test]
+fn topdown_matches_bottom_up() {
+    let mut rng = Rng::new(0x70D0);
+    for case in 0..96 {
+        let s = Scenario::gen(&mut rng);
         let (db, _txn) = build(&s);
         let m = materialize(&db).unwrap();
         let td = dduf::datalog::eval::topdown::TopDown::new(&db).unwrap();
@@ -160,10 +168,10 @@ proptest! {
             for c in CONSTS {
                 let tuple = Tuple::new(vec![Const::sym(c)]);
                 let goal = tuple.to_atom(pred);
-                prop_assert_eq!(
+                assert_eq!(
                     td.holds(&goal).unwrap(),
                     m.relation(pred).contains(&tuple),
-                    "top-down disagrees on {}", goal
+                    "case {case}: top-down disagrees on {goal}"
                 );
             }
         }
