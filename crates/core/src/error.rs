@@ -40,6 +40,9 @@ pub enum Error {
     },
     /// A request referenced a predicate with no definition or declaration.
     UnknownPredicate(Pred),
+    /// A durable-storage hook refused a commit (e.g. the journal append
+    /// failed), so the in-memory state was left unchanged.
+    Storage(String),
 }
 
 impl fmt::Display for Error {
@@ -77,6 +80,7 @@ impl fmt::Display for Error {
                 write!(f, "downward search limit exceeded: {what} > {limit}")
             }
             Error::UnknownPredicate(p) => write!(f, "unknown predicate {p}"),
+            Error::Storage(msg) => write!(f, "durable storage rejected the commit: {msg}"),
         }
     }
 }

@@ -273,7 +273,22 @@ impl UpdateProcessor {
     /// refreshes the materialized state from the upward result (old state
     /// plus induced events), returning that result.
     pub fn commit(&mut self, txn: &Transaction) -> Result<UpwardResult> {
+        self.commit_with_hook(txn, &mut |_| Ok(()))
+    }
+
+    /// [`commit`](Self::commit) with a write-ahead hook: the upward
+    /// interpretation is evaluated first (read-only), then `hook` runs —
+    /// a durable store appends the transaction to its journal here — and
+    /// only if the hook succeeds is the in-memory state mutated. A failing
+    /// hook therefore leaves both the processor and the store describing
+    /// the same (old) consistent state.
+    pub fn commit_with_hook(
+        &mut self,
+        txn: &Transaction,
+        hook: &mut dyn FnMut(&Transaction) -> Result<()>,
+    ) -> Result<UpwardResult> {
         let result = self.upward(txn)?;
+        hook(txn)?;
         self.db = txn.apply(&self.db);
         let mut new = self.old.clone();
         for (pred, _role) in self.db.program().predicates() {

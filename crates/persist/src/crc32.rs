@@ -1,0 +1,68 @@
+//! CRC-32 (IEEE 802.3: reflected, polynomial `0xEDB88320`), hand-rolled
+//! in ~30 lines for the same reason `dduf_core::rng` vendors SplitMix64:
+//! the workspace must build fully offline, so the `crc32fast` crate is
+//! deliberately not a dependency. The table is computed at compile time;
+//! the byte-at-a-time loop is ample for journal records of a few hundred
+//! bytes.
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// The CRC-32 checksum of `data` (IEEE polynomial, as in zip/PNG/Ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The standard check vectors every CRC-32 implementation must match.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    /// Any single-bit flip changes the checksum (the property the journal
+    /// relies on to detect mid-log corruption).
+    #[test]
+    fn single_bit_flips_detected() {
+        let base = b"+works(dolors). -u_benefit(dolors).".to_vec();
+        let clean = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip at {byte}.{bit}");
+            }
+        }
+    }
+}

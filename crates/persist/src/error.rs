@@ -1,0 +1,179 @@
+//! Errors of the persistence subsystem.
+//!
+//! The distinction that matters for recovery (DESIGN.md §9):
+//!
+//! * a **torn tail** — the file ends in the middle of the final record —
+//!   is the expected signature of a crash mid-append. It is *not* an
+//!   error: open truncates it and recovers the longest committed prefix.
+//! * **mid-log corruption** — a checksum or format violation with intact
+//!   bytes after it — means storage was damaged. Silently truncating
+//!   would discard acknowledged commits, so this is a hard error carrying
+//!   the record index and byte offset, rendered as a span-style
+//!   diagnostic like the analyzer's.
+
+use std::fmt;
+
+/// Errors raised while journaling, snapshotting, or recovering.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An operating-system I/O failure.
+    Io {
+        /// The file or directory involved.
+        path: String,
+        /// What was being attempted (`"create"`, `"append"`, ...).
+        op: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The journal is damaged before its final record: a checksum
+    /// mismatch, an implausible length prefix, or a payload that is not
+    /// the event surface syntax.
+    Corrupt {
+        /// The journal file.
+        path: String,
+        /// 0-based index of the damaged record.
+        record: usize,
+        /// Byte offset of the damaged record's header.
+        offset: u64,
+        /// What exactly is wrong.
+        detail: String,
+    },
+    /// The snapshot file is missing its header, fails its checksum, or
+    /// does not parse back into a database.
+    Snapshot {
+        /// The snapshot file.
+        path: String,
+        /// What exactly is wrong.
+        detail: String,
+    },
+    /// The directory does not hold a durable database (no snapshot or no
+    /// journal).
+    NotADatabase(String),
+    /// `init` refused to overwrite an existing durable database.
+    AlreadyExists(String),
+    /// A journal record re-parsed and re-validated fine but failed to
+    /// commit through the upward path during replay.
+    Replay {
+        /// 0-based index of the record that failed.
+        record: usize,
+        /// The evaluation error.
+        source: dduf_core::Error,
+    },
+    /// An error from the framework itself (evaluation, validation).
+    Core(dduf_core::Error),
+}
+
+impl PersistError {
+    /// Renders the error in the analyzer's span-diagnostic style:
+    /// a headline, a `-->` location line, and `=` notes.
+    pub fn render(&self) -> String {
+        match self {
+            PersistError::Corrupt {
+                path,
+                record,
+                offset,
+                detail,
+            } => format!(
+                "error: journal corrupt: {detail}\n  --> {path}:record {record} (byte {offset})\n  = note: records before record {record} are intact; refusing to truncate \
+                 acknowledged commits — repair or restore the journal manually\n"
+            ),
+            PersistError::Snapshot { path, detail } => {
+                format!("error: snapshot unreadable: {detail}\n  --> {path}\n")
+            }
+            other => format!("error: {other}\n"),
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { path, op, source } => {
+                write!(f, "cannot {op} {path}: {source}")
+            }
+            PersistError::Corrupt {
+                path,
+                record,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "journal {path} corrupt at record {record} (byte {offset}): {detail}"
+            ),
+            PersistError::Snapshot { path, detail } => {
+                write!(f, "snapshot {path} unreadable: {detail}")
+            }
+            PersistError::NotADatabase(dir) => {
+                write!(
+                    f,
+                    "{dir} is not a durable database (run `dduf db init` first)"
+                )
+            }
+            PersistError::AlreadyExists(dir) => {
+                write!(f, "{dir} already holds a durable database")
+            }
+            PersistError::Replay { record, source } => {
+                write!(f, "replay of journal record {record} failed: {source}")
+            }
+            PersistError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::Replay { source, .. } | PersistError::Core(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<dduf_core::Error> for PersistError {
+    fn from(e: dduf_core::Error) -> PersistError {
+        PersistError::Core(e)
+    }
+}
+
+/// Result alias for the subsystem.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+/// Helper: wrap an `io::Error` with its path and operation.
+pub(crate) fn io_err<'a>(
+    path: &'a std::path::Path,
+    op: &'static str,
+) -> impl FnOnce(std::io::Error) -> PersistError + 'a {
+    move |source| PersistError::Io {
+        path: path.display().to_string(),
+        op,
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_renders_span_style() {
+        let e = PersistError::Corrupt {
+            path: "journal.log".into(),
+            record: 3,
+            offset: 128,
+            detail: "checksum mismatch (stored 0xdeadbeef, computed 0x12345678)".into(),
+        };
+        let r = e.render();
+        assert!(r.contains("--> journal.log:record 3 (byte 128)"), "{r}");
+        assert!(r.contains("checksum mismatch"), "{r}");
+        assert!(e.to_string().contains("record 3"), "{e}");
+    }
+
+    #[test]
+    fn io_carries_source() {
+        use std::error::Error as _;
+        let e = io_err(std::path::Path::new("j.log"), "append")(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("append"), "{e}");
+        assert!(e.source().is_some());
+    }
+}

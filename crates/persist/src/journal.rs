@@ -1,0 +1,325 @@
+//! The append-only event journal.
+//!
+//! A transaction *is* a set of base-fact events (§3.1), which is exactly
+//! the content of a write-ahead log record — so the journal stores each
+//! committed transaction in the existing surface syntax (`+p(a). -q(b).`)
+//! behind a binary framing that makes crashes detectable:
+//!
+//! ```text
+//! file   := MAGIC record*
+//! MAGIC  := "ddufjnl1"                      (8 bytes)
+//! record := len:u32le crc:u32le payload     (crc = CRC-32 of payload)
+//! ```
+//!
+//! The payload is UTF-8 text, so `strings journal.log` shows the history
+//! and `dduf db log` is a trivial dump — but every record is still
+//! length-prefixed and checksummed, giving the two guarantees recovery
+//! needs: a crash mid-append leaves a recognizable **torn tail** (the
+//! file ends before the final record completes), and any later damage is
+//! a **checksum mismatch** at a known record index.
+
+use crate::crc32::crc32;
+use crate::error::{io_err, PersistError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The journal file's magic header.
+pub const MAGIC: &[u8; 8] = b"ddufjnl1";
+
+/// Bytes of framing before each payload (`u32` length + `u32` CRC).
+pub const RECORD_HEADER: usize = 8;
+
+/// Sanity bound on a single record; a length prefix above this is treated
+/// as corruption rather than a (physically impossible) giant record.
+const MAX_RECORD: u32 = 1 << 30;
+
+/// One decoded journal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// 0-based position in the journal.
+    pub index: usize,
+    /// Byte offset of the record's header in the file.
+    pub offset: u64,
+    /// The transaction in event surface syntax.
+    pub payload: String,
+}
+
+/// A torn final record: the file ends before the record completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset where the torn record starts.
+    pub offset: u64,
+    /// How many dangling bytes follow that offset.
+    pub bytes: u64,
+}
+
+/// The result of scanning a journal file.
+#[derive(Clone, Debug)]
+pub struct Scan {
+    /// Every intact record, in append order.
+    pub records: Vec<Record>,
+    /// Byte offset just past the last intact record — the position appends
+    /// (and snapshots) should use.
+    pub end: u64,
+    /// The torn final record, if the file ends mid-record.
+    pub torn: Option<TornTail>,
+}
+
+/// Reads and validates a journal file without modifying it.
+///
+/// An incomplete *final* record is reported as [`Scan::torn`]; anything
+/// else that fails validation — checksum mismatch, implausible length,
+/// non-UTF-8 payload — is a hard [`PersistError::Corrupt`].
+pub fn scan(path: &Path) -> Result<Scan> {
+    let data = std::fs::read(path).map_err(io_err(path, "read"))?;
+    scan_bytes(path, &data)
+}
+
+fn scan_bytes(path: &Path, data: &[u8]) -> Result<Scan> {
+    let disp = path.display().to_string();
+    if data.len() < MAGIC.len() || &data[..MAGIC.len().min(data.len())] != MAGIC {
+        return Err(PersistError::Corrupt {
+            path: disp,
+            record: 0,
+            offset: 0,
+            detail: format!(
+                "missing magic header {:?}",
+                std::str::from_utf8(MAGIC).unwrap()
+            ),
+        });
+    }
+    let mut records = Vec::new();
+    let mut pos = MAGIC.len();
+    loop {
+        if pos == data.len() {
+            return Ok(Scan {
+                records,
+                end: pos as u64,
+                torn: None,
+            });
+        }
+        let index = records.len();
+        let torn = |pos: usize| {
+            Ok(Scan {
+                records: records.clone(),
+                end: pos as u64,
+                torn: Some(TornTail {
+                    offset: pos as u64,
+                    bytes: (data.len() - pos) as u64,
+                }),
+            })
+        };
+        if data.len() - pos < RECORD_HEADER {
+            return torn(pos);
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+        let stored = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD {
+            return Err(PersistError::Corrupt {
+                path: disp,
+                record: index,
+                offset: pos as u64,
+                detail: format!("implausible record length {len}"),
+            });
+        }
+        let body_start = pos + RECORD_HEADER;
+        if data.len() - body_start < len as usize {
+            return torn(pos);
+        }
+        let body = &data[body_start..body_start + len as usize];
+        let computed = crc32(body);
+        if computed != stored {
+            return Err(PersistError::Corrupt {
+                path: disp,
+                record: index,
+                offset: pos as u64,
+                detail: format!(
+                    "checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+                ),
+            });
+        }
+        let payload = std::str::from_utf8(body)
+            .map_err(|_| PersistError::Corrupt {
+                path: disp.clone(),
+                record: index,
+                offset: pos as u64,
+                detail: "payload is not valid UTF-8".into(),
+            })?
+            .to_string();
+        records.push(Record {
+            index,
+            offset: pos as u64,
+            payload,
+        });
+        pos = body_start + len as usize;
+    }
+}
+
+/// An open journal, positioned for appending after the last intact record.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    end: u64,
+}
+
+impl Journal {
+    /// Creates a fresh, empty journal (fails if the file exists).
+    pub fn create(path: &Path) -> Result<Journal> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(io_err(path, "create"))?;
+        file.write_all(MAGIC).map_err(io_err(path, "write"))?;
+        file.sync_all().map_err(io_err(path, "sync"))?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+            end: MAGIC.len() as u64,
+        })
+    }
+
+    /// Validates an existing journal and opens it for appending. A torn
+    /// final record is **truncated away** (it was never acknowledged);
+    /// mid-log corruption is a hard error. Returns the journal plus the
+    /// scan that recovery replays from.
+    pub fn open(path: &Path) -> Result<(Journal, Scan)> {
+        let scan = scan(path)?;
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(io_err(path, "open"))?;
+        if scan.torn.is_some() {
+            file.set_len(scan.end).map_err(io_err(path, "truncate"))?;
+            file.sync_all().map_err(io_err(path, "sync"))?;
+        }
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+                end: scan.end,
+            },
+            scan,
+        ))
+    }
+
+    /// Appends one record and flushes it to stable storage. The commit is
+    /// durable — and may be acknowledged — once this returns.
+    pub fn append(&mut self, payload: &str) -> Result<u64> {
+        let body = payload.as_bytes();
+        let mut rec = Vec::with_capacity(RECORD_HEADER + body.len());
+        rec.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(body).to_le_bytes());
+        rec.extend_from_slice(body);
+        self.file
+            .seek(SeekFrom::Start(self.end))
+            .map_err(io_err(&self.path, "seek"))?;
+        self.file
+            .write_all(&rec)
+            .map_err(io_err(&self.path, "append"))?;
+        self.file.sync_data().map_err(io_err(&self.path, "sync"))?;
+        self.end += rec.len() as u64;
+        Ok(self.end)
+    }
+
+    /// Byte offset just past the last record (where the next one goes).
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dduf_journal_{}_{name}.log", std::process::id()))
+    }
+
+    #[test]
+    fn create_append_scan_roundtrip() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::create(&path).unwrap();
+        j.append("+p(a).").unwrap();
+        j.append("-q(b). +p(c).").unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.records[0].payload, "+p(a).");
+        assert_eq!(s.records[1].payload, "-q(b). +p(c).");
+        assert_eq!(s.records[1].index, 1);
+        assert!(s.torn.is_none());
+        assert_eq!(s.end, j.end());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_detected_and_truncated_on_open() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::create(&path).unwrap();
+        j.append("+p(a).").unwrap();
+        let keep = j.end();
+        j.append("+p(b).").unwrap();
+        drop(j);
+        // Cut into the middle of the second record.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..keep as usize + 5]).unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(
+            s.torn,
+            Some(TornTail {
+                offset: keep,
+                bytes: 5
+            })
+        );
+        // Open truncates the dangling bytes and can append again.
+        let (mut j, s) = Journal::open(&path).unwrap();
+        assert_eq!(s.end, keep);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep);
+        j.append("+p(c).").unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.records[1].payload, "+p(c).");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn midlog_corruption_is_hard_error() {
+        let path = tmp("corrupt");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::create(&path).unwrap();
+        j.append("+p(a).").unwrap();
+        j.append("+p(b).").unwrap();
+        drop(j);
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a payload byte of record 0 (magic + header + 1).
+        data[MAGIC.len() + RECORD_HEADER + 1] ^= 0x40;
+        std::fs::write(&path, &data).unwrap();
+        match scan(&path) {
+            Err(PersistError::Corrupt { record, detail, .. }) => {
+                assert_eq!(record, 0);
+                assert!(detail.contains("checksum mismatch"), "{detail}");
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        assert!(Journal::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_magic_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"not a journal").unwrap();
+        assert!(matches!(scan(&path), Err(PersistError::Corrupt { .. })));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

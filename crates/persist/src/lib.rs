@@ -1,0 +1,381 @@
+//! # dduf-persist — durable state for the updating framework
+//!
+//! The paper's formalism is about transitions between consistent database
+//! states, where a transaction is exactly a set of base-fact events —
+//! which is precisely the content of a write-ahead log record. This crate
+//! persists committed transactions as an append-only **event journal**
+//! ([`journal`]) plus periodic atomic **snapshots** ([`snapshot`]), so
+//! that crash **recovery** is nothing new: reopening a database replays
+//! the journal tail through the same upward/commit path live sessions
+//! use — a chain of upward evaluations (DESIGN.md §9).
+//!
+//! On-disk layout of a durable database directory:
+//!
+//! ```text
+//! <dir>/snapshot.dl    full EDB+program dump, atomic (temp + rename)
+//! <dir>/journal.log    MAGIC + length-prefixed, CRC-32'd event records
+//! ```
+//!
+//! Durability contract (*kill-anywhere*): a transaction is durable once
+//! [`DurableDb::commit`] (or the session hook) returns — the record is
+//! fsynced **before** the in-memory state mutates. A crash at any byte
+//! position leaves either a clean journal or a torn final record, and
+//! open recovers exactly the longest acknowledged prefix. Corruption
+//! *before* the final record is never truncated silently: it is a hard
+//! error naming the damaged record.
+
+pub mod crc32;
+pub mod error;
+pub mod journal;
+pub mod snapshot;
+
+pub use error::{PersistError, Result};
+pub use journal::{Journal, Record, Scan, TornTail};
+pub use snapshot::{Snapshot, JOURNAL_FILE, SNAPSHOT_FILE};
+
+use dduf_core::processor::UpdateProcessor;
+use dduf_core::transaction::Transaction;
+use dduf_core::upward::UpwardResult;
+use std::path::{Path, PathBuf};
+
+/// Serializes a transaction as one journal payload: its events in the
+/// surface syntax the parser reads back (`+p(a). -q(b).`).
+pub fn serialize_transaction(txn: &Transaction) -> String {
+    let events: Vec<String> = txn.events().iter().map(|e| format!("{e}.")).collect();
+    events.join(" ")
+}
+
+/// What recovery did while opening a durable database.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Recovery {
+    /// Journal byte offset the snapshot covered.
+    pub snapshot_pos: u64,
+    /// Journal records replayed through the upward/commit path.
+    pub replayed: usize,
+    /// Dangling bytes of a torn final record that were truncated.
+    pub truncated_bytes: u64,
+}
+
+/// The storage half of a durable database: directory + open journal.
+/// [`Session`](../dduf/cli/struct.Session.html)-style frontends hold this
+/// next to their own [`UpdateProcessor`] and call [`record_commit`]
+/// from a [`commit_with_hook`](UpdateProcessor::commit_with_hook) hook.
+///
+/// [`record_commit`]: DurableStore::record_commit
+#[derive(Debug)]
+pub struct DurableStore {
+    dir: PathBuf,
+    journal: Journal,
+}
+
+impl DurableStore {
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Byte offset past the last journal record.
+    pub fn journal_end(&self) -> u64 {
+        self.journal.end()
+    }
+
+    /// Appends a committed transaction to the journal (fsynced). Shaped
+    /// for [`UpdateProcessor::commit_with_hook`]: the error is the core
+    /// error type, so a failed append vetoes the in-memory mutation.
+    pub fn record_commit(&mut self, txn: &Transaction) -> dduf_core::Result<()> {
+        self.journal
+            .append(&serialize_transaction(txn))
+            .map(|_| ())
+            .map_err(|e| dduf_core::Error::Storage(e.to_string()))
+    }
+
+    /// Writes a snapshot of `db` covering the whole journal so far.
+    pub fn checkpoint(&mut self, db: &dduf_datalog::storage::database::Database) -> Result<u64> {
+        let pos = self.journal.end();
+        snapshot::write(&self.dir, db, pos)?;
+        Ok(pos)
+    }
+}
+
+/// A durable deductive database: an [`UpdateProcessor`] whose commits are
+/// journaled, plus snapshot/checkpoint management.
+#[derive(Debug)]
+pub struct DurableDb {
+    store: DurableStore,
+    proc: UpdateProcessor,
+    recovery: Recovery,
+}
+
+impl DurableDb {
+    /// Creates a durable database in `dir` from database source text
+    /// (program + initial facts). The directory is created if missing;
+    /// initializing over an existing durable database is refused.
+    pub fn init(dir: impl AsRef<Path>, schema_src: &str) -> Result<DurableDb> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(error::io_err(dir, "create"))?;
+        if dir.join(SNAPSHOT_FILE).exists() || dir.join(JOURNAL_FILE).exists() {
+            return Err(PersistError::AlreadyExists(dir.display().to_string()));
+        }
+        let db = dduf_datalog::parser::parse_database(schema_src)
+            .map_err(|e| PersistError::Core(e.into()))?;
+        let proc = UpdateProcessor::new(db)?;
+        let journal = Journal::create(&dir.join(JOURNAL_FILE))?;
+        snapshot::write(dir, proc.database(), journal.end())?;
+        Ok(DurableDb {
+            store: DurableStore {
+                dir: dir.to_path_buf(),
+                journal,
+            },
+            proc,
+            recovery: Recovery::default(),
+        })
+    }
+
+    /// Opens a durable database: loads the latest snapshot, truncates a
+    /// torn final journal record if a crash left one, and replays the
+    /// journal tail through the normal upward/commit path.
+    pub fn open(dir: impl AsRef<Path>) -> Result<DurableDb> {
+        let dir = dir.as_ref();
+        let snap = snapshot::read(dir)?;
+        let journal_path = dir.join(JOURNAL_FILE);
+        if !journal_path.exists() {
+            return Err(PersistError::NotADatabase(dir.display().to_string()));
+        }
+        let (journal, scan) = Journal::open(&journal_path)?;
+        let mut proc = UpdateProcessor::new(snap.db)?;
+        let mut replayed = 0usize;
+        for rec in &scan.records {
+            if rec.offset < snap.journal_pos {
+                continue; // covered by the snapshot
+            }
+            let txn = proc
+                .transaction(&rec.payload)
+                .map_err(|e| PersistError::Replay {
+                    record: rec.index,
+                    source: e,
+                })?;
+            proc.commit(&txn).map_err(|e| PersistError::Replay {
+                record: rec.index,
+                source: e,
+            })?;
+            replayed += 1;
+        }
+        Ok(DurableDb {
+            store: DurableStore {
+                dir: dir.to_path_buf(),
+                journal,
+            },
+            proc,
+            recovery: Recovery {
+                snapshot_pos: snap.journal_pos,
+                replayed,
+                truncated_bytes: scan.torn.map_or(0, |t| t.bytes),
+            },
+        })
+    }
+
+    /// What recovery did when this handle was opened (zeroes after `init`).
+    pub fn recovery(&self) -> Recovery {
+        self.recovery
+    }
+
+    /// The underlying processor.
+    pub fn processor(&self) -> &UpdateProcessor {
+        &self.proc
+    }
+
+    /// The storage half.
+    pub fn store(&self) -> &DurableStore {
+        &self.store
+    }
+
+    /// Parses a transaction against this database.
+    pub fn transaction(&self, src: &str) -> dduf_core::Result<Transaction> {
+        self.proc.transaction(src)
+    }
+
+    /// Commits a transaction durably: the upward interpretation is
+    /// evaluated, the event record is fsynced to the journal, and only
+    /// then does the in-memory state change (write-ahead ordering). On an
+    /// append error nothing moved: disk and memory still agree on the
+    /// old state.
+    pub fn commit(&mut self, txn: &Transaction) -> Result<UpwardResult> {
+        let store = &mut self.store;
+        self.proc
+            .commit_with_hook(txn, &mut |t| store.record_commit(t))
+            .map_err(PersistError::Core)
+    }
+
+    /// Writes a snapshot covering the whole journal so far; returns the
+    /// covered journal position.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        self.store.checkpoint(self.proc.database())
+    }
+
+    /// Splits into processor + store, for frontends (the `dduf` shell)
+    /// that own the processor themselves.
+    pub fn into_parts(self) -> (UpdateProcessor, DurableStore) {
+        (self.proc, self.store)
+    }
+}
+
+/// The result of [`verify`]: everything a checksum scan can establish
+/// without replaying.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Journal byte offset the snapshot covers.
+    pub snapshot_pos: u64,
+    /// Extensional facts in the snapshot.
+    pub snapshot_facts: usize,
+    /// Intact journal records (whole file).
+    pub records: usize,
+    /// Records past the snapshot position (replayed on next open).
+    pub tail_records: usize,
+    /// Bytes of intact journal (where the next append goes).
+    pub journal_end: u64,
+    /// A torn final record, if the journal ends mid-record.
+    pub torn: Option<TornTail>,
+}
+
+/// Verifies a durable database without opening it for writing: the
+/// snapshot must parse and pass its checksum, and every journal record
+/// must pass its checksum and re-parse as event syntax. A torn final
+/// record is reported (it is recoverable); mid-log corruption is the
+/// usual hard error.
+pub fn verify(dir: impl AsRef<Path>) -> Result<VerifyReport> {
+    let dir = dir.as_ref();
+    let snap = snapshot::read(dir)?;
+    let journal_path = dir.join(JOURNAL_FILE);
+    if !journal_path.exists() {
+        return Err(PersistError::NotADatabase(dir.display().to_string()));
+    }
+    let scan = journal::scan(&journal_path)?;
+    for rec in &scan.records {
+        dduf_datalog::parser::parse_events(&rec.payload).map_err(|e| PersistError::Corrupt {
+            path: journal_path.display().to_string(),
+            record: rec.index,
+            offset: rec.offset,
+            detail: format!("payload is not event syntax: {e}"),
+        })?;
+    }
+    let tail_records = scan
+        .records
+        .iter()
+        .filter(|r| r.offset >= snap.journal_pos)
+        .count();
+    Ok(VerifyReport {
+        snapshot_pos: snap.journal_pos,
+        snapshot_facts: snap.db.fact_count(),
+        records: scan.records.len(),
+        tail_records,
+        journal_end: scan.end,
+        torn: scan.torn,
+    })
+}
+
+/// Reads the journal for display: the snapshot's covered position plus
+/// every record. Used by `dduf db log`.
+pub fn read_log(dir: impl AsRef<Path>) -> Result<(u64, Scan)> {
+    let dir = dir.as_ref();
+    let snap = snapshot::read(dir)?;
+    let journal_path = dir.join(JOURNAL_FILE);
+    if !journal_path.exists() {
+        return Err(PersistError::NotADatabase(dir.display().to_string()));
+    }
+    Ok((snap.journal_pos, journal::scan(&journal_path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::ast::Pred;
+
+    const SCHEMA: &str = "la(dolors). u_benefit(dolors).
+        unemp(X) :- la(X), not works(X).
+        :- unemp(X), not u_benefit(X).";
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dduf_persist_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn init_commit_reopen() {
+        let dir = tmpdir("basic");
+        let mut db = DurableDb::init(&dir, SCHEMA).unwrap();
+        let txn = db.transaction("+works(dolors).").unwrap();
+        let res = db.commit(&txn).unwrap();
+        assert_eq!(res.derived.to_string(), "{-unemp(dolors)}");
+        drop(db);
+
+        let db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.recovery().replayed, 1);
+        assert!(db
+            .processor()
+            .state()
+            .relation(Pred::new("works", 1))
+            .len()
+            .eq(&1));
+        assert!(db
+            .processor()
+            .interpretation()
+            .relation(Pred::new("unemp", 1))
+            .is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_limits_replay() {
+        let dir = tmpdir("checkpoint");
+        let mut db = DurableDb::init(&dir, SCHEMA).unwrap();
+        let t1 = db.transaction("+la(ana).").unwrap();
+        db.commit(&t1).unwrap();
+        db.checkpoint().unwrap();
+        let t2 = db.transaction("+works(ana).").unwrap();
+        db.commit(&t2).unwrap();
+        drop(db);
+
+        let db = DurableDb::open(&dir).unwrap();
+        assert_eq!(db.recovery().replayed, 1, "only the post-snapshot tail");
+        assert_eq!(db.processor().database().fact_count(), 4);
+        let report = verify(&dir).unwrap();
+        assert_eq!(report.records, 2);
+        assert_eq!(report.tail_records, 1);
+        assert!(report.torn.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn init_refuses_existing() {
+        let dir = tmpdir("existing");
+        DurableDb::init(&dir, SCHEMA).unwrap();
+        assert!(matches!(
+            DurableDb::init(&dir, SCHEMA),
+            Err(PersistError::AlreadyExists(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_is_not_a_database() {
+        let dir = tmpdir("missing");
+        assert!(matches!(
+            DurableDb::open(&dir),
+            Err(PersistError::NotADatabase(_))
+        ));
+    }
+
+    #[test]
+    fn serialize_round_trips_through_parse() {
+        let dir = tmpdir("serialize");
+        let db = DurableDb::init(&dir, SCHEMA).unwrap();
+        let txn = db
+            .transaction("+works(ana). -u_benefit(dolors). +la('Señor X').")
+            .unwrap();
+        let src = serialize_transaction(&txn);
+        let txn2 = db.transaction(&src).unwrap();
+        assert_eq!(txn, txn2, "serialized form {src:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,195 @@
+//! Snapshots (checkpoints): a full dump of the database in re-parseable
+//! surface syntax, written atomically.
+//!
+//! A snapshot is the pretty-printer's output (`pretty::database`) behind
+//! one header comment recording the journal position it covers and a
+//! CRC-32 of the body:
+//!
+//! ```text
+//! % dduf-snapshot v1 journal_pos=<bytes> crc=<8 hex digits>
+//! <program directives, rules, facts>
+//! ```
+//!
+//! The header is a `%` comment, so the file is *also* a plain loadable
+//! database source. Atomicity is temp-file + rename: the snapshot is
+//! written to `snapshot.dl.tmp`, fsynced, then renamed over
+//! `snapshot.dl` — a crash at any point leaves either the old complete
+//! snapshot or the new complete snapshot, never a mix.
+
+use crate::crc32::crc32;
+use crate::error::{io_err, PersistError, Result};
+use dduf_datalog::storage::database::Database;
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the snapshot inside a durable-database directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.dl";
+
+/// File name of the journal inside a durable-database directory.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+const HEADER_PREFIX: &str = "% dduf-snapshot v1 ";
+
+/// A snapshot read back from disk.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// The database state the snapshot holds.
+    pub db: Database,
+    /// Journal byte offset the snapshot covers: replay starts here.
+    pub journal_pos: u64,
+}
+
+/// Writes a snapshot of `db` covering the journal up to `journal_pos`,
+/// atomically (temp file + fsync + rename + directory fsync).
+pub fn write(dir: &Path, db: &Database, journal_pos: u64) -> Result<()> {
+    let body = dduf_datalog::pretty::database(db);
+    let crc = crc32(body.as_bytes());
+    let content = format!("{HEADER_PREFIX}journal_pos={journal_pos} crc={crc:08x}\n{body}");
+    let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
+    let target = dir.join(SNAPSHOT_FILE);
+    let mut f = std::fs::File::create(&tmp).map_err(io_err(&tmp, "create"))?;
+    f.write_all(content.as_bytes())
+        .map_err(io_err(&tmp, "write"))?;
+    f.sync_all().map_err(io_err(&tmp, "sync"))?;
+    drop(f);
+    std::fs::rename(&tmp, &target).map_err(io_err(&target, "rename into"))?;
+    sync_dir(dir);
+    Ok(())
+}
+
+/// Fsyncs a directory so a rename is durable (best-effort; not all
+/// platforms allow opening a directory for sync).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Reads and validates the snapshot of a durable-database directory.
+pub fn read(dir: &Path) -> Result<Snapshot> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let disp = path.display().to_string();
+    let content = std::fs::read_to_string(&path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            PersistError::NotADatabase(dir.display().to_string())
+        } else {
+            PersistError::Io {
+                path: disp.clone(),
+                op: "read",
+                source: e,
+            }
+        }
+    })?;
+    let bad = |detail: String| PersistError::Snapshot {
+        path: disp.clone(),
+        detail,
+    };
+    let (header, body) = content
+        .split_once('\n')
+        .ok_or_else(|| bad("empty file".into()))?;
+    let header = header
+        .strip_prefix(HEADER_PREFIX)
+        .ok_or_else(|| bad(format!("missing `{}` header", HEADER_PREFIX.trim())))?;
+    let mut journal_pos = None;
+    let mut stored_crc = None;
+    for field in header.split_whitespace() {
+        match field.split_once('=') {
+            Some(("journal_pos", v)) => journal_pos = v.parse::<u64>().ok(),
+            Some(("crc", v)) => stored_crc = u32::from_str_radix(v, 16).ok(),
+            _ => {}
+        }
+    }
+    let journal_pos =
+        journal_pos.ok_or_else(|| bad("header is missing a numeric journal_pos".into()))?;
+    let stored_crc = stored_crc.ok_or_else(|| bad("header is missing a hex crc".into()))?;
+    let computed = crc32(body.as_bytes());
+    if computed != stored_crc {
+        return Err(bad(format!(
+            "checksum mismatch (stored {stored_crc:#010x}, computed {computed:#010x})"
+        )));
+    }
+    let db = dduf_datalog::parser::parse_database(body)
+        .map_err(|e| bad(format!("body does not parse: {e}")))?;
+    Ok(Snapshot { db, journal_pos })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_datalog::parser::parse_database;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("dduf_snap_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn db() -> Database {
+        parse_database(
+            "la(dolors). u_benefit(dolors).
+             unemp(X) :- la(X), not works(X).
+             :- unemp(X), not u_benefit(X).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        write(&dir, &db(), 42).unwrap();
+        let snap = read(&dir).unwrap();
+        assert_eq!(snap.journal_pos, 42);
+        assert_eq!(snap.db.fact_count(), db().fact_count());
+        assert_eq!(
+            snap.db.program().rules().len(),
+            db().program().rules().len()
+        );
+        // No temp file left behind.
+        assert!(!dir.join("snapshot.dl.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        let dir = tmpdir("rewrite");
+        write(&dir, &db(), 8).unwrap();
+        write(&dir, &db(), 99).unwrap();
+        assert_eq!(read(&dir).unwrap().journal_pos, 99);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_body_fails_checksum() {
+        let dir = tmpdir("damage");
+        write(&dir, &db(), 8).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("extra(garbage).\n");
+        std::fs::write(&path, content).unwrap();
+        match read(&dir) {
+            Err(PersistError::Snapshot { detail, .. }) => {
+                assert!(detail.contains("checksum mismatch"), "{detail}")
+            }
+            other => panic!("expected snapshot error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_not_a_database() {
+        let dir = tmpdir("missing");
+        assert!(matches!(read(&dir), Err(PersistError::NotADatabase(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_is_a_comment_for_the_parser() {
+        let dir = tmpdir("comment");
+        write(&dir, &db(), 8).unwrap();
+        let content = std::fs::read_to_string(dir.join(SNAPSHOT_FILE)).unwrap();
+        // The whole file, header included, is loadable source.
+        assert!(parse_database(&content).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,78 +1,70 @@
-//! The `dduf` shell: load a deductive database and work through the whole
-//! updating-problem catalog interactively (or from a piped script).
+//! The `dduf` binary: the interactive shell over a database file, the
+//! `lint` static analyzer, and the `db` durable-database verbs.
 //!
 //! ```sh
 //! cargo run --bin dduf -- db.dl
 //! cargo run --bin dduf -- lint --deny-warnings db.dl
+//! cargo run --bin dduf -- db init schema.dl mydb/
 //! echo ':update -unemp(dolors).
 //! :do 1
 //! :show' | cargo run --bin dduf -- db.dl
 //! ```
+//!
+//! Exit codes: `0` — success; `1` — a load or data error; `2` — usage
+//! error (unknown flag/verb, missing operand, unreadable file).
 
-use dduf::cli::{is_quit, Session, HELP};
-use std::io::{BufRead, IsTerminal, Write};
+use dduf::cli::{run_repl, Session, USAGE};
 
 fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
     let mut args = std::env::args().skip(1);
     let Some(first) = args.next() else {
-        eprintln!("usage: dduf <database.dl>\n       dduf lint [--deny-warnings] [--format=text|json] <database.dl>");
-        std::process::exit(2);
+        eprint!("{USAGE}");
+        return 2;
     };
-    if first == "lint" {
-        std::process::exit(dduf::lint::run(args));
+    match first.as_str() {
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            0
+        }
+        "--version" | "-V" => {
+            println!("dduf {}", env!("CARGO_PKG_VERSION"));
+            0
+        }
+        "lint" => dduf::lint::run(args),
+        "db" => dduf::db::run(args),
+        s if s.starts_with('-') => {
+            eprint!("dduf: unrecognized flag `{s}`\n{USAGE}");
+            2
+        }
+        path => {
+            if args.next().is_some() {
+                eprint!("dduf: too many operands\n{USAGE}");
+                return 2;
+            }
+            shell(path)
+        }
     }
-    let path = first;
-    let src = match std::fs::read_to_string(&path) {
+}
+
+/// The original mode: an in-memory session over one database file.
+fn shell(path: &str) -> i32 {
+    let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("dduf: cannot read {path}: {e}");
-            std::process::exit(2);
+            return 2;
         }
     };
     let mut session = match Session::from_source(&src) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("dduf: {e}");
-            std::process::exit(1);
+            return 1;
         }
     };
-
-    let interactive = std::io::stdin().is_terminal();
-    if interactive {
-        println!("dduf — deductive database updating framework (:help for commands)");
-    }
-    let stdin = std::io::stdin();
-    loop {
-        if interactive {
-            print!("dduf> ");
-            let _ = std::io::stdout().flush();
-        }
-        let mut line = String::new();
-        match stdin.lock().read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(e) => {
-                eprintln!("dduf: {e}");
-                break;
-            }
-        }
-        if is_quit(&line) {
-            break;
-        }
-        if line.trim() == ":help" {
-            print!("{HELP}");
-            continue;
-        }
-        match session.run(&line) {
-            Ok(out) => {
-                if !out.is_empty() {
-                    print!("{out}");
-                    if !out.ends_with('\n') {
-                        println!();
-                    }
-                }
-            }
-            Err(e) => eprintln!("error: {e}"),
-        }
-    }
+    run_repl(&mut session)
 }

@@ -16,24 +16,53 @@ use dduf_events::rules::EventRuleSystem;
 use std::fmt::Write as _;
 
 /// One interactive session: a processor plus the alternatives offered by
-/// the most recent downward command (for `:do <n>`).
+/// the most recent downward command (for `:do <n>`), and — for sessions
+/// opened with `dduf db open` — the durable store that journals every
+/// commit.
 pub struct Session {
     proc: UpdateProcessor,
     pending: Vec<Alternative>,
+    store: Option<dduf_persist::DurableStore>,
 }
 
 impl Session {
-    /// Starts a session over a database source.
+    /// Starts an in-memory session over a database source.
     pub fn from_source(src: &str) -> Result<Session> {
         Ok(Session {
             proc: UpdateProcessor::new(parse_database(src)?)?,
             pending: Vec::new(),
+            store: None,
         })
+    }
+
+    /// Starts a durable session: every commit (`:apply`, `:force`, `:do`)
+    /// is journaled with write-ahead ordering before the in-memory state
+    /// changes, and `:checkpoint` writes a snapshot.
+    pub fn durable(db: dduf_persist::DurableDb) -> Session {
+        let (proc, store) = db.into_parts();
+        Session {
+            proc,
+            pending: Vec::new(),
+            store: Some(store),
+        }
     }
 
     /// The underlying processor (for assertions in tests).
     pub fn processor(&self) -> &UpdateProcessor {
         &self.proc
+    }
+
+    /// Commits through the journal when the session is durable.
+    fn commit_txn(
+        &mut self,
+        txn: &dduf_core::transaction::Transaction,
+    ) -> Result<dduf_core::upward::UpwardResult> {
+        match &mut self.store {
+            None => self.proc.commit(txn),
+            Some(store) => self
+                .proc
+                .commit_with_hook(txn, &mut |t| store.record_commit(t)),
+        }
     }
 
     /// Executes one command line, returning the text to display.
@@ -61,6 +90,7 @@ impl Session {
             ":satisfiable" => self.satisfiable(),
             ":why" => self.why(rest),
             ":save" => self.save(rest),
+            ":checkpoint" => self.checkpoint(),
             ":query" => self.query(rest),
             ":do" => self.commit_pending(rest),
             other => Err(Error::Datalog(dduf_datalog::error::Error::Parse(
@@ -138,7 +168,7 @@ impl Session {
                 }
             }
         }
-        let res = self.proc.commit(&txn)?;
+        let res = self.commit_txn(&txn)?;
         Ok(format!("applied {}; induced {}", res.base, res.derived))
     }
 
@@ -305,9 +335,26 @@ impl Session {
             .get(idx.wrapping_sub(1))
             .cloned()
             .ok_or_else(|| parse_err("no such alternative; run a downward command first"))?;
-        let res = self.proc.commit_alternative(&alt)?;
+        let txn = alt.to_transaction(self.proc.database())?;
+        let res = self.commit_txn(&txn)?;
         self.pending.clear();
         Ok(format!("committed {}; induced {}", res.base, res.derived))
+    }
+
+    /// `:checkpoint` — write a snapshot covering the journal so far
+    /// (durable sessions only).
+    fn checkpoint(&mut self) -> Result<String> {
+        let Some(store) = &mut self.store else {
+            return Err(parse_err(
+                "not a durable session; open one with `dduf db open <dir>`",
+            ));
+        };
+        let pos = store
+            .checkpoint(self.proc.database())
+            .map_err(|e| Error::Storage(e.to_string()))?;
+        Ok(format!(
+            "checkpoint written (journal covered to byte {pos})"
+        ))
     }
 
     fn render_alternatives(
@@ -380,11 +427,67 @@ commands:
   :why <ev>. <txn>        why a transaction induces an event
   :query <atom>           goal-directed query (magic sets)
   :save <path>            write the database back to a file
+  :checkpoint             write a snapshot (durable sessions only)
   :do <n>                 commit alternative n of the last listing
   :help                   this text
   :quit                   leave
 transactions use base events (+p(a). -q(b).); updates use derived events.
 ";
+
+/// Top-level usage for the `dduf` binary: every verb, one line each.
+pub const USAGE: &str = "\
+usage: dduf <database.dl>                          interactive shell over a file
+       dduf lint [--deny-warnings] [--format=text|json] <database.dl>
+       dduf db init <schema.dl> <dir>              create a durable database
+       dduf db open <dir>                          durable interactive session
+       dduf db checkpoint <dir>                    write a snapshot
+       dduf db log <dir>                           dump the event journal
+       dduf db verify <dir>                        scan snapshot + journal checksums
+       dduf --help | -h                            this text
+       dduf --version | -V                         print the version
+";
+
+/// The interactive/piped read-eval-print loop over a session. Prompts
+/// only when stdin is a terminal; errors go to stderr and do not end the
+/// session. Returns the process exit code.
+pub fn run_repl(session: &mut Session) -> i32 {
+    use std::io::{BufRead, IsTerminal, Write as _};
+    let interactive = std::io::stdin().is_terminal();
+    if interactive {
+        println!("dduf — deductive database updating framework (:help for commands)");
+    }
+    let stdin = std::io::stdin();
+    loop {
+        if interactive {
+            print!("dduf> ");
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("dduf: {e}");
+                break;
+            }
+        }
+        if is_quit(&line) {
+            break;
+        }
+        match session.run(&line) {
+            Ok(out) => {
+                if !out.is_empty() {
+                    print!("{out}");
+                    if !out.ends_with('\n') {
+                        println!();
+                    }
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    0
+}
 
 /// Whether a command line asks to leave the shell.
 pub fn is_quit(line: &str) -> bool {

@@ -10,13 +10,15 @@
 //! satisfiability, condition monitoring, and enforcing/preventing
 //! condition activation — behind one uniform update-processing interface.
 //!
-//! This crate is the umbrella: it re-exports the three layers.
+//! This crate is the umbrella: it re-exports the four layers.
 //!
 //! * [`datalog`] — the deductive database substrate: AST, parser, storage,
 //!   stratification, naive/semi-naive evaluation.
 //! * [`events`] — transition rules and insertion/deletion event rules
 //!   (Olivé 1991), with simplification.
 //! * [`core`] — the interpretations and the problem catalog.
+//! * [`persist`] — durable state: the append-only event journal, atomic
+//!   snapshots, and crash recovery by replaying the upward interpretation.
 //!
 //! ## Quickstart
 //!
@@ -42,11 +44,13 @@
 //! ```
 
 pub mod cli;
+pub mod db;
 pub mod lint;
 
 pub use dduf_core as core;
 pub use dduf_datalog as datalog;
 pub use dduf_events as events;
+pub use dduf_persist as persist;
 
 /// The most commonly used items of all three layers.
 pub mod prelude {
@@ -70,4 +74,5 @@ pub mod prelude {
     pub use dduf_events::rules::{EventRuleSystem, EventRules};
     pub use dduf_events::store::EventStore;
     pub use dduf_events::transition::TransitionRule;
+    pub use dduf_persist::{DurableDb, DurableStore, PersistError, Recovery, VerifyReport};
 }

@@ -72,6 +72,158 @@ fn errors_go_to_stderr_and_session_survives() {
     assert!(stdout.contains("ok"), "{stdout}");
 }
 
+fn dduf(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dduf"))
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .unwrap()
+}
+
+fn dduf_piped(args: &[&str], script: &str) -> std::process::Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dduf"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    child.wait_with_output().unwrap()
+}
+
+#[test]
+fn version_and_help_flags() {
+    for flag in ["--version", "-V"] {
+        let out = dduf(&[flag]);
+        assert!(out.status.success(), "{flag}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(env!("CARGO_PKG_VERSION")),
+            "{flag}: {stdout}"
+        );
+    }
+    for flag in ["--help", "-h", "help"] {
+        let out = dduf(&[flag]);
+        assert!(out.status.success(), "{flag}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        for verb in [
+            "lint",
+            "db init",
+            "db open",
+            "db checkpoint",
+            "db log",
+            "db verify",
+        ] {
+            assert!(stdout.contains(verb), "{flag} must list `{verb}`: {stdout}");
+        }
+    }
+}
+
+#[test]
+fn usage_errors_exit_two_not_file_not_found() {
+    // An unrecognized flag is a usage error, not a file path.
+    let out = dduf(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unrecognized flag"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+    // No arguments at all: usage on stderr, exit 2.
+    let out = dduf(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    // Extra operands after the database file.
+    let out = dduf(&["a.dl", "b.dl"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Unknown db subcommand.
+    let out = dduf(&["db", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn db_verbs_round_trip_a_durable_session() {
+    let base = std::env::temp_dir().join(format!("dduf_bin_db_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let schema = base.join("schema.dl");
+    std::fs::write(&schema, EMPLOYMENT).unwrap();
+    let dir = base.join("db");
+    let schema = schema.to_str().unwrap();
+    let dir = dir.to_str().unwrap();
+
+    // init
+    let out = dduf(&["db", "init", schema, dir]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("initialized"));
+
+    // open: commit through the interactive session (piped script).
+    let out = dduf_piped(&["db", "open", dir], ":force +works(dolors).\n:quit\n");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("applied {+works(dolors)}"), "{stdout}");
+
+    // log: the journaled record is shown.
+    let out = dduf(&["db", "log", dir]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("+works(dolors)."), "{stdout}");
+    assert!(stdout.contains("1 record(s)"), "{stdout}");
+
+    // verify: clean.
+    let out = dduf(&["db", "verify", dir]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok:"), "{stdout}");
+
+    // The committed state is visible on reopen.
+    let out = dduf_piped(&["db", "open", dir], ":show works\n:quit\n");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("works(dolors)."));
+
+    // checkpoint, then verify again.
+    let out = dduf(&["db", "checkpoint", dir]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = dduf(&["db", "verify", dir]);
+    assert!(out.status.success());
+
+    // Corrupt one journal payload byte: verify must fail naming record 0.
+    let journal = std::path::Path::new(dir).join("journal.log");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    let flip = 8 + 8 + 1; // magic + record header + 1 byte into the payload
+    bytes[flip] ^= 0x40;
+    std::fs::write(&journal, &bytes).unwrap();
+    let out = dduf(&["db", "verify", dir]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("record 0"), "{stderr}");
+    assert!(stderr.contains("checksum mismatch"), "{stderr}");
+    // And open refuses too (mid-log damage is never truncated silently).
+    let out = dduf_piped(&["db", "open", dir], ":quit\n");
+    assert_eq!(out.status.code(), Some(1));
+
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
 #[test]
 fn bad_database_file_reports_and_exits_nonzero() {
     let dir = std::env::temp_dir();

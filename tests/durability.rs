@@ -1,0 +1,236 @@
+//! Crash-injection suite for the persistence subsystem (DESIGN.md §9).
+//!
+//! The kill-anywhere contract: commit N transactions, then simulate a
+//! crash by truncating the journal at **every byte offset** of the final
+//! record — reopening must recover exactly the N−1 prefix, never a
+//! partial transaction. And the converse: damage *inside* the log (a
+//! flipped byte) must be a hard corruption error naming the record, not a
+//! silent truncation of acknowledged commits.
+
+use dduf::datalog::pretty;
+use dduf::persist::{journal, DurableDb, PersistError, JOURNAL_FILE, SNAPSHOT_FILE};
+use dduf::prelude::*;
+use std::path::{Path, PathBuf};
+
+const SCHEMA: &str = "la(dolors). u_benefit(dolors).
+unemp(X) :- la(X), not works(X).
+needy(X) :- la(X), not works(X), not u_benefit(X).
+";
+
+const TXNS: [&str; 4] = [
+    "+la(ana). +works(ana).",
+    "+works(dolors).",
+    "-u_benefit(dolors). +la(eva).",
+    "+u_benefit(eva). -works(ana).",
+];
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dduf_durab_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// A canonical fingerprint of the full state: extensional database plus
+/// materialized derived relations, both in deterministic pretty syntax.
+fn fingerprint(proc: &UpdateProcessor) -> String {
+    format!(
+        "{}--\n{}",
+        pretty::database(proc.database()),
+        pretty::derived(proc.interpretation())
+    )
+}
+
+/// The expected fingerprint after committing the first `k` transactions,
+/// computed by a plain in-memory processor (no persistence involved).
+fn reference_fingerprint(k: usize) -> String {
+    let mut proc = UpdateProcessor::new(parse_database(SCHEMA).unwrap()).unwrap();
+    for src in &TXNS[..k] {
+        let txn = proc.transaction(src).unwrap();
+        proc.commit(&txn).unwrap();
+    }
+    fingerprint(&proc)
+}
+
+/// Copies a durable database, truncating its journal to `cut` bytes —
+/// the on-disk picture a crash at that byte would leave.
+fn crashed_copy(src_dir: &Path, name: &str, cut: u64) -> PathBuf {
+    let dst = tmpdir(name);
+    std::fs::create_dir_all(&dst).unwrap();
+    std::fs::copy(src_dir.join(SNAPSHOT_FILE), dst.join(SNAPSHOT_FILE)).unwrap();
+    let mut bytes = std::fs::read(src_dir.join(JOURNAL_FILE)).unwrap();
+    bytes.truncate(cut as usize);
+    std::fs::write(dst.join(JOURNAL_FILE), bytes).unwrap();
+    dst
+}
+
+#[test]
+fn kill_anywhere_recovers_longest_committed_prefix() {
+    let dir = tmpdir("kill_anywhere");
+    let mut db = DurableDb::init(&dir, SCHEMA).unwrap();
+    for src in TXNS {
+        let txn = db.transaction(src).unwrap();
+        db.commit(&txn).unwrap();
+    }
+    let full = fingerprint(db.processor());
+    assert_eq!(full, reference_fingerprint(TXNS.len()));
+    drop(db);
+
+    let journal_path = dir.join(JOURNAL_FILE);
+    let scan = journal::scan(&journal_path).unwrap();
+    assert_eq!(scan.records.len(), TXNS.len());
+    let last_start = scan.records.last().unwrap().offset;
+    let file_len = std::fs::metadata(&journal_path).unwrap().len();
+    assert_eq!(scan.end, file_len);
+    let expect_prefix = reference_fingerprint(TXNS.len() - 1);
+
+    // Crash at every byte of the final record: header bytes, payload
+    // bytes, everything — including `cut == last_start` (crash before the
+    // first byte landed).
+    for cut in last_start..file_len {
+        let crash = crashed_copy(&dir, &format!("cut{cut}"), cut);
+        let recovered = DurableDb::open(&crash).unwrap();
+        assert_eq!(
+            fingerprint(recovered.processor()),
+            expect_prefix,
+            "cut at byte {cut}: state must equal the N-1 prefix"
+        );
+        assert_eq!(recovered.recovery().replayed, TXNS.len() - 1);
+        let torn_bytes = cut - last_start;
+        assert_eq!(recovered.recovery().truncated_bytes, torn_bytes);
+        // The torn bytes are physically gone: the journal is clean again.
+        drop(recovered);
+        assert_eq!(
+            std::fs::metadata(crash.join(JOURNAL_FILE)).unwrap().len(),
+            last_start,
+            "cut at byte {cut}: torn tail must be truncated"
+        );
+        // And the database is fully usable: re-commit the lost
+        // transaction and get the original final state back.
+        let mut db = DurableDb::open(&crash).unwrap();
+        let txn = db.transaction(TXNS[TXNS.len() - 1]).unwrap();
+        db.commit(&txn).unwrap();
+        assert_eq!(fingerprint(db.processor()), full, "cut at byte {cut}");
+        std::fs::remove_dir_all(&crash).unwrap();
+    }
+
+    // A cut exactly at the end of the file is no crash at all.
+    let whole = crashed_copy(&dir, "cut_none", file_len);
+    let recovered = DurableDb::open(&whole).unwrap();
+    assert_eq!(fingerprint(recovered.processor()), full);
+    assert_eq!(recovered.recovery().truncated_bytes, 0);
+    std::fs::remove_dir_all(&whole).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn midlog_byte_flip_is_a_named_corruption_error() {
+    let dir = tmpdir("flip");
+    let mut db = DurableDb::init(&dir, SCHEMA).unwrap();
+    for src in TXNS {
+        let txn = db.transaction(src).unwrap();
+        db.commit(&txn).unwrap();
+    }
+    drop(db);
+    let journal_path = dir.join(JOURNAL_FILE);
+    let clean = std::fs::read(&journal_path).unwrap();
+    let scan = journal::scan(&journal_path).unwrap();
+
+    // Flip one payload byte of record 1 (mid-log: records 2 and 3 follow).
+    let target = scan.records[1].offset as usize + journal::RECORD_HEADER + 3;
+    let mut bytes = clean.clone();
+    bytes[target] ^= 0x20;
+    std::fs::write(&journal_path, &bytes).unwrap();
+    match DurableDb::open(&dir) {
+        Err(PersistError::Corrupt { record, detail, .. }) => {
+            assert_eq!(record, 1, "error must name the damaged record");
+            assert!(detail.contains("checksum mismatch"), "{detail}");
+        }
+        other => panic!("expected corruption at record 1, got {other:?}"),
+    }
+    // verify() sees the same damage; its rendering names the record.
+    let err = dduf::persist::verify(&dir).unwrap_err();
+    assert!(err.render().contains("record 1"), "{}", err.render());
+
+    // Flipping a *checksum* byte (record 2's stored CRC) is also corruption.
+    let mut bytes = clean.clone();
+    bytes[scan.records[2].offset as usize + 5] ^= 0xFF;
+    std::fs::write(&journal_path, &bytes).unwrap();
+    match DurableDb::open(&dir) {
+        Err(PersistError::Corrupt { record, .. }) => assert_eq!(record, 2),
+        other => panic!("expected corruption at record 2, got {other:?}"),
+    }
+
+    // Restore the clean bytes: everything opens again.
+    std::fs::write(&journal_path, &clean).unwrap();
+    let db = DurableDb::open(&dir).unwrap();
+    assert_eq!(
+        fingerprint(db.processor()),
+        reference_fingerprint(TXNS.len())
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_then_crash_recovers_through_snapshot_plus_tail() {
+    let dir = tmpdir("ckpt");
+    let mut db = DurableDb::init(&dir, SCHEMA).unwrap();
+    for src in &TXNS[..2] {
+        let txn = db.transaction(src).unwrap();
+        db.commit(&txn).unwrap();
+    }
+    db.checkpoint().unwrap();
+    for src in &TXNS[2..] {
+        let txn = db.transaction(src).unwrap();
+        db.commit(&txn).unwrap();
+    }
+    drop(db);
+
+    let journal_path = dir.join(JOURNAL_FILE);
+    let scan = journal::scan(&journal_path).unwrap();
+    let last_start = scan.records.last().unwrap().offset;
+    // Crash mid-final-record, after the checkpoint.
+    let crash = crashed_copy(&dir, "ckpt_cut", last_start + 3);
+    let recovered = DurableDb::open(&crash).unwrap();
+    assert_eq!(fingerprint(recovered.processor()), reference_fingerprint(3));
+    assert_eq!(recovered.recovery().replayed, 1, "snapshot covers 2 of 3");
+    std::fs::remove_dir_all(&crash).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn session_commits_are_journaled_with_write_ahead_ordering() {
+    use dduf::cli::Session;
+    let dir = tmpdir("session");
+    DurableDb::init(&dir, SCHEMA).unwrap();
+    let mut s = Session::durable(DurableDb::open(&dir).unwrap());
+    let out = s.run(":force +la(ana).").unwrap();
+    assert!(out.contains("applied"), "{out}");
+    let out = s.run(":update -unemp(dolors).").unwrap();
+    assert!(out.contains("[1]"), "{out}");
+    let out = s.run(":do 1").unwrap();
+    assert!(out.contains("committed"), "{out}");
+    let out = s.run(":checkpoint").unwrap();
+    assert!(out.contains("checkpoint written"), "{out}");
+    drop(s);
+
+    // The commit survives a reopen; the snapshot covers it.
+    let db = DurableDb::open(&dir).unwrap();
+    assert_eq!(db.recovery().replayed, 0, "checkpoint covers the commits");
+    let unemp = db
+        .processor()
+        .interpretation()
+        .relation(Pred::new("unemp", 1));
+    assert!(
+        !unemp.contains(&Tuple::new(vec![Const::sym("dolors")])),
+        "the :do 1 commit must survive the reopen"
+    );
+    assert!(
+        unemp.contains(&Tuple::new(vec![Const::sym("ana")])),
+        "the :force commit must survive the reopen"
+    );
+
+    // An in-memory session refuses :checkpoint.
+    let mut plain = Session::from_source(SCHEMA).unwrap();
+    assert!(plain.run(":checkpoint").is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
