@@ -29,6 +29,9 @@ pub struct UpdateProcessor {
     old: Interpretation,
     engine: Engine,
     opts: DownwardOptions,
+    /// Worker count for upward evaluation; `None` defers to the
+    /// process-default pool (`--threads` / `DDUF_THREADS`).
+    threads: Option<usize>,
 }
 
 impl UpdateProcessor {
@@ -40,6 +43,7 @@ impl UpdateProcessor {
             old,
             engine: Engine::default(),
             opts: DownwardOptions::default(),
+            threads: None,
         })
     }
 
@@ -52,6 +56,14 @@ impl UpdateProcessor {
     /// Sets the downward options.
     pub fn with_options(mut self, opts: DownwardOptions) -> UpdateProcessor {
         self.opts = opts;
+        self
+    }
+
+    /// Pins the worker count for upward evaluation (`0` = all available
+    /// hardware parallelism). Results are bit-identical at any thread
+    /// count; without this the process-default pool is used.
+    pub fn with_threads(mut self, threads: usize) -> UpdateProcessor {
+        self.threads = Some(threads);
         self
     }
 
@@ -79,7 +91,10 @@ impl UpdateProcessor {
 
     /// The raw upward interpretation of a transaction.
     pub fn upward(&self, txn: &Transaction) -> Result<UpwardResult> {
-        upward::interpret_with(&self.db, &self.old, txn, self.engine)
+        match self.threads {
+            Some(n) => upward::interpret_with_threads(&self.db, &self.old, txn, self.engine, n),
+            None => upward::interpret_with(&self.db, &self.old, txn, self.engine),
+        }
     }
 
     /// §5.1.1 — does `txn` violate the integrity constraints?

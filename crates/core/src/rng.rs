@@ -89,8 +89,8 @@ mod tests {
     #[test]
     fn chance_extremes() {
         let mut r = Rng::new(9);
-        assert!(!(0..100).map(|_| r.chance(0.0)).any(|b| b));
-        assert!((0..100).map(|_| r.chance(1.0)).all(|b| b));
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::transaction::Transaction;
 use crate::upward::UpwardResult;
 use dduf_datalog::ast::{Pred, Rule};
 use dduf_datalog::eval::join::{eval_conjunct, ground_terms, Bindings};
+use dduf_datalog::eval::pool::Pool;
 use dduf_datalog::eval::Interpretation;
 use dduf_datalog::storage::database::Database;
 use dduf_datalog::storage::relation::Relation;
@@ -45,9 +46,16 @@ pub struct CountingEngine {
 }
 
 impl CountingEngine {
-    /// Builds the initial counts from the current state. Errors on
-    /// recursive programs.
+    /// Builds the initial counts from the current state with the
+    /// process-default pool. Errors on recursive programs.
     pub fn new(db: &Database, old: &Interpretation) -> Result<CountingEngine> {
+        CountingEngine::new_pooled(db, old, &Pool::current())
+    }
+
+    /// Builds the initial counts across `pool`. Each predicate's counts
+    /// read only the completed old interpretation, so all predicates are
+    /// counted concurrently; merging in dependency order is deterministic.
+    pub fn new_pooled(db: &Database, old: &Interpretation, pool: &Pool) -> Result<CountingEngine> {
         let program = db.program();
         let strat = Stratification::compute(program)
             .map_err(|e| Error::from(dduf_datalog::error::Error::from(e)))?;
@@ -59,8 +67,8 @@ impl CountingEngine {
             order.extend(component.preds.iter().copied());
         }
 
-        let mut counts: BTreeMap<Pred, HashMap<Tuple, i64>> = BTreeMap::new();
-        for &pred in &order {
+        let maps: Vec<HashMap<Tuple, i64>> = pool.map(order.len(), |oi| {
+            let pred = order[oi];
             let mut map: HashMap<Tuple, i64> = HashMap::new();
             for rule in program.rules_for(pred) {
                 let rel_of = |i: usize| -> &Relation {
@@ -76,6 +84,11 @@ impl CountingEngine {
                     *map.entry(t).or_insert(0) += 1;
                 }
             }
+            map
+        });
+        let mut counts: BTreeMap<Pred, HashMap<Tuple, i64>> = BTreeMap::new();
+        for (oi, map) in maps.into_iter().enumerate() {
+            let pred = order[oi];
             // Sanity: counts agree with the materialized state.
             debug_assert!(
                 map.keys().all(|t| old.relation(pred).contains(t))

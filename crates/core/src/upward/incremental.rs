@@ -26,6 +26,7 @@ use crate::transaction::Transaction;
 use crate::upward::UpwardResult;
 use dduf_datalog::ast::{Atom, Pred};
 use dduf_datalog::eval::join::{eval_conjunct, ground_terms, match_tuple, Bindings};
+use dduf_datalog::eval::pool::Pool;
 use dduf_datalog::eval::{seminaive, Interpretation};
 use dduf_datalog::storage::database::Database;
 use dduf_datalog::storage::relation::Relation;
@@ -170,8 +171,46 @@ fn deletions(
         .collect()
 }
 
-/// Upward-interprets `txn` incrementally.
+/// Upward-interprets `txn` incrementally with the process-default pool.
 pub fn interpret(db: &Database, old: &Interpretation, txn: &Transaction) -> Result<UpwardResult> {
+    interpret_pooled(db, old, txn, &Pool::current())
+}
+
+/// What the parallel phase must do for one wave member (decided in the
+/// sequential pre-pass, which is the only place `new_interp`/`touched`
+/// may be mutated).
+#[derive(Clone, Copy)]
+enum Plan {
+    /// No body predicate was touched; the old extension stays valid.
+    Skip,
+    /// Recursive component: recompute under the new state and diff.
+    Recompute,
+    /// Single non-recursive predicate: event-rule evaluation.
+    EventRules,
+}
+
+/// The parallel phase's output for one wave member.
+enum Out {
+    Skip,
+    Recompute(Vec<(Pred, Relation)>),
+    EventRules { ins: Relation, del: Relation },
+}
+
+/// Upward-interprets `txn` incrementally across `pool`.
+///
+/// Components are scheduled in topological wavefronts over the
+/// stratification's condensation: every unfinished component whose
+/// dependencies are complete is evaluated concurrently. Same-wave members
+/// are pairwise independent, so each sees exactly the `events`/`touched`/
+/// `new_interp` state it would see sequentially; merging wave results in
+/// ascending component order makes the EventStore identical for any
+/// thread count (DESIGN.md §10).
+pub fn interpret_pooled(
+    db: &Database,
+    old: &Interpretation,
+    txn: &Transaction,
+    pool: &Pool,
+) -> Result<UpwardResult> {
     let program = db.program();
     let strat = Stratification::compute(program)
         .map_err(|e| Error::from(dduf_datalog::error::Error::from(e)))?;
@@ -194,75 +233,120 @@ pub fn interpret(db: &Database, old: &Interpretation, txn: &Transaction) -> Resu
     // authoritative, even when empty).
     let mut evaluated: std::collections::BTreeSet<Pred> = std::collections::BTreeSet::new();
 
-    for component in strat.components() {
-        let affected = component.preds.iter().any(|&p| {
-            program
-                .rules_for(p)
-                .iter()
-                .flat_map(|r| r.body.iter())
-                .any(|lit| touched.contains(&lit.atom.pred))
-        });
-        if !affected {
-            continue; // unchanged: old extension remains valid
+    let components = strat.components();
+    let mut done: Vec<bool> = vec![false; components.len()];
+    while done.iter().any(|d| !d) {
+        let wave: Vec<usize> = (0..components.len())
+            .filter(|&i| !done[i] && strat.component_deps(i).iter().all(|&j| done[j]))
+            .collect();
+        if wave.is_empty() {
+            break; // unreachable: the condensation is acyclic
         }
 
-        if component.recursive {
-            // Lower derived dependencies evaluated lazily so far: the
-            // fixpoint below reads them from `new_interp`, so fill in the
-            // (unchanged) old extensions of any that were skipped.
-            for &p in &component.preds {
-                for dep in graph.reachable(p) {
-                    if program.is_derived(dep)
-                        && !component.preds.contains(&dep)
-                        && !evaluated.contains(&dep)
-                    {
-                        new_interp.set(dep, old.relation(dep).clone());
-                        evaluated.insert(dep);
+        // Sequential pre-pass: decide each member's plan and, for
+        // recursive members, lazily fill the (unchanged) old extensions of
+        // skipped lower dependencies into `new_interp` — the only mutation
+        // the fixpoints below depend on, so it must complete before the
+        // parallel phase reads `new_interp`.
+        let plans: Vec<Plan> = wave
+            .iter()
+            .map(|&ci| {
+                let component = &components[ci];
+                let affected = component.preds.iter().any(|&p| {
+                    program
+                        .rules_for(p)
+                        .iter()
+                        .flat_map(|r| r.body.iter())
+                        .any(|lit| touched.contains(&lit.atom.pred))
+                });
+                if !affected {
+                    return Plan::Skip;
+                }
+                if component.recursive {
+                    for &p in &component.preds {
+                        for dep in graph.reachable(p) {
+                            if program.is_derived(dep)
+                                && !component.preds.contains(&dep)
+                                && !evaluated.contains(&dep)
+                            {
+                                new_interp.set(dep, old.relation(dep).clone());
+                                evaluated.insert(dep);
+                            }
+                        }
+                    }
+                    Plan::Recompute
+                } else {
+                    Plan::EventRules
+                }
+            })
+            .collect();
+
+        // Parallel phase: all shared state is read-only here. Inner pools
+        // share the worker budget evenly across the wave.
+        let inner = Pool::new((pool.threads() / pool.threads().min(wave.len())).max(1));
+        let outs: Vec<Out> = pool.map(wave.len(), |w| match plans[w] {
+            Plan::Skip => Out::Skip,
+            Plan::Recompute => Out::Recompute(seminaive::eval_component_pooled(
+                &new_db,
+                &new_interp,
+                &components[wave[w]],
+                &inner,
+            )),
+            Plan::EventRules => {
+                let pred = components[wave[w]].preds[0];
+                let tr = simplify_transition(&TransitionRule::build(program, pred));
+                Out::EventRules {
+                    ins: insertions(&tr, db, old, &events),
+                    del: deletions(pred, &tr, db, old, &events),
+                }
+            }
+        });
+
+        // Sequential merge, in ascending component order.
+        for (w, out) in outs.into_iter().enumerate() {
+            done[wave[w]] = true;
+            match out {
+                Out::Skip => {} // unchanged: old extension remains valid
+                Out::Recompute(results) => {
+                    for (pred, new_rel) in results {
+                        let old_rel = old.relation(pred);
+                        for t in new_rel.difference(old_rel).iter() {
+                            let e = GroundEvent::ins(pred, t.clone());
+                            events.insert(e.clone());
+                            derived_events.insert(e);
+                        }
+                        for t in old_rel.difference(&new_rel).iter() {
+                            let e = GroundEvent::del(pred, t.clone());
+                            events.insert(e.clone());
+                            derived_events.insert(e);
+                        }
+                        if new_rel != *old_rel {
+                            touched.insert(pred);
+                        }
+                        new_interp.set(pred, new_rel);
+                        evaluated.insert(pred);
+                    }
+                }
+                Out::EventRules { ins, del } => {
+                    let pred = components[wave[w]].preds[0];
+                    let old_rel = old.relation(pred);
+                    if !ins.is_empty() || !del.is_empty() {
+                        touched.insert(pred);
+                    }
+                    new_interp.set(pred, old_rel.difference(&del).union(&ins));
+                    evaluated.insert(pred);
+                    for t in ins.iter() {
+                        let e = GroundEvent::ins(pred, t.clone());
+                        events.insert(e.clone());
+                        derived_events.insert(e);
+                    }
+                    for t in del.iter() {
+                        let e = GroundEvent::del(pred, t.clone());
+                        events.insert(e.clone());
+                        derived_events.insert(e);
                     }
                 }
             }
-            // Recompute the component under the new state and diff.
-            for (pred, new_rel) in seminaive::eval_component(&new_db, &new_interp, component) {
-                let old_rel = old.relation(pred);
-                for t in new_rel.difference(old_rel).iter() {
-                    let e = GroundEvent::ins(pred, t.clone());
-                    events.insert(e.clone());
-                    derived_events.insert(e);
-                }
-                for t in old_rel.difference(&new_rel).iter() {
-                    let e = GroundEvent::del(pred, t.clone());
-                    events.insert(e.clone());
-                    derived_events.insert(e);
-                }
-                if new_rel != *old_rel {
-                    touched.insert(pred);
-                }
-                new_interp.set(pred, new_rel);
-                evaluated.insert(pred);
-            }
-            continue;
-        }
-
-        let pred = component.preds[0];
-        let tr = simplify_transition(&TransitionRule::build(program, pred));
-        let ins = insertions(&tr, db, old, &events);
-        let del = deletions(pred, &tr, db, old, &events);
-
-        let old_rel = old.relation(pred);
-        if !ins.is_empty() || !del.is_empty() {
-            touched.insert(pred);
-        }
-        new_interp.set(pred, old_rel.difference(&del).union(&ins));
-        evaluated.insert(pred);
-        for t in ins.iter() {
-            let e = GroundEvent::ins(pred, t.clone());
-            events.insert(e.clone());
-            derived_events.insert(e);
-        }
-        for t in del.iter() {
-            let e = GroundEvent::del(pred, t.clone());
-            events.insert(e.clone());
-            derived_events.insert(e);
         }
     }
 

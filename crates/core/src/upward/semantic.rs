@@ -9,16 +9,29 @@
 use crate::error::Result;
 use crate::transaction::Transaction;
 use crate::upward::UpwardResult;
-use dduf_datalog::eval::{materialize, Interpretation};
+use dduf_datalog::eval::pool::Pool;
+use dduf_datalog::eval::{materialize_with_threads, Interpretation, Strategy};
 use dduf_datalog::storage::database::Database;
 use dduf_events::event::GroundEvent;
 use dduf_events::store::EventStore;
 
 /// Upward-interprets `txn` by materializing the new state and diffing.
 pub fn interpret(db: &Database, old: &Interpretation, txn: &Transaction) -> Result<UpwardResult> {
+    interpret_pooled(db, old, txn, &Pool::current())
+}
+
+/// Upward-interprets `txn` semantically, materializing the new state
+/// across `pool`.
+pub fn interpret_pooled(
+    db: &Database,
+    old: &Interpretation,
+    txn: &Transaction,
+    pool: &Pool,
+) -> Result<UpwardResult> {
     let (effective, _noops) = txn.normalize(db);
     let new_db = effective.apply(db);
-    let new = materialize(&new_db).map_err(crate::error::Error::from)?;
+    let new = materialize_with_threads(&new_db, Strategy::default(), pool.threads())
+        .map_err(crate::error::Error::from)?;
     Ok(UpwardResult {
         base: effective.events().clone(),
         derived: diff_interpretations(db, old, &new),
@@ -54,6 +67,7 @@ pub fn diff_interpretations(
 mod tests {
     use super::*;
     use dduf_datalog::ast::Pred;
+    use dduf_datalog::eval::materialize;
     use dduf_datalog::parser::parse_database;
     use dduf_datalog::storage::tuple::syms;
     use dduf_events::event::EventKind;

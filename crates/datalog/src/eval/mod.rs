@@ -3,6 +3,7 @@
 
 pub mod join;
 pub mod naive;
+pub mod pool;
 pub mod seminaive;
 pub mod topdown;
 
@@ -133,10 +134,31 @@ pub fn materialize_for(
     materialize_restricted(db, strategy, Some(roots))
 }
 
+/// Materializes all derived predicates of `db` with an explicit worker
+/// count (`0` = all available hardware parallelism). The result is
+/// bit-identical to `materialize_with` at any thread count; see
+/// DESIGN.md §10.
+pub fn materialize_with_threads(
+    db: &Database,
+    strategy: Strategy,
+    threads: usize,
+) -> Result<Interpretation, Error> {
+    materialize_restricted_pooled(db, strategy, None, &pool::Pool::new(threads))
+}
+
 fn materialize_restricted(
     db: &Database,
     strategy: Strategy,
     roots: Option<&[Pred]>,
+) -> Result<Interpretation, Error> {
+    materialize_restricted_pooled(db, strategy, roots, &pool::Pool::current())
+}
+
+fn materialize_restricted_pooled(
+    db: &Database,
+    strategy: Strategy,
+    roots: Option<&[Pred]>,
+    pool: &pool::Pool,
 ) -> Result<Interpretation, Error> {
     let program = db.program();
     safety::check_program(program)?;
@@ -151,19 +173,50 @@ fn materialize_restricted(
         set
     });
 
+    let components = strat.components();
+    // Irrelevant components count as done so they never gate a wave (a
+    // relevant component's dependencies are reachable from the roots and
+    // hence always relevant themselves).
+    let mut done: Vec<bool> = components
+        .iter()
+        .map(|c| match &relevant {
+            Some(rel) => !c.preds.iter().any(|p| rel.contains(p)),
+            None => false,
+        })
+        .collect();
+
+    // Topological wavefronts over the condensation: each wave is the set
+    // of unevaluated components whose dependencies are all complete. Wave
+    // members are pairwise independent, so they are evaluated concurrently;
+    // merging in ascending component order keeps the result deterministic.
     let mut interp = Interpretation::default();
-    for component in strat.components() {
-        if let Some(rel) = &relevant {
-            if !component.preds.iter().any(|p| rel.contains(p)) {
-                continue;
-            }
+    while done.iter().any(|d| !d) {
+        let wave: Vec<usize> = (0..components.len())
+            .filter(|&i| !done[i] && strat.component_deps(i).iter().all(|&j| done[j]))
+            .collect();
+        if wave.is_empty() {
+            // Unreachable: the condensation is acyclic, so some unfinished
+            // component always has all dependencies complete.
+            break;
         }
-        let results = match strategy {
-            Strategy::Naive => naive::eval_component(db, &interp, component),
-            Strategy::SemiNaive => seminaive::eval_component(db, &interp, component),
-        };
-        for (pred, rel) in results {
-            interp.insert(pred, rel);
+        // Split the worker budget: the wave level gets one worker per
+        // member, and each member's fixpoint gets an equal share of the
+        // remainder (everything, if the wave is a singleton).
+        let inner = pool::Pool::new((pool.threads() / pool.threads().min(wave.len())).max(1));
+        let results = pool.map(wave.len(), |w| {
+            let component = &components[wave[w]];
+            match strategy {
+                Strategy::Naive => naive::eval_component_pooled(db, &interp, component, &inner),
+                Strategy::SemiNaive => {
+                    seminaive::eval_component_pooled(db, &interp, component, &inner)
+                }
+            }
+        });
+        for (w, comp_results) in results.into_iter().enumerate() {
+            done[wave[w]] = true;
+            for (pred, rel) in comp_results {
+                interp.insert(pred, rel);
+            }
         }
     }
     Ok(interp)

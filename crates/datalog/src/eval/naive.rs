@@ -7,6 +7,7 @@
 
 use crate::ast::Pred;
 use crate::eval::join::{eval_conjunct, ground_terms, Bindings};
+use crate::eval::pool::Pool;
 use crate::eval::{body_relation, Interpretation};
 use crate::storage::database::Database;
 use crate::storage::relation::Relation;
@@ -14,12 +15,25 @@ use crate::storage::tuple::Tuple;
 use crate::stratify::Component;
 use std::collections::BTreeMap;
 
-/// Evaluates `component` to fixpoint, returning the extension of each of
-/// its predicates. `interp` must already contain every lower component.
+/// Evaluates `component` to fixpoint with the process-default pool,
+/// returning the extension of each of its predicates. `interp` must
+/// already contain every lower component.
 pub fn eval_component(
     db: &Database,
     interp: &Interpretation,
     component: &Component,
+) -> Vec<(Pred, Relation)> {
+    eval_component_pooled(db, interp, component, &Pool::current())
+}
+
+/// Evaluates `component` to fixpoint across `pool`: each round runs one
+/// job per rule, and the fresh tuples are merged in rule order, so the
+/// fixpoint is identical for any thread count.
+pub fn eval_component_pooled(
+    db: &Database,
+    interp: &Interpretation,
+    component: &Component,
+    pool: &Pool,
 ) -> Vec<(Pred, Relation)> {
     let program = db.program();
     let mut current: BTreeMap<Pred, Relation> = component
@@ -35,21 +49,22 @@ pub fn eval_component(
         .collect();
 
     loop {
-        let mut fresh: Vec<(Pred, Tuple)> = Vec::new();
-        for rule in &rules {
+        let per_rule: Vec<Vec<(Pred, Tuple)>> = pool.map(rules.len(), |ri| {
+            let rule = rules[ri];
             let rel_of = |i: usize| -> &Relation {
                 body_relation(db, interp, &current, program, rule.body[i].atom.pred)
             };
-            for b in eval_conjunct(&rule.body, &rel_of, &Bindings::new()) {
-                let tuple = ground_terms(&rule.head.terms, &b)
-                    .expect("allowedness guarantees ground heads");
-                if !current[&rule.head.pred].contains(&tuple) {
-                    fresh.push((rule.head.pred, tuple));
-                }
-            }
-        }
+            eval_conjunct(&rule.body, &rel_of, &Bindings::new())
+                .iter()
+                .filter_map(|b| {
+                    let tuple = ground_terms(&rule.head.terms, b)
+                        .expect("allowedness guarantees ground heads");
+                    (!current[&rule.head.pred].contains(&tuple)).then_some((rule.head.pred, tuple))
+                })
+                .collect()
+        });
         let mut changed = false;
-        for (pred, tuple) in fresh {
+        for (pred, tuple) in per_rule.into_iter().flatten() {
             if current
                 .get_mut(&pred)
                 .expect("component pred")

@@ -1,0 +1,189 @@
+//! A minimal scoped-thread worker pool for the evaluation engines.
+//!
+//! The build environment is offline (no rayon/crossbeam), so this is a
+//! std-only pool built on [`std::thread::scope`]: each call to
+//! [`Pool::map`] spawns up to `threads` workers that pull job indices
+//! from a shared atomic counter and write each result into a dedicated
+//! slot. Results are returned **in job order**, so any
+//! reduction the caller performs over them is independent of which worker
+//! ran which job and of thread scheduling — the foundation of the
+//! engine-wide guarantee that evaluation output is bit-identical for any
+//! thread count (DESIGN.md §10).
+//!
+//! A pool is a configuration value, not a set of live threads: workers
+//! exist only for the duration of one `map` call, which keeps lifetimes
+//! simple (borrowed jobs, no `'static` bounds) and makes a 1-thread pool
+//! exactly the sequential engine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide default thread count, set by the CLI (`--threads`) or the
+/// `DDUF_THREADS` environment variable. `0` means "not yet resolved".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Resolves a requested thread count: `0` means "auto" (all available
+/// hardware parallelism).
+fn resolve(n: usize) -> usize {
+    if n == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        n
+    }
+}
+
+/// Sets the process-wide default thread count used by [`Pool::current`]
+/// (and therefore by every evaluation entry point that does not take an
+/// explicit pool). `0` selects all available hardware parallelism.
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(resolve(n), Ordering::Relaxed);
+}
+
+/// The process-wide default thread count: the last value passed to
+/// [`set_default_threads`], else `DDUF_THREADS` from the environment
+/// (`0` = auto), else `1` (sequential — the conservative default keeps
+/// single-threaded callers byte-for-byte unchanged).
+pub fn default_threads() -> usize {
+    let cached = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = match std::env::var("DDUF_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => resolve(n),
+            Err(_) => 1,
+        },
+        Err(_) => 1,
+    };
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// A fixed-width worker pool (see module docs). Cheap to construct and
+/// copy; threads are scoped to each [`map`](Pool::map) call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of `threads` workers. `0` selects all available hardware
+    /// parallelism; `1` is fully sequential (no threads are ever spawned).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: resolve(threads).max(1),
+        }
+    }
+
+    /// The pool configured by [`set_default_threads`] / `DDUF_THREADS`.
+    pub fn current() -> Pool {
+        Pool::new(default_threads())
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True iff `map` would run jobs inline on the calling thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Runs `f(0), f(1), ..., f(jobs - 1)` across the pool's workers and
+    /// returns the results **in job order**, regardless of which worker
+    /// computed what. With one worker (or one job) everything runs inline
+    /// on the calling thread. A panicking job propagates the panic to the
+    /// caller, as in sequential code.
+    pub fn map<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads <= 1 || jobs <= 1 {
+            return (0..jobs).map(f).collect();
+        }
+        // One slot per job; each index is claimed by exactly one worker, so
+        // the per-slot mutex is never contended — it exists only to hand the
+        // result back across the thread boundary.
+        let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(jobs) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    *slots[i].lock().expect("slot lock") = Some(f(i));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every job index was claimed")
+            })
+            .collect()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Pool {
+        Pool::current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_job_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.map(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_edge_sizes() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map(1, |i| i + 1), vec![1]);
+        // More workers than jobs.
+        assert_eq!(pool.map(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let pool = Pool::new(0);
+        assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn borrowed_state_is_shared_not_cloned() {
+        let data: Vec<usize> = (0..1000).collect();
+        let pool = Pool::new(3);
+        let sums = pool.map(10, |i| data.iter().skip(i * 100).take(100).sum::<usize>());
+        assert_eq!(sums.iter().sum::<usize>(), data.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn map_runs_every_job_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let pool = Pool::new(8);
+        let out = pool.map(257, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+}

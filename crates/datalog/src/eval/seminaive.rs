@@ -6,9 +6,18 @@
 //! derived in that round), so already-explored derivations are not repeated.
 //! Negative literals always refer to lower strata (guaranteed by
 //! stratification) and are therefore static during the fixpoint.
+//!
+//! Evaluation is parallelized across a [`Pool`]: round 0 runs one job per
+//! rule, and each differential round runs one job per (rule, recursive
+//! occurrence, delta chunk) — large deltas are split into contiguous
+//! chunks so a single hot rule still spreads across workers. Because every
+//! job produces a set of head tuples and the per-round reduction unions
+//! them into `BTreeSet`-backed relations **in job order**, the computed
+//! fixpoint is bit-identical for any thread count (DESIGN.md §10).
 
 use crate::ast::{Literal, Pred, Rule};
 use crate::eval::join::{eval_conjunct, ground_terms, Bindings};
+use crate::eval::pool::Pool;
 use crate::eval::{body_relation, Interpretation};
 use crate::storage::database::Database;
 use crate::storage::relation::Relation;
@@ -16,11 +25,65 @@ use crate::storage::tuple::Tuple;
 use crate::stratify::Component;
 use std::collections::BTreeMap;
 
-/// Evaluates `component` to fixpoint semi-naively.
+/// Deltas smaller than this are never split: chunking clones tuples, so
+/// it must buy enough per-chunk work to amortize.
+const CHUNK_MIN: usize = 64;
+
+/// A round's delta for one predicate, as seen by the job partitioner:
+/// either the whole relation (small, or single worker) or materialized
+/// contiguous chunks of it.
+enum DeltaView<'a> {
+    Whole(&'a Relation),
+    Parts(Vec<Relation>),
+}
+
+impl DeltaView<'_> {
+    fn build(delta: &Relation, workers: usize) -> DeltaView<'_> {
+        if workers <= 1 || delta.len() < 2 * CHUNK_MIN {
+            return DeltaView::Whole(delta);
+        }
+        let tuples: Vec<Tuple> = delta.iter().cloned().collect();
+        let parts = workers.min(tuples.len() / CHUNK_MIN).max(1);
+        let per = tuples.len().div_ceil(parts);
+        DeltaView::Parts(
+            tuples
+                .chunks(per)
+                .map(|c| Relation::from_tuples(c.iter().cloned()))
+                .collect(),
+        )
+    }
+
+    fn count(&self) -> usize {
+        match self {
+            DeltaView::Whole(_) => 1,
+            DeltaView::Parts(ps) => ps.len(),
+        }
+    }
+
+    fn get(&self, i: usize) -> &Relation {
+        match self {
+            DeltaView::Whole(r) => r,
+            DeltaView::Parts(ps) => &ps[i],
+        }
+    }
+}
+
+/// Evaluates `component` to fixpoint semi-naively with the process-default
+/// pool (sequential unless `--threads`/`DDUF_THREADS` raised it).
 pub fn eval_component(
     db: &Database,
     interp: &Interpretation,
     component: &Component,
+) -> Vec<(Pred, Relation)> {
+    eval_component_pooled(db, interp, component, &Pool::current())
+}
+
+/// Evaluates `component` to fixpoint semi-naively across `pool`.
+pub fn eval_component_pooled(
+    db: &Database,
+    interp: &Interpretation,
+    component: &Component,
+    pool: &Pool,
 ) -> Vec<(Pred, Relation)> {
     let program = db.program();
     let members: Vec<Pred> = component.preds.clone();
@@ -30,16 +93,24 @@ pub fn eval_component(
     let rules: Vec<&Rule> = members.iter().flat_map(|&p| program.rules_for(p)).collect();
 
     // Round 0: full evaluation (recursive predicates are empty, so this
-    // costs the same as the non-recursive case).
+    // costs the same as the non-recursive case). One job per rule; job
+    // results are merged in rule order.
     let mut delta: BTreeMap<Pred, Relation> =
         members.iter().map(|&p| (p, Relation::new())).collect();
-    for rule in &rules {
+    let round0: Vec<Vec<Tuple>> = pool.map(rules.len(), |ri| {
+        let rule = rules[ri];
         let rel_of = |i: usize| -> &Relation {
             body_relation(db, interp, &current, program, rule.body[i].atom.pred)
         };
-        for b in eval_conjunct(&rule.body, &rel_of, &Bindings::new()) {
-            let t = ground_terms(&rule.head.terms, &b).expect("ground head");
-            delta.get_mut(&rule.head.pred).expect("member").insert(t);
+        eval_conjunct(&rule.body, &rel_of, &Bindings::new())
+            .iter()
+            .map(|b| ground_terms(&rule.head.terms, b).expect("ground head"))
+            .collect()
+    });
+    for (ri, tuples) in round0.into_iter().enumerate() {
+        let rel = delta.get_mut(&rules[ri].head.pred).expect("member");
+        for t in tuples {
+            rel.insert(t);
         }
     }
     merge_delta(&mut current, &mut delta);
@@ -48,28 +119,52 @@ pub fn eval_component(
         return current.into_iter().collect();
     }
 
-    // Differential rounds.
+    // Differential rounds: one job per (rule, recursive occurrence, delta
+    // chunk). All jobs read the same `current`/`delta` from the previous
+    // round, so they are independent; the reduction below is a union of
+    // sets and therefore independent of the partition and of scheduling.
     while delta.values().any(|r| !r.is_empty()) {
-        let mut next: BTreeMap<Pred, Relation> =
-            members.iter().map(|&p| (p, Relation::new())).collect();
-        for rule in &rules {
+        let views: BTreeMap<Pred, DeltaView<'_>> = delta
+            .iter()
+            .map(|(&p, d)| (p, DeltaView::build(d, pool.threads())))
+            .collect();
+        let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+        for (ri, rule) in rules.iter().enumerate() {
             for (occ, lit) in rule.body.iter().enumerate() {
                 if !is_recursive_occurrence(lit, &members) {
                     continue;
                 }
-                let rel_of = |i: usize| -> &Relation {
-                    if i == occ {
-                        delta.get(&rule.body[i].atom.pred).expect("member")
-                    } else {
-                        body_relation(db, interp, &current, program, rule.body[i].atom.pred)
-                    }
-                };
-                for b in eval_conjunct(&rule.body, &rel_of, &Bindings::new()) {
-                    let t = ground_terms(&rule.head.terms, &b).expect("ground head");
-                    if !current[&rule.head.pred].contains(&t) {
-                        next.get_mut(&rule.head.pred).expect("member").insert(t);
-                    }
+                for ci in 0..views[&lit.atom.pred].count() {
+                    jobs.push((ri, occ, ci));
                 }
+            }
+        }
+        let results: Vec<Vec<Tuple>> = pool.map(jobs.len(), |k| {
+            let (ri, occ, ci) = jobs[k];
+            let rule = rules[ri];
+            let rel_of = |i: usize| -> &Relation {
+                if i == occ {
+                    views[&rule.body[occ].atom.pred].get(ci)
+                } else {
+                    body_relation(db, interp, &current, program, rule.body[i].atom.pred)
+                }
+            };
+            let head_rel = &current[&rule.head.pred];
+            eval_conjunct(&rule.body, &rel_of, &Bindings::new())
+                .iter()
+                .filter_map(|b| {
+                    let t = ground_terms(&rule.head.terms, b).expect("ground head");
+                    (!head_rel.contains(&t)).then_some(t)
+                })
+                .collect()
+        });
+        drop(views);
+        let mut next: BTreeMap<Pred, Relation> =
+            members.iter().map(|&p| (p, Relation::new())).collect();
+        for (k, tuples) in results.into_iter().enumerate() {
+            let rel = next.get_mut(&rules[jobs[k].0].head.pred).expect("member");
+            for t in tuples {
+                rel.insert(t);
             }
         }
         delta = next;
@@ -99,7 +194,7 @@ fn merge_delta(current: &mut BTreeMap<Pred, Relation>, delta: &mut BTreeMap<Pred
 mod tests {
     use super::*;
     use crate::ast::{Atom, Const, Term};
-    use crate::eval::{materialize_with, Strategy};
+    use crate::eval::{materialize_with, materialize_with_threads, Strategy};
     use crate::schema::Program;
 
     fn atom(name: &str, vars: &[&str]) -> Atom {
@@ -138,6 +233,19 @@ mod tests {
         assert_eq!(a, b);
         // n*(n+1)/2 pairs for a chain of n edges
         assert_eq!(a.relation(Pred::new("tc", 2)).len(), 12 * 13 / 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_chunked_deltas() {
+        // Large enough that differential deltas exceed CHUNK_MIN and get
+        // partitioned across workers.
+        let db = chain_db(200);
+        let seq = materialize_with_threads(&db, Strategy::SemiNaive, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let par = materialize_with_threads(&db, Strategy::SemiNaive, threads).unwrap();
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+        assert_eq!(seq.relation(Pred::new("tc", 2)).len(), 200 * 201 / 2);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::ast::Const;
 use crate::storage::tuple::Tuple;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Mutex;
+use std::sync::RwLock;
 
 type ColumnIndex = HashMap<Const, Vec<Tuple>>;
 
@@ -18,17 +18,19 @@ type ColumnIndex = HashMap<Const, Vec<Tuple>>;
 #[derive(Debug, Default)]
 pub struct Relation {
     tuples: BTreeSet<Tuple>,
-    /// Lazily built per-column indexes, invalidated on mutation. The cache
-    /// is not cloned with the relation and does not participate in
-    /// equality.
-    index: Mutex<HashMap<usize, ColumnIndex>>,
+    /// Lazily built per-column indexes, invalidated on mutation. Behind an
+    /// `RwLock` so the steady state — all workers probing an already-built
+    /// index — takes only a shared read lock; the exclusive write lock is
+    /// held just once per column to build. The cache is not cloned with the
+    /// relation and does not participate in equality.
+    index: RwLock<HashMap<usize, ColumnIndex>>,
 }
 
 impl Clone for Relation {
     fn clone(&self) -> Relation {
         Relation {
             tuples: self.tuples.clone(),
-            index: Mutex::new(HashMap::new()),
+            index: RwLock::new(HashMap::new()),
         }
     }
 }
@@ -63,6 +65,15 @@ impl Relation {
             self.index.get_mut().expect("index lock").clear();
         }
         removed
+    }
+
+    /// Ensures the column index for `col` exists, so subsequent parallel
+    /// probes all hit the shared-read fast path without ever contending on
+    /// the write lock.
+    pub fn warm_index(&self, col: usize) {
+        if let Some(t) = self.tuples.first().filter(|t| col < t.arity()) {
+            let _ = self.probe(col, t[col]);
+        }
     }
 
     /// Membership test.
@@ -119,8 +130,20 @@ impl Relation {
 
     /// Looks up the tuples whose column `col` equals `key`, via a cached
     /// column index (built on first use, invalidated on mutation).
+    ///
+    /// Fast path: a shared read lock, so concurrent probes from the worker
+    /// pool never serialize once the index exists. Only a probe that finds
+    /// the column unindexed upgrades to the write lock; the re-check under
+    /// the write lock makes a racing double-build harmless (last build
+    /// wins, both are identical).
     fn probe(&self, col: usize, key: Const) -> Vec<Tuple> {
-        let mut cache = self.index.lock().expect("index lock");
+        {
+            let cache = self.index.read().expect("index lock");
+            if let Some(idx) = cache.get(&col) {
+                return idx.get(&key).cloned().unwrap_or_default();
+            }
+        }
+        let mut cache = self.index.write().expect("index lock");
         let idx = cache.entry(col).or_insert_with(|| {
             let mut idx: ColumnIndex = HashMap::new();
             for t in &self.tuples {
@@ -246,6 +269,39 @@ mod tests {
         let order2: Vec<Tuple> = r.iter().cloned().collect();
         assert_eq!(order, order2);
         assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_probes_share_one_index() {
+        let mut r = Relation::new();
+        for i in 0..200 {
+            r.insert(Tuple::new(vec![Const::Int(i), Const::Int(i % 5)]));
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for k in 0..5 {
+                        let hits = r.select(&[None, Some(Const::Int(k))]);
+                        assert_eq!(hits.len(), 40);
+                    }
+                });
+            }
+        });
+        // The index survives and still answers correctly after the race.
+        assert_eq!(r.select(&[None, Some(Const::Int(0))]).len(), 40);
+    }
+
+    #[test]
+    fn warm_index_prebuilds_for_reads() {
+        let mut r = Relation::new();
+        for i in 0..50 {
+            r.insert(Tuple::new(vec![Const::Int(i), Const::Int(i % 3)]));
+        }
+        r.warm_index(1);
+        assert_eq!(r.select(&[None, Some(Const::Int(1))]).len(), 17);
+        // Out-of-range and empty-relation warms are no-ops.
+        r.warm_index(9);
+        Relation::new().warm_index(0);
     }
 
     #[test]

@@ -38,6 +38,18 @@ pub enum PersistError {
         /// What exactly is wrong.
         detail: String,
     },
+    /// `Journal::append` refused a payload over the `MAX_RECORD` cap.
+    /// Writing it would frame a record every future scan rejects as
+    /// corrupt (the `u32` length prefix cannot even represent it), so the
+    /// append fails cleanly before any bytes hit disk.
+    RecordTooLarge {
+        /// The journal file.
+        path: String,
+        /// Size of the rejected payload.
+        bytes: u64,
+        /// The cap it exceeds (`journal::MAX_RECORD`).
+        max: u32,
+    },
     /// The snapshot file is missing its header, fails its checksum, or
     /// does not parse back into a database.
     Snapshot {
@@ -99,6 +111,11 @@ impl fmt::Display for PersistError {
             } => write!(
                 f,
                 "journal {path} corrupt at record {record} (byte {offset}): {detail}"
+            ),
+            PersistError::RecordTooLarge { path, bytes, max } => write!(
+                f,
+                "record of {bytes} bytes exceeds the {max}-byte journal record cap of {path}; \
+                 nothing was written"
             ),
             PersistError::Snapshot { path, detail } => {
                 write!(f, "snapshot {path} unreadable: {detail}")

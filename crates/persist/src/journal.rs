@@ -21,7 +21,7 @@
 use crate::crc32::crc32;
 use crate::error::{io_err, PersistError, Result};
 use std::fs::{File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// The journal file's magic header.
@@ -30,9 +30,11 @@ pub const MAGIC: &[u8; 8] = b"ddufjnl1";
 /// Bytes of framing before each payload (`u32` length + `u32` CRC).
 pub const RECORD_HEADER: usize = 8;
 
-/// Sanity bound on a single record; a length prefix above this is treated
-/// as corruption rather than a (physically impossible) giant record.
-const MAX_RECORD: u32 = 1 << 30;
+/// Sanity bound on a single record, enforced symmetrically: [`Journal::append`]
+/// rejects larger payloads before any bytes hit disk, and scanning treats a
+/// larger length prefix as corruption. It also caps the scanner's per-record
+/// buffer, so a journal of any size is verified with bounded memory.
+pub const MAX_RECORD: u32 = 1 << 30;
 
 /// One decoded journal record.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -66,19 +68,44 @@ pub struct Scan {
     pub torn: Option<TornTail>,
 }
 
-/// Reads and validates a journal file without modifying it.
-///
-/// An incomplete *final* record is reported as [`Scan::torn`]; anything
-/// else that fails validation — checksum mismatch, implausible length,
-/// non-UTF-8 payload — is a hard [`PersistError::Corrupt`].
-pub fn scan(path: &Path) -> Result<Scan> {
-    let data = std::fs::read(path).map_err(io_err(path, "read"))?;
-    scan_bytes(path, &data)
+/// Everything a streaming scan establishes besides the payloads
+/// themselves: see [`scan_records`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanSummary {
+    /// Number of intact records visited.
+    pub records: usize,
+    /// Byte offset just past the last intact record.
+    pub end: u64,
+    /// The torn final record, if the file ends mid-record.
+    pub torn: Option<TornTail>,
 }
 
-fn scan_bytes(path: &Path, data: &[u8]) -> Result<Scan> {
+/// Reads and validates a journal file record-by-record with bounded
+/// memory, handing each intact record to `visit` as it is decoded. At
+/// most one record body (≤ [`MAX_RECORD`] bytes) is buffered at a time,
+/// so a journal of any size can be verified on a small machine.
+///
+/// An incomplete *final* record is reported via [`ScanSummary::torn`];
+/// anything else that fails validation — checksum mismatch, implausible
+/// length, non-UTF-8 payload — is a hard [`PersistError::Corrupt`]. An
+/// error returned by `visit` aborts the scan.
+pub fn scan_records(
+    path: &Path,
+    visit: &mut dyn FnMut(Record) -> Result<()>,
+) -> Result<ScanSummary> {
     let disp = path.display().to_string();
-    if data.len() < MAGIC.len() || &data[..MAGIC.len().min(data.len())] != MAGIC {
+    let file = File::open(path).map_err(io_err(path, "read"))?;
+    let file_len = file.metadata().map_err(io_err(path, "read"))?.len();
+    let mut reader = BufReader::new(file);
+
+    let mut magic = [0u8; MAGIC.len()];
+    let magic_ok = file_len >= MAGIC.len() as u64 && {
+        reader
+            .read_exact(&mut magic)
+            .map_err(io_err(path, "read"))?;
+        &magic == MAGIC
+    };
+    if !magic_ok {
         return Err(PersistError::Corrupt {
             path: disp,
             record: 0,
@@ -89,71 +116,95 @@ fn scan_bytes(path: &Path, data: &[u8]) -> Result<Scan> {
             ),
         });
     }
-    let mut records = Vec::new();
-    let mut pos = MAGIC.len();
+
+    let mut index = 0usize;
+    let mut pos = MAGIC.len() as u64;
+    let mut body = Vec::new();
     loop {
-        if pos == data.len() {
-            return Ok(Scan {
-                records,
-                end: pos as u64,
+        if pos == file_len {
+            return Ok(ScanSummary {
+                records: index,
+                end: pos,
                 torn: None,
             });
         }
-        let index = records.len();
-        let torn = |pos: usize| {
-            Ok(Scan {
-                records: records.clone(),
-                end: pos as u64,
+        let remaining = file_len - pos;
+        let torn = |pos: u64| {
+            Ok(ScanSummary {
+                records: index,
+                end: pos,
                 torn: Some(TornTail {
-                    offset: pos as u64,
-                    bytes: (data.len() - pos) as u64,
+                    offset: pos,
+                    bytes: file_len - pos,
                 }),
             })
         };
-        if data.len() - pos < RECORD_HEADER {
+        if remaining < RECORD_HEADER as u64 {
             return torn(pos);
         }
-        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
-        let stored = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        let mut header = [0u8; RECORD_HEADER];
+        reader
+            .read_exact(&mut header)
+            .map_err(io_err(path, "read"))?;
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let stored = u32::from_le_bytes(header[4..].try_into().unwrap());
         if len > MAX_RECORD {
             return Err(PersistError::Corrupt {
                 path: disp,
                 record: index,
-                offset: pos as u64,
+                offset: pos,
                 detail: format!("implausible record length {len}"),
             });
         }
-        let body_start = pos + RECORD_HEADER;
-        if data.len() - body_start < len as usize {
+        if remaining - (RECORD_HEADER as u64) < len as u64 {
             return torn(pos);
         }
-        let body = &data[body_start..body_start + len as usize];
-        let computed = crc32(body);
+        // Bounded by the MAX_RECORD check above.
+        body.resize(len as usize, 0);
+        reader.read_exact(&mut body).map_err(io_err(path, "read"))?;
+        let computed = crc32(&body);
         if computed != stored {
             return Err(PersistError::Corrupt {
                 path: disp,
                 record: index,
-                offset: pos as u64,
+                offset: pos,
                 detail: format!(
                     "checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
                 ),
             });
         }
-        let payload = std::str::from_utf8(body)
+        let payload = std::str::from_utf8(&body)
             .map_err(|_| PersistError::Corrupt {
                 path: disp.clone(),
                 record: index,
-                offset: pos as u64,
+                offset: pos,
                 detail: "payload is not valid UTF-8".into(),
             })?
             .to_string();
-        records.push(Record {
+        visit(Record {
             index,
-            offset: pos as u64,
+            offset: pos,
             payload,
-        });
-        pos = body_start + len as usize;
+        })?;
+        pos += RECORD_HEADER as u64 + len as u64;
+        index += 1;
     }
+}
+
+/// Reads and validates a journal file without modifying it, collecting
+/// every record. Convenience wrapper over [`scan_records`] for callers
+/// (recovery, `dduf db log`) that want the payloads in memory anyway.
+pub fn scan(path: &Path) -> Result<Scan> {
+    let mut records = Vec::new();
+    let summary = scan_records(path, &mut |r| {
+        records.push(r);
+        Ok(())
+    })?;
+    Ok(Scan {
+        records,
+        end: summary.end,
+        torn: summary.torn,
+    })
 }
 
 /// An open journal, positioned for appending after the last intact record.
@@ -207,8 +258,20 @@ impl Journal {
 
     /// Appends one record and flushes it to stable storage. The commit is
     /// durable — and may be acknowledged — once this returns.
+    ///
+    /// Payloads over [`MAX_RECORD`] bytes are rejected **before any bytes
+    /// hit disk** with [`PersistError::RecordTooLarge`]: the `u32` length
+    /// prefix would otherwise truncate silently, and even an exact prefix
+    /// would frame a record every future [`scan`] rejects as corrupt.
     pub fn append(&mut self, payload: &str) -> Result<u64> {
         let body = payload.as_bytes();
+        if body.len() as u64 > MAX_RECORD as u64 {
+            return Err(PersistError::RecordTooLarge {
+                path: self.path.display().to_string(),
+                bytes: body.len() as u64,
+                max: MAX_RECORD,
+            });
+        }
         let mut rec = Vec::with_capacity(RECORD_HEADER + body.len());
         rec.extend_from_slice(&(body.len() as u32).to_le_bytes());
         rec.extend_from_slice(&crc32(body).to_le_bytes());
@@ -312,6 +375,77 @@ mod tests {
             other => panic!("expected corruption, got {other:?}"),
         }
         assert!(Journal::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn implausible_length_prefix_is_corrupt() {
+        // A pre-cap writer could frame a record whose length prefix
+        // exceeds MAX_RECORD; the scanner must reject it, not allocate.
+        let path = tmp("hugelen");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::create(&path).unwrap();
+        j.append("+p(a).").unwrap();
+        let keep = j.end();
+        drop(j);
+        let mut data = std::fs::read(&path).unwrap();
+        data.extend_from_slice(&(MAX_RECORD + 1).to_le_bytes());
+        data.extend_from_slice(&[0u8; 4]);
+        data.extend_from_slice(b"short body");
+        std::fs::write(&path, &data).unwrap();
+        match scan(&path) {
+            Err(PersistError::Corrupt {
+                record,
+                offset,
+                detail,
+                ..
+            }) => {
+                assert_eq!(record, 1);
+                assert_eq!(offset, keep);
+                assert!(detail.contains("implausible record length"), "{detail}");
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_scan_matches_collecting_scan() {
+        let path = tmp("streaming");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::create(&path).unwrap();
+        for i in 0..20 {
+            j.append(&format!("+p(c{i}).")).unwrap();
+        }
+        drop(j);
+        let collected = scan(&path).unwrap();
+        let mut seen = Vec::new();
+        let summary = scan_records(&path, &mut |r| {
+            seen.push(r);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, collected.records);
+        assert_eq!(summary.records, 20);
+        assert_eq!(summary.end, collected.end);
+        assert_eq!(summary.torn, None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn visitor_error_aborts_scan() {
+        let path = tmp("visitabort");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::create(&path).unwrap();
+        j.append("+p(a).").unwrap();
+        j.append("+p(b).").unwrap();
+        drop(j);
+        let mut visited = 0;
+        let res = scan_records(&path, &mut |_| {
+            visited += 1;
+            Err(PersistError::NotADatabase("stop".into()))
+        });
+        assert!(res.is_err());
+        assert_eq!(visited, 1);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -30,7 +30,7 @@ pub mod journal;
 pub mod snapshot;
 
 pub use error::{PersistError, Result};
-pub use journal::{Journal, Record, Scan, TornTail};
+pub use journal::{Journal, Record, Scan, ScanSummary, TornTail, MAX_RECORD};
 pub use snapshot::{Snapshot, JOURNAL_FILE, SNAPSHOT_FILE};
 
 use dduf_core::processor::UpdateProcessor;
@@ -242,6 +242,10 @@ pub struct VerifyReport {
 /// must pass its checksum and re-parse as event syntax. A torn final
 /// record is reported (it is recoverable); mid-log corruption is the
 /// usual hard error.
+///
+/// The journal is checked record-by-record via [`journal::scan_records`]
+/// with bounded buffering — no payload is retained after its check — so a
+/// journal much larger than memory verifies on a small machine.
 pub fn verify(dir: impl AsRef<Path>) -> Result<VerifyReport> {
     let dir = dir.as_ref();
     let snap = snapshot::read(dir)?;
@@ -249,27 +253,26 @@ pub fn verify(dir: impl AsRef<Path>) -> Result<VerifyReport> {
     if !journal_path.exists() {
         return Err(PersistError::NotADatabase(dir.display().to_string()));
     }
-    let scan = journal::scan(&journal_path)?;
-    for rec in &scan.records {
+    let mut tail_records = 0usize;
+    let summary = journal::scan_records(&journal_path, &mut |rec| {
         dduf_datalog::parser::parse_events(&rec.payload).map_err(|e| PersistError::Corrupt {
             path: journal_path.display().to_string(),
             record: rec.index,
             offset: rec.offset,
             detail: format!("payload is not event syntax: {e}"),
         })?;
-    }
-    let tail_records = scan
-        .records
-        .iter()
-        .filter(|r| r.offset >= snap.journal_pos)
-        .count();
+        if rec.offset >= snap.journal_pos {
+            tail_records += 1;
+        }
+        Ok(())
+    })?;
     Ok(VerifyReport {
         snapshot_pos: snap.journal_pos,
         snapshot_facts: snap.db.fact_count(),
-        records: scan.records.len(),
+        records: summary.records,
         tail_records,
-        journal_end: scan.end,
-        torn: scan.torn,
+        journal_end: summary.end,
+        torn: summary.torn,
     })
 }
 

@@ -20,7 +20,29 @@ fn main() {
 }
 
 fn real_main() -> i32 {
-    let mut args = std::env::args().skip(1);
+    // Strip the global `--threads N` flag (any position before the verb's
+    // own operands) and set the process-wide evaluation pool.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut rest: Vec<String> = Vec::with_capacity(raw.len());
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" || a == "-j" {
+            let Some(n) = it.next().and_then(|v| v.trim().parse::<usize>().ok()) else {
+                eprint!("dduf: --threads expects a number (0 = auto)\n{USAGE}");
+                return 2;
+            };
+            dduf_datalog::eval::pool::set_default_threads(n);
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            let Ok(n) = v.trim().parse::<usize>() else {
+                eprint!("dduf: --threads expects a number (0 = auto)\n{USAGE}");
+                return 2;
+            };
+            dduf_datalog::eval::pool::set_default_threads(n);
+        } else {
+            rest.push(a);
+        }
+    }
+    let mut args = rest.into_iter();
     let Some(first) = args.next() else {
         eprint!("{USAGE}");
         return 2;

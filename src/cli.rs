@@ -92,6 +92,7 @@ impl Session {
             ":save" => self.save(rest),
             ":checkpoint" => self.checkpoint(),
             ":query" => self.query(rest),
+            ":threads" => Self::threads(rest),
             ":do" => self.commit_pending(rest),
             other => Err(Error::Datalog(dduf_datalog::error::Error::Parse(
                 dduf_datalog::error::ParseError {
@@ -341,6 +342,27 @@ impl Session {
         Ok(format!("committed {}; induced {}", res.base, res.derived))
     }
 
+    /// `:threads [N]` — show or set the evaluation worker count for the
+    /// whole process (0 = all available cores). Results are identical at
+    /// any setting; only wall-clock time changes.
+    fn threads(rest: &str) -> Result<String> {
+        if rest.is_empty() {
+            return Ok(format!(
+                "evaluation threads: {}",
+                dduf_datalog::eval::pool::default_threads()
+            ));
+        }
+        let n: usize = rest
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("usage: :threads [N]   (0 = auto)"))?;
+        dduf_datalog::eval::pool::set_default_threads(n);
+        Ok(format!(
+            "evaluation threads: {}",
+            dduf_datalog::eval::pool::default_threads()
+        ))
+    }
+
     /// `:checkpoint` — write a snapshot covering the journal so far
     /// (durable sessions only).
     fn checkpoint(&mut self) -> Result<String> {
@@ -428,6 +450,7 @@ commands:
   :query <atom>           goal-directed query (magic sets)
   :save <path>            write the database back to a file
   :checkpoint             write a snapshot (durable sessions only)
+  :threads [N]            show/set evaluation worker count (0 = auto)
   :do <n>                 commit alternative n of the last listing
   :help                   this text
   :quit                   leave
@@ -445,6 +468,8 @@ usage: dduf <database.dl>                          interactive shell over a file
        dduf db verify <dir>                        scan snapshot + journal checksums
        dduf --help | -h                            this text
        dduf --version | -V                         print the version
+global flags: --threads N | -j N   evaluation worker count (0 = auto;
+              also DDUF_THREADS); results are identical at any setting
 ";
 
 /// The interactive/piped read-eval-print loop over a session. Prompts

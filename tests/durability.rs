@@ -198,6 +198,72 @@ fn checkpoint_then_crash_recovers_through_snapshot_plus_tail() {
 }
 
 #[test]
+fn oversized_append_fails_cleanly_with_no_bytes_written() {
+    let dir = tmpdir("oversized");
+    let mut db = DurableDb::init(&dir, SCHEMA).unwrap();
+    let txn = db.transaction(TXNS[0]).unwrap();
+    db.commit(&txn).unwrap();
+    drop(db);
+
+    let journal_path = dir.join(JOURNAL_FILE);
+    let before = std::fs::read(&journal_path).unwrap();
+    let (mut j, scan) = journal::Journal::open(&journal_path).unwrap();
+    assert_eq!(scan.records.len(), 1);
+
+    let oversized = "x".repeat(journal::MAX_RECORD as usize + 1);
+    match j.append(&oversized) {
+        Err(PersistError::RecordTooLarge { bytes, max, .. }) => {
+            assert_eq!(bytes, journal::MAX_RECORD as u64 + 1);
+            assert_eq!(max, journal::MAX_RECORD);
+        }
+        other => panic!("expected RecordTooLarge, got {other:?}"),
+    }
+    drop(j);
+    drop(oversized);
+
+    // Not a single byte hit disk — the journal is byte-for-byte what it
+    // was before the rejected append, and the database stays fully
+    // usable: reopen, commit the next transaction, state is exact.
+    assert_eq!(std::fs::read(&journal_path).unwrap(), before);
+    let mut db = DurableDb::open(&dir).unwrap();
+    assert_eq!(fingerprint(db.processor()), reference_fingerprint(1));
+    let txn = db.transaction(TXNS[1]).unwrap();
+    db.commit(&txn).unwrap();
+    assert_eq!(fingerprint(db.processor()), reference_fingerprint(2));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn preexisting_oversized_record_is_reported_corrupt_not_allocated() {
+    let dir = tmpdir("implausible");
+    let mut db = DurableDb::init(&dir, SCHEMA).unwrap();
+    let txn = db.transaction(TXNS[0]).unwrap();
+    db.commit(&txn).unwrap();
+    drop(db);
+
+    // Hand-frame the record a pre-cap writer could have produced: a
+    // length prefix over MAX_RECORD. The scanner must reject it as
+    // corruption (naming the record) *before* allocating a body buffer —
+    // and must not mistake it for a recoverable torn tail.
+    let journal_path = dir.join(JOURNAL_FILE);
+    let mut bytes = std::fs::read(&journal_path).unwrap();
+    bytes.extend_from_slice(&(journal::MAX_RECORD + 1).to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    std::fs::write(&journal_path, &bytes).unwrap();
+
+    match DurableDb::open(&dir) {
+        Err(PersistError::Corrupt { record, detail, .. }) => {
+            assert_eq!(record, 1, "error must name the oversized record");
+            assert!(detail.contains("implausible record length"), "{detail}");
+        }
+        other => panic!("expected corruption at record 1, got {other:?}"),
+    }
+    let err = dduf::persist::verify(&dir).unwrap_err();
+    assert!(err.render().contains("record 1"), "{}", err.render());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn session_commits_are_journaled_with_write_ahead_ordering() {
     use dduf::cli::Session;
     let dir = tmpdir("session");

@@ -154,6 +154,74 @@ fn events_reconstruct_new_state() {
     }
 }
 
+/// Determinism across worker counts: naive, semi-naive, and the
+/// parallel evaluator at threads ∈ {1, 2, 8} all produce bit-identical
+/// materializations, over the embedded example databases and random
+/// stratified programs alike.
+#[test]
+fn parallel_materialization_matches_sequential_across_thread_counts() {
+    use dduf::datalog::eval::{materialize_with_threads, Strategy};
+    use dduf::datalog::pretty;
+
+    let mut dbs: Vec<(String, Database)> = vec![
+        (
+            "employment".into(),
+            dduf::core::testkit::employment_db_with_condition(),
+        ),
+        ("chain_tc".into(), dduf::core::testkit::chain_tc_db(60)),
+        ("wide".into(), dduf::core::testkit::wide_db(100)),
+    ];
+    let mut rng = Rng::new(0x7A11E1);
+    for case in 0..32 {
+        let prog = RandProgram::gen(&mut rng);
+        let db = parse_database(&prog.to_source()).expect("generated program parses");
+        dbs.push((format!("rand#{case}"), db));
+    }
+
+    for (name, db) in &dbs {
+        let baseline = pretty::derived(&materialize(db).expect("stratified"));
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            for threads in [1usize, 2, 8] {
+                let got = pretty::derived(
+                    &materialize_with_threads(db, strategy, threads).expect("stratified"),
+                );
+                assert_eq!(
+                    baseline, got,
+                    "{name}: {strategy:?} at {threads} threads diverges"
+                );
+            }
+        }
+    }
+}
+
+/// The upward engines stay equivalent — to each other and to their own
+/// sequential run — at every worker count.
+#[test]
+fn parallel_upward_matches_sequential_across_thread_counts() {
+    let mut rng = Rng::new(0x7A11E2);
+    for case in 0..48 {
+        let prog = RandProgram::gen(&mut rng);
+        let db = parse_database(&prog.to_source()).expect("parses");
+        let old = materialize(&db).expect("stratified");
+        let txn = gen_txn(&mut rng, &db);
+        let expected = dduf::core::upward::interpret_with(&db, &old, &txn, UpwardEngine::Semantic)
+            .expect("semantic");
+        for engine in [UpwardEngine::Semantic, UpwardEngine::Incremental] {
+            for threads in [1usize, 2, 8] {
+                let got =
+                    dduf::core::upward::interpret_with_threads(&db, &old, &txn, engine, threads)
+                        .expect("parallel upward");
+                assert_eq!(
+                    expected,
+                    got,
+                    "case {case}: {engine:?} at {threads} threads diverges\n{}",
+                    prog.to_source()
+                );
+            }
+        }
+    }
+}
+
 /// The stateful counting engine ([GMS93]) agrees with the semantic
 /// oracle across a whole *sequence* of transactions (statefulness is
 /// the point: counts must stay correct step after step).
