@@ -58,22 +58,30 @@ struct Workload {
 }
 
 impl Workload {
-    /// Sweeps `f` over the thread counts, checking that the fingerprint
-    /// `f` returns is identical at every setting.
+    /// Sweeps `f` over the thread counts, checking that both the
+    /// fingerprint `f` returns and the semantic trace counters it records
+    /// are identical at every setting. Only the assertion runs are
+    /// captured; the timed loop stays untraced, so the timings measure
+    /// the evaluator with the recorder disabled.
     fn sweep(
         name: &'static str,
         param: String,
         iters: usize,
         mut f: impl FnMut(usize) -> String,
     ) -> Workload {
-        let baseline = f(1);
+        let (baseline, base_trace) = dduf_obs::capture(|| f(1));
         let rows = THREADS
             .iter()
             .map(|&t| {
-                let fp = f(t);
+                let (fp, trace) = dduf_obs::capture(|| f(t));
                 assert_eq!(
                     baseline, fp,
                     "{name}: result at {t} threads differs from sequential"
+                );
+                assert_eq!(
+                    base_trace.semantic_fingerprint(),
+                    trace.semantic_fingerprint(),
+                    "{name}: trace counters at {t} threads differ from sequential"
                 );
                 Row {
                     threads: t,

@@ -230,6 +230,7 @@ pub fn interpret_with(
 ) -> Result<DownwardResult> {
     let first = interpret_once(db, old, request, opts)?;
     if first.alternatives.is_empty() && !first.is_trivial() && !opts.exhaustive_negation {
+        dduf_obs::record("downward.translate", "retry", &[("retries", 1)]);
         let retry_opts = DownwardOptions {
             exhaustive_negation: true,
             ..opts.clone()
@@ -245,6 +246,7 @@ fn interpret_once(
     request: &Request,
     opts: &DownwardOptions,
 ) -> Result<DownwardResult> {
+    let timer = dduf_obs::timer();
     let mut domain = opts.domain.clone().unwrap_or_else(|| Domain::active(db));
     domain.extend(request.constants());
     let mut tr = Translator::new(db, old, domain, opts);
@@ -304,11 +306,30 @@ fn interpret_once(
         }
     }
 
+    let before_prune = total.len() as u64;
     let mut pruned = nf::prune_subsumed(total);
     pruned.sort();
     if opts.minimal_only {
         let sets: Vec<_> = pruned.iter().map(|a| a.pos.clone()).collect();
         pruned.retain(|a| !sets.iter().any(|s| s != &a.pos && s.is_subset(&a.pos)));
+    }
+
+    if dduf_obs::enabled() {
+        let stats = tr.stats();
+        dduf_obs::record_timed(
+            "downward.translate",
+            "",
+            &[
+                ("nodes", stats.nodes),
+                ("branches", stats.branches),
+                ("conjuncts", stats.conjuncts),
+                ("groundings", stats.groundings),
+                ("alternatives", pruned.len() as u64),
+                ("pruned", before_prune - pruned.len() as u64),
+                ("already", already.len() as u64),
+            ],
+            timer.elapsed_us(),
+        );
     }
 
     Ok(DownwardResult {

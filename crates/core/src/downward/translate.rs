@@ -54,8 +54,24 @@ use dduf_events::event::{EventKind, GroundEvent};
 use dduf_events::formula::TrLit;
 use dduf_events::simplify::simplify_transition;
 use dduf_events::transition::TransitionRule;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Semantic counters for one downward translation. The search is
+/// single-threaded, so these are exact and deterministic for a given
+/// request; `interpret` records them as the `downward.translate` span.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TranslateStats {
+    /// New-state nodes expanded (recursive `Pⁿ` interpretations).
+    pub nodes: u64,
+    /// Transition-rule branches whose head unified with the target.
+    pub branches: u64,
+    /// Transition-rule conjuncts translated.
+    pub conjuncts: u64,
+    /// Candidate event instantiations enumerated over the domain.
+    pub groundings: u64,
+}
 
 /// The downward translation engine. One instance per interpretation call;
 /// caches simplified transition rules across the recursion.
@@ -66,6 +82,7 @@ pub struct Translator<'a> {
     opts: &'a DownwardOptions,
     trs: BTreeMap<Pred, Rc<TransitionRule>>,
     visiting: Vec<Pred>,
+    stats: Cell<TranslateStats>,
 }
 
 impl<'a> Translator<'a> {
@@ -83,12 +100,24 @@ impl<'a> Translator<'a> {
             opts,
             trs: BTreeMap::new(),
             visiting: Vec::new(),
+            stats: Cell::new(TranslateStats::default()),
         }
     }
 
     /// The finite domain in use.
     pub fn domain(&self) -> &Domain {
         &self.domain
+    }
+
+    /// Search counters accumulated so far.
+    pub fn stats(&self) -> TranslateStats {
+        self.stats.get()
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut TranslateStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
     }
 
     fn old_relation(&self, pred: Pred) -> &Relation {
@@ -148,6 +177,7 @@ impl<'a> Translator<'a> {
             }
         }
         if unbound.is_empty() {
+            self.bump(|s| s.groundings += 1);
             return Ok(vec![seed.clone()]);
         }
         let dom_len = self.domain.len_for(pred);
@@ -175,6 +205,7 @@ impl<'a> Translator<'a> {
             }
             out = next;
         }
+        self.bump(|s| s.groundings += out.len() as u64);
         Ok(out)
     }
 
@@ -249,6 +280,7 @@ impl<'a> Translator<'a> {
         if self.visiting.contains(&pred) {
             return Err(Error::RecursiveDownward(pred));
         }
+        self.bump(|s| s.nodes += 1);
         self.visiting.push(pred);
         let tr = self.transition(pred);
         let mut out = nf::falsum();
@@ -257,6 +289,7 @@ impl<'a> Translator<'a> {
                 let Some(seed) = match_tuple(&branch.head.terms, tuple, &Bindings::new()) else {
                     continue;
                 };
+                self.bump(|s| s.branches += 1);
                 for conj in &branch.dnf.0 {
                     let nf_c = self.down_conjunct(&conj.0, &seed, depth + 1, ctx)?;
                     out = nf::union(std::mem::take(&mut out), nf_c);
@@ -289,6 +322,7 @@ impl<'a> Translator<'a> {
         depth: usize,
         ctx: &Nf,
     ) -> Result<Nf> {
+        self.bump(|s| s.conjuncts += 1);
         let mut states: Vec<(Bindings, Nf)> = vec![(seed.clone(), ctx.clone())];
         let mut remaining: Vec<usize> = (0..lits.len()).collect();
 

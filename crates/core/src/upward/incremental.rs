@@ -25,9 +25,13 @@ use crate::error::{Error, Result};
 use crate::transaction::Transaction;
 use crate::upward::UpwardResult;
 use dduf_datalog::ast::{Atom, Pred};
-use dduf_datalog::eval::join::{eval_conjunct, ground_terms, match_tuple, Bindings};
+use dduf_datalog::eval::join::{
+    eval_conjunct_stats, ground_terms, match_tuple, Bindings, JoinStats,
+};
 use dduf_datalog::eval::pool::Pool;
-use dduf_datalog::eval::{seminaive, Interpretation};
+use dduf_datalog::eval::{
+    component_label, record_component_trace, seminaive, ComponentTrace, Interpretation,
+};
 use dduf_datalog::storage::database::Database;
 use dduf_datalog::storage::relation::Relation;
 use dduf_datalog::storage::tuple::Tuple;
@@ -76,13 +80,25 @@ pub fn new_state_holds(
     old: &Interpretation,
     events: &EventStore,
 ) -> bool {
+    new_state_holds_stats(tr, tuple, db, old, events, &mut JoinStats::default())
+}
+
+/// [`new_state_holds`], accumulating join work into `stats`.
+fn new_state_holds_stats(
+    tr: &TransitionRule,
+    tuple: &Tuple,
+    db: &Database,
+    old: &Interpretation,
+    events: &EventStore,
+    stats: &mut JoinStats,
+) -> bool {
     for branch in &tr.branches {
         let Some(seed) = unify_head(&branch.head, tuple) else {
             continue;
         };
         for conj in &branch.dnf.0 {
             let rel_of = |i: usize| -> &Relation { trlit_relation(&conj.0[i], db, old, events) };
-            if !eval_conjunct(&conj.0, &rel_of, &seed).is_empty() {
+            if !eval_conjunct_stats(&conj.0, &rel_of, &seed, stats).is_empty() {
                 return true;
             }
         }
@@ -90,12 +106,14 @@ pub fn new_state_holds(
     false
 }
 
-/// Computes the induced insertions of a non-recursive derived predicate.
+/// Computes the induced insertions of a non-recursive derived predicate,
+/// accumulating join work into `stats`.
 fn insertions(
     tr: &TransitionRule,
     db: &Database,
     old: &Interpretation,
     events: &EventStore,
+    stats: &mut JoinStats,
 ) -> Relation {
     let mut out = Relation::new();
     for branch in &tr.branches {
@@ -112,7 +130,7 @@ fn insertions(
                 continue;
             }
             let rel_of = |i: usize| -> &Relation { trlit_relation(&lits[i], db, old, events) };
-            for b in eval_conjunct(&lits, &rel_of, &Bindings::new()) {
+            for b in eval_conjunct_stats(&lits, &rel_of, &Bindings::new(), stats) {
                 let t = ground_terms(&branch.head.terms, &b)
                     .expect("allowedness grounds transition heads");
                 out.insert(t);
@@ -122,13 +140,15 @@ fn insertions(
     out
 }
 
-/// Computes the induced deletions of a non-recursive derived predicate.
+/// Computes the induced deletions of a non-recursive derived predicate,
+/// accumulating join work into `stats`.
 fn deletions(
     pred: Pred,
     tr: &TransitionRule,
     db: &Database,
     old: &Interpretation,
     events: &EventStore,
+    stats: &mut JoinStats,
 ) -> Relation {
     // Candidate tuples: supports broken by some event.
     let mut candidates = Relation::new();
@@ -155,7 +175,7 @@ fn deletions(
                 })
                 .collect();
             let rel_of = |k: usize| -> &Relation { trlit_relation(&lits[k], db, old, events) };
-            for b in eval_conjunct(&lits, &rel_of, &Bindings::new()) {
+            for b in eval_conjunct_stats(&lits, &rel_of, &Bindings::new(), stats) {
                 if let Some(t) = ground_terms(&rule.head.terms, &b) {
                     candidates.insert(t);
                 }
@@ -166,7 +186,7 @@ fn deletions(
     let old_rel = old.relation(pred);
     candidates
         .iter()
-        .filter(|t| old_rel.contains(t) && !new_state_holds(tr, t, db, old, events))
+        .filter(|t| old_rel.contains(t) && !new_state_holds_stats(tr, t, db, old, events, stats))
         .cloned()
         .collect()
 }
@@ -189,11 +209,17 @@ enum Plan {
     EventRules,
 }
 
-/// The parallel phase's output for one wave member.
+/// The parallel phase's output for one wave member. Traces and join
+/// stats ride back with the results so the sequential merge can record
+/// them on the orchestrating thread (DESIGN.md §11).
 enum Out {
     Skip,
-    Recompute(Vec<(Pred, Relation)>),
-    EventRules { ins: Relation, del: Relation },
+    Recompute(Vec<(Pred, Relation)>, ComponentTrace),
+    EventRules {
+        ins: Relation,
+        del: Relation,
+        stats: JoinStats,
+    },
 }
 
 /// Upward-interprets `txn` incrementally across `pool`.
@@ -216,6 +242,8 @@ pub fn interpret_pooled(
         .map_err(|e| Error::from(dduf_datalog::error::Error::from(e)))?;
     let graph = dduf_datalog::depgraph::DepGraph::build(program);
 
+    let tracing = dduf_obs::enabled();
+    let timer = dduf_obs::timer();
     let (effective, _noops) = txn.normalize(db);
     let mut events = effective.events().clone();
     let mut derived_events = EventStore::new();
@@ -235,6 +263,10 @@ pub fn interpret_pooled(
 
     let components = strat.components();
     let mut done: Vec<bool> = vec![false; components.len()];
+    let mut waves = 0u64;
+    let mut skipped = 0u64;
+    let mut recomputed = 0u64;
+    let mut event_ruled = 0u64;
     while done.iter().any(|d| !d) {
         let wave: Vec<usize> = (0..components.len())
             .filter(|&i| !done[i] && strat.component_deps(i).iter().all(|&j| done[j]))
@@ -242,6 +274,7 @@ pub fn interpret_pooled(
         if wave.is_empty() {
             break; // unreachable: the condensation is acyclic
         }
+        waves += 1;
 
         // Sequential pre-pass: decide each member's plan and, for
         // recursive members, lazily fill the (unchanged) old extensions of
@@ -286,18 +319,23 @@ pub fn interpret_pooled(
         let inner = Pool::new((pool.threads() / pool.threads().min(wave.len())).max(1));
         let outs: Vec<Out> = pool.map(wave.len(), |w| match plans[w] {
             Plan::Skip => Out::Skip,
-            Plan::Recompute => Out::Recompute(seminaive::eval_component_pooled(
-                &new_db,
-                &new_interp,
-                &components[wave[w]],
-                &inner,
-            )),
+            Plan::Recompute => {
+                let (results, trace) = seminaive::eval_component_traced(
+                    &new_db,
+                    &new_interp,
+                    &components[wave[w]],
+                    &inner,
+                );
+                Out::Recompute(results, trace)
+            }
             Plan::EventRules => {
                 let pred = components[wave[w]].preds[0];
                 let tr = simplify_transition(&TransitionRule::build(program, pred));
+                let mut stats = JoinStats::default();
                 Out::EventRules {
-                    ins: insertions(&tr, db, old, &events),
-                    del: deletions(pred, &tr, db, old, &events),
+                    ins: insertions(&tr, db, old, &events, &mut stats),
+                    del: deletions(pred, &tr, db, old, &events, &mut stats),
+                    stats,
                 }
             }
         });
@@ -306,8 +344,15 @@ pub fn interpret_pooled(
         for (w, out) in outs.into_iter().enumerate() {
             done[wave[w]] = true;
             match out {
-                Out::Skip => {} // unchanged: old extension remains valid
-                Out::Recompute(results) => {
+                Out::Skip => skipped += 1, // unchanged: old extension remains valid
+                Out::Recompute(results, trace) => {
+                    recomputed += 1;
+                    if tracing {
+                        record_component_trace(
+                            &component_label(&components[wave[w]].preds),
+                            &trace,
+                        );
+                    }
                     for (pred, new_rel) in results {
                         let old_rel = old.relation(pred);
                         for t in new_rel.difference(old_rel).iter() {
@@ -327,8 +372,21 @@ pub fn interpret_pooled(
                         evaluated.insert(pred);
                     }
                 }
-                Out::EventRules { ins, del } => {
+                Out::EventRules { ins, del, stats } => {
+                    event_ruled += 1;
                     let pred = components[wave[w]].preds[0];
+                    if tracing {
+                        dduf_obs::record(
+                            "upward.pred",
+                            &pred.to_string(),
+                            &[
+                                ("ins", ins.len() as u64),
+                                ("del", del.len() as u64),
+                                ("probes", stats.probes),
+                                ("matches", stats.matches),
+                            ],
+                        );
+                    }
                     let old_rel = old.relation(pred);
                     if !ins.is_empty() || !del.is_empty() {
                         touched.insert(pred);
@@ -348,6 +406,27 @@ pub fn interpret_pooled(
                 }
             }
         }
+    }
+
+    if tracing {
+        let derived_ins = derived_events
+            .iter()
+            .filter(|e| e.kind == EventKind::Ins)
+            .count() as u64;
+        dduf_obs::record_timed(
+            "upward.apply",
+            "incremental",
+            &[
+                ("base_events", effective.events().len() as u64),
+                ("derived_ins", derived_ins),
+                ("derived_del", derived_events.len() as u64 - derived_ins),
+                ("waves", waves),
+                ("components_skipped", skipped),
+                ("components_recomputed", recomputed),
+                ("components_event_ruled", event_ruled),
+            ],
+            timer.elapsed_us(),
+        );
     }
 
     Ok(UpwardResult {

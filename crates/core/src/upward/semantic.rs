@@ -28,13 +28,33 @@ pub fn interpret_pooled(
     txn: &Transaction,
     pool: &Pool,
 ) -> Result<UpwardResult> {
+    let timer = dduf_obs::timer();
     let (effective, _noops) = txn.normalize(db);
     let new_db = effective.apply(db);
+    // The materialization runs on this thread, so its eval spans land in
+    // whatever recorder is installed here.
     let new = materialize_with_threads(&new_db, Strategy::default(), pool.threads())
         .map_err(crate::error::Error::from)?;
+    let derived = diff_interpretations(db, old, &new);
+    if dduf_obs::enabled() {
+        let derived_ins = derived
+            .iter()
+            .filter(|e| e.kind == dduf_events::event::EventKind::Ins)
+            .count() as u64;
+        dduf_obs::record_timed(
+            "upward.apply",
+            "semantic",
+            &[
+                ("base_events", effective.events().len() as u64),
+                ("derived_ins", derived_ins),
+                ("derived_del", derived.len() as u64 - derived_ins),
+            ],
+            timer.elapsed_us(),
+        );
+    }
     Ok(UpwardResult {
         base: effective.events().clone(),
-        derived: diff_interpretations(db, old, &new),
+        derived,
     })
 }
 

@@ -89,6 +89,33 @@ fn pattern(terms: &[Term], b: &Bindings) -> Vec<Option<Const>> {
     terms.iter().map(|&t| resolve(t, b).as_const()).collect()
 }
 
+/// Join-level work counters: one `probe` per relation lookup (a select
+/// or a ground membership test), one `match` per frontier binding the
+/// lookup retained or extended.
+///
+/// For a fixed conjunction against fixed relations these are functions
+/// of the data alone, so instrumented call sites that evaluate whole
+/// relations (semi-naive round 0, naive rounds, upward event rules,
+/// downward search) report thread-count-invariant values. Chunked
+/// differential rounds would not (the greedy literal order keys on
+/// relation sizes, which chunking changes), which is why they are left
+/// uncounted — see DESIGN.md §11.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Relation lookups issued.
+    pub probes: u64,
+    /// Lookups that retained or extended a binding.
+    pub matches: u64,
+}
+
+impl JoinStats {
+    /// Accumulates another stats bundle into this one.
+    pub fn merge(&mut self, other: JoinStats) {
+        self.probes += other.probes;
+        self.matches += other.matches;
+    }
+}
+
 /// Evaluates the conjunction `lits` and returns every extension of `seed`
 /// that satisfies it. `rel_of(i)` supplies the relation backing literal `i`
 /// (for negative literals, the relation against which absence is checked).
@@ -104,6 +131,16 @@ pub fn eval_conjunct<'a, L: JoinLit>(
     lits: &[L],
     rel_of: &dyn Fn(usize) -> &'a Relation,
     seed: &Bindings,
+) -> Vec<Bindings> {
+    eval_conjunct_stats(lits, rel_of, seed, &mut JoinStats::default())
+}
+
+/// [`eval_conjunct`], also accumulating probe/match counts into `stats`.
+pub fn eval_conjunct_stats<'a, L: JoinLit>(
+    lits: &[L],
+    rel_of: &dyn Fn(usize) -> &'a Relation,
+    seed: &Bindings,
+    stats: &mut JoinStats,
 ) -> Vec<Bindings> {
     let mut frontier = vec![seed.clone()];
     let mut remaining: Vec<usize> = (0..lits.len()).collect();
@@ -124,7 +161,10 @@ pub fn eval_conjunct<'a, L: JoinLit>(
             let rel = rel_of(i);
             frontier.retain(|b| {
                 let t = ground_terms(lits[i].terms(), b).expect("checked ground");
-                !rel.contains(&t)
+                stats.probes += 1;
+                let keep = !rel.contains(&t);
+                stats.matches += u64::from(keep);
+                keep
             });
             continue;
         }
@@ -147,8 +187,10 @@ pub fn eval_conjunct<'a, L: JoinLit>(
             let rel = rel_of(i);
             let mut next = Vec::new();
             for b in &frontier {
+                stats.probes += 1;
                 for tuple in rel.select(&pattern(lits[i].terms(), b)) {
                     if let Some(ext) = match_tuple(lits[i].terms(), &tuple, b) {
+                        stats.matches += 1;
                         next.push(ext);
                     }
                 }
@@ -162,9 +204,13 @@ pub fn eval_conjunct<'a, L: JoinLit>(
         let i = remaining.remove(0);
         let rel = rel_of(i);
         frontier.retain(|b| {
-            !rel.select(&pattern(lits[i].terms(), b))
+            stats.probes += 1;
+            let keep = !rel
+                .select(&pattern(lits[i].terms(), b))
                 .iter()
-                .any(|t| match_tuple(lits[i].terms(), t, b).is_some())
+                .any(|t| match_tuple(lits[i].terms(), t, b).is_some());
+            stats.matches += u64::from(keep);
+            keep
         });
     }
     frontier
@@ -274,6 +320,35 @@ mod tests {
         let lits: Vec<Literal> = vec![];
         let out = eval_conjunct(&lits, &|_| unreachable!(), &Bindings::new());
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn join_stats_count_probes_and_matches() {
+        // q(X), not r(X) with q={a,b}, r={b}: one select probe for q
+        // (2 matches), two ground probes for r (1 survivor).
+        let q = rel(&[&["a"], &["b"]]);
+        let r = rel(&[&["b"]]);
+        let lits = vec![lit(true, "q", &["X"]), lit(false, "r", &["X"])];
+        let rels = [&q, &r];
+        let mut stats = JoinStats::default();
+        let out = eval_conjunct_stats(&lits, &|i| rels[i], &Bindings::new(), &mut stats);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            stats,
+            JoinStats {
+                probes: 3,
+                matches: 3
+            }
+        );
+        // Identical rerun accumulates deterministically.
+        eval_conjunct_stats(&lits, &|i| rels[i], &Bindings::new(), &mut stats);
+        assert_eq!(
+            stats,
+            JoinStats {
+                probes: 6,
+                matches: 6
+            }
+        );
     }
 
     #[test]

@@ -23,6 +23,78 @@ fn empty_relation() -> &'static Relation {
     EMPTY.get_or_init(Relation::new)
 }
 
+/// Semantic evaluation counters for one component fixpoint, returned by
+/// the traced component evaluators and recorded by whichever sequential
+/// orchestrator ran them (the materializer's wave loop, or the upward
+/// engine's merge phase). Worker jobs never record directly — that is
+/// what keeps every counter here bit-identical across thread counts
+/// (DESIGN.md §11).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ComponentTrace {
+    /// Join work. Probes are only counted at partition-independent call
+    /// sites (whole-relation jobs); chunked differential rounds leave
+    /// them at their round-0 values.
+    pub stats: join::JoinStats,
+    /// Per-round derivation and delta counts, in round order.
+    pub rounds: Vec<RoundTrace>,
+}
+
+/// One fixpoint round's semantic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundTrace {
+    /// Derivations produced this round, before deduplication. Binding
+    /// counts partition exactly across delta chunks, so this is
+    /// independent of the worker count.
+    pub tuples: u64,
+    /// Genuinely new tuples this round (post-dedup delta cardinality).
+    pub delta: u64,
+}
+
+impl ComponentTrace {
+    /// Appends one round's counters.
+    pub fn push_round(&mut self, tuples: u64, delta: u64) {
+        self.rounds.push(RoundTrace { tuples, delta });
+    }
+
+    /// Total derivations across all rounds (pre-dedup).
+    pub fn tuples(&self) -> u64 {
+        self.rounds.iter().map(|r| r.tuples).sum()
+    }
+}
+
+/// Records a component's trace under `eval.scc` (aggregate) and
+/// `eval.round` (per-round detail) spans. Callers check
+/// [`dduf_obs::enabled`] first to skip label formatting on untraced
+/// runs.
+pub fn record_component_trace(label: &str, trace: &ComponentTrace) {
+    dduf_obs::record(
+        "eval.scc",
+        label,
+        &[
+            ("rounds", trace.rounds.len() as u64),
+            ("tuples", trace.tuples()),
+            ("probes", trace.stats.probes),
+            ("matches", trace.stats.matches),
+        ],
+    );
+    for (i, round) in trace.rounds.iter().enumerate() {
+        dduf_obs::record(
+            "eval.round",
+            &format!("{label}#r{i}"),
+            &[("tuples", round.tuples), ("delta", round.delta)],
+        );
+    }
+}
+
+/// Stable span label for a component: its predicates joined with `+`.
+pub fn component_label(preds: &[Pred]) -> String {
+    preds
+        .iter()
+        .map(Pred::to_string)
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
 /// Fixpoint strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Strategy {
@@ -189,6 +261,14 @@ fn materialize_restricted_pooled(
     // of unevaluated components whose dependencies are all complete. Wave
     // members are pairwise independent, so they are evaluated concurrently;
     // merging in ascending component order keeps the result deterministic.
+    //
+    // Tracing: the enabled check happens here, on the orchestrating
+    // thread, and all spans are recorded from the merged per-component
+    // traces — worker jobs only return counters (DESIGN.md §11).
+    let tracing = dduf_obs::enabled();
+    let timer = dduf_obs::timer();
+    let mut waves = 0u64;
+    let mut evaluated = 0u64;
     let mut interp = Interpretation::default();
     while done.iter().any(|d| !d) {
         let wave: Vec<usize> = (0..components.len())
@@ -199,6 +279,7 @@ fn materialize_restricted_pooled(
             // component always has all dependencies complete.
             break;
         }
+        waves += 1;
         // Split the worker budget: the wave level gets one worker per
         // member, and each member's fixpoint gets an equal share of the
         // remainder (everything, if the wave is a singleton).
@@ -206,18 +287,35 @@ fn materialize_restricted_pooled(
         let results = pool.map(wave.len(), |w| {
             let component = &components[wave[w]];
             match strategy {
-                Strategy::Naive => naive::eval_component_pooled(db, &interp, component, &inner),
+                Strategy::Naive => naive::eval_component_traced(db, &interp, component, &inner),
                 Strategy::SemiNaive => {
-                    seminaive::eval_component_pooled(db, &interp, component, &inner)
+                    seminaive::eval_component_traced(db, &interp, component, &inner)
                 }
             }
         });
-        for (w, comp_results) in results.into_iter().enumerate() {
+        for (w, (comp_results, trace)) in results.into_iter().enumerate() {
             done[wave[w]] = true;
+            evaluated += 1;
+            if tracing {
+                record_component_trace(&component_label(&components[wave[w]].preds), &trace);
+            }
             for (pred, rel) in comp_results {
                 interp.insert(pred, rel);
             }
         }
+    }
+    if tracing {
+        dduf_obs::record_timed(
+            "eval.materialize",
+            "",
+            &[
+                ("components", evaluated),
+                ("waves", waves),
+                ("skipped", components.len() as u64 - evaluated),
+                ("facts", interp.fact_count() as u64),
+            ],
+            timer.elapsed_us(),
+        );
     }
     Ok(interp)
 }
@@ -283,6 +381,51 @@ mod tests {
         let part = materialize_for(&db, &[Pred::new("tc", 2)], Strategy::SemiNaive).unwrap();
         assert_eq!(part.relation(Pred::new("tc", 2)).len(), 3);
         assert!(part.relation(Pred::new("other", 1)).is_empty());
+    }
+
+    #[test]
+    fn materialize_records_deterministic_spans() {
+        let db = parse_database(
+            "e(a, b). e(b, c). e(c, d).
+             tc(X, Y) :- e(X, Y).
+             tc(X, Y) :- e(X, Z), tc(Z, Y).
+             top(X) :- tc(X, d).",
+        )
+        .unwrap();
+        let (_, report) = dduf_obs::capture(|| materialize(&db).unwrap());
+        // Two components (tc, top), each in its own wave.
+        assert_eq!(report.counter("eval.materialize", "", "components"), 2);
+        assert_eq!(report.counter("eval.materialize", "", "waves"), 2);
+        assert_eq!(report.counter("eval.materialize", "", "facts"), 6 + 3);
+        // Chain of 3 edges: round 0 derives the base pairs, two more
+        // rounds extend, one empty round detects the fixpoint.
+        assert_eq!(report.counter("eval.scc", "tc/2", "rounds"), 4);
+        assert_eq!(report.counter("eval.scc", "tc/2", "tuples"), 3 + 2 + 1);
+        assert_eq!(report.counter("eval.round", "tc/2#r1", "delta"), 2);
+        assert!(report.counter("eval.scc", "tc/2", "probes") > 0);
+
+        // The semantic projection is bit-identical at every thread count
+        // and between the pooled and sequential paths.
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            let mut baseline = None;
+            for threads in [1usize, 2, 8] {
+                let (_, rep) =
+                    dduf_obs::capture(|| materialize_with_threads(&db, strategy, threads).unwrap());
+                let fp = rep.semantic_fingerprint();
+                match &baseline {
+                    None => baseline = Some(fp),
+                    Some(base) => assert_eq!(base, &fp, "{strategy:?} at {threads} threads"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn untraced_materialize_records_nothing() {
+        let db = parse_database("b(a). v(X) :- b(X).").unwrap();
+        let m = materialize(&db).unwrap();
+        assert_eq!(m.fact_count(), 1);
+        assert!(dduf_obs::snapshot().is_none());
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! engine is differentially tested.
 
 use crate::ast::Pred;
-use crate::eval::join::{eval_conjunct, ground_terms, Bindings};
+use crate::eval::join::{eval_conjunct_stats, ground_terms, Bindings, JoinStats};
 use crate::eval::pool::Pool;
-use crate::eval::{body_relation, Interpretation};
+use crate::eval::{body_relation, ComponentTrace, Interpretation};
 use crate::storage::database::Database;
 use crate::storage::relation::Relation;
 use crate::storage::tuple::Tuple;
@@ -35,6 +35,18 @@ pub fn eval_component_pooled(
     component: &Component,
     pool: &Pool,
 ) -> Vec<(Pred, Relation)> {
+    eval_component_traced(db, interp, component, pool).0
+}
+
+/// [`eval_component_pooled`], also returning the component's trace.
+/// Every naive job evaluates whole relations (no delta chunking), so
+/// all counters — including join probes — are thread-count invariant.
+pub fn eval_component_traced(
+    db: &Database,
+    interp: &Interpretation,
+    component: &Component,
+    pool: &Pool,
+) -> (Vec<(Pred, Relation)>, ComponentTrace) {
     let program = db.program();
     let mut current: BTreeMap<Pred, Relation> = component
         .preds
@@ -48,36 +60,45 @@ pub fn eval_component_pooled(
         .flat_map(|&p| program.rules_for(p))
         .collect();
 
+    let mut trace = ComponentTrace::default();
     loop {
-        let per_rule: Vec<Vec<(Pred, Tuple)>> = pool.map(rules.len(), |ri| {
+        let per_rule: Vec<(Vec<(Pred, Tuple)>, JoinStats)> = pool.map(rules.len(), |ri| {
             let rule = rules[ri];
             let rel_of = |i: usize| -> &Relation {
                 body_relation(db, interp, &current, program, rule.body[i].atom.pred)
             };
-            eval_conjunct(&rule.body, &rel_of, &Bindings::new())
+            let mut stats = JoinStats::default();
+            let tuples = eval_conjunct_stats(&rule.body, &rel_of, &Bindings::new(), &mut stats)
                 .iter()
                 .filter_map(|b| {
                     let tuple = ground_terms(&rule.head.terms, b)
                         .expect("allowedness guarantees ground heads");
                     (!current[&rule.head.pred].contains(&tuple)).then_some((rule.head.pred, tuple))
                 })
-                .collect()
+                .collect();
+            (tuples, stats)
         });
-        let mut changed = false;
-        for (pred, tuple) in per_rule.into_iter().flatten() {
-            if current
-                .get_mut(&pred)
-                .expect("component pred")
-                .insert(tuple)
-            {
-                changed = true;
+        let mut round_tuples = 0u64;
+        let mut fresh = 0u64;
+        for (tuples, stats) in per_rule {
+            round_tuples += tuples.len() as u64;
+            trace.stats.merge(stats);
+            for (pred, tuple) in tuples {
+                if current
+                    .get_mut(&pred)
+                    .expect("component pred")
+                    .insert(tuple)
+                {
+                    fresh += 1;
+                }
             }
         }
-        if !changed {
+        trace.push_round(round_tuples, fresh);
+        if fresh == 0 {
             break;
         }
     }
-    current.into_iter().collect()
+    (current.into_iter().collect(), trace)
 }
 
 #[cfg(test)]

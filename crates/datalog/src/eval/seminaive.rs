@@ -16,9 +16,9 @@
 //! fixpoint is bit-identical for any thread count (DESIGN.md §10).
 
 use crate::ast::{Literal, Pred, Rule};
-use crate::eval::join::{eval_conjunct, ground_terms, Bindings};
+use crate::eval::join::{eval_conjunct, eval_conjunct_stats, ground_terms, Bindings, JoinStats};
 use crate::eval::pool::Pool;
-use crate::eval::{body_relation, Interpretation};
+use crate::eval::{body_relation, ComponentTrace, Interpretation};
 use crate::storage::database::Database;
 use crate::storage::relation::Relation;
 use crate::storage::tuple::Tuple;
@@ -85,38 +85,61 @@ pub fn eval_component_pooled(
     component: &Component,
     pool: &Pool,
 ) -> Vec<(Pred, Relation)> {
+    eval_component_traced(db, interp, component, pool).0
+}
+
+/// [`eval_component_pooled`], also returning the component's evaluation
+/// trace. The trace carries only semantic counters (rounds, derivation
+/// and delta cardinalities, round-0 join work), all of which are
+/// independent of the worker count: per-round derivation counts are
+/// binding counts, which partition exactly across delta chunks, and
+/// join probes are only counted in round 0 where jobs evaluate whole
+/// relations (DESIGN.md §11).
+pub fn eval_component_traced(
+    db: &Database,
+    interp: &Interpretation,
+    component: &Component,
+    pool: &Pool,
+) -> (Vec<(Pred, Relation)>, ComponentTrace) {
     let program = db.program();
     let members: Vec<Pred> = component.preds.clone();
     let mut current: BTreeMap<Pred, Relation> =
         members.iter().map(|&p| (p, Relation::new())).collect();
 
     let rules: Vec<&Rule> = members.iter().flat_map(|&p| program.rules_for(p)).collect();
+    let mut trace = ComponentTrace::default();
 
     // Round 0: full evaluation (recursive predicates are empty, so this
     // costs the same as the non-recursive case). One job per rule; job
     // results are merged in rule order.
     let mut delta: BTreeMap<Pred, Relation> =
         members.iter().map(|&p| (p, Relation::new())).collect();
-    let round0: Vec<Vec<Tuple>> = pool.map(rules.len(), |ri| {
+    let round0: Vec<(Vec<Tuple>, JoinStats)> = pool.map(rules.len(), |ri| {
         let rule = rules[ri];
         let rel_of = |i: usize| -> &Relation {
             body_relation(db, interp, &current, program, rule.body[i].atom.pred)
         };
-        eval_conjunct(&rule.body, &rel_of, &Bindings::new())
+        let mut stats = JoinStats::default();
+        let tuples = eval_conjunct_stats(&rule.body, &rel_of, &Bindings::new(), &mut stats)
             .iter()
             .map(|b| ground_terms(&rule.head.terms, b).expect("ground head"))
-            .collect()
+            .collect();
+        (tuples, stats)
     });
-    for (ri, tuples) in round0.into_iter().enumerate() {
+    let mut round_tuples = 0u64;
+    for (ri, (tuples, stats)) in round0.into_iter().enumerate() {
+        round_tuples += tuples.len() as u64;
+        trace.stats.merge(stats);
         let rel = delta.get_mut(&rules[ri].head.pred).expect("member");
         for t in tuples {
             rel.insert(t);
         }
     }
     merge_delta(&mut current, &mut delta);
+    trace.push_round(round_tuples, fresh_count(&delta));
 
     if !component.recursive {
-        return current.into_iter().collect();
+        return (current.into_iter().collect(), trace);
     }
 
     // Differential rounds: one job per (rule, recursive occurrence, delta
@@ -161,7 +184,9 @@ pub fn eval_component_pooled(
         drop(views);
         let mut next: BTreeMap<Pred, Relation> =
             members.iter().map(|&p| (p, Relation::new())).collect();
+        let mut round_tuples = 0u64;
         for (k, tuples) in results.into_iter().enumerate() {
+            round_tuples += tuples.len() as u64;
             let rel = next.get_mut(&rules[jobs[k].0].head.pred).expect("member");
             for t in tuples {
                 rel.insert(t);
@@ -169,9 +194,15 @@ pub fn eval_component_pooled(
         }
         delta = next;
         merge_delta(&mut current, &mut delta);
+        trace.push_round(round_tuples, fresh_count(&delta));
     }
 
-    current.into_iter().collect()
+    (current.into_iter().collect(), trace)
+}
+
+/// Post-dedup cardinality of a round's delta.
+fn fresh_count(delta: &BTreeMap<Pred, Relation>) -> u64 {
+    delta.values().map(|r| r.len() as u64).sum()
 }
 
 /// True iff `lit` is a positive occurrence of a component member (negative

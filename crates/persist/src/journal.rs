@@ -120,8 +120,19 @@ pub fn scan_records(
     let mut index = 0usize;
     let mut pos = MAGIC.len() as u64;
     let mut body = Vec::new();
+    let record_scan = |records: usize, end: u64| {
+        dduf_obs::record(
+            "journal.scan",
+            "",
+            &[
+                ("records", records as u64),
+                ("bytes", end - MAGIC.len() as u64),
+            ],
+        );
+    };
     loop {
         if pos == file_len {
+            record_scan(index, pos);
             return Ok(ScanSummary {
                 records: index,
                 end: pos,
@@ -130,6 +141,7 @@ pub fn scan_records(
         }
         let remaining = file_len - pos;
         let torn = |pos: u64| {
+            record_scan(index, pos);
             Ok(ScanSummary {
                 records: index,
                 end: pos,
@@ -264,6 +276,7 @@ impl Journal {
     /// prefix would otherwise truncate silently, and even an exact prefix
     /// would frame a record every future [`scan`] rejects as corrupt.
     pub fn append(&mut self, payload: &str) -> Result<u64> {
+        let timer = dduf_obs::timer();
         let body = payload.as_bytes();
         if body.len() as u64 > MAX_RECORD as u64 {
             return Err(PersistError::RecordTooLarge {
@@ -284,6 +297,12 @@ impl Journal {
             .map_err(io_err(&self.path, "append"))?;
         self.file.sync_data().map_err(io_err(&self.path, "sync"))?;
         self.end += rec.len() as u64;
+        dduf_obs::record_timed(
+            "journal.append",
+            "",
+            &[("appends", 1), ("bytes", rec.len() as u64), ("fsyncs", 1)],
+            timer.elapsed_us(),
+        );
         Ok(self.end)
     }
 

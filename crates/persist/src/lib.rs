@@ -160,6 +160,15 @@ impl DurableDb {
             })?;
             replayed += 1;
         }
+        let truncated_bytes = scan.torn.map_or(0, |t| t.bytes);
+        dduf_obs::record(
+            "recovery.open",
+            "",
+            &[
+                ("replayed", replayed as u64),
+                ("truncated_bytes", truncated_bytes),
+            ],
+        );
         Ok(DurableDb {
             store: DurableStore {
                 dir: dir.to_path_buf(),
@@ -169,7 +178,7 @@ impl DurableDb {
             recovery: Recovery {
                 snapshot_pos: snap.journal_pos,
                 replayed,
-                truncated_bytes: scan.torn.map_or(0, |t| t.bytes),
+                truncated_bytes,
             },
         })
     }

@@ -42,6 +42,7 @@ pub struct Snapshot {
 /// Writes a snapshot of `db` covering the journal up to `journal_pos`,
 /// atomically (temp file + fsync + rename + directory fsync).
 pub fn write(dir: &Path, db: &Database, journal_pos: u64) -> Result<()> {
+    let timer = dduf_obs::timer();
     let body = dduf_datalog::pretty::database(db);
     let crc = crc32(body.as_bytes());
     let content = format!("{HEADER_PREFIX}journal_pos={journal_pos} crc={crc:08x}\n{body}");
@@ -54,6 +55,16 @@ pub fn write(dir: &Path, db: &Database, journal_pos: u64) -> Result<()> {
     drop(f);
     std::fs::rename(&tmp, &target).map_err(io_err(&target, "rename into"))?;
     sync_dir(dir);
+    dduf_obs::record_timed(
+        "snapshot.write",
+        "",
+        &[
+            ("writes", 1),
+            ("bytes", content.len() as u64),
+            ("facts", db.fact_count() as u64),
+        ],
+        timer.elapsed_us(),
+    );
     Ok(())
 }
 

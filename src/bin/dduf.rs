@@ -19,11 +19,20 @@ fn main() {
     std::process::exit(real_main());
 }
 
+/// How `--trace` asked for the run report to be rendered on stderr.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Text,
+    Json,
+}
+
 fn real_main() -> i32 {
-    // Strip the global `--threads N` flag (any position before the verb's
-    // own operands) and set the process-wide evaluation pool.
+    // Strip the global `--threads N` and `--trace[=json]` flags (any
+    // position before the verb's own operands); the former sets the
+    // process-wide evaluation pool, the latter selects the run report.
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut rest: Vec<String> = Vec::with_capacity(raw.len());
+    let mut trace: Option<TraceFormat> = None;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         if a == "--threads" || a == "-j" {
@@ -38,10 +47,37 @@ fn real_main() -> i32 {
                 return 2;
             };
             dduf_datalog::eval::pool::set_default_threads(n);
+        } else if a == "--trace" {
+            trace = Some(TraceFormat::Text);
+        } else if let Some(v) = a.strip_prefix("--trace=") {
+            match v {
+                "text" => trace = Some(TraceFormat::Text),
+                "json" => trace = Some(TraceFormat::Json),
+                other => {
+                    eprint!("dduf: --trace expects `text` or `json`, got `{other}`\n{USAGE}");
+                    return 2;
+                }
+            }
         } else {
             rest.push(a);
         }
     }
+    // The collector is installed unconditionally so `:stats` works in any
+    // shell session; the report only reaches stderr under `--trace`.
+    let collector = std::rc::Rc::new(dduf::obs::Collector::new());
+    let _guard = dduf::obs::install(collector.clone());
+    let code = dispatch(rest);
+    if let Some(format) = trace {
+        let report = collector.report_now();
+        match format {
+            TraceFormat::Text => eprint!("{}", report.render_text()),
+            TraceFormat::Json => eprint!("{}", report.render_json(false)),
+        }
+    }
+    code
+}
+
+fn dispatch(rest: Vec<String>) -> i32 {
     let mut args = rest.into_iter();
     let Some(first) = args.next() else {
         eprint!("{USAGE}");

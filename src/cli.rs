@@ -92,6 +92,7 @@ impl Session {
             ":save" => self.save(rest),
             ":checkpoint" => self.checkpoint(),
             ":query" => self.query(rest),
+            ":stats" => Ok(Self::stats()),
             ":threads" => Self::threads(rest),
             ":do" => self.commit_pending(rest),
             other => Err(Error::Datalog(dduf_datalog::error::Error::Parse(
@@ -342,6 +343,17 @@ impl Session {
         Ok(format!("committed {}; induced {}", res.base, res.derived))
     }
 
+    /// `:stats` — render everything the session's trace recorder has
+    /// accumulated so far (semantic counters are deterministic; wall-clock
+    /// times are not).
+    fn stats() -> String {
+        match dduf_obs::snapshot() {
+            Some(report) if !report.is_empty() => report.render_text(),
+            Some(_) => "no spans recorded yet; run a command first\n".into(),
+            None => "tracing is not available in this session\n".into(),
+        }
+    }
+
     /// `:threads [N]` — show or set the evaluation worker count for the
     /// whole process (0 = all available cores). Results are identical at
     /// any setting; only wall-clock time changes.
@@ -450,6 +462,7 @@ commands:
   :query <atom>           goal-directed query (magic sets)
   :save <path>            write the database back to a file
   :checkpoint             write a snapshot (durable sessions only)
+  :stats                  evaluation counters recorded so far this session
   :threads [N]            show/set evaluation worker count (0 = auto)
   :do <n>                 commit alternative n of the last listing
   :help                   this text
@@ -466,10 +479,13 @@ usage: dduf <database.dl>                          interactive shell over a file
        dduf db checkpoint <dir>                    write a snapshot
        dduf db log <dir>                           dump the event journal
        dduf db verify <dir>                        scan snapshot + journal checksums
+       dduf db stats <dir>                         storage summary + recovery trace
        dduf --help | -h                            this text
        dduf --version | -V                         print the version
 global flags: --threads N | -j N   evaluation worker count (0 = auto;
               also DDUF_THREADS); results are identical at any setting
+              --trace[=text|json]  print a run report to stderr on exit
+                                   (counters deterministic, times not)
 ";
 
 /// The interactive/piped read-eval-print loop over a session. Prompts

@@ -50,6 +50,7 @@ pub mod lint;
 pub use dduf_core as core;
 pub use dduf_datalog as datalog;
 pub use dduf_events as events;
+pub use dduf_obs as obs;
 pub use dduf_persist as persist;
 
 /// The most commonly used items of all three layers.

@@ -222,6 +222,81 @@ fn parallel_upward_matches_sequential_across_thread_counts() {
     }
 }
 
+/// The trace counters are part of the determinism contract too: the
+/// semantic fingerprint (every counter the recorder marks deterministic,
+/// wall-times excluded) is bit-identical across worker counts, for both
+/// evaluation strategies, over embedded and random programs.
+#[test]
+fn trace_counters_identical_across_thread_counts() {
+    use dduf::datalog::eval::{materialize_with_threads, Strategy};
+
+    let mut dbs: Vec<(String, Database)> = vec![
+        (
+            "employment".into(),
+            dduf::core::testkit::employment_db_with_condition(),
+        ),
+        ("chain_tc".into(), dduf::core::testkit::chain_tc_db(40)),
+    ];
+    let mut rng = Rng::new(0x0B5E01);
+    for case in 0..16 {
+        let prog = RandProgram::gen(&mut rng);
+        let db = parse_database(&prog.to_source()).expect("generated program parses");
+        dbs.push((format!("rand#{case}"), db));
+    }
+
+    for (name, db) in &dbs {
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            let (_, baseline) = dduf::obs::capture(|| {
+                materialize_with_threads(db, strategy, 1).expect("stratified")
+            });
+            assert!(!baseline.is_empty(), "{name}: no spans recorded");
+            for threads in [2usize, 8] {
+                let (_, got) = dduf::obs::capture(|| {
+                    materialize_with_threads(db, strategy, threads).expect("stratified")
+                });
+                assert_eq!(
+                    baseline.semantic_fingerprint(),
+                    got.semantic_fingerprint(),
+                    "{name}: {strategy:?} trace diverges at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// Same contract for the upward engines: each engine's counter
+/// fingerprint is identical at 1, 2, and 8 workers on random
+/// program/transaction pairs.
+#[test]
+fn upward_trace_counters_identical_across_thread_counts() {
+    let mut rng = Rng::new(0x0B5E02);
+    for case in 0..24 {
+        let prog = RandProgram::gen(&mut rng);
+        let db = parse_database(&prog.to_source()).expect("parses");
+        let old = materialize(&db).expect("stratified");
+        let txn = gen_txn(&mut rng, &db);
+        for engine in [UpwardEngine::Semantic, UpwardEngine::Incremental] {
+            let (_, baseline) = dduf::obs::capture(|| {
+                dduf::core::upward::interpret_with_threads(&db, &old, &txn, engine, 1)
+                    .expect("upward")
+            });
+            assert!(!baseline.is_empty(), "case {case}: no spans recorded");
+            for threads in [2usize, 8] {
+                let (_, got) = dduf::obs::capture(|| {
+                    dduf::core::upward::interpret_with_threads(&db, &old, &txn, engine, threads)
+                        .expect("upward")
+                });
+                assert_eq!(
+                    baseline.semantic_fingerprint(),
+                    got.semantic_fingerprint(),
+                    "case {case}: {engine:?} trace diverges at {threads} threads\n{}",
+                    prog.to_source()
+                );
+            }
+        }
+    }
+}
+
 /// The stateful counting engine ([GMS93]) agrees with the semantic
 /// oracle across a whole *sequence* of transactions (statefulness is
 /// the point: counts must stay correct step after step).

@@ -101,6 +101,21 @@ fn pretty_parse_fixpoint() {
     }
 }
 
+/// Named regression (formerly a proptest-regressions seed): a quoted
+/// symbol that is a single uppercase letter must round-trip through the
+/// pretty-printer *as a symbol* — unquoted it would re-parse as a
+/// variable, silently changing the fact's meaning.
+#[test]
+fn regression_quoted_uppercase_symbol_round_trips() {
+    let db1 = parse_database("p('A').").unwrap();
+    let printed = pretty::facts(&db1);
+    let db2 = parse_database(&printed).unwrap();
+    assert_eq!(db1.fact_count(), 1);
+    assert_eq!(db1.fact_count(), db2.fact_count(), "printed {printed:?}");
+    // The re-parsed fact is still ground (a variable would not be).
+    assert_eq!(pretty::facts(&db2), printed);
+}
+
 /// Quoted symbols with unusual characters survive the round trip.
 #[test]
 fn quoted_symbols_round_trip() {
