@@ -1,0 +1,270 @@
+//! Planned-vs-unplanned characterization of the join compiler (C-F13):
+//! runs join-heavy workloads with the plan compiler disabled (the greedy
+//! per-round pipeline) and enabled (compiled adorned plans + composite
+//! bound-pattern indexes), asserts the two modes produce bit-identical
+//! results, and writes timings plus probe counters to `BENCH_core.json`
+//! (override the path with `BENCH_CORE_OUT`).
+//!
+//! Workloads:
+//!
+//! * `transitive_closure` — one recursive SCC over a chain graph; the
+//!   semi-naive delta occurrence is the pinned plan head, so every
+//!   differential round probes the edge relation on its bound column;
+//! * `same_generation` — the classic two-sided recursion over a balanced
+//!   tree (`up`/`flat`/`down`), probing both directions per round;
+//! * `wide_conjunct` — a four-literal chain `v(X) :- a(X), b(X,Y),
+//!   c(Y,Z), d(Z)` with asymmetric fanout: the planner's static order
+//!   (selective filters first, fewest free variables on ties) enumerates
+//!   64 seeds, while the greedy size tie-break starts at the small
+//!   high-fanout end and explodes the frontier;
+//! * `event_tower` — a tower of wide-conjunct views driven through the
+//!   incremental upward engine, exercising the per-(rule, literal)
+//!   breaking-event plans of the deletion path.
+//!
+//! Run with: `cargo run --release -p dduf-bench --bin join_plan`
+
+use dduf_bench::{random_toggle_txn, time_us};
+use dduf_core::testkit::chain_tc_db;
+use dduf_core::upward::{self, Engine};
+use dduf_datalog::eval::{materialize_with_threads, plan, Strategy};
+use dduf_datalog::parser::parse_database;
+use dduf_datalog::pretty;
+use dduf_datalog::storage::database::Database;
+use std::fmt::Write as _;
+
+/// Counters of one traced run, summed over the evaluation phases.
+#[derive(Clone, Copy, Default)]
+struct Counters {
+    probes: u64,
+    indexed_probes: u64,
+    scan_probes: u64,
+    plans: u64,
+    indexes: u64,
+}
+
+struct Mode {
+    mean_us: f64,
+    counters: Counters,
+}
+
+struct Workload {
+    name: &'static str,
+    param: String,
+    unplanned: Mode,
+    planned: Mode,
+}
+
+impl Workload {
+    /// Runs `f` in both planner modes, asserting the returned fingerprint
+    /// is bit-identical, and collecting wall time (untraced) plus probe
+    /// counters (one traced run per mode).
+    fn run(
+        name: &'static str,
+        param: String,
+        iters: usize,
+        mut f: impl FnMut() -> String,
+    ) -> Workload {
+        let mut mode = |enabled: bool| {
+            plan::with_planning(enabled, || {
+                let (fp, report) = dduf_obs::capture(&mut f);
+                let counters = Counters {
+                    probes: report.total("eval.scc", "probes")
+                        + report.total("upward.pred", "probes"),
+                    indexed_probes: report.total("eval.scc", "indexed_probes")
+                        + report.total("upward.pred", "indexed_probes"),
+                    scan_probes: report.total("eval.scc", "scan_probes")
+                        + report.total("upward.pred", "scan_probes"),
+                    plans: report.total("plan.compile", "compiled"),
+                    indexes: report.total("index.build", "composite_built"),
+                };
+                (
+                    fp,
+                    Mode {
+                        mean_us: time_us(iters, &mut f),
+                        counters,
+                    },
+                )
+            })
+        };
+        let (base_fp, unplanned) = mode(false);
+        let (plan_fp, planned) = mode(true);
+        assert_eq!(
+            base_fp, plan_fp,
+            "{name}: planned result differs from unplanned"
+        );
+        Workload {
+            name,
+            param,
+            unplanned,
+            planned,
+        }
+    }
+
+    fn speedup(&self) -> f64 {
+        self.unplanned.mean_us / self.planned.mean_us
+    }
+}
+
+/// Same-generation over a balanced binary tree of `depth` levels:
+/// `up(child, parent)`, `down(parent, child)`, `flat(root, root)`.
+fn same_generation_db(depth: u32) -> Database {
+    let mut src = String::from(
+        "sg(X, Y) :- flat(X, Y).
+         sg(X, Y) :- up(X, Z1), sg(Z1, Z2), down(Z2, Y).
+         flat(n0_0, n0_0).\n",
+    );
+    for lvl in 1..depth {
+        for i in 0..(1u64 << lvl) {
+            let parent = i / 2;
+            let p = lvl - 1;
+            let _ = writeln!(src, "up(n{lvl}_{i}, n{p}_{parent}).");
+            let _ = writeln!(src, "down(n{p}_{parent}, n{lvl}_{i}).");
+        }
+    }
+    parse_database(&src).expect("generated tree parses")
+}
+
+/// The asymmetric wide-conjunct chain: 2000 `b` pairs fan 25-to-1 onto 80
+/// `c` pairs fanning 4-to-1 onto 20 `d` values; only 64 `X` pass `a`.
+/// Enumerating `a` first touches ~250 bindings; starting from `d` (the
+/// smallest relation, the greedy tie-break) walks the fanout backwards
+/// through thousands.
+fn wide_conjunct_db() -> Database {
+    let mut src = String::from("v(X) :- a(X), b(X, Y), c(Y, Z), d(Z).\n");
+    for x in 0..64 {
+        let _ = writeln!(src, "a({x}).");
+    }
+    for x in 0..2000 {
+        let _ = writeln!(src, "b({x}, {}).", x / 25);
+    }
+    for y in 0..80 {
+        let _ = writeln!(src, "c({y}, {}).", y / 4);
+    }
+    for z in 0..20 {
+        let _ = writeln!(src, "d({z}).");
+    }
+    parse_database(&src).expect("generated chain parses")
+}
+
+/// A tower of wide-conjunct views: each level joins the previous one
+/// through its own asymmetric `b/c/d` chain, so every transition rule the
+/// upward engine compiles has a wide body.
+fn event_tower_db(levels: usize) -> Database {
+    let mut src = String::new();
+    for l in 1..=levels {
+        let prev = if l == 1 {
+            "a(X)".to_string()
+        } else {
+            format!("v{}(X)", l - 1)
+        };
+        let _ = writeln!(src, "v{l}(X) :- {prev}, b{l}(X, Y), c{l}(Y, Z), d{l}(Z).");
+        for x in 0..3000 {
+            let _ = writeln!(src, "b{l}({x}, {}).", x / 30);
+        }
+        for y in 0..100 {
+            let _ = writeln!(src, "c{l}({y}, {}).", y / 5);
+        }
+        for z in 0..20 {
+            let _ = writeln!(src, "d{l}({z}).");
+        }
+    }
+    for x in 0..256 {
+        let _ = writeln!(src, "a({x}).");
+    }
+    parse_database(&src).expect("generated tower parses")
+}
+
+fn json_mode(m: &Mode) -> String {
+    format!(
+        "{{\"mean_us\": {:.1}, \"probes\": {}, \"indexed_probes\": {}, \"scan_probes\": {}, \"plans_compiled\": {}, \"indexes_built\": {}}}",
+        m.mean_us,
+        m.counters.probes,
+        m.counters.indexed_probes,
+        m.counters.scan_probes,
+        m.counters.plans,
+        m.counters.indexes,
+    )
+}
+
+fn main() {
+    let mut workloads = Vec::new();
+
+    let chain = chain_tc_db(192);
+    workloads.push(Workload::run(
+        "transitive_closure",
+        "n=192".into(),
+        8,
+        move || pretty::derived(&materialize_with_threads(&chain, Strategy::SemiNaive, 1).unwrap()),
+    ));
+
+    let sg = same_generation_db(7);
+    workloads.push(Workload::run(
+        "same_generation",
+        "depth=7,branch=2".into(),
+        8,
+        move || pretty::derived(&materialize_with_threads(&sg, Strategy::SemiNaive, 1).unwrap()),
+    ));
+
+    let wide = wide_conjunct_db();
+    workloads.push(Workload::run(
+        "wide_conjunct",
+        "b=2000,c=80,d=20,a=64".into(),
+        20,
+        move || pretty::derived(&materialize_with_threads(&wide, Strategy::SemiNaive, 1).unwrap()),
+    ));
+
+    let tower = event_tower_db(5);
+    let old = materialize_with_threads(&tower, Strategy::SemiNaive, 1).unwrap();
+    let txn = random_toggle_txn(&tower, 48, 17);
+    workloads.push(Workload::run(
+        "event_tower",
+        "levels=5,toggles=48".into(),
+        10,
+        move || {
+            let res = upward::interpret_with_threads(&tower, &old, &txn, Engine::Incremental, 1)
+                .expect("upward");
+            format!("{:?}", res.derived)
+        },
+    ));
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"join_plan\",");
+    let _ = writeln!(json, "  \"identical\": true,");
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (i, w) in workloads.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(json, "      \"param\": \"{}\",", w.param);
+        let _ = writeln!(json, "      \"unplanned\": {},", json_mode(&w.unplanned));
+        let _ = writeln!(json, "      \"planned\": {},", json_mode(&w.planned));
+        let _ = writeln!(json, "      \"speedup\": {:.2}", w.speedup());
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let out = std::env::var("BENCH_CORE_OUT").unwrap_or_else(|_| "BENCH_core.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_core.json");
+
+    println!("workload,param,mode,mean_us,probes,indexed_probes,scan_probes,speedup");
+    for w in &workloads {
+        for (mode, m) in [("unplanned", &w.unplanned), ("planned", &w.planned)] {
+            println!(
+                "{},{},{},{:.1},{},{},{},{:.2}",
+                w.name,
+                w.param,
+                mode,
+                m.mean_us,
+                m.counters.probes,
+                m.counters.indexed_probes,
+                m.counters.scan_probes,
+                w.speedup()
+            );
+        }
+    }
+    eprintln!("wrote {out}");
+}

@@ -6,11 +6,13 @@
 //! consistent) and applicable to produce the new extensional state.
 
 use crate::error::{Error, Result};
-use dduf_datalog::ast::Atom;
+use dduf_datalog::ast::{Atom, Pred};
 use dduf_datalog::parser;
 use dduf_datalog::storage::database::Database;
+use dduf_datalog::storage::tuple::Tuple;
 use dduf_events::event::{EventKind, GroundEvent};
 use dduf_events::store::EventStore;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A set of ground base events.
@@ -118,17 +120,24 @@ impl Transaction {
     /// No-op events are silently ignored (they do not change the state).
     pub fn apply(&self, db: &Database) -> Database {
         let mut new_db = db.clone();
+        // Group per (kind, pred) so each relation is mutated — and its
+        // indexes invalidated — once, not once per event. Journal replay
+        // funnels every recovered record through here.
+        let mut ins: BTreeMap<Pred, Vec<Tuple>> = BTreeMap::new();
+        let mut del: BTreeMap<Pred, Vec<Tuple>> = BTreeMap::new();
         for e in self.events.iter() {
             match e.kind {
-                EventKind::Ins => {
-                    new_db
-                        .assert_tuple(e.pred, e.tuple.clone())
-                        .expect("validated base event");
-                }
-                EventKind::Del => {
-                    new_db.retract_tuple(e.pred, &e.tuple);
-                }
+                EventKind::Ins => ins.entry(e.pred).or_default().push(e.tuple.clone()),
+                EventKind::Del => del.entry(e.pred).or_default().push(e.tuple.clone()),
             }
+        }
+        for (pred, tuples) in ins {
+            new_db
+                .extend_tuples(pred, tuples)
+                .expect("validated base event");
+        }
+        for (pred, tuples) in del {
+            new_db.remove_tuples(pred, tuples.iter());
         }
         new_db
     }

@@ -24,10 +24,11 @@
 use crate::error::{Error, Result};
 use crate::transaction::Transaction;
 use crate::upward::UpwardResult;
-use dduf_datalog::ast::{Atom, Pred};
+use dduf_datalog::ast::{Atom, Pred, Term, Var};
 use dduf_datalog::eval::join::{
     eval_conjunct_stats, ground_terms, match_tuple, Bindings, JoinStats,
 };
+use dduf_datalog::eval::plan::{self, eval_plan_stats, IndexTracker, JoinPlan};
 use dduf_datalog::eval::pool::Pool;
 use dduf_datalog::eval::{
     component_label, record_component_trace, seminaive, ComponentTrace, Interpretation,
@@ -41,6 +42,7 @@ use dduf_events::formula::TrLit;
 use dduf_events::simplify::{for_insertion, simplify_transition};
 use dduf_events::store::EventStore;
 use dduf_events::transition::TransitionRule;
+use std::collections::BTreeSet;
 
 /// Resolves the relation backing a transition literal: old literals query
 /// the old state, event literals query the accumulated events.
@@ -67,6 +69,117 @@ fn unify_head(head: &Atom, tuple: &Tuple) -> Option<Bindings> {
     match_tuple(&head.terms, tuple, &Bindings::new())
 }
 
+/// The dedup key for composite-index accounting on transition literals:
+/// within one predicate's event-rule evaluation, each (source, predicate)
+/// pair names exactly one relation (old state, insertion events, or
+/// deletion events).
+fn trlit_key(lit: &TrLit) -> (u8, Pred) {
+    match lit {
+        TrLit::Old(l) => (0, l.atom.pred),
+        TrLit::Event { event, .. } => match event.kind {
+            EventKind::Ins => (1, event.pred()),
+            EventKind::Del => (2, event.pred()),
+        },
+    }
+}
+
+/// Compiled join plans for one predicate's transition rule, built once
+/// per (pred, transaction) before any conjunct is evaluated.
+struct TrPlans {
+    /// Per branch, per insertion-relevant conjunct: the extended literal
+    /// list (rule (6) conjoins ¬P°(head)) and its plan.
+    ins: Vec<Vec<(Vec<TrLit>, JoinPlan)>>,
+    /// Per branch, per disjunctand: the `Pⁿ` satisfiability plan, with
+    /// the head's variables seed-bound (they are fixed by unification
+    /// against the candidate tuple).
+    holds: Vec<Vec<JoinPlan>>,
+}
+
+impl TrPlans {
+    fn compile(
+        tr: &TransitionRule,
+        db: &Database,
+        old: &Interpretation,
+        events: &EventStore,
+    ) -> TrPlans {
+        let ins = tr
+            .branches
+            .iter()
+            .map(|branch| {
+                for_insertion(&branch.dnf)
+                    .0
+                    .iter()
+                    .filter_map(|conj| {
+                        let mut lits = conj.0.clone();
+                        lits.push(TrLit::old_neg(branch.head.clone()));
+                        // A positive event literal over an empty event
+                        // relation kills the disjunct — don't even
+                        // compile it (events are fixed for this wave, so
+                        // the compile count stays deterministic).
+                        if lits.iter().any(|l| {
+                            l.is_positive_event() && trlit_relation(l, db, old, events).is_empty()
+                        }) {
+                            return None;
+                        }
+                        // Event relations hold the transaction's (few)
+                        // events; pin the first positive one as the scan
+                        // head, exactly like a semi-naive delta.
+                        let pinned = lits.iter().position(|l| l.is_positive_event());
+                        let plan = JoinPlan::compile(&lits, &BTreeSet::new(), pinned);
+                        Some((lits, plan))
+                    })
+                    .collect()
+            })
+            .collect();
+        let holds = tr
+            .branches
+            .iter()
+            .map(|branch| {
+                let bound: BTreeSet<Var> = branch
+                    .head
+                    .terms
+                    .iter()
+                    .filter_map(|t| match t {
+                        Term::Var(v) => Some(*v),
+                        Term::Const(_) => None,
+                    })
+                    .collect();
+                branch
+                    .dnf
+                    .0
+                    .iter()
+                    .map(|conj| JoinPlan::compile(&conj.0, &bound, None))
+                    .collect()
+            })
+            .collect();
+        TrPlans { ins, holds }
+    }
+
+    fn compiled(&self) -> u64 {
+        (self.ins.iter().map(Vec::len).sum::<usize>()
+            + self.holds.iter().map(Vec::len).sum::<usize>()) as u64
+    }
+}
+
+/// Pre-builds the composite indexes a plan declares, resolving each
+/// signature's literal to its backing relation.
+fn prebuild_sigs(
+    plan: &JoinPlan,
+    lits: &[TrLit],
+    db: &Database,
+    old: &Interpretation,
+    events: &EventStore,
+    indexes: &mut IndexTracker<(u8, Pred)>,
+) {
+    for (lit, cols) in plan.sigs() {
+        indexes.request(
+            trlit_key(&lits[*lit]),
+            trlit_relation(&lits[*lit], db, old, events),
+            cols,
+        );
+    }
+}
+
 /// True iff `Pⁿ(tuple)` holds: some disjunctand of the transition rule is
 /// satisfiable with the head unified to `tuple`, old literals evaluated
 /// against `old` and event literals against `events`. This is the
@@ -80,25 +193,48 @@ pub fn new_state_holds(
     old: &Interpretation,
     events: &EventStore,
 ) -> bool {
-    new_state_holds_stats(tr, tuple, db, old, events, &mut JoinStats::default())
+    // The greedy pipeline is kept here deliberately: this entry point is
+    // the verification oracle, independent of the planner.
+    new_state_holds_inner(
+        tr,
+        None,
+        tuple,
+        db,
+        old,
+        events,
+        &mut JoinStats::default(),
+        &mut IndexTracker::new(),
+    )
 }
 
-/// [`new_state_holds`], accumulating join work into `stats`.
-fn new_state_holds_stats(
+/// [`new_state_holds`], evaluating through compiled plans when supplied
+/// and accumulating join work into `stats`.
+#[allow(clippy::too_many_arguments)]
+fn new_state_holds_inner(
     tr: &TransitionRule,
+    plans: Option<&TrPlans>,
     tuple: &Tuple,
     db: &Database,
     old: &Interpretation,
     events: &EventStore,
     stats: &mut JoinStats,
+    indexes: &mut IndexTracker<(u8, Pred)>,
 ) -> bool {
-    for branch in &tr.branches {
+    for (bi, branch) in tr.branches.iter().enumerate() {
         let Some(seed) = unify_head(&branch.head, tuple) else {
             continue;
         };
-        for conj in &branch.dnf.0 {
+        for (ci, conj) in branch.dnf.0.iter().enumerate() {
             let rel_of = |i: usize| -> &Relation { trlit_relation(&conj.0[i], db, old, events) };
-            if !eval_conjunct_stats(&conj.0, &rel_of, &seed, stats).is_empty() {
+            let satisfiable = match plans {
+                Some(p) => {
+                    let pl = &p.holds[bi][ci];
+                    prebuild_sigs(pl, &conj.0, db, old, events, indexes);
+                    !eval_plan_stats(pl, &conj.0, &rel_of, &seed, stats).is_empty()
+                }
+                None => !eval_conjunct_stats(&conj.0, &rel_of, &seed, stats).is_empty(),
+            };
+            if satisfiable {
                 return true;
             }
         }
@@ -110,30 +246,58 @@ fn new_state_holds_stats(
 /// accumulating join work into `stats`.
 fn insertions(
     tr: &TransitionRule,
+    plans: Option<&TrPlans>,
     db: &Database,
     old: &Interpretation,
     events: &EventStore,
     stats: &mut JoinStats,
+    indexes: &mut IndexTracker<(u8, Pred)>,
 ) -> Relation {
     let mut out = Relation::new();
-    for branch in &tr.branches {
-        for conj in &for_insertion(&branch.dnf).0 {
-            // Rule (6): conjoin ¬P°(head).
-            let mut lits = conj.0.clone();
-            lits.push(TrLit::old_neg(branch.head.clone()));
+    for (bi, branch) in tr.branches.iter().enumerate() {
+        let eval_one = |lits: &[TrLit],
+                        pl: Option<&JoinPlan>,
+                        out: &mut Relation,
+                        stats: &mut JoinStats,
+                        indexes: &mut IndexTracker<(u8, Pred)>| {
             // Fast path: a positive event literal over an empty event
-            // relation kills the disjunct.
+            // relation kills the disjunct (planned conjuncts were
+            // already filtered at compile time, but derived events can
+            // only grow within a wave, so re-checking is a no-op there).
             if lits
                 .iter()
                 .any(|l| l.is_positive_event() && trlit_relation(l, db, old, events).is_empty())
             {
-                continue;
+                return;
             }
             let rel_of = |i: usize| -> &Relation { trlit_relation(&lits[i], db, old, events) };
-            for b in eval_conjunct_stats(&lits, &rel_of, &Bindings::new(), stats) {
+            let bindings = match pl {
+                Some(pl) => {
+                    prebuild_sigs(pl, lits, db, old, events, indexes);
+                    eval_plan_stats(pl, lits, &rel_of, &Bindings::new(), stats)
+                }
+                None => eval_conjunct_stats(lits, &rel_of, &Bindings::new(), stats),
+            };
+            for b in bindings {
                 let t = ground_terms(&branch.head.terms, &b)
                     .expect("allowedness grounds transition heads");
                 out.insert(t);
+            }
+        };
+        // Rule (6) conjoins ¬P°(head) to each insertion-relevant
+        // disjunctand; with plans this happened at compile time.
+        match plans {
+            Some(p) => {
+                for (lits, pl) in &p.ins[bi] {
+                    eval_one(lits, Some(pl), &mut out, stats, indexes);
+                }
+            }
+            None => {
+                for conj in &for_insertion(&branch.dnf).0 {
+                    let mut lits = conj.0.clone();
+                    lits.push(TrLit::old_neg(branch.head.clone()));
+                    eval_one(&lits, None, &mut out, stats, indexes);
+                }
             }
         }
     }
@@ -141,14 +305,19 @@ fn insertions(
 }
 
 /// Computes the induced deletions of a non-recursive derived predicate,
-/// accumulating join work into `stats`.
+/// accumulating join work into `stats` and per-(rule, literal) breaking
+/// plans into `compiled`.
+#[allow(clippy::too_many_arguments)]
 fn deletions(
     pred: Pred,
     tr: &TransitionRule,
+    plans: Option<&TrPlans>,
     db: &Database,
     old: &Interpretation,
     events: &EventStore,
     stats: &mut JoinStats,
+    indexes: &mut IndexTracker<(u8, Pred)>,
+    compiled: &mut u64,
 ) -> Relation {
     // Candidate tuples: supports broken by some event.
     let mut candidates = Relation::new();
@@ -175,7 +344,17 @@ fn deletions(
                 })
                 .collect();
             let rel_of = |k: usize| -> &Relation { trlit_relation(&lits[k], db, old, events) };
-            for b in eval_conjunct_stats(&lits, &rel_of, &Bindings::new(), stats) {
+            let bindings = if plans.is_some() {
+                // The breaking event is this conjunct's delta: pin it
+                // first, exactly like a semi-naive delta occurrence.
+                *compiled += 1;
+                let pl = JoinPlan::compile(&lits, &BTreeSet::new(), Some(i));
+                prebuild_sigs(&pl, &lits, db, old, events, indexes);
+                eval_plan_stats(&pl, &lits, &rel_of, &Bindings::new(), stats)
+            } else {
+                eval_conjunct_stats(&lits, &rel_of, &Bindings::new(), stats)
+            };
+            for b in bindings {
                 if let Some(t) = ground_terms(&rule.head.terms, &b) {
                     candidates.insert(t);
                 }
@@ -186,7 +365,10 @@ fn deletions(
     let old_rel = old.relation(pred);
     candidates
         .iter()
-        .filter(|t| old_rel.contains(t) && !new_state_holds_stats(tr, t, db, old, events, stats))
+        .filter(|t| {
+            old_rel.contains(t)
+                && !new_state_holds_inner(tr, plans, t, db, old, events, stats, indexes)
+        })
         .cloned()
         .collect()
 }
@@ -219,6 +401,8 @@ enum Out {
         ins: Relation,
         del: Relation,
         stats: JoinStats,
+        plans: u64,
+        indexes: u64,
     },
 }
 
@@ -331,11 +515,40 @@ pub fn interpret_pooled(
             Plan::EventRules => {
                 let pred = components[wave[w]].preds[0];
                 let tr = simplify_transition(&TransitionRule::build(program, pred));
+                let tr_plans =
+                    plan::planning_enabled().then(|| TrPlans::compile(&tr, db, old, &events));
                 let mut stats = JoinStats::default();
+                // Index-build decisions are local dedup + gate checks, so
+                // the count is deterministic even when siblings race on
+                // the physical build (same argument as eval.scc).
+                let mut indexes: IndexTracker<(u8, Pred)> = IndexTracker::new();
+                let mut compiled = tr_plans.as_ref().map_or(0, TrPlans::compiled);
+                let ins = insertions(
+                    &tr,
+                    tr_plans.as_ref(),
+                    db,
+                    old,
+                    &events,
+                    &mut stats,
+                    &mut indexes,
+                );
+                let del = deletions(
+                    pred,
+                    &tr,
+                    tr_plans.as_ref(),
+                    db,
+                    old,
+                    &events,
+                    &mut stats,
+                    &mut indexes,
+                    &mut compiled,
+                );
                 Out::EventRules {
-                    ins: insertions(&tr, db, old, &events, &mut stats),
-                    del: deletions(pred, &tr, db, old, &events, &mut stats),
+                    ins,
+                    del,
                     stats,
+                    plans: compiled,
+                    indexes: indexes.count(),
                 }
             }
         });
@@ -372,7 +585,13 @@ pub fn interpret_pooled(
                         evaluated.insert(pred);
                     }
                 }
-                Out::EventRules { ins, del, stats } => {
+                Out::EventRules {
+                    ins,
+                    del,
+                    stats,
+                    plans,
+                    indexes,
+                } => {
                     event_ruled += 1;
                     let pred = components[wave[w]].preds[0];
                     if tracing {
@@ -384,8 +603,24 @@ pub fn interpret_pooled(
                                 ("del", del.len() as u64),
                                 ("probes", stats.probes),
                                 ("matches", stats.matches),
+                                ("indexed_probes", stats.indexed_probes),
+                                ("scan_probes", stats.scan_probes),
                             ],
                         );
+                        if plans > 0 {
+                            dduf_obs::record(
+                                "plan.compile",
+                                &pred.to_string(),
+                                &[("compiled", plans)],
+                            );
+                        }
+                        if indexes > 0 {
+                            dduf_obs::record(
+                                "index.build",
+                                &pred.to_string(),
+                                &[("composite_built", indexes)],
+                            );
+                        }
                     }
                     let old_rel = old.relation(pred);
                     if !ins.is_empty() || !del.is_empty() {

@@ -5,6 +5,11 @@
 //! `ins P = Pⁿ \ P°`, `del P = P° \ Pⁿ` for every derived predicate. This
 //! engine is the specification itself — the incremental engine is tested
 //! against it.
+//!
+//! Join planning reaches this engine through the materialization call:
+//! `materialize_with_threads` compiles per-rule [`JoinPlan`]s (see
+//! `dduf_datalog::eval::plan`) whenever planning is enabled, so the
+//! semantic engine needs no plan wiring of its own.
 
 use crate::error::Result;
 use crate::transaction::Transaction;

@@ -93,19 +93,31 @@ fn pattern(terms: &[Term], b: &Bindings) -> Vec<Option<Const>> {
 /// or a ground membership test), one `match` per frontier binding the
 /// lookup retained or extended.
 ///
-/// For a fixed conjunction against fixed relations these are functions
-/// of the data alone, so instrumented call sites that evaluate whole
-/// relations (semi-naive round 0, naive rounds, upward event rules,
-/// downward search) report thread-count-invariant values. Chunked
-/// differential rounds would not (the greedy literal order keys on
-/// relation sizes, which chunking changes), which is why they are left
-/// uncounted — see DESIGN.md §11.
+/// The planned evaluator ([`crate::eval::plan::eval_plan_stats`])
+/// additionally classifies every probe as *indexed* (answered through a
+/// composite index or a keyed membership test) or *scan* (an unindexed
+/// iteration), so `indexed_probes + scan_probes == probes` on planned
+/// paths. The greedy pipeline below predates the split and leaves both
+/// at zero.
+///
+/// For a fixed conjunction against fixed relations, greedy-path counters
+/// are functions of the data alone only when jobs evaluate whole
+/// relations (the greedy literal order keys on relation sizes, which
+/// delta chunking changes) — so greedy chunked differential rounds leave
+/// probes uncounted. Planned counters are partition-exact in every round
+/// because the plan is static and the delta scan counts per tuple, not
+/// per chunk (DESIGN.md §12).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct JoinStats {
     /// Relation lookups issued.
     pub probes: u64,
     /// Lookups that retained or extended a binding.
     pub matches: u64,
+    /// Planned lookups answered through a composite index (or a keyed
+    /// membership test).
+    pub indexed_probes: u64,
+    /// Planned lookups that fell back to iterating the relation.
+    pub scan_probes: u64,
 }
 
 impl JoinStats {
@@ -113,6 +125,8 @@ impl JoinStats {
     pub fn merge(&mut self, other: JoinStats) {
         self.probes += other.probes;
         self.matches += other.matches;
+        self.indexed_probes += other.indexed_probes;
+        self.scan_probes += other.scan_probes;
     }
 }
 
@@ -337,7 +351,8 @@ mod tests {
             stats,
             JoinStats {
                 probes: 3,
-                matches: 3
+                matches: 3,
+                ..Default::default()
             }
         );
         // Identical rerun accumulates deterministically.
@@ -346,7 +361,8 @@ mod tests {
             stats,
             JoinStats {
                 probes: 6,
-                matches: 6
+                matches: 6,
+                ..Default::default()
             }
         );
     }

@@ -3,6 +3,7 @@
 
 pub mod join;
 pub mod naive;
+pub mod plan;
 pub mod pool;
 pub mod seminaive;
 pub mod topdown;
@@ -31,10 +32,18 @@ fn empty_relation() -> &'static Relation {
 /// (DESIGN.md §11).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ComponentTrace {
-    /// Join work. Probes are only counted at partition-independent call
-    /// sites (whole-relation jobs); chunked differential rounds leave
-    /// them at their round-0 values.
+    /// Join work. On the planned path (the default) every round counts,
+    /// including chunked differential rounds, because the compiled plan's
+    /// probe counts are partition-exact (DESIGN.md §12). On the greedy
+    /// fallback, probes are only counted at partition-independent call
+    /// sites (whole-relation jobs).
     pub stats: join::JoinStats,
+    /// Join plans compiled for this component (one per rule plus one per
+    /// (rule, delta-occurrence) pair; zero on the greedy fallback).
+    pub plans: u64,
+    /// Gate-passing composite-index pre-build requests issued by those
+    /// plans across all rounds (see [`plan::IndexTracker`]).
+    pub indexes: u64,
     /// Per-round derivation and delta counts, in round order.
     pub rounds: Vec<RoundTrace>,
 }
@@ -75,8 +84,16 @@ pub fn record_component_trace(label: &str, trace: &ComponentTrace) {
             ("tuples", trace.tuples()),
             ("probes", trace.stats.probes),
             ("matches", trace.stats.matches),
+            ("indexed_probes", trace.stats.indexed_probes),
+            ("scan_probes", trace.stats.scan_probes),
         ],
     );
+    if trace.plans > 0 {
+        dduf_obs::record("plan.compile", label, &[("compiled", trace.plans)]);
+    }
+    if trace.indexes > 0 {
+        dduf_obs::record("index.build", label, &[("composite_built", trace.indexes)]);
+    }
     for (i, round) in trace.rounds.iter().enumerate() {
         dduf_obs::record(
             "eval.round",

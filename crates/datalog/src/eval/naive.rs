@@ -7,13 +7,14 @@
 
 use crate::ast::Pred;
 use crate::eval::join::{eval_conjunct_stats, ground_terms, Bindings, JoinStats};
+use crate::eval::plan::{self, eval_plan_stats, IndexTracker, JoinPlan};
 use crate::eval::pool::Pool;
 use crate::eval::{body_relation, ComponentTrace, Interpretation};
 use crate::storage::database::Database;
 use crate::storage::relation::Relation;
 use crate::storage::tuple::Tuple;
 use crate::stratify::Component;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Evaluates `component` to fixpoint with the process-default pool,
 /// returning the extension of each of its predicates. `interp` must
@@ -60,15 +61,47 @@ pub fn eval_component_traced(
         .flat_map(|&p| program.rules_for(p))
         .collect();
 
+    // One full-evaluation plan per rule, compiled once; naive rounds all
+    // evaluate the same (unpinned) binding pattern.
+    let plans: Option<Vec<JoinPlan>> = plan::planning_enabled().then(|| {
+        rules
+            .iter()
+            .map(|r| JoinPlan::compile(&r.body, &BTreeSet::new(), None))
+            .collect()
+    });
+    let mut indexes: IndexTracker<Pred> = IndexTracker::new();
+
     let mut trace = ComponentTrace::default();
+    if let Some(p) = &plans {
+        trace.plans = p.len() as u64;
+    }
     loop {
+        if let Some(p) = &plans {
+            // Pre-build this round's composite indexes before fan-out.
+            for (ri, rule) in rules.iter().enumerate() {
+                for (lit, cols) in p[ri].sigs() {
+                    let pred = rule.body[*lit].atom.pred;
+                    indexes.request(
+                        pred,
+                        body_relation(db, interp, &current, program, pred),
+                        cols,
+                    );
+                }
+            }
+        }
         let per_rule: Vec<(Vec<(Pred, Tuple)>, JoinStats)> = pool.map(rules.len(), |ri| {
             let rule = rules[ri];
             let rel_of = |i: usize| -> &Relation {
                 body_relation(db, interp, &current, program, rule.body[i].atom.pred)
             };
             let mut stats = JoinStats::default();
-            let tuples = eval_conjunct_stats(&rule.body, &rel_of, &Bindings::new(), &mut stats)
+            let bindings = match &plans {
+                Some(p) => {
+                    eval_plan_stats(&p[ri], &rule.body, &rel_of, &Bindings::new(), &mut stats)
+                }
+                None => eval_conjunct_stats(&rule.body, &rel_of, &Bindings::new(), &mut stats),
+            };
+            let tuples = bindings
                 .iter()
                 .filter_map(|b| {
                     let tuple = ground_terms(&rule.head.terms, b)
@@ -80,6 +113,7 @@ pub fn eval_component_traced(
         });
         let mut round_tuples = 0u64;
         let mut fresh = 0u64;
+        let mut mutated: BTreeSet<Pred> = BTreeSet::new();
         for (tuples, stats) in per_rule {
             round_tuples += tuples.len() as u64;
             trace.stats.merge(stats);
@@ -90,14 +124,19 @@ pub fn eval_component_traced(
                     .insert(tuple)
                 {
                     fresh += 1;
+                    mutated.insert(pred);
                 }
             }
+        }
+        for pred in &mutated {
+            indexes.invalidate(pred);
         }
         trace.push_round(round_tuples, fresh);
         if fresh == 0 {
             break;
         }
     }
+    trace.indexes = indexes.count();
     (current.into_iter().collect(), trace)
 }
 

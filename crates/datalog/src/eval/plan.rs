@@ -1,0 +1,653 @@
+//! Compiled join plans: adorned literal orders computed once per (rule,
+//! delta-occurrence) pair, in the style of Ullman's bound/free adornments
+//! (the same machinery underlying the magic-sets transform in
+//! [`crate::magic`]).
+//!
+//! The greedy pipeline in [`crate::eval::join`] re-derives its literal
+//! order on every conjunct evaluation and keys the choice on relation
+//! *sizes* — a dynamic quantity that changes when semi-naive deltas are
+//! chunked across workers, which is why join probes could not be counted
+//! in differential rounds. A [`JoinPlan`] fixes the order ahead of time
+//! from static information only — the literal list, the variables bound by
+//! the seed, and which occurrence (if any) is the semi-naive delta:
+//!
+//! * the delta occurrence is pinned first (differential evaluation wants
+//!   every derivation to pass through the delta);
+//! * fully-ground negative literals are hoisted as early as safety allows
+//!   (they are pure filters, so evaluating them sooner only shrinks the
+//!   frontier);
+//! * remaining positive literals are chosen by bound-column count (the
+//!   static selectivity proxy: more bound columns means a tighter probe),
+//!   ties broken by fewest free variables, then by body position;
+//! * non-ground negative literals keep their ¬∃ reading and therefore run
+//!   only after every positive literal, exactly as the greedy pipeline
+//!   schedules them.
+//!
+//! Each positive (and partially-bound negative) step is annotated with its
+//! *bound-pattern signature*: the set of columns whose terms are constants
+//! or already-bound variables when the step is reached. Signatures are
+//! exactly the composite indexes ([`Relation::probe_cols`]) the plan will
+//! probe, and [`JoinPlan::sigs`] declares them up front so engines can
+//! build them once per round, before worker fan-out, instead of racing
+//! lazily.
+//!
+//! Because the plan depends only on the rule and the static binding
+//! pattern — never on frontier or relation contents — evaluation visits
+//! the same (binding, tuple) pairs regardless of how a delta is chunked,
+//! which makes every [`JoinStats`] counter partition-exact and therefore
+//! thread-count invariant (DESIGN.md §12).
+
+use crate::ast::{Term, Var};
+use crate::eval::join::{ground_terms, match_tuple, resolve, Bindings, JoinLit, JoinStats};
+use crate::storage::relation::Relation;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// One step of a compiled plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Enumerate the pinned delta occurrence. Counts no probes: in chunked
+    /// differential rounds this step runs once per chunk, so a per-step or
+    /// per-binding count would depend on the partition. Match counts are
+    /// per delta tuple and partition exactly.
+    DeltaScan {
+        /// Body position of the delta occurrence.
+        lit: usize,
+    },
+    /// Probe a positive literal through the composite index on `cols`
+    /// (its bound-pattern signature).
+    Probe {
+        /// Body position of the literal.
+        lit: usize,
+        /// Its bound-pattern signature (strictly ascending columns).
+        cols: Box<[usize]>,
+    },
+    /// Scan a positive literal with no bound columns.
+    Scan {
+        /// Body position of the literal.
+        lit: usize,
+    },
+    /// Filter through a fully-ground negative literal (membership test).
+    NegGround {
+        /// Body position of the literal.
+        lit: usize,
+    },
+    /// Trailing non-ground negative literal (¬∃) with at least one bound
+    /// column: probe the signature, keep the binding iff nothing matches.
+    NegProbe {
+        /// Body position of the literal.
+        lit: usize,
+        /// Its bound-pattern signature (strictly ascending columns).
+        cols: Box<[usize]>,
+    },
+    /// Trailing non-ground negative literal with no bound columns.
+    NegScan {
+        /// Body position of the literal.
+        lit: usize,
+    },
+}
+
+impl Step {
+    /// The body position this step evaluates.
+    pub fn lit(&self) -> usize {
+        match *self {
+            Step::DeltaScan { lit }
+            | Step::Probe { lit, .. }
+            | Step::Scan { lit }
+            | Step::NegGround { lit }
+            | Step::NegProbe { lit, .. }
+            | Step::NegScan { lit } => lit,
+        }
+    }
+}
+
+/// A compiled join plan for one conjunction under one static binding
+/// pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinPlan {
+    steps: Vec<Step>,
+    /// The composite-index signatures the plan will probe: (body position,
+    /// bound column set). Declared so engines can pre-build them before
+    /// fan-out.
+    sigs: Vec<(usize, Box<[usize]>)>,
+}
+
+impl JoinPlan {
+    /// Compiles a plan for `lits` given the variables bound by the seed
+    /// and an optional pinned delta occurrence (which must be a positive
+    /// literal). Depends only on these static inputs.
+    pub fn compile<L: JoinLit>(
+        lits: &[L],
+        seed_bound: &BTreeSet<Var>,
+        pinned: Option<usize>,
+    ) -> JoinPlan {
+        let mut bound = seed_bound.clone();
+        let mut steps = Vec::with_capacity(lits.len());
+        let mut sigs = Vec::new();
+        let mut remaining: Vec<usize> = (0..lits.len()).collect();
+
+        let emit_positive = |i: usize,
+                             is_delta: bool,
+                             bound: &mut BTreeSet<Var>,
+                             steps: &mut Vec<Step>,
+                             sigs: &mut Vec<(usize, Box<[usize]>)>| {
+            let cols = bound_cols(lits[i].terms(), bound);
+            if is_delta {
+                steps.push(Step::DeltaScan { lit: i });
+            } else if cols.is_empty() {
+                steps.push(Step::Scan { lit: i });
+            } else {
+                sigs.push((i, cols.clone()));
+                steps.push(Step::Probe { lit: i, cols });
+            }
+            for t in lits[i].terms() {
+                if let Term::Var(v) = t {
+                    bound.insert(*v);
+                }
+            }
+        };
+
+        // The delta drives: every differential derivation passes through it.
+        if let Some(d) = pinned {
+            debug_assert!(lits[d].positive(), "pinned occurrence must be positive");
+            remaining.retain(|&i| i != d);
+            emit_positive(d, true, &mut bound, &mut steps, &mut sigs);
+        }
+
+        loop {
+            // Hoist negative literals as soon as they are fully ground:
+            // they are filters, so earlier is strictly better.
+            while let Some(pos) = remaining
+                .iter()
+                .position(|&i| !lits[i].positive() && fully_bound(lits[i].terms(), &bound))
+            {
+                steps.push(Step::NegGround {
+                    lit: remaining.remove(pos),
+                });
+            }
+            // Best positive literal: most bound columns, then fewest free
+            // variables, then body position. All static.
+            let best = remaining
+                .iter()
+                .enumerate()
+                .filter(|&(_, &i)| lits[i].positive())
+                .max_by_key(|&(_, &i)| {
+                    (
+                        bound_cols(lits[i].terms(), &bound).len(),
+                        std::cmp::Reverse(free_vars(lits[i].terms(), &bound)),
+                        std::cmp::Reverse(i),
+                    )
+                })
+                .map(|(pos, _)| pos);
+            let Some(pos) = best else { break };
+            let i = remaining.remove(pos);
+            emit_positive(i, false, &mut bound, &mut steps, &mut sigs);
+        }
+
+        // Only non-ground negatives remain: ¬∃ semantics, evaluated after
+        // every positive literal (evaluating them earlier, with more free
+        // variables, would strengthen the condition and change results).
+        for i in remaining {
+            let cols = bound_cols(lits[i].terms(), &bound);
+            if cols.is_empty() {
+                steps.push(Step::NegScan { lit: i });
+            } else {
+                sigs.push((i, cols.clone()));
+                steps.push(Step::NegProbe { lit: i, cols });
+            }
+        }
+
+        JoinPlan { steps, sigs }
+    }
+
+    /// The ordered steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The composite-index signatures the plan probes, for pre-building.
+    pub fn sigs(&self) -> &[(usize, Box<[usize]>)] {
+        &self.sigs
+    }
+}
+
+/// The bound-pattern signature of a literal under `bound`: the strictly
+/// ascending set of columns whose terms are constants or bound variables.
+/// A repeated variable's second occurrence within the literal is *not*
+/// part of the signature unless the variable is already bound — the
+/// equality is enforced by [`match_tuple`] at evaluation time.
+fn bound_cols(terms: &[Term], bound: &BTreeSet<Var>) -> Box<[usize]> {
+    terms
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound.contains(v),
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn fully_bound(terms: &[Term], bound: &BTreeSet<Var>) -> bool {
+    terms.iter().all(|t| match t {
+        Term::Const(_) => true,
+        Term::Var(v) => bound.contains(v),
+    })
+}
+
+/// Number of distinct unbound variables in `terms`.
+fn free_vars(terms: &[Term], bound: &BTreeSet<Var>) -> usize {
+    terms
+        .iter()
+        .filter_map(|t| match t {
+            Term::Var(v) if !bound.contains(v) => Some(*v),
+            _ => None,
+        })
+        .collect::<BTreeSet<Var>>()
+        .len()
+}
+
+/// Evaluates `lits` under a compiled `plan`, returning every extension of
+/// `seed` that satisfies the conjunction — the same answer set as
+/// [`crate::eval::join::eval_conjunct`], in a possibly different order
+/// (callers deduplicate through `BTreeSet`-backed relations, so engine
+/// output is unaffected).
+///
+/// Counting: every step except [`Step::DeltaScan`] counts one probe per
+/// frontier binding, classified as indexed (a composite-index or
+/// membership lookup) or scan (an unindexed iteration). Frontier bindings
+/// downstream of the delta scan partition exactly across delta chunks, so
+/// all counters are thread-count invariant.
+pub fn eval_plan_stats<'a, L: JoinLit>(
+    plan: &JoinPlan,
+    lits: &[L],
+    rel_of: &dyn Fn(usize) -> &'a Relation,
+    seed: &Bindings,
+    stats: &mut JoinStats,
+) -> Vec<Bindings> {
+    let mut frontier = vec![seed.clone()];
+    for step in &plan.steps {
+        if frontier.is_empty() {
+            return frontier;
+        }
+        let rel = rel_of(step.lit());
+        match step {
+            Step::DeltaScan { lit } => {
+                let terms = lits[*lit].terms();
+                let mut next = Vec::new();
+                for b in &frontier {
+                    for t in rel.iter() {
+                        if let Some(ext) = match_tuple(terms, t, b) {
+                            stats.matches += 1;
+                            next.push(ext);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            Step::Probe { lit, cols } => {
+                let terms = lits[*lit].terms();
+                let mut next = Vec::new();
+                let mut key: Vec<crate::ast::Const> = Vec::with_capacity(cols.len());
+                for b in &frontier {
+                    key.clear();
+                    key.extend(cols.iter().map(|&c| {
+                        resolve(terms[c], b)
+                            .as_const()
+                            .expect("plan invariant: signature columns are bound")
+                    }));
+                    stats.probes += 1;
+                    let (tuples, indexed) = rel.probe_cols(cols, &key);
+                    if indexed {
+                        stats.indexed_probes += 1;
+                    } else {
+                        stats.scan_probes += 1;
+                    }
+                    for t in &tuples {
+                        if let Some(ext) = match_tuple(terms, t, b) {
+                            stats.matches += 1;
+                            next.push(ext);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            Step::Scan { lit } => {
+                let terms = lits[*lit].terms();
+                let mut next = Vec::new();
+                for b in &frontier {
+                    stats.probes += 1;
+                    stats.scan_probes += 1;
+                    for t in rel.iter() {
+                        if let Some(ext) = match_tuple(terms, t, b) {
+                            stats.matches += 1;
+                            next.push(ext);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            Step::NegGround { lit } => {
+                let terms = lits[*lit].terms();
+                frontier.retain(|b| {
+                    let t = ground_terms(terms, b).expect("plan invariant: literal is ground");
+                    stats.probes += 1;
+                    stats.indexed_probes += 1;
+                    let keep = !rel.contains(&t);
+                    stats.matches += u64::from(keep);
+                    keep
+                });
+            }
+            Step::NegProbe { lit, cols } => {
+                let terms = lits[*lit].terms();
+                let mut key: Vec<crate::ast::Const> = Vec::with_capacity(cols.len());
+                frontier.retain(|b| {
+                    key.clear();
+                    key.extend(cols.iter().map(|&c| {
+                        resolve(terms[c], b)
+                            .as_const()
+                            .expect("plan invariant: signature columns are bound")
+                    }));
+                    stats.probes += 1;
+                    let (tuples, indexed) = rel.probe_cols(cols, &key);
+                    if indexed {
+                        stats.indexed_probes += 1;
+                    } else {
+                        stats.scan_probes += 1;
+                    }
+                    let keep = !tuples.iter().any(|t| match_tuple(terms, t, b).is_some());
+                    stats.matches += u64::from(keep);
+                    keep
+                });
+            }
+            Step::NegScan { lit } => {
+                let terms = lits[*lit].terms();
+                frontier.retain(|b| {
+                    stats.probes += 1;
+                    stats.scan_probes += 1;
+                    let keep = !rel.iter().any(|t| match_tuple(terms, t, b).is_some());
+                    stats.matches += u64::from(keep);
+                    keep
+                });
+            }
+        }
+    }
+    frontier
+}
+
+/// Deterministic accounting for composite-index pre-builds. An engine
+/// requests every signature its plans declare, once per round; the
+/// tracker deduplicates by an engine-chosen relation key, issues the
+/// physical [`Relation::build_index`], and counts the requests that
+/// passed the size gate. The count is computed from the dedup + gate
+/// decision, never from whether the physical build won a race with a
+/// sibling component sharing the relation — which is what keeps
+/// `index.composite_built` identical at any thread count.
+#[derive(Debug, Default)]
+pub struct IndexTracker<K: Ord> {
+    built: BTreeSet<(K, Box<[usize]>)>,
+    count: u64,
+}
+
+impl<K: Ord + Clone> IndexTracker<K> {
+    /// Creates an empty tracker.
+    pub fn new() -> IndexTracker<K> {
+        IndexTracker {
+            built: BTreeSet::new(),
+            count: 0,
+        }
+    }
+
+    /// Requests the composite index `cols` on `rel` (keyed by `key` for
+    /// dedup). Counts and builds only first-time requests on relations
+    /// large enough to index.
+    pub fn request(&mut self, key: K, rel: &Relation, cols: &[usize]) {
+        if cols.is_empty() || !rel.indexable() {
+            return;
+        }
+        if self.built.insert((key, cols.into())) {
+            self.count += 1;
+            rel.build_index(cols);
+        }
+    }
+
+    /// Forgets every index on relations keyed by `key` — call after the
+    /// backing relation mutates (mutation invalidates its index cache, so
+    /// the next request is a genuine rebuild).
+    pub fn invalidate(&mut self, key: &K) {
+        self.built.retain(|(k, _)| k != key);
+    }
+
+    /// Gate-passing first-time requests so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Process-global planner toggle, on by default. Off means every engine
+/// falls back to the greedy [`crate::eval::join::eval_conjunct`] pipeline
+/// — the unplanned oracle the equivalence sweep compares against.
+static PLANNING: AtomicBool = AtomicBool::new(true);
+
+/// Serializes sections whose observable behavior (output fingerprints)
+/// depends on the toggle, so concurrent tests cannot flip it mid-capture.
+static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+/// True iff engines should evaluate through compiled plans.
+pub fn planning_enabled() -> bool {
+    PLANNING.load(Ordering::Relaxed)
+}
+
+/// Runs `f` with the planner toggled to `enabled`, restoring the previous
+/// setting afterwards (also on panic). Holds a process-wide lock for the
+/// duration: concurrent `with_planning` sections serialize, so a
+/// fingerprint captured inside one can never observe another's toggle.
+pub fn with_planning<T>(enabled: bool, f: impl FnOnce() -> T) -> T {
+    let _guard = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PLANNING.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _restore = Restore(PLANNING.swap(enabled, Ordering::SeqCst));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Const, Literal};
+    use crate::eval::join::eval_conjunct;
+    use crate::storage::tuple::syms;
+
+    fn lit(pos: bool, name: &str, terms: Vec<Term>) -> Literal {
+        let atom = Atom::new(name, terms);
+        if pos {
+            Literal::pos(atom)
+        } else {
+            Literal::neg(atom)
+        }
+    }
+
+    fn vars(names: &[&str]) -> Vec<Term> {
+        names.iter().map(|v| Term::var(v)).collect()
+    }
+
+    fn rel(rows: &[&[&str]]) -> Relation {
+        rows.iter().map(|r| syms(r)).collect()
+    }
+
+    #[test]
+    fn delta_occurrence_is_pinned_first() {
+        // tc(X,Y) :- e(X,Z), tc(Z,Y)  with the tc occurrence as delta.
+        let lits = vec![
+            lit(true, "e", vars(&["X", "Z"])),
+            lit(true, "tc", vars(&["Z", "Y"])),
+        ];
+        let plan = JoinPlan::compile(&lits, &BTreeSet::new(), Some(1));
+        assert_eq!(plan.steps()[0], Step::DeltaScan { lit: 1 });
+        // After the delta binds Z and Y, e is probed on its Z column.
+        assert_eq!(
+            plan.steps()[1],
+            Step::Probe {
+                lit: 0,
+                cols: Box::from([1usize]),
+            }
+        );
+        assert_eq!(plan.sigs(), &[(0, Box::from([1usize]))]);
+    }
+
+    #[test]
+    fn constants_join_the_signature() {
+        // works(X, hr): the constant column is bound from the start.
+        let lits = vec![lit(true, "works", vec![Term::var("X"), Term::sym("hr")])];
+        let plan = JoinPlan::compile(&lits, &BTreeSet::new(), None);
+        assert_eq!(
+            plan.steps(),
+            &[Step::Probe {
+                lit: 0,
+                cols: Box::from([1usize]),
+            }]
+        );
+    }
+
+    #[test]
+    fn repeated_variable_not_in_signature_until_bound() {
+        // e(X, X): the first occurrence binds X, so no column is bound at
+        // entry — the repeat is enforced by match_tuple, not the index.
+        let lits = vec![lit(true, "e", vars(&["X", "X"]))];
+        let plan = JoinPlan::compile(&lits, &BTreeSet::new(), None);
+        assert_eq!(plan.steps(), &[Step::Scan { lit: 0 }]);
+        // But once X is bound by an earlier literal, both columns are.
+        let lits = vec![
+            lit(true, "q", vars(&["X"])),
+            lit(true, "e", vars(&["X", "X"])),
+        ];
+        let plan = JoinPlan::compile(&lits, &BTreeSet::new(), None);
+        assert_eq!(
+            plan.steps()[1],
+            Step::Probe {
+                lit: 1,
+                cols: Box::from([0usize, 1]),
+            }
+        );
+    }
+
+    #[test]
+    fn ground_negatives_hoist_early() {
+        // p(X) :- q(X), not r(c), not s(X):  r(c) is ground at entry and
+        // filters before anything scans; s(X) grounds after q binds X.
+        let lits = vec![
+            lit(true, "q", vars(&["X"])),
+            lit(false, "r", vec![Term::sym("c")]),
+            lit(false, "s", vars(&["X"])),
+        ];
+        let plan = JoinPlan::compile(&lits, &BTreeSet::new(), None);
+        assert_eq!(
+            plan.steps(),
+            &[
+                Step::NegGround { lit: 1 },
+                Step::Scan { lit: 0 },
+                Step::NegGround { lit: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn nonground_negative_trails_all_positives() {
+        // v(X) :- q(X), not r(X, Y): Y never binds, so the negative keeps
+        // its ¬∃ reading and runs last, probing its bound column.
+        let lits = vec![
+            lit(true, "q", vars(&["X"])),
+            lit(false, "r", vars(&["X", "Y"])),
+        ];
+        let plan = JoinPlan::compile(&lits, &BTreeSet::new(), None);
+        assert_eq!(
+            plan.steps(),
+            &[
+                Step::Scan { lit: 0 },
+                Step::NegProbe {
+                    lit: 1,
+                    cols: Box::from([0usize]),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn seed_bound_variables_adorn_the_first_literal() {
+        let lits = vec![lit(true, "e", vars(&["X", "Y"]))];
+        let mut bound = BTreeSet::new();
+        bound.insert(Var::new("X"));
+        let plan = JoinPlan::compile(&lits, &bound, None);
+        assert_eq!(
+            plan.steps(),
+            &[Step::Probe {
+                lit: 0,
+                cols: Box::from([0usize]),
+            }]
+        );
+    }
+
+    #[test]
+    fn planned_answers_match_greedy_answers() {
+        // Wide conjunct exercising probe, scan, ground- and ¬∃-negatives.
+        let e = rel(&[
+            &["a", "b"],
+            &["b", "c"],
+            &["c", "d"],
+            &["a", "d"],
+            &["d", "a"],
+        ]);
+        let q = rel(&[&["a"], &["b"], &["c"]]);
+        let r = rel(&[&["c"]]);
+        let lits = vec![
+            lit(true, "q", vars(&["X"])),
+            lit(true, "e", vars(&["X", "Y"])),
+            lit(false, "r", vars(&["Y"])),
+            lit(true, "e", vars(&["Y", "Z"])),
+        ];
+        let rels: Vec<&Relation> = vec![&q, &e, &r, &e];
+        let rel_of = |i: usize| -> &Relation { rels[i] };
+        let plan = JoinPlan::compile(&lits, &BTreeSet::new(), None);
+        let mut stats = JoinStats::default();
+        let mut planned = eval_plan_stats(&plan, &lits, &rel_of, &Bindings::new(), &mut stats);
+        let mut greedy = eval_conjunct(&lits, &rel_of, &Bindings::new());
+        planned.sort();
+        greedy.sort();
+        assert_eq!(planned, greedy);
+        assert_eq!(stats.probes, stats.indexed_probes + stats.scan_probes);
+        assert!(stats.matches > 0);
+    }
+
+    #[test]
+    fn index_tracker_counts_gate_passing_first_requests() {
+        let big: Relation = (0..40i64)
+            .map(|i| crate::storage::tuple::Tuple::new(vec![Const::Int(i % 5), Const::Int(i)]))
+            .collect();
+        let small = rel(&[&["a", "b"]]);
+        let mut tracker: IndexTracker<u32> = IndexTracker::new();
+        tracker.request(0, &big, &[0]);
+        tracker.request(0, &big, &[0]); // dedup
+        tracker.request(0, &small, &[0]); // below gate
+        tracker.request(0, &big, &[]); // empty signature
+        tracker.request(1, &big, &[0]); // distinct key
+        assert_eq!(tracker.count(), 2);
+        tracker.invalidate(&0);
+        tracker.request(0, &big, &[0]); // genuine rebuild after mutation
+        assert_eq!(tracker.count(), 3);
+    }
+
+    #[test]
+    fn with_planning_toggles_and_restores() {
+        assert!(planning_enabled());
+        with_planning(false, || {
+            assert!(!planning_enabled());
+            // Nested sections would deadlock (same lock), so just check
+            // state here.
+        });
+        assert!(planning_enabled());
+    }
+}

@@ -17,13 +17,14 @@
 
 use crate::ast::{Literal, Pred, Rule};
 use crate::eval::join::{eval_conjunct, eval_conjunct_stats, ground_terms, Bindings, JoinStats};
+use crate::eval::plan::{self, eval_plan_stats, IndexTracker, JoinPlan};
 use crate::eval::pool::Pool;
 use crate::eval::{body_relation, ComponentTrace, Interpretation};
 use crate::storage::database::Database;
 use crate::storage::relation::Relation;
 use crate::storage::tuple::Tuple;
 use crate::stratify::Component;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Deltas smaller than this are never split: chunking clones tuples, so
 /// it must buy enough per-chunk work to amortize.
@@ -90,11 +91,14 @@ pub fn eval_component_pooled(
 
 /// [`eval_component_pooled`], also returning the component's evaluation
 /// trace. The trace carries only semantic counters (rounds, derivation
-/// and delta cardinalities, round-0 join work), all of which are
-/// independent of the worker count: per-round derivation counts are
-/// binding counts, which partition exactly across delta chunks, and
-/// join probes are only counted in round 0 where jobs evaluate whole
-/// relations (DESIGN.md §11).
+/// and delta cardinalities, join work, plan/index accounting), all of
+/// which are independent of the worker count: per-round derivation
+/// counts are binding counts, which partition exactly across delta
+/// chunks, and on the planned path (the default) probe counts are
+/// partition-exact in every round because the compiled plan's literal
+/// order is static and the delta scan counts per tuple (DESIGN.md §12).
+/// On the greedy fallback, probes are only counted in round 0 where jobs
+/// evaluate whole relations (DESIGN.md §11).
 pub fn eval_component_traced(
     db: &Database,
     interp: &Interpretation,
@@ -109,18 +113,72 @@ pub fn eval_component_traced(
     let rules: Vec<&Rule> = members.iter().flat_map(|&p| program.rules_for(p)).collect();
     let mut trace = ComponentTrace::default();
 
+    // Compile every plan this component can need, once, up front: one per
+    // rule for full (round-0) evaluation, one per (rule, recursive
+    // occurrence) for differential rounds with that occurrence pinned as
+    // the delta. Plan choice depends only on the rule and the static
+    // binding pattern, never on relation contents.
+    let plans: Option<RulePlans> = plan::planning_enabled().then(|| {
+        let full: Vec<JoinPlan> = rules
+            .iter()
+            .map(|r| JoinPlan::compile(&r.body, &BTreeSet::new(), None))
+            .collect();
+        let mut delta: BTreeMap<(usize, usize), JoinPlan> = BTreeMap::new();
+        if component.recursive {
+            for (ri, rule) in rules.iter().enumerate() {
+                for (occ, lit) in rule.body.iter().enumerate() {
+                    if is_recursive_occurrence(lit, &members) {
+                        delta.insert(
+                            (ri, occ),
+                            JoinPlan::compile(&rule.body, &BTreeSet::new(), Some(occ)),
+                        );
+                    }
+                }
+            }
+        }
+        RulePlans { full, delta }
+    });
+    if let Some(p) = &plans {
+        trace.plans = (p.full.len() + p.delta.len()) as u64;
+    }
+    let mut indexes: IndexTracker<Pred> = IndexTracker::new();
+
     // Round 0: full evaluation (recursive predicates are empty, so this
     // costs the same as the non-recursive case). One job per rule; job
-    // results are merged in rule order.
+    // results are merged in rule order. Indexes the plans declare are
+    // built here, before fan-out, so workers only ever take the shared
+    // read lock.
     let mut delta: BTreeMap<Pred, Relation> =
         members.iter().map(|&p| (p, Relation::new())).collect();
+    if let Some(p) = &plans {
+        for (ri, rule) in rules.iter().enumerate() {
+            for (lit, cols) in p.full[ri].sigs() {
+                let pred = rule.body[*lit].atom.pred;
+                indexes.request(
+                    pred,
+                    body_relation(db, interp, &current, program, pred),
+                    cols,
+                );
+            }
+        }
+    }
     let round0: Vec<(Vec<Tuple>, JoinStats)> = pool.map(rules.len(), |ri| {
         let rule = rules[ri];
         let rel_of = |i: usize| -> &Relation {
             body_relation(db, interp, &current, program, rule.body[i].atom.pred)
         };
         let mut stats = JoinStats::default();
-        let tuples = eval_conjunct_stats(&rule.body, &rel_of, &Bindings::new(), &mut stats)
+        let bindings = match &plans {
+            Some(p) => eval_plan_stats(
+                &p.full[ri],
+                &rule.body,
+                &rel_of,
+                &Bindings::new(),
+                &mut stats,
+            ),
+            None => eval_conjunct_stats(&rule.body, &rel_of, &Bindings::new(), &mut stats),
+        };
+        let tuples = bindings
             .iter()
             .map(|b| ground_terms(&rule.head.terms, b).expect("ground head"))
             .collect();
@@ -131,14 +189,13 @@ pub fn eval_component_traced(
         round_tuples += tuples.len() as u64;
         trace.stats.merge(stats);
         let rel = delta.get_mut(&rules[ri].head.pred).expect("member");
-        for t in tuples {
-            rel.insert(t);
-        }
+        rel.extend(tuples);
     }
-    merge_delta(&mut current, &mut delta);
+    merge_delta(&mut current, &mut delta, &mut indexes);
     trace.push_round(round_tuples, fresh_count(&delta));
 
     if !component.recursive {
+        trace.indexes = indexes.count();
         return (current.into_iter().collect(), trace);
     }
 
@@ -147,6 +204,21 @@ pub fn eval_component_traced(
     // round, so they are independent; the reduction below is a union of
     // sets and therefore independent of the partition and of scheduling.
     while delta.values().any(|r| !r.is_empty()) {
+        if let Some(p) = &plans {
+            // Pre-build this round's composite indexes before fan-out.
+            // Pinned (delta) occurrences never appear in a plan's
+            // signatures, so chunk relations are never indexed.
+            for (&(ri, _), pl) in &p.delta {
+                for (lit, cols) in pl.sigs() {
+                    let pred = rules[ri].body[*lit].atom.pred;
+                    indexes.request(
+                        pred,
+                        body_relation(db, interp, &current, program, pred),
+                        cols,
+                    );
+                }
+            }
+        }
         let views: BTreeMap<Pred, DeltaView<'_>> = delta
             .iter()
             .map(|(&p, d)| (p, DeltaView::build(d, pool.threads())))
@@ -162,7 +234,7 @@ pub fn eval_component_traced(
                 }
             }
         }
-        let results: Vec<Vec<Tuple>> = pool.map(jobs.len(), |k| {
+        let results: Vec<(Vec<Tuple>, JoinStats)> = pool.map(jobs.len(), |k| {
             let (ri, occ, ci) = jobs[k];
             let rule = rules[ri];
             let rel_of = |i: usize| -> &Relation {
@@ -173,31 +245,52 @@ pub fn eval_component_traced(
                 }
             };
             let head_rel = &current[&rule.head.pred];
-            eval_conjunct(&rule.body, &rel_of, &Bindings::new())
+            let mut stats = JoinStats::default();
+            let bindings = match &plans {
+                Some(p) => eval_plan_stats(
+                    &p.delta[&(ri, occ)],
+                    &rule.body,
+                    &rel_of,
+                    &Bindings::new(),
+                    &mut stats,
+                ),
+                // Greedy fallback: stats stay zero — the greedy order keys
+                // on relation sizes, which chunking changes (DESIGN.md §11).
+                None => eval_conjunct(&rule.body, &rel_of, &Bindings::new()),
+            };
+            let tuples = bindings
                 .iter()
                 .filter_map(|b| {
                     let t = ground_terms(&rule.head.terms, b).expect("ground head");
                     (!head_rel.contains(&t)).then_some(t)
                 })
-                .collect()
+                .collect();
+            (tuples, stats)
         });
         drop(views);
         let mut next: BTreeMap<Pred, Relation> =
             members.iter().map(|&p| (p, Relation::new())).collect();
         let mut round_tuples = 0u64;
-        for (k, tuples) in results.into_iter().enumerate() {
+        for (k, (tuples, stats)) in results.into_iter().enumerate() {
             round_tuples += tuples.len() as u64;
+            trace.stats.merge(stats);
             let rel = next.get_mut(&rules[jobs[k].0].head.pred).expect("member");
-            for t in tuples {
-                rel.insert(t);
-            }
+            rel.extend(tuples);
         }
         delta = next;
-        merge_delta(&mut current, &mut delta);
+        merge_delta(&mut current, &mut delta, &mut indexes);
         trace.push_round(round_tuples, fresh_count(&delta));
     }
 
+    trace.indexes = indexes.count();
     (current.into_iter().collect(), trace)
+}
+
+/// The compiled plans for one component: one full-evaluation plan per
+/// rule, plus one delta-pinned plan per (rule, recursive occurrence).
+struct RulePlans {
+    full: Vec<JoinPlan>,
+    delta: BTreeMap<(usize, usize), JoinPlan>,
 }
 
 /// Post-dedup cardinality of a round's delta.
@@ -211,12 +304,20 @@ fn is_recursive_occurrence(lit: &Literal, members: &[Pred]) -> bool {
     lit.positive && members.contains(&lit.atom.pred)
 }
 
-/// Adds `delta` into `current`, shrinking `delta` to the genuinely new
-/// tuples.
-fn merge_delta(current: &mut BTreeMap<Pred, Relation>, delta: &mut BTreeMap<Pred, Relation>) {
+/// Adds `delta` into `current` (one bulk merge, one index invalidation
+/// per mutated relation), shrinking `delta` to the genuinely new tuples
+/// and dropping the tracker's record of indexes the mutation invalidated.
+fn merge_delta(
+    current: &mut BTreeMap<Pred, Relation>,
+    delta: &mut BTreeMap<Pred, Relation>,
+    indexes: &mut IndexTracker<Pred>,
+) {
     for (pred, d) in delta.iter_mut() {
         let cur = current.get_mut(pred).expect("member");
         let fresh: Vec<Tuple> = cur.merge(d);
+        if !fresh.is_empty() {
+            indexes.invalidate(pred);
+        }
         *d = fresh.into_iter().collect();
     }
 }

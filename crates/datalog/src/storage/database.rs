@@ -69,6 +69,38 @@ impl Database {
         self.edb.get_mut(&pred).is_some_and(|r| r.remove(tuple))
     }
 
+    /// Bulk-asserts base facts for one predicate, mutating the relation
+    /// (and invalidating its indexes) once. Returns the number of fresh
+    /// tuples. Validates like [`Database::assert_tuple`], before touching
+    /// the relation.
+    pub fn extend_tuples(
+        &mut self,
+        pred: Pred,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize, SchemaError> {
+        if self.program.is_derived(pred) {
+            return Err(SchemaError::FactOnDerivedPredicate(pred));
+        }
+        let tuples: Vec<Tuple> = tuples.into_iter().collect();
+        if let Some(t) = tuples.iter().find(|t| t.arity() != pred.arity) {
+            return Err(SchemaError::ArityMismatch {
+                pred,
+                got: t.arity(),
+            });
+        }
+        Ok(self.edb.entry(pred).or_default().extend(tuples).len())
+    }
+
+    /// Bulk-retracts base facts for one predicate, mutating the relation
+    /// (and invalidating its indexes) once. Returns the number removed.
+    pub fn remove_tuples<'a>(
+        &mut self,
+        pred: Pred,
+        tuples: impl IntoIterator<Item = &'a Tuple>,
+    ) -> usize {
+        self.edb.get_mut(&pred).map_or(0, |r| r.remove_all(tuples))
+    }
+
     /// The extensional relation for `pred` (empty if no facts).
     pub fn relation(&self, pred: Pred) -> &Relation {
         self.edb.get(&pred).unwrap_or_else(|| empty_relation())

@@ -1,29 +1,38 @@
-//! In-memory relations: ordered tuple sets with pattern selection and an
-//! optional single-column hash index for the hot lookup path of the join
-//! pipeline.
+//! In-memory relations: ordered tuple sets with pattern selection and
+//! composite (multi-column) hash indexes for the hot lookup paths of the
+//! join pipeline.
 
 use crate::ast::Const;
 use crate::storage::tuple::Tuple;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::RwLock;
 
-type ColumnIndex = HashMap<Const, Vec<Tuple>>;
+/// A composite index: key tuple (values of the indexed columns, in
+/// column order) → matching tuples.
+type CompositeIndex = HashMap<Box<[Const]>, Vec<Tuple>>;
+
+/// Below this size, indexing never pays off: selects and probes fall back
+/// to scanning the (tiny) tuple set directly.
+const INDEX_MIN: usize = 16;
 
 /// A set of ground tuples of a single arity.
 ///
 /// Tuples are kept in a `BTreeSet` so iteration order — and therefore every
-/// answer the engine produces — is deterministic. Joins that probe a bound
-/// column go through an internal column index, which is built (and cached until
-/// the next mutation) a column → tuples hash index.
+/// answer the engine produces — is deterministic. Joins that probe bound
+/// columns go through an internal composite index keyed by the bound
+/// column *set*: one hash map per distinct column set, mapping the key
+/// tuple (the values of those columns) to the matching tuples. Indexes
+/// are built on first use (or eagerly via [`Relation::build_index`]) and
+/// cached until the next mutation.
 #[derive(Debug, Default)]
 pub struct Relation {
     tuples: BTreeSet<Tuple>,
-    /// Lazily built per-column indexes, invalidated on mutation. Behind an
-    /// `RwLock` so the steady state — all workers probing an already-built
-    /// index — takes only a shared read lock; the exclusive write lock is
-    /// held just once per column to build. The cache is not cloned with the
-    /// relation and does not participate in equality.
-    index: RwLock<HashMap<usize, ColumnIndex>>,
+    /// Composite indexes keyed by the (sorted) indexed column set. Behind
+    /// an `RwLock` so the steady state — all workers probing an
+    /// already-built index — takes only a shared read lock; the exclusive
+    /// write lock is held just once per column set to build. The cache is
+    /// not cloned with the relation and does not participate in equality.
+    index: RwLock<HashMap<Box<[usize]>, CompositeIndex>>,
 }
 
 impl Clone for Relation {
@@ -67,13 +76,91 @@ impl Relation {
         removed
     }
 
-    /// Ensures the column index for `col` exists, so subsequent parallel
-    /// probes all hit the shared-read fast path without ever contending on
-    /// the write lock.
-    pub fn warm_index(&self, col: usize) {
-        if let Some(t) = self.tuples.first().filter(|t| col < t.arity()) {
-            let _ = self.probe(col, t[col]);
+    /// Bulk insertion: adds every tuple, invalidating the index cache at
+    /// most once (per-tuple [`Relation::insert`] pays one invalidation per
+    /// fresh tuple, which turns bulk loads into O(n) cache churn). Returns
+    /// the tuples that were genuinely new, in input order.
+    pub fn extend(&mut self, tuples: impl IntoIterator<Item = Tuple>) -> Vec<Tuple> {
+        let mut fresh = Vec::new();
+        for t in tuples {
+            if self.tuples.insert(t.clone()) {
+                fresh.push(t);
+            }
         }
+        if !fresh.is_empty() {
+            self.index.get_mut().expect("index lock").clear();
+        }
+        fresh
+    }
+
+    /// Bulk removal: removes every tuple, invalidating the index cache at
+    /// most once. Returns the number of tuples actually removed.
+    pub fn remove_all<'a>(&mut self, tuples: impl IntoIterator<Item = &'a Tuple>) -> usize {
+        let mut removed = 0;
+        for t in tuples {
+            if self.tuples.remove(t) {
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.index.get_mut().expect("index lock").clear();
+        }
+        removed
+    }
+
+    /// Eagerly builds the composite index for the column set `cols`
+    /// (which must be strictly ascending), so subsequent parallel probes
+    /// all hit the shared-read fast path without ever contending on the
+    /// write lock. Returns `true` iff an index was freshly built; no-op
+    /// (returning `false`) when the relation is too small for indexing to
+    /// pay off, the column set is empty or out of range, or the index
+    /// already exists.
+    pub fn build_index(&self, cols: &[usize]) -> bool {
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be sorted");
+        if cols.is_empty() || self.tuples.len() < INDEX_MIN {
+            return false;
+        }
+        if self
+            .tuples
+            .first()
+            .is_some_and(|t| cols.last().is_some_and(|&c| c >= t.arity()))
+        {
+            return false;
+        }
+        {
+            let cache = self.index.read().expect("index lock");
+            if cache.contains_key(cols) {
+                return false;
+            }
+        }
+        let mut cache = self.index.write().expect("index lock");
+        if cache.contains_key(cols) {
+            return false; // lost the build race; the other build is identical
+        }
+        cache.insert(cols.into(), self.build_composite(cols));
+        true
+    }
+
+    fn build_composite(&self, cols: &[usize]) -> CompositeIndex {
+        let mut idx: CompositeIndex = HashMap::new();
+        for t in &self.tuples {
+            let key: Box<[Const]> = cols.iter().map(|&c| t[c]).collect();
+            idx.entry(key).or_default().push(t.clone());
+        }
+        idx
+    }
+
+    /// Ensures a single-column index for `col` exists (compatibility alias
+    /// for [`Relation::build_index`] on a one-column set).
+    pub fn warm_index(&self, col: usize) {
+        self.build_index(&[col]);
+    }
+
+    /// True iff the relation is large enough that building a hash index
+    /// beats scanning it (the gate [`Relation::build_index`] and
+    /// [`Relation::probe_cols`] apply).
+    pub fn indexable(&self) -> bool {
+        self.tuples.len() >= INDEX_MIN
     }
 
     /// Membership test.
@@ -97,8 +184,9 @@ impl Relation {
     }
 
     /// The tuples matching a binding pattern (`Some(c)` = column must equal
-    /// `c`, `None` = free). Uses the column index when exactly one column is
-    /// bound and the relation is large enough for indexing to pay off.
+    /// `c`, `None` = free). Uses a composite index over *all* bound columns
+    /// when the relation is large enough for indexing to pay off (built on
+    /// first use and cached until mutation).
     pub fn select(&self, pattern: &[Option<Const>]) -> Vec<Tuple> {
         debug_assert!(self
             .tuples
@@ -112,14 +200,10 @@ impl Relation {
         if bound.is_empty() {
             return self.tuples.iter().cloned().collect();
         }
-        if self.tuples.len() >= 16 {
-            // Probe via an index on the first bound column, filter the rest.
-            let (col, key) = bound[0];
-            return self
-                .probe(col, key)
-                .into_iter()
-                .filter(|t| bound.iter().all(|&(i, c)| t[i] == c))
-                .collect();
+        if self.tuples.len() >= INDEX_MIN {
+            let cols: Vec<usize> = bound.iter().map(|&(i, _)| i).collect();
+            let key: Vec<Const> = bound.iter().map(|&(_, c)| c).collect();
+            return self.probe(&cols, &key);
         }
         self.tuples
             .iter()
@@ -128,30 +212,43 @@ impl Relation {
             .collect()
     }
 
-    /// Looks up the tuples whose column `col` equals `key`, via a cached
-    /// column index (built on first use, invalidated on mutation).
+    /// Looks up the tuples whose columns `cols` (strictly ascending) equal
+    /// `key`, via the cached composite index for that column set — building
+    /// it first if absent and the relation is large enough. Returns the
+    /// matches and whether an index answered the probe (`false` = the
+    /// relation was below the indexing threshold and was scanned).
     ///
     /// Fast path: a shared read lock, so concurrent probes from the worker
     /// pool never serialize once the index exists. Only a probe that finds
-    /// the column unindexed upgrades to the write lock; the re-check under
-    /// the write lock makes a racing double-build harmless (last build
-    /// wins, both are identical).
-    fn probe(&self, col: usize, key: Const) -> Vec<Tuple> {
+    /// the column set unindexed upgrades to the write lock; the re-check
+    /// under the write lock makes a racing double-build harmless (last
+    /// build wins, both are identical).
+    pub fn probe_cols(&self, cols: &[usize], key: &[Const]) -> (Vec<Tuple>, bool) {
+        debug_assert_eq!(cols.len(), key.len());
+        if self.tuples.len() < INDEX_MIN {
+            let matches = self
+                .tuples
+                .iter()
+                .filter(|t| cols.iter().zip(key).all(|(&c, &k)| t[c] == k))
+                .cloned()
+                .collect();
+            return (matches, false);
+        }
+        (self.probe(cols, key), true)
+    }
+
+    fn probe(&self, cols: &[usize], key: &[Const]) -> Vec<Tuple> {
         {
             let cache = self.index.read().expect("index lock");
-            if let Some(idx) = cache.get(&col) {
-                return idx.get(&key).cloned().unwrap_or_default();
+            if let Some(idx) = cache.get(cols) {
+                return idx.get(key).cloned().unwrap_or_default();
             }
         }
         let mut cache = self.index.write().expect("index lock");
-        let idx = cache.entry(col).or_insert_with(|| {
-            let mut idx: ColumnIndex = HashMap::new();
-            for t in &self.tuples {
-                idx.entry(t[col]).or_default().push(t.clone());
-            }
-            idx
-        });
-        idx.get(&key).cloned().unwrap_or_default()
+        let idx = cache
+            .entry(cols.into())
+            .or_insert_with(|| self.build_composite(cols));
+        idx.get(key).cloned().unwrap_or_default()
     }
 
     /// Set union (self ∪ other).
@@ -170,14 +267,9 @@ impl Relation {
     }
 
     /// Inserts all tuples of `other`; returns the tuples that were new.
+    /// Bulk operation: the index cache is invalidated once, not per tuple.
     pub fn merge(&mut self, other: &Relation) -> Vec<Tuple> {
-        let mut fresh = Vec::new();
-        for t in other.iter() {
-            if self.insert(t.clone()) {
-                fresh.push(t.clone());
-            }
-        }
-        fresh
+        self.extend(other.iter().cloned())
     }
 
     /// All constants appearing in any tuple.
@@ -242,6 +334,74 @@ mod tests {
         // Mutation invalidates the index.
         r.insert(Tuple::new(vec![Const::Int(1000), Const::Int(3)]));
         assert_eq!(r.select(&[None, Some(Const::Int(3))]).len(), hits.len() + 1);
+    }
+
+    #[test]
+    fn select_uses_composite_index_on_multiple_bound_columns() {
+        let mut r = Relation::new();
+        for i in 0..100i64 {
+            r.insert(Tuple::new(vec![
+                Const::Int(i % 10),
+                Const::Int(i % 4),
+                Const::Int(i),
+            ]));
+        }
+        let hits = r.select(&[Some(Const::Int(3)), Some(Const::Int(1)), None]);
+        let expected: Vec<Tuple> = (0..100i64)
+            .filter(|i| i % 10 == 3 && i % 4 == 1)
+            .map(|i| Tuple::new(vec![Const::Int(3), Const::Int(1), Const::Int(i)]))
+            .collect();
+        assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn probe_cols_matches_select_and_reports_indexing() {
+        let mut big = Relation::new();
+        for i in 0..50i64 {
+            big.insert(Tuple::new(vec![Const::Int(i % 5), Const::Int(i)]));
+        }
+        let (hits, indexed) = big.probe_cols(&[0], &[Const::Int(2)]);
+        assert!(indexed);
+        assert_eq!(hits.len(), 10);
+        let small = rel(&[&["a", "x"], &["b", "y"]]);
+        let (hits, indexed) = small.probe_cols(&[0, 1], &[Const::sym("b"), Const::sym("y")]);
+        assert!(!indexed, "tiny relations are scanned, not indexed");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn build_index_is_idempotent_and_gated() {
+        let mut r = Relation::new();
+        assert!(!r.build_index(&[0]), "empty relation: no index");
+        for i in 0..40i64 {
+            r.insert(Tuple::new(vec![Const::Int(i % 3), Const::Int(i)]));
+        }
+        assert!(r.build_index(&[0, 1]), "first build is fresh");
+        assert!(!r.build_index(&[0, 1]), "second build is a no-op");
+        assert!(!r.build_index(&[]), "empty column set never indexes");
+        assert!(!r.build_index(&[7]), "out-of-range column never indexes");
+        // Small relations decline.
+        let small = rel(&[&["a"]]);
+        assert!(!small.build_index(&[0]));
+    }
+
+    #[test]
+    fn extend_invalidates_once_and_reports_fresh() {
+        let mut r = rel(&[&["x"]]);
+        let fresh = r.extend([syms(&["x"]), syms(&["y"]), syms(&["z"])]);
+        assert_eq!(fresh, vec![syms(&["y"]), syms(&["z"])]);
+        assert_eq!(r.len(), 3);
+        // No-op extend leaves everything alone.
+        assert!(r.extend([syms(&["x"])]).is_empty());
+    }
+
+    #[test]
+    fn remove_all_bulk_removes() {
+        let mut r = rel(&[&["x"], &["y"], &["z"]]);
+        let gone = [syms(&["x"]), syms(&["q"]), syms(&["z"])];
+        assert_eq!(r.remove_all(gone.iter()), 2);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&syms(&["y"])));
     }
 
     #[test]

@@ -244,24 +244,28 @@ fn trace_counters_identical_across_thread_counts() {
         dbs.push((format!("rand#{case}"), db));
     }
 
-    for (name, db) in &dbs {
-        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
-            let (_, baseline) = dduf::obs::capture(|| {
-                materialize_with_threads(db, strategy, 1).expect("stratified")
-            });
-            assert!(!baseline.is_empty(), "{name}: no spans recorded");
-            for threads in [2usize, 8] {
-                let (_, got) = dduf::obs::capture(|| {
-                    materialize_with_threads(db, strategy, threads).expect("stratified")
+    // Hold the planning lock: fingerprints include planner counters, so
+    // a concurrent test toggling the planner would skew them.
+    dduf::datalog::eval::plan::with_planning(true, || {
+        for (name, db) in &dbs {
+            for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+                let (_, baseline) = dduf::obs::capture(|| {
+                    materialize_with_threads(db, strategy, 1).expect("stratified")
                 });
-                assert_eq!(
-                    baseline.semantic_fingerprint(),
-                    got.semantic_fingerprint(),
-                    "{name}: {strategy:?} trace diverges at {threads} threads"
-                );
+                assert!(!baseline.is_empty(), "{name}: no spans recorded");
+                for threads in [2usize, 8] {
+                    let (_, got) = dduf::obs::capture(|| {
+                        materialize_with_threads(db, strategy, threads).expect("stratified")
+                    });
+                    assert_eq!(
+                        baseline.semantic_fingerprint(),
+                        got.semantic_fingerprint(),
+                        "{name}: {strategy:?} trace diverges at {threads} threads"
+                    );
+                }
             }
         }
-    }
+    });
 }
 
 /// Same contract for the upward engines: each engine's counter
@@ -275,25 +279,144 @@ fn upward_trace_counters_identical_across_thread_counts() {
         let db = parse_database(&prog.to_source()).expect("parses");
         let old = materialize(&db).expect("stratified");
         let txn = gen_txn(&mut rng, &db);
+        dduf::datalog::eval::plan::with_planning(true, || {
+            for engine in [UpwardEngine::Semantic, UpwardEngine::Incremental] {
+                let (_, baseline) = dduf::obs::capture(|| {
+                    dduf::core::upward::interpret_with_threads(&db, &old, &txn, engine, 1)
+                        .expect("upward")
+                });
+                assert!(!baseline.is_empty(), "case {case}: no spans recorded");
+                for threads in [2usize, 8] {
+                    let (_, got) = dduf::obs::capture(|| {
+                        dduf::core::upward::interpret_with_threads(&db, &old, &txn, engine, threads)
+                            .expect("upward")
+                    });
+                    assert_eq!(
+                        baseline.semantic_fingerprint(),
+                        got.semantic_fingerprint(),
+                        "case {case}: {engine:?} trace diverges at {threads} threads\n{}",
+                        prog.to_source()
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// The join planner is a pure optimization: compiled plans must produce
+/// bit-identical materializations to the greedy (unplanned) pipeline on
+/// embedded and random programs, for both strategies, at every worker
+/// count. `with_planning` serializes the toggle so concurrent tests in
+/// this binary never observe a half-flipped planner.
+#[test]
+fn planned_matches_unplanned_materialization() {
+    use dduf::datalog::eval::{materialize_with_threads, plan, Strategy};
+    use dduf::datalog::pretty;
+
+    let mut dbs: Vec<(String, Database)> = vec![
+        (
+            "employment".into(),
+            dduf::core::testkit::employment_db_with_condition(),
+        ),
+        ("chain_tc".into(), dduf::core::testkit::chain_tc_db(50)),
+        ("wide".into(), dduf::core::testkit::wide_db(80)),
+    ];
+    let mut rng = Rng::new(0x914A);
+    for case in 0..24 {
+        let prog = RandProgram::gen(&mut rng);
+        let db = parse_database(&prog.to_source()).expect("generated program parses");
+        dbs.push((format!("rand#{case}"), db));
+    }
+
+    for (name, db) in &dbs {
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            for threads in [1usize, 2, 8] {
+                let unplanned = plan::with_planning(false, || {
+                    pretty::derived(
+                        &materialize_with_threads(db, strategy, threads).expect("stratified"),
+                    )
+                });
+                let planned = plan::with_planning(true, || {
+                    pretty::derived(
+                        &materialize_with_threads(db, strategy, threads).expect("stratified"),
+                    )
+                });
+                assert_eq!(
+                    unplanned, planned,
+                    "{name}: {strategy:?} at {threads} threads: planner changed the model"
+                );
+            }
+        }
+    }
+}
+
+/// Same oracle sweep for the upward engines: planned and unplanned runs
+/// of both engines agree on every induced event set, and the planned
+/// run's trace fingerprint is itself thread-count invariant.
+#[test]
+fn planned_matches_unplanned_upward() {
+    use dduf::datalog::eval::plan;
+
+    let mut rng = Rng::new(0x914B);
+    for case in 0..32 {
+        let prog = RandProgram::gen(&mut rng);
+        let db = parse_database(&prog.to_source()).expect("parses");
+        let old = materialize(&db).expect("stratified");
+        let txn = gen_txn(&mut rng, &db);
         for engine in [UpwardEngine::Semantic, UpwardEngine::Incremental] {
-            let (_, baseline) = dduf::obs::capture(|| {
-                dduf::core::upward::interpret_with_threads(&db, &old, &txn, engine, 1)
-                    .expect("upward")
-            });
-            assert!(!baseline.is_empty(), "case {case}: no spans recorded");
-            for threads in [2usize, 8] {
-                let (_, got) = dduf::obs::capture(|| {
+            for threads in [1usize, 2, 8] {
+                let unplanned = plan::with_planning(false, || {
+                    dduf::core::upward::interpret_with_threads(&db, &old, &txn, engine, threads)
+                        .expect("upward")
+                });
+                let planned = plan::with_planning(true, || {
                     dduf::core::upward::interpret_with_threads(&db, &old, &txn, engine, threads)
                         .expect("upward")
                 });
                 assert_eq!(
-                    baseline.semantic_fingerprint(),
-                    got.semantic_fingerprint(),
-                    "case {case}: {engine:?} trace diverges at {threads} threads\n{}",
+                    unplanned,
+                    planned,
+                    "case {case}: {engine:?} at {threads} threads: planner changed the events\n{}",
                     prog.to_source()
                 );
             }
         }
+    }
+}
+
+/// Planned trace fingerprints are thread-count invariant even though
+/// planned evaluation enumerates bindings in plan order: the planner's
+/// counters (`plan.compiled`, `index.composite_built`, probe splits)
+/// depend only on the program and static binding patterns.
+#[test]
+fn planned_trace_fingerprints_invariant_across_thread_counts() {
+    use dduf::datalog::eval::plan;
+
+    let mut rng = Rng::new(0x914C);
+    for case in 0..12 {
+        let prog = RandProgram::gen(&mut rng);
+        let db = parse_database(&prog.to_source()).expect("parses");
+        let old = materialize(&db).expect("stratified");
+        let txn = gen_txn(&mut rng, &db);
+        plan::with_planning(true, || {
+            for engine in [UpwardEngine::Semantic, UpwardEngine::Incremental] {
+                let (_, baseline) = dduf::obs::capture(|| {
+                    dduf::core::upward::interpret_with_threads(&db, &old, &txn, engine, 1)
+                        .expect("upward")
+                });
+                for threads in [2usize, 8] {
+                    let (_, got) = dduf::obs::capture(|| {
+                        dduf::core::upward::interpret_with_threads(&db, &old, &txn, engine, threads)
+                            .expect("upward")
+                    });
+                    assert_eq!(
+                        baseline.semantic_fingerprint(),
+                        got.semantic_fingerprint(),
+                        "case {case}: {engine:?} planned trace diverges at {threads} threads"
+                    );
+                }
+            }
+        });
     }
 }
 
