@@ -21,6 +21,7 @@
 //! * [`matview`] — materialized view extensions and delta application.
 //! * [`domain`] — finite domains (global and per-predicate `#domain`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

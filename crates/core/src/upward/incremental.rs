@@ -24,6 +24,7 @@
 use crate::error::{Error, Result};
 use crate::transaction::Transaction;
 use crate::upward::UpwardResult;
+use dduf_datalog::analysis::cost::{self, CostModel};
 use dduf_datalog::ast::{Atom, Pred, Term, Var};
 use dduf_datalog::eval::join::{
     eval_conjunct_stats, ground_terms, match_tuple, Bindings, JoinStats,
@@ -91,8 +92,10 @@ struct TrPlans {
     ins: Vec<Vec<(Vec<TrLit>, JoinPlan)>>,
     /// Per branch, per disjunctand: the `Pⁿ` satisfiability plan, with
     /// the head's variables seed-bound (they are fixed by unification
-    /// against the candidate tuple).
-    holds: Vec<Vec<JoinPlan>>,
+    /// against the candidate tuple). `None` = the disjunct contains a
+    /// positive event literal over an empty event relation and is
+    /// unsatisfiable this wave — skipped without compiling.
+    holds: Vec<Vec<Option<JoinPlan>>>,
 }
 
 impl TrPlans {
@@ -148,7 +151,17 @@ impl TrPlans {
                     .dnf
                     .0
                     .iter()
-                    .map(|conj| JoinPlan::compile(&conj.0, &bound, None))
+                    .map(|conj| {
+                        // Same dead-disjunct filter as the insertion
+                        // plans: events are fixed for this wave member,
+                        // so a positive event literal over an empty
+                        // event relation makes the disjunct
+                        // unsatisfiable for every candidate.
+                        let live = conj.0.iter().all(|l| {
+                            !l.is_positive_event() || !trlit_relation(l, db, old, events).is_empty()
+                        });
+                        live.then(|| JoinPlan::compile(&conj.0, &bound, None))
+                    })
                     .collect()
             })
             .collect();
@@ -157,26 +170,41 @@ impl TrPlans {
 
     fn compiled(&self) -> u64 {
         (self.ins.iter().map(Vec::len).sum::<usize>()
-            + self.holds.iter().map(Vec::len).sum::<usize>()) as u64
+            + self
+                .holds
+                .iter()
+                .map(|b| b.iter().flatten().count())
+                .sum::<usize>()) as u64
     }
 }
 
 /// Pre-builds the composite indexes a plan declares, resolving each
-/// signature's literal to its backing relation.
+/// signature's literal to its backing relation and asking the cost model
+/// whether the build amortizes: old-state relations are gated through
+/// their static size class, event relations (which exist only within the
+/// wave) through the purely dynamic gate. `driving` is how many probe
+/// seeds are about to hit the plan — a pre-fan-out quantity, so the
+/// decision is identical at any thread count.
+#[allow(clippy::too_many_arguments)]
 fn prebuild_sigs(
     plan: &JoinPlan,
     lits: &[TrLit],
     db: &Database,
     old: &Interpretation,
     events: &EventStore,
+    model: &CostModel,
+    driving: usize,
     indexes: &mut IndexTracker<(u8, Pred)>,
 ) {
     for (lit, cols) in plan.sigs() {
-        indexes.request(
-            trlit_key(&lits[*lit]),
-            trlit_relation(&lits[*lit], db, old, events),
-            cols,
-        );
+        let rel = trlit_relation(&lits[*lit], db, old, events);
+        let worthwhile = match &lits[*lit] {
+            TrLit::Old(l) => model.index_worthwhile(l.atom.pred, rel.len(), driving),
+            TrLit::Event { .. } => cost::index_worthwhile_dynamic(rel.len(), driving),
+        };
+        if worthwhile {
+            indexes.request(trlit_key(&lits[*lit]), rel, cols);
+        }
     }
 }
 
@@ -203,7 +231,7 @@ pub fn new_state_holds(
         old,
         events,
         &mut JoinStats::default(),
-        &mut IndexTracker::new(),
+        &IndexTracker::new(),
     )
 }
 
@@ -218,7 +246,7 @@ fn new_state_holds_inner(
     old: &Interpretation,
     events: &EventStore,
     stats: &mut JoinStats,
-    indexes: &mut IndexTracker<(u8, Pred)>,
+    indexes: &IndexTracker<(u8, Pred)>,
 ) -> bool {
     for (bi, branch) in tr.branches.iter().enumerate() {
         let Some(seed) = unify_head(&branch.head, tuple) else {
@@ -228,9 +256,13 @@ fn new_state_holds_inner(
             let rel_of = |i: usize| -> &Relation { trlit_relation(&conj.0[i], db, old, events) };
             let satisfiable = match plans {
                 Some(p) => {
-                    let pl = &p.holds[bi][ci];
-                    prebuild_sigs(pl, &conj.0, db, old, events, indexes);
-                    !eval_plan_stats(pl, &conj.0, &rel_of, &seed, stats).is_empty()
+                    // Dead disjunct (empty positive event relation):
+                    // unsatisfiable, skip. Index prebuilds happened once
+                    // in `deletions`, before the candidate loop.
+                    let Some(pl) = &p.holds[bi][ci] else { continue };
+                    let indexed_of =
+                        |i: usize, cols: &[usize]| indexes.contains(&trlit_key(&conj.0[i]), cols);
+                    !eval_plan_stats(pl, &conj.0, &rel_of, &indexed_of, &seed, stats).is_empty()
                 }
                 None => !eval_conjunct_stats(&conj.0, &rel_of, &seed, stats).is_empty(),
             };
@@ -244,12 +276,14 @@ fn new_state_holds_inner(
 
 /// Computes the induced insertions of a non-recursive derived predicate,
 /// accumulating join work into `stats`.
+#[allow(clippy::too_many_arguments)]
 fn insertions(
     tr: &TransitionRule,
     plans: Option<&TrPlans>,
     db: &Database,
     old: &Interpretation,
     events: &EventStore,
+    model: Option<&CostModel>,
     stats: &mut JoinStats,
     indexes: &mut IndexTracker<(u8, Pred)>,
 ) -> Relation {
@@ -273,8 +307,19 @@ fn insertions(
             let rel_of = |i: usize| -> &Relation { trlit_relation(&lits[i], db, old, events) };
             let bindings = match pl {
                 Some(pl) => {
-                    prebuild_sigs(pl, lits, db, old, events, indexes);
-                    eval_plan_stats(pl, lits, &rel_of, &Bindings::new(), stats)
+                    // Driving cardinality: the pinned event relation the
+                    // plan scans first — each of its tuples seeds one
+                    // pass over the later probes.
+                    let driving = pl
+                        .steps()
+                        .first()
+                        .map(|s| trlit_relation(&lits[s.lit()], db, old, events).len())
+                        .unwrap_or(0);
+                    let model = model.expect("cost model accompanies plans");
+                    prebuild_sigs(pl, lits, db, old, events, model, driving, indexes);
+                    let indexed_of =
+                        |i: usize, cols: &[usize]| indexes.contains(&trlit_key(&lits[i]), cols);
+                    eval_plan_stats(pl, lits, &rel_of, &indexed_of, &Bindings::new(), stats)
                 }
                 None => eval_conjunct_stats(lits, &rel_of, &Bindings::new(), stats),
             };
@@ -315,6 +360,7 @@ fn deletions(
     db: &Database,
     old: &Interpretation,
     events: &EventStore,
+    model: Option<&CostModel>,
     stats: &mut JoinStats,
     indexes: &mut IndexTracker<(u8, Pred)>,
     compiled: &mut u64,
@@ -346,11 +392,16 @@ fn deletions(
             let rel_of = |k: usize| -> &Relation { trlit_relation(&lits[k], db, old, events) };
             let bindings = if plans.is_some() {
                 // The breaking event is this conjunct's delta: pin it
-                // first, exactly like a semi-naive delta occurrence.
+                // first, exactly like a semi-naive delta occurrence. It
+                // also drives the probes — one pass per breaking event.
                 *compiled += 1;
+                let driving = events.relation(breaking, lit.atom.pred).len();
                 let pl = JoinPlan::compile(&lits, &BTreeSet::new(), Some(i));
-                prebuild_sigs(&pl, &lits, db, old, events, indexes);
-                eval_plan_stats(&pl, &lits, &rel_of, &Bindings::new(), stats)
+                let model = model.expect("cost model accompanies plans");
+                prebuild_sigs(&pl, &lits, db, old, events, model, driving, indexes);
+                let indexed_of =
+                    |k: usize, cols: &[usize]| indexes.contains(&trlit_key(&lits[k]), cols);
+                eval_plan_stats(&pl, &lits, &rel_of, &indexed_of, &Bindings::new(), stats)
             } else {
                 eval_conjunct_stats(&lits, &rel_of, &Bindings::new(), stats)
             };
@@ -362,6 +413,28 @@ fn deletions(
         }
     }
     // Rule (7): del P = P° ∩ candidates, minus tuples still derivable.
+    // The `Pⁿ` plans run once per candidate, so their index prebuilds are
+    // hoisted here — one pass, driven by the candidate count — instead of
+    // being re-requested inside every `new_state_holds_inner` call.
+    if let (Some(p), false) = (plans, candidates.is_empty()) {
+        let model = model.expect("cost model accompanies plans");
+        for (bi, branch) in tr.branches.iter().enumerate() {
+            for (ci, conj) in branch.dnf.0.iter().enumerate() {
+                if let Some(pl) = &p.holds[bi][ci] {
+                    prebuild_sigs(
+                        pl,
+                        &conj.0,
+                        db,
+                        old,
+                        events,
+                        model,
+                        candidates.len(),
+                        indexes,
+                    );
+                }
+            }
+        }
+    }
     let old_rel = old.relation(pred);
     candidates
         .iter()
@@ -444,6 +517,10 @@ pub fn interpret_pooled(
     // Components actually evaluated (their entry in `new_interp` is
     // authoritative, even when empty).
     let mut evaluated: std::collections::BTreeSet<Pred> = std::collections::BTreeSet::new();
+
+    // One cost model per transaction: static bounds over the program plus
+    // the old base state, consulted by every event-rule index gate below.
+    let cost_model = plan::planning_enabled().then(|| CostModel::from_database(db));
 
     let components = strat.components();
     let mut done: Vec<bool> = vec![false; components.len()];
@@ -529,6 +606,7 @@ pub fn interpret_pooled(
                     db,
                     old,
                     &events,
+                    cost_model.as_ref(),
                     &mut stats,
                     &mut indexes,
                 );
@@ -539,6 +617,7 @@ pub fn interpret_pooled(
                     db,
                     old,
                     &events,
+                    cost_model.as_ref(),
                     &mut stats,
                     &mut indexes,
                     &mut compiled,

@@ -7,8 +7,9 @@
 //! against it.
 //!
 //! Join planning reaches this engine through the materialization call:
-//! `materialize_with_threads` compiles per-rule [`JoinPlan`]s (see
-//! `dduf_datalog::eval::plan`) whenever planning is enabled, so the
+//! `materialize_with_threads` compiles per-rule
+//! [`JoinPlan`](dduf_datalog::eval::plan::JoinPlan)s whenever planning
+//! is enabled, so the
 //! semantic engine needs no plan wiring of its own.
 
 use crate::error::Result;

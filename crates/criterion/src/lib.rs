@@ -17,6 +17,7 @@
 //! [`Bencher::iter`], [`black_box`], and the
 //! [`criterion_group!`]/[`criterion_main!`] macros.
 
+#![forbid(unsafe_code)]
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

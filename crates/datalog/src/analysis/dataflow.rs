@@ -1,0 +1,145 @@
+//! The shared dataflow context the semantic analyses run over.
+//!
+//! The syntactic passes each rebuild whatever graph slice they need; the
+//! three semantic analyses (adornment inference, cost bounds, update
+//! classification) all want the *same* facts about the predicate
+//! dependency graph — its SCCs in dependency order, which predicates are
+//! recursive, and which definitions pass through negation. [`Dataflow`]
+//! computes them once from a [`DepGraph`] so the analyses (and the
+//! [`super::report::ProgramReport`] that aggregates them) agree by
+//! construction.
+
+use crate::ast::Pred;
+use crate::depgraph::{DepGraph, EdgeSign};
+use crate::schema::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Precomputed dependency facts shared by the semantic analyses.
+pub struct Dataflow<'a> {
+    /// The program under analysis.
+    pub program: &'a Program,
+    /// Its predicate dependency graph.
+    pub graph: DepGraph,
+    /// Strongly connected components, dependencies before dependents.
+    pub sccs: Vec<Vec<Pred>>,
+    /// Predicate → index of its SCC in `sccs`.
+    scc_of: BTreeMap<Pred, usize>,
+    /// Members of recursive SCCs (self-loop or larger cycle).
+    recursive: BTreeSet<Pred>,
+    /// Predicates whose definition (transitively) passes through a negative
+    /// body occurrence — the deletion-sensitive ones (§3.2: their event
+    /// rules contain insertion-induced deletions and vice versa).
+    negation_tainted: BTreeSet<Pred>,
+}
+
+impl<'a> Dataflow<'a> {
+    /// Builds the context for `program`.
+    pub fn new(program: &'a Program) -> Dataflow<'a> {
+        let graph = DepGraph::build(program);
+        let sccs = graph.sccs();
+        let mut scc_of = BTreeMap::new();
+        let mut recursive = BTreeSet::new();
+        for (i, comp) in sccs.iter().enumerate() {
+            let members: BTreeSet<Pred> = comp.iter().copied().collect();
+            let internal = comp
+                .iter()
+                .any(|&p| graph.deps(p).any(|(q, _)| members.contains(&q)));
+            for &p in comp {
+                scc_of.insert(p, i);
+                if internal {
+                    recursive.insert(p);
+                }
+            }
+        }
+        // Least fixpoint of: tainted(p) ⇐ p has a negative out-edge, or
+        // some dependency of p is tainted. Worklist over the reverse
+        // direction would need reverse edges; the graph is small, so a
+        // simple iterate-to-fixpoint over all nodes is fine.
+        let mut negation_tainted: BTreeSet<Pred> = graph
+            .nodes()
+            .filter(|&p| graph.deps(p).any(|(_, s)| s == EdgeSign::Negative))
+            .collect();
+        loop {
+            let mut grew = false;
+            for p in graph.nodes() {
+                if !negation_tainted.contains(&p)
+                    && graph.deps(p).any(|(q, _)| negation_tainted.contains(&q))
+                {
+                    negation_tainted.insert(p);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        Dataflow {
+            program,
+            graph,
+            sccs,
+            scc_of,
+            recursive,
+            negation_tainted,
+        }
+    }
+
+    /// True iff `pred` is in a recursive SCC.
+    pub fn is_recursive(&self, pred: Pred) -> bool {
+        self.recursive.contains(&pred)
+    }
+
+    /// The index of `pred`'s SCC in [`Dataflow::sccs`], if it appears in
+    /// any rule.
+    pub fn scc_index(&self, pred: Pred) -> Option<usize> {
+        self.scc_of.get(&pred).copied()
+    }
+
+    /// True iff `pred`'s definition passes through negation somewhere —
+    /// directly or in any predicate it depends on.
+    pub fn negation_tainted(&self, pred: Pred) -> bool {
+        self.negation_tainted.contains(&pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program_lenient;
+
+    fn flow_facts(src: &str, f: impl FnOnce(&Dataflow<'_>)) {
+        let lp = parse_program_lenient(src).unwrap();
+        let flow = Dataflow::new(&lp.output.program);
+        f(&flow);
+    }
+
+    #[test]
+    fn recursion_and_scc_order() {
+        flow_facts(
+            "tc(X, Y) :- e(X, Y).\n\
+             tc(X, Y) :- e(X, Z), tc(Z, Y).\n\
+             top(X) :- tc(X, _).\n",
+            |flow| {
+                let tc = Pred::new("tc", 2);
+                let top = Pred::new("top", 1);
+                assert!(flow.is_recursive(tc));
+                assert!(!flow.is_recursive(top));
+                // Dependencies come before dependents.
+                assert!(flow.scc_index(tc).unwrap() < flow.scc_index(top).unwrap());
+            },
+        );
+    }
+
+    #[test]
+    fn negation_taint_is_transitive() {
+        flow_facts(
+            "unemp(X) :- la(X), not works(X).\n\
+             needy(X) :- unemp(X), person(X).\n\
+             plain(X) :- person(X).\n",
+            |flow| {
+                assert!(flow.negation_tainted(Pred::new("unemp", 1)));
+                assert!(flow.negation_tainted(Pred::new("needy", 1)));
+                assert!(!flow.negation_tainted(Pred::new("plain", 1)));
+            },
+        );
+    }
+}

@@ -18,6 +18,10 @@ pub enum Severity {
     Error,
     /// The program is accepted but something is suspicious or wasteful.
     Warning,
+    /// A neutral classification fact about the program (the `dduf analyze`
+    /// report): nothing is wrong, the framework just wants it on record —
+    /// e.g. which of the paper's update problems a predicate poses.
+    Info,
 }
 
 impl fmt::Display for Severity {
@@ -25,6 +29,7 @@ impl fmt::Display for Severity {
         match self {
             Severity::Error => f.write_str("error"),
             Severity::Warning => f.write_str("warning"),
+            Severity::Info => f.write_str("info"),
         }
     }
 }
@@ -96,6 +101,14 @@ impl Diagnostic {
     pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
         Diagnostic {
             severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// Creates an info diagnostic (a classification fact, `I0xx`).
+    pub fn info(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Info,
             ..Diagnostic::error(code, message)
         }
     }

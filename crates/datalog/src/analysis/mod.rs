@@ -26,6 +26,16 @@
 //! | W006 | warning  | predicate used with conflicting arities |
 //! | W007 | warning  | column mixes integer and symbolic constants |
 //! | W008 | warning  | event domain over an unknown or non-base predicate (§3.1) |
+//! | W009 | warning  | cartesian product: body literals form disconnected variable groups |
+//! | W010 | warning  | constraint/condition guards a recursive predicate |
+//! | I001 | info     | update translation is deterministic (§5.2) |
+//! | I002 | info     | update translation is ambiguous (§5.2) |
+//! | I003 | info     | maintenance is deletion-sensitive (§3.2) |
+//! | I004 | info     | recursive: monitoring recomputes the component |
+//!
+//! `I0xx` classification facts come from the *report* pipeline behind
+//! `dduf analyze` ([`Analyzer::with_report_passes`]); `dduf lint` runs only
+//! the error/warning passes, so `--deny-warnings` never trips on a fact.
 //!
 //! # Example
 //!
@@ -37,18 +47,28 @@
 //! assert!(codes.contains(&"E001")); // Y not allowed
 //! ```
 
+pub mod adornment;
 pub mod allowedness;
+pub mod classify;
 pub mod conflicts;
+pub mod cost;
+pub mod dataflow;
 pub mod diagnostic;
 pub mod events_check;
 pub mod predicates;
 pub mod reachability;
 pub mod recursion;
+pub mod report;
 pub mod schema_check;
 pub mod stratification;
 pub mod variables;
 
+pub use adornment::AdornmentInfo;
+pub use classify::Classification;
+pub use cost::{CostModel, SizeClass};
+pub use dataflow::Dataflow;
 pub use diagnostic::{json_str, Diagnostic, Label, Severity};
+pub use report::ProgramReport;
 
 use crate::ast::Atom;
 use crate::error::SchemaError;
@@ -109,6 +129,15 @@ impl Analyzer {
         a.add_pass(Box::new(recursion::NegatedRecursion));
         a.add_pass(Box::new(conflicts::Conflicts));
         a.add_pass(Box::new(events_check::EventDomains));
+        a.add_pass(Box::new(cost::CostBounds));
+        a
+    }
+
+    /// The `dduf analyze` pipeline: every default pass plus the
+    /// update-problem classification (info diagnostics, `I0xx`).
+    pub fn with_report_passes() -> Analyzer {
+        let mut a = Analyzer::with_default_passes();
+        a.add_pass(Box::new(classify::Classify));
         a
     }
 
@@ -164,7 +193,18 @@ impl Analysis {
 
     /// Number of warning-severity diagnostics.
     pub fn warning_count(&self) -> usize {
-        self.diagnostics.len() - self.error_count()
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Number of info-severity diagnostics.
+    pub fn info_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Info)
+            .count()
     }
 }
 
@@ -234,6 +274,30 @@ pub const CODES: &[(&str, &str)] = &[
         "W008",
         "event domain over an unknown or non-base predicate (§3.1)",
     ),
+    (
+        "W009",
+        "cartesian product: positive body literals form disconnected variable groups",
+    ),
+    (
+        "W010",
+        "constraint or condition guards a recursive predicate (monitoring recomputes)",
+    ),
+    (
+        "I001",
+        "update translation is deterministic: one base translation per request (§5.2)",
+    ),
+    (
+        "I002",
+        "update translation is ambiguous: alternative base translations exist (§5.2)",
+    ),
+    (
+        "I003",
+        "maintenance is deletion-sensitive: the definition passes through negation (§3.2)",
+    ),
+    (
+        "I004",
+        "recursive predicate: incremental monitoring recomputes the component and diffs",
+    ),
 ];
 
 #[cfg(test)]
@@ -288,15 +352,35 @@ mod tests {
     }
 
     #[test]
-    fn default_pipeline_has_nine_passes() {
-        assert_eq!(Analyzer::with_default_passes().pass_names().len(), 9);
+    fn default_pipeline_has_ten_passes() {
+        assert_eq!(Analyzer::with_default_passes().pass_names().len(), 10);
+    }
+
+    #[test]
+    fn report_pipeline_adds_classification() {
+        let names = Analyzer::with_report_passes().pass_names();
+        assert_eq!(names.len(), 11);
+        assert_eq!(*names.last().unwrap(), "classification");
     }
 
     #[test]
     fn codes_table_is_consistent() {
         for (code, _) in CODES {
-            assert!(code.starts_with('E') || code.starts_with('W'));
+            assert!(
+                code.starts_with('E') || code.starts_with('W') || code.starts_with('I'),
+                "{code}"
+            );
             assert_eq!(code.len(), 4);
         }
+    }
+
+    #[test]
+    fn info_diagnostics_counted_separately() {
+        let a = analyze_source_with("v(X) :- q(X), r(W).\n", &Analyzer::with_report_passes());
+        assert!(a.info_count() >= 1, "{:?}", a.diagnostics);
+        // W001 (singleton `W`) + W009 (cross product); infos must not
+        // inflate the warning count.
+        assert_eq!(a.warning_count(), 2, "{:?}", a.diagnostics);
+        assert_eq!(a.error_count(), 0);
     }
 }

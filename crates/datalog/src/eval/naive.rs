@@ -96,9 +96,14 @@ pub fn eval_component_traced(
             };
             let mut stats = JoinStats::default();
             let bindings = match &plans {
-                Some(p) => {
-                    eval_plan_stats(&p[ri], &rule.body, &rel_of, &Bindings::new(), &mut stats)
-                }
+                Some(p) => eval_plan_stats(
+                    &p[ri],
+                    &rule.body,
+                    &rel_of,
+                    &|i, cols| indexes.contains(&rule.body[i].atom.pred, cols),
+                    &Bindings::new(),
+                    &mut stats,
+                ),
                 None => eval_conjunct_stats(&rule.body, &rel_of, &Bindings::new(), &mut stats),
             };
             let tuples = bindings

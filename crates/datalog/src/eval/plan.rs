@@ -40,7 +40,7 @@
 use crate::ast::{Term, Var};
 use crate::eval::join::{ground_terms, match_tuple, resolve, Bindings, JoinLit, JoinStats};
 use crate::storage::relation::Relation;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
@@ -259,10 +259,21 @@ fn free_vars(terms: &[Term], bound: &BTreeSet<Var>) -> usize {
 /// membership lookup) or scan (an unindexed iteration). Frontier bindings
 /// downstream of the delta scan partition exactly across delta chunks, so
 /// all counters are thread-count invariant.
+///
+/// `indexed_of(lit, cols)` is the engine's *deterministic* record of which
+/// (occurrence, signature) pairs it decided to index — normally
+/// [`IndexTracker::contains`]. Probes on signatures the engine declined
+/// route through [`Relation::probe_scan`], so a cost-model "don't index"
+/// decision cannot be undone by the lazy build inside
+/// [`Relation::probe_cols`]; and because the classification reads the
+/// decision rather than the physical cache, the indexed/scan counters stay
+/// identical at any thread count even when same-wave components share a
+/// base relation.
 pub fn eval_plan_stats<'a, L: JoinLit>(
     plan: &JoinPlan,
     lits: &[L],
     rel_of: &dyn Fn(usize) -> &'a Relation,
+    indexed_of: &dyn Fn(usize, &[usize]) -> bool,
     seed: &Bindings,
     stats: &mut JoinStats,
 ) -> Vec<Bindings> {
@@ -288,6 +299,7 @@ pub fn eval_plan_stats<'a, L: JoinLit>(
             }
             Step::Probe { lit, cols } => {
                 let terms = lits[*lit].terms();
+                let use_index = indexed_of(*lit, cols);
                 let mut next = Vec::new();
                 let mut key: Vec<crate::ast::Const> = Vec::with_capacity(cols.len());
                 for b in &frontier {
@@ -298,12 +310,18 @@ pub fn eval_plan_stats<'a, L: JoinLit>(
                             .expect("plan invariant: signature columns are bound")
                     }));
                     stats.probes += 1;
-                    let (tuples, indexed) = rel.probe_cols(cols, &key);
-                    if indexed {
-                        stats.indexed_probes += 1;
+                    let tuples = if use_index {
+                        let (tuples, indexed) = rel.probe_cols(cols, &key);
+                        if indexed {
+                            stats.indexed_probes += 1;
+                        } else {
+                            stats.scan_probes += 1;
+                        }
+                        tuples
                     } else {
                         stats.scan_probes += 1;
-                    }
+                        rel.probe_scan(cols, &key)
+                    };
                     for t in &tuples {
                         if let Some(ext) = match_tuple(terms, t, b) {
                             stats.matches += 1;
@@ -341,6 +359,7 @@ pub fn eval_plan_stats<'a, L: JoinLit>(
             }
             Step::NegProbe { lit, cols } => {
                 let terms = lits[*lit].terms();
+                let use_index = indexed_of(*lit, cols);
                 let mut key: Vec<crate::ast::Const> = Vec::with_capacity(cols.len());
                 frontier.retain(|b| {
                     key.clear();
@@ -350,12 +369,18 @@ pub fn eval_plan_stats<'a, L: JoinLit>(
                             .expect("plan invariant: signature columns are bound")
                     }));
                     stats.probes += 1;
-                    let (tuples, indexed) = rel.probe_cols(cols, &key);
-                    if indexed {
-                        stats.indexed_probes += 1;
+                    let tuples = if use_index {
+                        let (tuples, indexed) = rel.probe_cols(cols, &key);
+                        if indexed {
+                            stats.indexed_probes += 1;
+                        } else {
+                            stats.scan_probes += 1;
+                        }
+                        tuples
                     } else {
                         stats.scan_probes += 1;
-                    }
+                        rel.probe_scan(cols, &key)
+                    };
                     let keep = !tuples.iter().any(|t| match_tuple(terms, t, b).is_some());
                     stats.matches += u64::from(keep);
                     keep
@@ -386,7 +411,7 @@ pub fn eval_plan_stats<'a, L: JoinLit>(
 /// `index.composite_built` identical at any thread count.
 #[derive(Debug, Default)]
 pub struct IndexTracker<K: Ord> {
-    built: BTreeSet<(K, Box<[usize]>)>,
+    built: BTreeMap<K, BTreeSet<Box<[usize]>>>,
     count: u64,
 }
 
@@ -394,7 +419,7 @@ impl<K: Ord + Clone> IndexTracker<K> {
     /// Creates an empty tracker.
     pub fn new() -> IndexTracker<K> {
         IndexTracker {
-            built: BTreeSet::new(),
+            built: BTreeMap::new(),
             count: 0,
         }
     }
@@ -406,17 +431,27 @@ impl<K: Ord + Clone> IndexTracker<K> {
         if cols.is_empty() || !rel.indexable() {
             return;
         }
-        if self.built.insert((key, cols.into())) {
+        let sigs = self.built.entry(key).or_default();
+        if !sigs.contains(cols) && sigs.insert(cols.into()) {
             self.count += 1;
             rel.build_index(cols);
         }
+    }
+
+    /// True iff `request(key, _, cols)` has been granted since the last
+    /// `invalidate(key)`. This is the deterministic `indexed_of` source for
+    /// [`eval_plan_stats`]: it reflects the engine's decision, not the
+    /// physical cache, so it answers identically at any thread count.
+    /// Alloc-free — called once per (plan step, job).
+    pub fn contains(&self, key: &K, cols: &[usize]) -> bool {
+        self.built.get(key).is_some_and(|sigs| sigs.contains(cols))
     }
 
     /// Forgets every index on relations keyed by `key` — call after the
     /// backing relation mutates (mutation invalidates its index cache, so
     /// the next request is a genuine rebuild).
     pub fn invalidate(&mut self, key: &K) {
-        self.built.retain(|(k, _)| k != key);
+        self.built.remove(key);
     }
 
     /// Gate-passing first-time requests so far.
@@ -613,13 +648,39 @@ mod tests {
         let rel_of = |i: usize| -> &Relation { rels[i] };
         let plan = JoinPlan::compile(&lits, &BTreeSet::new(), None);
         let mut stats = JoinStats::default();
-        let mut planned = eval_plan_stats(&plan, &lits, &rel_of, &Bindings::new(), &mut stats);
+        let mut planned = eval_plan_stats(
+            &plan,
+            &lits,
+            &rel_of,
+            &|_, _| true,
+            &Bindings::new(),
+            &mut stats,
+        );
         let mut greedy = eval_conjunct(&lits, &rel_of, &Bindings::new());
         planned.sort();
         greedy.sort();
         assert_eq!(planned, greedy);
         assert_eq!(stats.probes, stats.indexed_probes + stats.scan_probes);
         assert!(stats.matches > 0);
+
+        // Declining every index must not change the answers, only the
+        // probe classification (everything becomes a scan).
+        let mut scan_stats = JoinStats::default();
+        let mut scanned = eval_plan_stats(
+            &plan,
+            &lits,
+            &rel_of,
+            &|_, _| false,
+            &Bindings::new(),
+            &mut scan_stats,
+        );
+        scanned.sort();
+        assert_eq!(scanned, planned);
+        assert_eq!(scan_stats.probes, stats.probes);
+        assert_eq!(scan_stats.matches, stats.matches);
+        // NegGround membership tests are always indexed; every Probe step
+        // routed through probe_scan counts as a scan.
+        assert_eq!(scan_stats.indexed_probes, stats.indexed_probes);
     }
 
     #[test]
@@ -635,7 +696,15 @@ mod tests {
         tracker.request(0, &big, &[]); // empty signature
         tracker.request(1, &big, &[0]); // distinct key
         assert_eq!(tracker.count(), 2);
+        assert!(tracker.contains(&0, &[0]));
+        assert!(!tracker.contains(&0, &[1]));
+        assert!(
+            !tracker.contains(&0, &[]),
+            "empty signatures are never granted"
+        );
         tracker.invalidate(&0);
+        assert!(!tracker.contains(&0, &[0]), "invalidate forgets the key");
+        assert!(tracker.contains(&1, &[0]), "other keys survive");
         tracker.request(0, &big, &[0]); // genuine rebuild after mutation
         assert_eq!(tracker.count(), 3);
     }

@@ -34,6 +34,7 @@
 //! assert_eq!(answers.len(), 1); // dolors
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -237,6 +237,19 @@ impl Relation {
         (self.probe(cols, key), true)
     }
 
+    /// Like [`Relation::probe_cols`] but always scans, never building (or
+    /// consulting) an index. The planner routes probes here when the cost
+    /// model decided an index on this column set is not worth building —
+    /// the decision must then not leak back in through the lazy build.
+    pub fn probe_scan(&self, cols: &[usize], key: &[Const]) -> Vec<Tuple> {
+        debug_assert_eq!(cols.len(), key.len());
+        self.tuples
+            .iter()
+            .filter(|t| cols.iter().zip(key).all(|(&c, &k)| t[c] == k))
+            .cloned()
+            .collect()
+    }
+
     fn probe(&self, cols: &[usize], key: &[Const]) -> Vec<Tuple> {
         {
             let cache = self.index.read().expect("index lock");
@@ -367,6 +380,18 @@ mod tests {
         let (hits, indexed) = small.probe_cols(&[0, 1], &[Const::sym("b"), Const::sym("y")]);
         assert!(!indexed, "tiny relations are scanned, not indexed");
         assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn probe_scan_matches_probe_cols_without_indexing() {
+        let mut r = Relation::new();
+        for i in 0..50i64 {
+            r.insert(Tuple::new(vec![Const::Int(i % 5), Const::Int(i)]));
+        }
+        let scanned = r.probe_scan(&[0], &[Const::Int(2)]);
+        let (probed, indexed) = r.probe_cols(&[0], &[Const::Int(2)]);
+        assert!(indexed);
+        assert_eq!(scanned, probed);
     }
 
     #[test]

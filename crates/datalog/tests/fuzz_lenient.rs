@@ -1,0 +1,177 @@
+//! Fuzz-style robustness tests for the lenient parser and the analysis
+//! pipeline: a deterministic in-tree mutator corrupts a corpus of real
+//! programs and asserts two invariants on every mutant:
+//!
+//! 1. `parse_program_lenient` (and the full `analyze_source` pipeline on
+//!    top of it) never panics — lenient means *lenient*;
+//! 2. every diagnostic label points inside the input: line within the
+//!    source's line count, column within that line (so rendering can
+//!    always show an excerpt without going out of bounds).
+//!
+//! No external fuzzer is involved; the RNG is a fixed-seed xorshift64*,
+//! so failures reproduce exactly and CI runs are stable.
+
+use dduf_datalog::analysis::analyze_source;
+use dduf_datalog::parser::parse_program_lenient;
+
+/// Deterministic xorshift64* generator; good enough for byte mutation.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Seed corpus: the shipped example programs plus shapes that exercise
+/// every parser feature (directives, negation, constraints, comments).
+fn corpus() -> Vec<&'static str> {
+    vec![
+        include_str!("../../../examples/programs/quickstart.dl"),
+        include_str!("../../../examples/programs/employment.dl"),
+        include_str!("../../../examples/programs/condition_monitoring.dl"),
+        include_str!("../../../examples/programs/integrity_repair.dl"),
+        include_str!("../../../examples/programs/provenance_queries.dl"),
+        include_str!("../../../examples/programs/schema_design.dl"),
+        include_str!("../../../examples/programs/view_maintenance.dl"),
+        "#base e/2. #derived tc/2.\ntc(X, Y) :- e(X, Y).\ntc(X, Y) :- e(X, Z), tc(Z, Y).\n",
+        "p(X) :- q(X), not r(X). % trailing comment\n:- p(X), not s(X).\n",
+        "#domain d/1 {a, b}.\n#cond c/1.\nc(X) :- d(X), not e(X).\n",
+    ]
+}
+
+/// One random edit: flip, insert, delete, splice, or truncate. Operates
+/// on bytes; the result is re-validated as UTF-8 lossily, so mutants may
+/// contain replacement characters — the parser must shrug those off too.
+fn mutate(rng: &mut Rng, input: &str) -> String {
+    let mut bytes = input.as_bytes().to_vec();
+    // Characters the grammar actually reacts to, plus raw noise.
+    const SPICE: &[u8] = b"().,:-_%#{}XYZabc \n\t\"\\\0\xff";
+    for _ in 0..1 + rng.below(4) {
+        match rng.below(5) {
+            0 if !bytes.is_empty() => {
+                let i = rng.below(bytes.len());
+                bytes[i] = SPICE[rng.below(SPICE.len())];
+            }
+            1 => {
+                let i = rng.below(bytes.len() + 1);
+                bytes.insert(i, SPICE[rng.below(SPICE.len())]);
+            }
+            2 if !bytes.is_empty() => {
+                bytes.remove(rng.below(bytes.len()));
+            }
+            3 if bytes.len() > 2 => {
+                // Splice a random chunk over another position.
+                let from = rng.below(bytes.len());
+                let len = 1 + rng.below((bytes.len() - from).min(8));
+                let chunk: Vec<u8> = bytes[from..from + len].to_vec();
+                let to = rng.below(bytes.len());
+                for (k, b) in chunk.into_iter().enumerate() {
+                    if to + k < bytes.len() {
+                        bytes[to + k] = b;
+                    }
+                }
+            }
+            _ if !bytes.is_empty() => {
+                bytes.truncate(rng.below(bytes.len() + 1));
+            }
+            _ => {}
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Asserts every label of every diagnostic lies inside `src`.
+fn assert_spans_in_bounds(src: &str, mutant_id: &str) {
+    let analysis = analyze_source(src);
+    let lines: Vec<&str> = src.lines().collect();
+    for d in &analysis.diagnostics {
+        for label in d.primary.iter().chain(d.secondary.iter()) {
+            let (line, col) = (label.span.line as usize, label.span.col as usize);
+            assert!(
+                line >= 1 && line <= lines.len().max(1),
+                "{mutant_id}: {} span line {line} outside 1..={} in {src:?}",
+                d.code,
+                lines.len()
+            );
+            let width = lines.get(line - 1).map_or(0, |l| l.chars().count());
+            assert!(
+                col >= 1 && col <= width + 1,
+                "{mutant_id}: {} span col {col} outside 1..={} on line {line} of {src:?}",
+                d.code,
+                width + 1
+            );
+        }
+        // Rendering must also hold up (it indexes the source by line).
+        let _ = d.render("fuzz.dl", src);
+    }
+}
+
+#[test]
+fn lenient_parse_never_panics_on_mutated_inputs() {
+    let corpus = corpus();
+    let mut rng = Rng::new(0x5eed_1995_1cde_0001);
+    for (si, seed) in corpus.iter().enumerate() {
+        // The unmutated seed must satisfy the invariants too.
+        assert_spans_in_bounds(seed, &format!("seed {si}"));
+        for round in 0..60 {
+            let mutant = mutate(&mut rng, seed);
+            let id = format!("seed {si} round {round}");
+            // Invariant 1: no panic, whatever came out of the mutator.
+            let _ = parse_program_lenient(&mutant);
+            // Invariant 2: the full pipeline agrees and stays in bounds.
+            assert_spans_in_bounds(&mutant, &id);
+        }
+    }
+}
+
+#[test]
+fn degenerate_inputs_are_handled() {
+    for src in [
+        "",
+        "\n",
+        ".",
+        ":-",
+        ":- .",
+        "p(",
+        "p().",
+        "p(X) :-",
+        "not",
+        "#",
+        "#bogus x/1.",
+        "%only a comment",
+        "\u{fffd}\u{fffd}",
+        "p(\0).",
+        "p(X) :- q(X), ",
+        "{}",
+        "p(X, X, X, X, X, X, X, X) :- q(X).",
+    ] {
+        let _ = parse_program_lenient(src);
+        assert_spans_in_bounds(src, "degenerate");
+    }
+}
+
+#[test]
+fn long_pathological_input_terminates() {
+    // A deep right-leaning pile of rules with unbalanced parens sprinkled
+    // in; catches accidental quadratic rescans or unbounded recursion.
+    let mut src = String::new();
+    for i in 0..500 {
+        src.push_str(&format!("p{i}(X) :- p{}(X(, not q(X).\n", i + 1));
+    }
+    let _ = parse_program_lenient(&src);
+    assert_spans_in_bounds(&src, "pathological");
+}

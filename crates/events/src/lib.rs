@@ -28,6 +28,7 @@
 //! assert_eq!(tr.disjunct_count(), 4); // 2^2 (example 3.1 of the paper)
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -19,6 +19,7 @@
 //! that deterministic subset; the test suite and CI diff it across
 //! thread counts.
 
+#![forbid(unsafe_code)]
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

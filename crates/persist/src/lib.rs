@@ -24,6 +24,7 @@
 //! *before* the final record is never truncated silently: it is a hard
 //! error naming the damaged record.
 
+#![forbid(unsafe_code)]
 pub mod crc32;
 pub mod error;
 pub mod journal;

@@ -12,13 +12,7 @@ use dduf::core::problems::condition_prevention::PreventKinds;
 use dduf::prelude::*;
 
 fn main() -> Result<()> {
-    let db = parse_database(
-        "#cond reorder/1.
-         item(widget). item(gadget). item(gizmo).
-         in_stock(widget). in_stock(gadget). in_stock(gizmo).
-         on_order(gadget).
-         reorder(X) :- item(X), not in_stock(X), not on_order(X).",
-    )?;
+    let db = parse_database(include_str!("programs/condition_monitoring.dl"))?;
     let mut proc = UpdateProcessor::new(db)?;
 
     // ---- §5.1.2: monitoring a stream ----

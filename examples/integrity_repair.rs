@@ -14,12 +14,7 @@ use dduf::prelude::*;
 
 fn main() -> Result<()> {
     // pere draws a benefit while working; rosa is unemployed w/o benefit.
-    let db = parse_database(
-        "la(pere). la(rosa). works(pere). u_benefit(pere).
-         unemp(X) :- la(X), not works(X).
-         :- unemp(X), not u_benefit(X).
-         :- works(X), u_benefit(X).",
-    )?;
+    let db = parse_database(include_str!("programs/integrity_repair.dl"))?;
     let mut proc = UpdateProcessor::new(db)?;
 
     // ---- Repair enumeration ----

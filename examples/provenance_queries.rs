@@ -9,15 +9,7 @@ use dduf::datalog::query;
 use dduf::prelude::*;
 
 fn main() -> Result<()> {
-    let db = parse_database(
-        "% a small org chart
-         emp(ana, sales). emp(ben, sales). emp(cara, hr).
-         dept(sales, bcn). dept(hr, madrid).
-         mgr(ana).
-         emp_city(E, C) :- emp(E, D), dept(D, C).
-         plain(E) :- emp(E, _), not mgr(E).
-         covered(E) :- emp_city(E, bcn).",
-    )?;
+    let db = parse_database(include_str!("programs/provenance_queries.dl"))?;
     let model = materialize(&db)?;
     let state = StateView::new(&db, &model);
 

@@ -13,10 +13,7 @@ use dduf_events::simplify::simplify_transition;
 
 fn main() -> Result<()> {
     // ---- The deductive database of example 4.1 ----
-    let db = parse_database(
-        "q(a). q(b). r(b).
-         p(X) :- q(X), not r(X).",
-    )?;
+    let db = parse_database(include_str!("programs/quickstart.dl"))?;
     println!("database:");
     println!("  q(a). q(b). r(b).");
     println!("  p(X) :- q(X), not r(X).");

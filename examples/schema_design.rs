@@ -12,13 +12,7 @@ use dduf::prelude::*;
 
 fn main() -> Result<()> {
     // First schema draft: projects must be staffed, staff must be hired.
-    let db = parse_database(
-        "#domain hired/1 {ana, ben, cara}.
-         #domain assigned/2 {ana, ben, cara, apollo, hermes}.
-         hired(ana).
-         staffed(P) :- assigned(_, P).
-         :- assigned(E, _), not hired(E).",
-    )?;
+    let db = parse_database(include_str!("programs/schema_design.dl"))?;
     let mut proc = UpdateProcessor::new(db)?;
     println!("draft 1 loaded.");
 

@@ -15,10 +15,7 @@ fn main() -> Result<()> {
         Some(path) => {
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
         }
-        None => "la(dolors). u_benefit(dolors).
-                 unemp(X) :- la(X), not works(X).
-                 :- unemp(X), not u_benefit(X)."
-            .to_string(),
+        None => include_str!("programs/employment.dl").to_string(),
     };
     let db = parse_database(&src)?;
 

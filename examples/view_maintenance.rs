@@ -11,12 +11,7 @@
 use dduf::prelude::*;
 
 fn main() -> Result<()> {
-    let db = parse_database(
-        "customer(acme, bcn). customer(globex, madrid).
-         order(o1, acme). order(o2, globex). shipped(o2).
-         order_city(O, City) :- order(O, C), customer(C, City).
-         pending(O) :- order(O, _), not shipped(O).",
-    )?;
+    let db = parse_database(include_str!("programs/view_maintenance.dl"))?;
     let mut proc = UpdateProcessor::new(db)?;
     let mut store =
         MaterializedViewStore::materialize(proc.database().program(), proc.interpretation());

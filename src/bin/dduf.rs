@@ -1,9 +1,11 @@
 //! The `dduf` binary: the interactive shell over a database file, the
-//! `lint` static analyzer, and the `db` durable-database verbs.
+//! `lint` static analyzer, the `analyze` dataflow reporter, and the
+//! `db` durable-database verbs.
 //!
 //! ```sh
 //! cargo run --bin dduf -- db.dl
 //! cargo run --bin dduf -- lint --deny-warnings db.dl
+//! cargo run --bin dduf -- analyze --format=json db.dl
 //! cargo run --bin dduf -- db init schema.dl mydb/
 //! echo ':update -unemp(dolors).
 //! :do 1
@@ -93,6 +95,7 @@ fn dispatch(rest: Vec<String>) -> i32 {
             0
         }
         "lint" => dduf::lint::run(args),
+        "analyze" => dduf::analyze::run(args),
         "db" => dduf::db::run(args),
         s if s.starts_with('-') => {
             eprint!("dduf: unrecognized flag `{s}`\n{USAGE}");

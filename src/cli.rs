@@ -474,6 +474,7 @@ transactions use base events (+p(a). -q(b).); updates use derived events.
 pub const USAGE: &str = "\
 usage: dduf <database.dl>                          interactive shell over a file
        dduf lint [--deny-warnings] [--format=text|json] <database.dl>
+       dduf analyze [--format=text|json] <database.dl>   dataflow + classification report
        dduf db init <schema.dl> <dir>              create a durable database
        dduf db open <dir>                          durable interactive session
        dduf db checkpoint <dir>                    write a snapshot

@@ -43,6 +43,8 @@
 //! # Ok::<(), dduf::core::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+pub mod analyze;
 pub mod cli;
 pub mod db;
 pub mod lint;

@@ -1,0 +1,112 @@
+//! Golden tests for the machine-readable output of `dduf lint` and
+//! `dduf analyze`. The JSON these verbs print is a public interface —
+//! editor integrations and CI scripts parse it — so its exact shape is
+//! pinned here character for character. If one of these tests fails
+//! because of an intentional format change, update the expected string
+//! AND mention the change in README.md; downstream parsers need to know.
+
+use dduf::analyze::{analyze_file, AnalyzeOptions};
+use dduf::lint::{lint_source, Format, LintOptions};
+
+const CLEAN: &str = "\
+% golden fixture
+la(dolors). la(joan). works(joan).
+unemp(X) :- la(X), not works(X).
+";
+
+const WARNINGS: &str = "\
+q(a). r(b).
+v(X) :- q(X), r(W).
+";
+
+fn lint_opts() -> LintOptions {
+    LintOptions {
+        deny_warnings: false,
+        format: Format::Json,
+        path: "golden.dl".into(),
+    }
+}
+
+fn analyze_opts() -> AnalyzeOptions {
+    AnalyzeOptions {
+        format: Format::Json,
+        path: "golden.dl".into(),
+    }
+}
+
+#[test]
+fn lint_json_clean_program() {
+    let r = lint_source("golden.dl", CLEAN, &lint_opts());
+    assert_eq!(r.exit_code, 0);
+    assert_eq!(
+        r.output,
+        "{\"file\":\"golden.dl\",\"diagnostics\":[],\"errors\":0,\"warnings\":0}\n"
+    );
+}
+
+#[test]
+fn lint_json_warnings() {
+    let r = lint_source("golden.dl", WARNINGS, &lint_opts());
+    assert_eq!(r.exit_code, 0);
+    assert_eq!(
+        r.output,
+        concat!(
+            "{\"file\":\"golden.dl\",\"diagnostics\":[",
+            "{\"code\":\"W009\",\"severity\":\"warning\",",
+            "\"message\":\"cartesian product: the positive body literals of this `v` rule form 2 disconnected variable groups\",",
+            "\"spans\":[",
+            "{\"line\":2,\"col\":1,\"width\":1,\"primary\":true,\"label\":\"rule whose body is a cross product\"},",
+            "{\"line\":2,\"col\":9,\"width\":1,\"primary\":false,\"label\":\"independent group starts here\"},",
+            "{\"line\":2,\"col\":15,\"width\":1,\"primary\":false,\"label\":\"independent group starts here\"}",
+            "],\"help\":\"join the groups through a shared variable, or split the rule\"},",
+            "{\"code\":\"W001\",\"severity\":\"warning\",",
+            "\"message\":\"singleton variable `W` in rule for `v/1`\",",
+            "\"spans\":[",
+            "{\"line\":2,\"col\":15,\"width\":1,\"primary\":true,\"label\":\"`W` occurs only here\"}",
+            "],\"help\":\"`W` joins with nothing; use `_` if a don't-care was intended\"}",
+            "],\"errors\":0,\"warnings\":2}\n"
+        )
+    );
+}
+
+#[test]
+fn analyze_json_clean_program() {
+    let r = analyze_file("golden.dl", CLEAN, &analyze_opts());
+    assert_eq!(r.exit_code, 0);
+    assert_eq!(
+        r.output,
+        concat!(
+            "{\"file\":\"golden.dl\",\"report\":{\"predicates\":[",
+            "{\"pred\":\"la/1\",\"role\":\"base\",\"rules\":0,\"facts\":2,\"bound\":2,",
+            "\"class\":\"tiny\",\"sigs\":[[0]],\"patterns\":[\"b\",\"f\"]},",
+            "{\"pred\":\"unemp/1\",\"role\":\"view\",\"rules\":1,\"facts\":0,\"bound\":2,",
+            "\"class\":\"tiny\",\"sigs\":[],\"patterns\":[\"b\"],",
+            "\"translation\":\"ambiguous\",\"ambiguity\":[\"negation\"],",
+            "\"maintenance\":\"deletion_sensitive\",\"monitoring\":\"direct\"},",
+            "{\"pred\":\"works/1\",\"role\":\"base\",\"rules\":0,\"facts\":1,\"bound\":1,",
+            "\"class\":\"tiny\",\"sigs\":[],\"patterns\":[\"b\",\"f\"]}",
+            "],\"plans_considered\":4,\"recursive\":false},",
+            "\"diagnostics\":[",
+            "{\"code\":\"I002\",\"severity\":\"info\",",
+            "\"message\":\"view `unemp`: update translation is ambiguous (negation) — requests expand to alternative base transactions (§5.2)\",",
+            "\"spans\":[{\"line\":3,\"col\":1,\"width\":5,\"primary\":true,\"label\":\"defined here\"}]},",
+            "{\"code\":\"I003\",\"severity\":\"info\",",
+            "\"message\":\"view `unemp`: maintenance is deletion-sensitive — its definition passes through negation, so insertions can induce deletions (§3.2)\",",
+            "\"spans\":[{\"line\":3,\"col\":1,\"width\":5,\"primary\":true,\"label\":\"defined here\"}]}",
+            "],\"errors\":0,\"warnings\":0,\"infos\":2}\n"
+        )
+    );
+}
+
+#[test]
+fn analyze_json_parse_failure_keeps_shape() {
+    let r = analyze_file("golden.dl", "v(X :-\n", &analyze_opts());
+    assert_eq!(r.exit_code, 1);
+    // Unparsable input: report is null, the E000 diagnostic carries the
+    // parse error, counts stay present.
+    assert!(r
+        .output
+        .starts_with("{\"file\":\"golden.dl\",\"report\":null,"));
+    assert!(r.output.contains("\"code\":\"E000\""), "{}", r.output);
+    assert!(r.output.trim_end().ends_with("\"warnings\":0,\"infos\":0}"));
+}
