@@ -1,0 +1,217 @@
+//! Group-commit characterization of the server (`dduf serve`): drives
+//! the in-process server with concurrent TCP writers under two writer
+//! configurations — `max_batch=1` (an fsync per transaction, the
+//! baseline any naive durable server pays) and the default batched
+//! writer (one fsync covers every transaction that queued during the
+//! previous sync) — and writes throughput, latency percentiles, and
+//! fsync counts to `BENCH_server.json` (override with
+//! `BENCH_SERVER_OUT`).
+//!
+//! Both runs end with a serial-equivalence audit: the journal is
+//! replayed through a fresh [`UpdateProcessor`] and the resulting
+//! database must render bit-identically to the recovered server state —
+//! group commit changes *when* the fsync happens, never what is
+//! committed or in what order.
+//!
+//! Run with: `cargo run --release -p dduf-bench --bin server_load`
+//! Knobs: `SERVER_LOAD_WRITERS` (default 8), `SERVER_LOAD_COMMITS`
+//! (commits per writer, default 150).
+
+use dduf_core::processor::UpdateProcessor;
+use dduf_datalog::parser::parse_database;
+use dduf_datalog::pretty;
+use dduf_server::proto::read_response;
+use dduf_server::{start, ServerConfig};
+use std::fmt::Write as _;
+use std::io::{BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// A small schema with one derived view so every commit runs real
+/// upward evaluation, and a seed fact so the predicates exist.
+const SCHEMA: &str = "load(seed, seed). seen(X) :- load(X, Y).";
+
+struct ModeResult {
+    label: &'static str,
+    max_batch: usize,
+    commits: u64,
+    elapsed_s: f64,
+    commits_per_sec: f64,
+    fsyncs: u64,
+    batches: u64,
+    mean_batch: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// One writer: a TCP client committing `commits` distinct facts, one
+/// `:apply` per round trip, returning each request's latency in µs.
+fn writer(addr: std::net::SocketAddr, id: usize, commits: usize) -> Vec<u64> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut lat = Vec::with_capacity(commits);
+    for i in 0..commits {
+        let t = Instant::now();
+        writeln!(stream, ":apply +load(w{id}, i{i}).").expect("send");
+        let (ok, lines) = read_response(&mut reader).expect("response");
+        lat.push(u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX));
+        assert!(ok, "writer {id} commit {i} failed: {lines:?}");
+    }
+    writeln!(stream, ":quit").expect("send");
+    let _ = read_response(&mut reader);
+    lat
+}
+
+/// Replays the journal serially through a fresh processor and asserts
+/// the recovered server state is bit-identical to that serial replay.
+fn audit_serial_equivalence(dir: &Path) {
+    let (_, scan) = dduf_persist::read_log(dir).expect("read journal");
+    let mut replay = UpdateProcessor::new(parse_database(SCHEMA).expect("schema")).expect("proc");
+    for r in &scan.records {
+        let txn = replay.transaction(&r.payload).expect("parse record");
+        replay.commit(&txn).expect("replay record");
+    }
+    let recovered = dduf_persist::DurableDb::open(dir).expect("reopen");
+    assert_eq!(
+        pretty::database(replay.database()),
+        pretty::database(recovered.processor().database()),
+        "recovered state is not a serial replay of the journal"
+    );
+}
+
+fn run_mode(label: &'static str, max_batch: usize, writers: usize, commits: usize) -> ModeResult {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("dduf-server-load-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = dduf_persist::DurableDb::init(&dir, SCHEMA).expect("init db");
+    let handle = start(
+        db,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            sessions: writers,
+            max_batch,
+        },
+    )
+    .expect("start server");
+    let addr = handle.addr();
+
+    let t = Instant::now();
+    let mut threads = Vec::new();
+    for id in 0..writers {
+        threads.push(std::thread::spawn(move || writer(addr, id, commits)));
+    }
+    let mut latencies: Vec<u64> = Vec::with_capacity(writers * commits);
+    for th in threads {
+        latencies.extend(th.join().expect("writer thread"));
+    }
+    let elapsed_s = t.elapsed().as_secs_f64();
+
+    let report = handle.metrics_report();
+    let fsyncs = report.total("journal.append", "fsyncs");
+    let batches = report.total("server.batch", "fsyncs");
+    let committed = report.total("server.batch", "committed");
+    if std::env::var("SERVER_LOAD_REPORT").is_ok() {
+        eprintln!("--- {label} trace report ---\n{}", report.render_text());
+    }
+    handle.shutdown();
+
+    let total = (writers * commits) as u64;
+    assert_eq!(committed, total, "{label}: not every commit landed");
+    audit_serial_equivalence(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    latencies.sort_unstable();
+    ModeResult {
+        label,
+        max_batch,
+        commits: total,
+        elapsed_s,
+        commits_per_sec: total as f64 / elapsed_s,
+        fsyncs,
+        batches,
+        mean_batch: if batches > 0 {
+            total as f64 / batches as f64
+        } else {
+            0.0
+        },
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    }
+}
+
+fn json_mode(m: &ModeResult) -> String {
+    format!(
+        "{{\"label\": \"{}\", \"max_batch\": {}, \"commits\": {}, \"elapsed_s\": {:.3}, \
+         \"commits_per_sec\": {:.1}, \"fsyncs\": {}, \"batches\": {}, \
+         \"mean_batch_size\": {:.2}, \"latency_p50_us\": {}, \"latency_p99_us\": {}}}",
+        m.label,
+        m.max_batch,
+        m.commits,
+        m.elapsed_s,
+        m.commits_per_sec,
+        m.fsyncs,
+        m.batches,
+        m.mean_batch,
+        m.p50_us,
+        m.p99_us,
+    )
+}
+
+fn main() {
+    let writers = env_usize("SERVER_LOAD_WRITERS", 8);
+    let commits = env_usize("SERVER_LOAD_COMMITS", 150);
+
+    let per_txn = run_mode("fsync_per_txn", 1, writers, commits);
+    let grouped = run_mode("group_commit", 64, writers, commits);
+    let speedup = grouped.commits_per_sec / per_txn.commits_per_sec;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"server_load\",");
+    let _ = writeln!(json, "  \"writers\": {writers},");
+    let _ = writeln!(json, "  \"commits_per_writer\": {commits},");
+    let _ = writeln!(json, "  \"serial_equivalent\": true,");
+    let _ = writeln!(json, "  \"modes\": [");
+    let _ = writeln!(json, "    {},", json_mode(&per_txn));
+    let _ = writeln!(json, "    {}", json_mode(&grouped));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.2}");
+    json.push_str("}\n");
+
+    let out = std::env::var("BENCH_SERVER_OUT").unwrap_or_else(|_| "BENCH_server.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_server.json");
+
+    println!("mode,max_batch,commits,elapsed_s,commits_per_sec,fsyncs,mean_batch,p50_us,p99_us");
+    for m in [&per_txn, &grouped] {
+        println!(
+            "{},{},{},{:.3},{:.1},{},{:.2},{},{}",
+            m.label,
+            m.max_batch,
+            m.commits,
+            m.elapsed_s,
+            m.commits_per_sec,
+            m.fsyncs,
+            m.mean_batch,
+            m.p50_us,
+            m.p99_us
+        );
+    }
+    println!("speedup: {speedup:.2}x (group commit vs fsync per transaction)");
+    eprintln!("wrote {out}");
+}

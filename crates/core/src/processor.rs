@@ -67,6 +67,36 @@ impl UpdateProcessor {
         self
     }
 
+    /// Rebuilds a processor from previously published state parts
+    /// **without re-materializing** — the constructor behind snapshot
+    /// publication (`dduf serve`): the server's writer republishes
+    /// `(database, interpretation)` after every commit, and rebuilding
+    /// the next staging processor from those parts is a clone, not a
+    /// fixpoint evaluation.
+    ///
+    /// Trusted: the caller asserts `interp` is exactly the
+    /// materialization of `db` (as [`into_state_parts`] of a live
+    /// processor guarantees). Handing in anything else produces a
+    /// processor whose upward interpretations are silently wrong.
+    ///
+    /// [`into_state_parts`]: Self::into_state_parts
+    pub fn from_parts(db: Database, interp: Interpretation) -> UpdateProcessor {
+        UpdateProcessor {
+            db,
+            old: interp,
+            engine: Engine::default(),
+            opts: DownwardOptions::default(),
+            threads: None,
+        }
+    }
+
+    /// Surrenders the database and its materialized state — the
+    /// publication half of the snapshot-isolation hook. The pair is
+    /// exactly what [`from_parts`](Self::from_parts) accepts back.
+    pub fn into_state_parts(self) -> (Database, Interpretation) {
+        (self.db, self.old)
+    }
+
     /// The database.
     pub fn database(&self) -> &Database {
         &self.db
@@ -304,8 +334,11 @@ impl UpdateProcessor {
     ) -> Result<UpwardResult> {
         let result = self.upward(txn)?;
         hook(txn)?;
-        self.db = txn.apply(&self.db);
-        let mut new = self.old.clone();
+        txn.apply_in_place(&mut self.db);
+        // Update only the derived relations the events actually touch;
+        // cloning the whole interpretation per commit would make every
+        // small transaction pay for the size of the database.
+        let mut changed: Vec<(Pred, dduf_datalog::storage::Relation)> = Vec::new();
         for (pred, _role) in self.db.program().predicates() {
             if !self.db.program().is_derived(pred) {
                 continue;
@@ -315,10 +348,11 @@ impl UpdateProcessor {
             if ins.is_empty() && del.is_empty() {
                 continue;
             }
-            let rel = new.relation(pred).difference(del).union(ins);
-            new.set(pred, rel);
+            changed.push((pred, self.old.relation(pred).difference(del).union(ins)));
         }
-        self.old = new;
+        for (pred, rel) in changed {
+            self.old.set(pred, rel);
+        }
         Ok(result)
     }
 
@@ -486,6 +520,25 @@ mod tests {
             let txn = alt.to_transaction(p.database()).unwrap();
             assert!(p.check_integrity(&txn).unwrap().accepts());
         }
+    }
+
+    #[test]
+    fn from_parts_round_trips_without_rematerializing() {
+        let mut p = processor();
+        let txn = p.transaction("+works(dolors).").unwrap();
+        p.commit(&txn).unwrap();
+        let before = (
+            dduf_datalog::pretty::database(p.database()),
+            p.interpretation().clone(),
+        );
+        let (db, interp) = p.into_state_parts();
+        let rebuilt = UpdateProcessor::from_parts(db, interp);
+        assert_eq!(dduf_datalog::pretty::database(rebuilt.database()), before.0);
+        assert_eq!(rebuilt.interpretation(), &before.1);
+        // The rebuilt processor evaluates correctly from the carried state.
+        let txn = rebuilt.transaction("-works(dolors).").unwrap();
+        let res = rebuilt.upward(&txn).unwrap();
+        assert_eq!(res.derived.to_string(), "{+unemp(dolors)}");
     }
 
     #[test]

@@ -120,6 +120,16 @@ impl Transaction {
     /// No-op events are silently ignored (they do not change the state).
     pub fn apply(&self, db: &Database) -> Database {
         let mut new_db = db.clone();
+        self.apply_in_place(&mut new_db);
+        new_db
+    }
+
+    /// [`apply`](Self::apply) without the whole-database clone: mutates
+    /// `db` directly. This is the commit path — a transaction touches a
+    /// handful of relations, and cloning every untouched one per commit
+    /// dominates a small-transaction workload (the server's group
+    /// commit batches are limited by exactly this serial cost).
+    pub fn apply_in_place(&self, db: &mut Database) {
         // Group per (kind, pred) so each relation is mutated — and its
         // indexes invalidated — once, not once per event. Journal replay
         // funnels every recovered record through here.
@@ -132,14 +142,12 @@ impl Transaction {
             }
         }
         for (pred, tuples) in ins {
-            new_db
-                .extend_tuples(pred, tuples)
+            db.extend_tuples(pred, tuples)
                 .expect("validated base event");
         }
         for (pred, tuples) in del {
-            new_db.remove_tuples(pred, tuples.iter());
+            db.remove_tuples(pred, tuples.iter());
         }
-        new_db
     }
 
     /// Returns a transaction extended with more events (re-validated).

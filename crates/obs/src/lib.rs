@@ -24,6 +24,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One recorded event: a static phase ID, a dynamic label (component
@@ -165,6 +166,20 @@ pub fn snapshot() -> Option<Report> {
     CURRENT.with(|cur| cur.borrow().as_ref().and_then(|rec| rec.report()))
 }
 
+/// Folds one span into an aggregation map — the single merge rule shared
+/// by [`Collector`] (single-threaded) and [`SharedCollector`]
+/// (multi-threaded).
+fn merge_span(spans: &mut BTreeMap<(String, String), ReportNode>, span: &Span<'_>) {
+    let node = spans
+        .entry((span.phase.to_string(), span.label.to_string()))
+        .or_default();
+    node.count += 1;
+    for &(name, value) in span.counters {
+        *node.counters.entry(name.to_string()).or_insert(0) += value;
+    }
+    node.time_us += span.time_us.unwrap_or(0);
+}
+
 /// In-memory structured collector: aggregates spans by `(phase, label)`
 /// — counts, summed counters, summed wall time.
 #[derive(Default)]
@@ -188,20 +203,65 @@ impl Collector {
 
 impl Recorder for Collector {
     fn record(&self, span: &Span<'_>) {
-        let mut spans = self.inner.borrow_mut();
-        let node = spans
-            .entry((span.phase.to_string(), span.label.to_string()))
-            .or_default();
-        node.count += 1;
-        for &(name, value) in span.counters {
-            *node.counters.entry(name.to_string()).or_insert(0) += value;
-        }
-        node.time_us += span.time_us.unwrap_or(0);
+        merge_span(&mut self.inner.borrow_mut(), span);
     }
 
     fn report(&self) -> Option<Report> {
         Some(self.report_now())
     }
+}
+
+/// A thread-*safe* collector for subsystems whose work spans threads —
+/// the `dduf serve` writer and its session handlers all feed one of
+/// these. Unlike [`Collector`] (whose `RefCell` pins it to the thread it
+/// was installed on), a `SharedCollector` lives behind an `Arc` and each
+/// participating thread installs a lightweight handle to it via
+/// [`install_shared`].
+///
+/// The single-writer recording rule that makes *evaluation* counters
+/// deterministic (module docs) is unchanged — each evaluation still
+/// records only on its orchestrating thread. What this type adds is a
+/// place for *independent* orchestrating threads (one per client
+/// session, plus the writer) to aggregate into one report. Counters
+/// summed here are deterministic per run of a deterministic workload;
+/// their interleaving never matters because merging is commutative.
+#[derive(Default)]
+pub struct SharedCollector {
+    inner: Mutex<BTreeMap<(String, String), ReportNode>>,
+}
+
+impl SharedCollector {
+    /// Creates an empty shared collector.
+    pub fn new() -> SharedCollector {
+        SharedCollector::default()
+    }
+
+    /// The report aggregated so far across every participating thread.
+    pub fn report_now(&self) -> Report {
+        Report {
+            spans: self.inner.lock().expect("collector lock").clone(),
+        }
+    }
+}
+
+/// Per-thread handle forwarding spans to a [`SharedCollector`].
+struct SharedHandle(Arc<SharedCollector>);
+
+impl Recorder for SharedHandle {
+    fn record(&self, span: &Span<'_>) {
+        merge_span(&mut self.0.inner.lock().expect("collector lock"), span);
+    }
+
+    fn report(&self) -> Option<Report> {
+        Some(self.0.report_now())
+    }
+}
+
+/// Installs `collector` as the *current thread's* span sink until the
+/// returned guard is dropped. Call once per participating thread; every
+/// thread's spans aggregate into the same report.
+pub fn install_shared(collector: &Arc<SharedCollector>) -> InstallGuard {
+    install(Rc::new(SharedHandle(collector.clone())))
 }
 
 /// Aggregate for one `(phase, label)` key.
@@ -481,6 +541,30 @@ mod tests {
         let timed = report.render_json(true);
         assert!(timed.contains("\"semantic_only\":false"));
         assert!(timed.contains("\"time_us\":5"));
+    }
+
+    #[test]
+    fn shared_collector_aggregates_across_threads() {
+        let shared = Arc::new(SharedCollector::new());
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let _guard = install_shared(shared);
+                    record("server.session", "", &[("sessions", 1)]);
+                    record("server.batch", "", &[("requests", i + 1)]);
+                });
+            }
+        });
+        let report = shared.report_now();
+        assert_eq!(report.count("server.session", ""), 4);
+        assert_eq!(report.counter("server.session", "", "sessions"), 4);
+        assert_eq!(
+            report.counter("server.batch", "", "requests"),
+            1 + 2 + 3 + 4
+        );
+        // Guards dropped: none of the threads' recorders leaked here.
+        assert!(!enabled());
     }
 
     #[test]

@@ -58,6 +58,13 @@ pub enum PersistError {
         /// What exactly is wrong.
         detail: String,
     },
+    /// Another process holds the directory's exclusive lock
+    /// (`dduf.lock`). Opening would race its journal appends, so the
+    /// open is refused instead of silently interleaving.
+    Locked {
+        /// The lock file another process holds.
+        path: String,
+    },
     /// The directory does not hold a durable database (no snapshot or no
     /// journal).
     NotADatabase(String),
@@ -92,6 +99,10 @@ impl PersistError {
             PersistError::Snapshot { path, detail } => {
                 format!("error: snapshot unreadable: {detail}\n  --> {path}\n")
             }
+            PersistError::Locked { path } => format!(
+                "error: database is locked by another process\n  --> {path}\n  = note: a `dduf db open` session or `dduf serve` already owns this \
+                 directory; close it first (the lock vanishes with its process)\n"
+            ),
             other => format!("error: {other}\n"),
         }
     }
@@ -119,6 +130,12 @@ impl fmt::Display for PersistError {
             ),
             PersistError::Snapshot { path, detail } => {
                 write!(f, "snapshot {path} unreadable: {detail}")
+            }
+            PersistError::Locked { path } => {
+                write!(
+                    f,
+                    "database is locked by another process (lock file {path})"
+                )
             }
             PersistError::NotADatabase(dir) => {
                 write!(

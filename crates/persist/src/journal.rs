@@ -276,31 +276,61 @@ impl Journal {
     /// prefix would otherwise truncate silently, and even an exact prefix
     /// would frame a record every future [`scan`] rejects as corrupt.
     pub fn append(&mut self, payload: &str) -> Result<u64> {
-        let timer = dduf_obs::timer();
-        let body = payload.as_bytes();
-        if body.len() as u64 > MAX_RECORD as u64 {
-            return Err(PersistError::RecordTooLarge {
-                path: self.path.display().to_string(),
-                bytes: body.len() as u64,
-                max: MAX_RECORD,
-            });
+        self.append_batch(std::slice::from_ref(&payload))
+    }
+
+    /// Appends a *batch* of records behind **exactly one fsync** — the
+    /// group-commit primitive. All records are CRC-framed into a single
+    /// buffer, written with one `write_all`, and made durable together;
+    /// none of them may be acknowledged before this returns. A crash
+    /// mid-batch leaves a clean prefix of the batch (plus at most one
+    /// torn record), which recovery truncates exactly like a single-record
+    /// crash — no batch member was acknowledged, so no acknowledged commit
+    /// is ever lost.
+    ///
+    /// Every payload is size-checked against [`MAX_RECORD`] before any
+    /// byte hits disk; an oversized member rejects the whole batch. An
+    /// empty batch is a no-op (no write, no fsync).
+    pub fn append_batch<S: AsRef<str>>(&mut self, payloads: &[S]) -> Result<u64> {
+        if payloads.is_empty() {
+            return Ok(self.end);
         }
-        let mut rec = Vec::with_capacity(RECORD_HEADER + body.len());
-        rec.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        rec.extend_from_slice(&crc32(body).to_le_bytes());
-        rec.extend_from_slice(body);
+        let timer = dduf_obs::timer();
+        let mut total = 0usize;
+        for payload in payloads {
+            let body = payload.as_ref().as_bytes();
+            if body.len() as u64 > MAX_RECORD as u64 {
+                return Err(PersistError::RecordTooLarge {
+                    path: self.path.display().to_string(),
+                    bytes: body.len() as u64,
+                    max: MAX_RECORD,
+                });
+            }
+            total += RECORD_HEADER + body.len();
+        }
+        let mut buf = Vec::with_capacity(total);
+        for payload in payloads {
+            let body = payload.as_ref().as_bytes();
+            buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(body).to_le_bytes());
+            buf.extend_from_slice(body);
+        }
         self.file
             .seek(SeekFrom::Start(self.end))
             .map_err(io_err(&self.path, "seek"))?;
         self.file
-            .write_all(&rec)
+            .write_all(&buf)
             .map_err(io_err(&self.path, "append"))?;
         self.file.sync_data().map_err(io_err(&self.path, "sync"))?;
-        self.end += rec.len() as u64;
+        self.end += buf.len() as u64;
         dduf_obs::record_timed(
             "journal.append",
             "",
-            &[("appends", 1), ("bytes", rec.len() as u64), ("fsyncs", 1)],
+            &[
+                ("appends", payloads.len() as u64),
+                ("bytes", buf.len() as u64),
+                ("fsyncs", 1),
+            ],
             timer.elapsed_us(),
         );
         Ok(self.end)
@@ -465,6 +495,75 @@ mod tests {
         });
         assert!(res.is_err());
         assert_eq!(visited, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_append_is_one_fsync_and_scans_identically() {
+        let single = tmp("batch_single");
+        let batched = tmp("batch_group");
+        let _ = std::fs::remove_file(&single);
+        let _ = std::fs::remove_file(&batched);
+        let payloads = ["+p(a).", "-q(b). +p(c).", "+r(d)."];
+
+        let mut j = Journal::create(&single).unwrap();
+        for p in payloads {
+            j.append(p).unwrap();
+        }
+        let single_end = j.end();
+        drop(j);
+
+        let mut j = Journal::create(&batched).unwrap();
+        let ((), report) = dduf_obs::capture(|| {
+            j.append_batch(&payloads).unwrap();
+        });
+        // One span, one fsync, three framed records.
+        assert_eq!(report.count("journal.append", ""), 1);
+        assert_eq!(report.counter("journal.append", "", "fsyncs"), 1);
+        assert_eq!(report.counter("journal.append", "", "appends"), 3);
+        assert_eq!(j.end(), single_end, "framing must match record-at-a-time");
+        drop(j);
+
+        // Byte-identical files: the batch is indistinguishable on disk.
+        assert_eq!(
+            std::fs::read(&single).unwrap(),
+            std::fs::read(&batched).unwrap()
+        );
+        let s = scan(&batched).unwrap();
+        assert_eq!(s.records.len(), 3);
+        assert_eq!(s.records[1].payload, "-q(b). +p(c).");
+        std::fs::remove_file(&single).unwrap();
+        std::fs::remove_file(&batched).unwrap();
+    }
+
+    #[test]
+    fn batch_with_oversized_member_writes_nothing() {
+        let path = tmp("batch_oversize");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::create(&path).unwrap();
+        j.append("+p(a).").unwrap();
+        let before = j.end();
+        let huge = "x".repeat(MAX_RECORD as usize + 1);
+        let res = j.append_batch(&["+p(b).", huge.as_str()]);
+        assert!(matches!(res, Err(PersistError::RecordTooLarge { .. })));
+        assert_eq!(j.end(), before);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before);
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), 1, "no batch member may land");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let path = tmp("batch_empty");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::create(&path).unwrap();
+        let before = j.end();
+        let ((), report) = dduf_obs::capture(|| {
+            j.append_batch(&[] as &[&str]).unwrap();
+        });
+        assert_eq!(j.end(), before);
+        assert_eq!(report.count("journal.append", ""), 0, "no fsync");
         std::fs::remove_file(&path).unwrap();
     }
 

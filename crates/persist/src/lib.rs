@@ -28,10 +28,12 @@
 pub mod crc32;
 pub mod error;
 pub mod journal;
+pub mod lock;
 pub mod snapshot;
 
 pub use error::{PersistError, Result};
 pub use journal::{Journal, Record, Scan, ScanSummary, TornTail, MAX_RECORD};
+pub use lock::{DirLock, LOCK_FILE};
 pub use snapshot::{Snapshot, JOURNAL_FILE, SNAPSHOT_FILE};
 
 use dduf_core::processor::UpdateProcessor;
@@ -67,6 +69,10 @@ pub struct Recovery {
 pub struct DurableStore {
     dir: PathBuf,
     journal: Journal,
+    /// Exclusive directory lock, held for the store's lifetime so a
+    /// second process cannot race the journal (released on drop or
+    /// process death — including SIGKILL).
+    _lock: DirLock,
 }
 
 impl DurableStore {
@@ -87,6 +93,17 @@ impl DurableStore {
         self.journal
             .append(&serialize_transaction(txn))
             .map(|_| ())
+            .map_err(|e| dduf_core::Error::Storage(e.to_string()))
+    }
+
+    /// Appends a *batch* of serialized transactions behind exactly one
+    /// fsync ([`Journal::append_batch`]) — the server's group-commit
+    /// path. Either the whole batch is durable when this returns, or
+    /// nothing was acknowledged: on error the caller must discard every
+    /// staged in-memory effect of the batch.
+    pub fn record_commit_batch<S: AsRef<str>>(&mut self, payloads: &[S]) -> dduf_core::Result<u64> {
+        self.journal
+            .append_batch(payloads)
             .map_err(|e| dduf_core::Error::Storage(e.to_string()))
     }
 
@@ -114,6 +131,7 @@ impl DurableDb {
     pub fn init(dir: impl AsRef<Path>, schema_src: &str) -> Result<DurableDb> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(error::io_err(dir, "create"))?;
+        let lock = DirLock::acquire(dir)?;
         if dir.join(SNAPSHOT_FILE).exists() || dir.join(JOURNAL_FILE).exists() {
             return Err(PersistError::AlreadyExists(dir.display().to_string()));
         }
@@ -126,6 +144,7 @@ impl DurableDb {
             store: DurableStore {
                 dir: dir.to_path_buf(),
                 journal,
+                _lock: lock,
             },
             proc,
             recovery: Recovery::default(),
@@ -137,6 +156,10 @@ impl DurableDb {
     /// journal tail through the normal upward/commit path.
     pub fn open(dir: impl AsRef<Path>) -> Result<DurableDb> {
         let dir = dir.as_ref();
+        if !dir.is_dir() {
+            return Err(PersistError::NotADatabase(dir.display().to_string()));
+        }
+        let lock = DirLock::acquire(dir)?;
         let snap = snapshot::read(dir)?;
         let journal_path = dir.join(JOURNAL_FILE);
         if !journal_path.exists() {
@@ -174,6 +197,7 @@ impl DurableDb {
             store: DurableStore {
                 dir: dir.to_path_buf(),
                 journal,
+                _lock: lock,
             },
             proc,
             recovery: Recovery {

@@ -1,0 +1,102 @@
+//! Cross-process exclusivity for a durable database directory.
+//!
+//! A durable database has exactly one writer: the journal's append
+//! offset and the snapshot's covered position are both in-memory state
+//! of the process that opened it, so two processes appending (or one
+//! appending while another checkpoints) would silently interleave and
+//! corrupt each other's view. [`DirLock`] makes that exclusivity
+//! explicit: every open of a [`DurableDb`](crate::DurableDb) — the
+//! interactive `dduf db open` session, `dduf serve`, `checkpoint`,
+//! `stats` — first takes an OS advisory lock on `<dir>/dduf.lock`, and a
+//! second process gets a clear error instead of a race.
+//!
+//! The lock is a kernel `flock`-style lock on an open file descriptor
+//! ([`std::fs::File::try_lock`]), **not** the existence of the file: it
+//! is released automatically when the process exits, however it exits —
+//! a SIGKILLed server leaves no stale lock, which the crash-recovery
+//! suite depends on. The lock file itself stays behind (empty) and is
+//! harmless.
+//!
+//! Read-only inspection (`dduf db log`, `dduf db verify`) deliberately
+//! does *not* lock: scanning a live database is safe — the worst a
+//! concurrent append can produce is a torn final record, which the
+//! scanner already reports as exactly that.
+
+use crate::error::{io_err, PersistError, Result};
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+
+/// Name of the lock file inside a durable database directory.
+pub const LOCK_FILE: &str = "dduf.lock";
+
+/// An exclusive advisory lock on a durable database directory, held for
+/// the lifetime of the value. Dropping it (or process death, including
+/// SIGKILL) releases the lock.
+#[derive(Debug)]
+pub struct DirLock {
+    // Held only for the kernel lock on its descriptor.
+    _file: File,
+}
+
+impl DirLock {
+    /// Acquires the directory's exclusive lock, creating the lock file if
+    /// missing. Fails with [`PersistError::Locked`] — without blocking —
+    /// when another process (or another handle in this process) holds it.
+    pub fn acquire(dir: &Path) -> Result<DirLock> {
+        let path = dir.join(LOCK_FILE);
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)
+            .map_err(io_err(&path, "create"))?;
+        match file.try_lock() {
+            Ok(()) => Ok(DirLock { _file: file }),
+            Err(std::fs::TryLockError::WouldBlock) => Err(PersistError::Locked {
+                path: path.display().to_string(),
+            }),
+            Err(std::fs::TryLockError::Error(e)) => Err(PersistError::Io {
+                path: path.display().to_string(),
+                op: "lock",
+                source: e,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dduf_lock_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn second_acquire_fails_until_first_drops() {
+        let dir = tmpdir("exclusive");
+        let first = DirLock::acquire(&dir).unwrap();
+        match DirLock::acquire(&dir) {
+            Err(PersistError::Locked { path }) => assert!(path.ends_with(LOCK_FILE), "{path}"),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(first);
+        DirLock::acquire(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lock_file_persists_but_is_not_the_lock() {
+        let dir = tmpdir("stale");
+        drop(DirLock::acquire(&dir).unwrap());
+        // The file is still there; acquiring again succeeds because the
+        // kernel lock — not the file's existence — is the exclusivity.
+        assert!(dir.join(LOCK_FILE).exists());
+        DirLock::acquire(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

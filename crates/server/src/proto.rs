@@ -1,0 +1,133 @@
+//! The wire protocol: newline-framed requests, counted-line responses.
+//!
+//! Requests are exactly the shell's command syntax, one command per
+//! line — the journal already records transactions in the surface event
+//! syntax, so the wire format costs nothing new. Responses are framed so
+//! a client never has to guess where output ends:
+//!
+//! ```text
+//! request  := line "\n"
+//! response := ("ok" | "err") " " count "\n" line*count
+//! ```
+//!
+//! `ok` carries a command's normal output (possibly zero lines); `err`
+//! carries the rendered error a local shell would print to stderr. The
+//! connection stays usable after an `err` — exactly like the local
+//! REPL, where an error does not end the session.
+
+use std::io::{self, BufRead, Write};
+
+/// Writes one framed response: the status header, then the body split
+/// into lines. A trailing newline in `body` does not produce an empty
+/// final line.
+pub fn write_response(w: &mut impl Write, ok: bool, body: &str) -> io::Result<()> {
+    let body = body.trim_end_matches('\n');
+    let lines: Vec<&str> = if body.is_empty() {
+        Vec::new()
+    } else {
+        body.split('\n').collect()
+    };
+    let status = if ok { "ok" } else { "err" };
+    writeln!(w, "{status} {}", lines.len())?;
+    for line in lines {
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Reads one framed response: `(ok, body lines)`. Returns an
+/// `UnexpectedEof` error if the peer closed mid-response and
+/// `InvalidData` on a malformed header.
+pub fn read_response(r: &mut impl BufRead) -> io::Result<(bool, Vec<String>)> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a response header",
+        ));
+    }
+    let header = header.trim_end();
+    let (status, count) = header.split_once(' ').ok_or_else(|| malformed(header))?;
+    let ok = match status {
+        "ok" => true,
+        "err" => false,
+        _ => return Err(malformed(header)),
+    };
+    let count: usize = count.parse().map_err(|_| malformed(header))?;
+    let mut lines = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        lines.push(line);
+    }
+    Ok((ok, lines))
+}
+
+fn malformed(header: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed response header {header:?}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip(ok: bool, body: &str) -> (bool, Vec<String>) {
+        let mut buf = Vec::new();
+        write_response(&mut buf, ok, body).unwrap();
+        read_response(&mut BufReader::new(buf.as_slice())).unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        assert_eq!(round_trip(true, ""), (true, vec![]));
+        assert_eq!(round_trip(true, "pong"), (true, vec!["pong".to_string()]));
+        assert_eq!(
+            round_trip(false, "no translation exists\nselect with :do <n>\n"),
+            (
+                false,
+                vec![
+                    "no translation exists".to_string(),
+                    "select with :do <n>".to_string()
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn trailing_newline_adds_no_empty_line() {
+        let (_, lines) = round_trip(true, "one line\n");
+        assert_eq!(lines, vec!["one line".to_string()]);
+    }
+
+    #[test]
+    fn malformed_headers_rejected() {
+        for bad in ["gibberish\n", "ok x\n", "yes 1\nline\n"] {
+            let mut r = BufReader::new(bad.as_bytes());
+            assert!(read_response(&mut r).is_err(), "{bad:?}");
+        }
+        let mut r = BufReader::new(&b""[..]);
+        assert_eq!(
+            read_response(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Truncated body.
+        let mut r = BufReader::new(&b"ok 2\nonly one\n"[..]);
+        assert_eq!(
+            read_response(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Per-connection command dispatch.
+//!
+//! A session owns one TCP connection and speaks the shell's command
+//! vocabulary over the [`proto`](crate::proto) framing. Read-only
+//! commands (`:show`, `:query`, `:check`, `:stats`) run entirely on the
+//! session thread against the snapshot current when the request line
+//! arrived — they never wait on the writer. Mutations (`:apply`,
+//! `:force`, `:checkpoint`) are forwarded to the writer and the session
+//! blocks until the batch containing them is durable, so an `ok` on the
+//! wire is a durability guarantee, and a subsequent read on the *same*
+//! connection sees the write (the writer publishes before it
+//! acknowledges).
+
+use crate::proto::write_response;
+use crate::state::StateCell;
+use crate::writer::{Job, Reply};
+use dduf_core::problems::ic_checking::{self, CheckOutcome};
+use dduf_core::transaction::Transaction;
+use dduf_core::upward::Engine;
+use dduf_datalog::ast::Pred;
+use dduf_datalog::eval::StateView;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+
+/// Everything a session needs, shared across all sessions.
+pub(crate) struct SessionCtx {
+    /// The published-state cell for snapshot reads.
+    pub cell: Arc<StateCell>,
+    /// Channel to the writer thread.
+    pub jobs: Sender<Job>,
+    /// Server-wide shutdown flag (set by `:shutdown`).
+    pub stop: Arc<AtomicBool>,
+    /// The listener's own address, used to self-connect and unblock
+    /// accept loops on shutdown.
+    pub addr: SocketAddr,
+    /// How many acceptors may be parked in `accept()`.
+    pub wake: usize,
+    /// Aggregated server metrics (`:stats` renders these).
+    pub metrics: Arc<dduf_obs::SharedCollector>,
+}
+
+/// Help text sent for `:help` (the read/write subset that makes sense
+/// remotely; downward search commands stay local-shell-only).
+const HELP: &str = "\
+server commands:
+  :show [pred]            list facts (derived marked %=)
+  :query <atom>           goal-directed query against the snapshot
+  :check <txn>            would this transaction violate the constraints?
+  :apply <txn>            commit (rejected if a constraint is violated)
+  :force <txn>            commit without the integrity check
+  :checkpoint             write a snapshot covering the journal
+  :stats                  server counters + journal position
+  :ping                   liveness probe
+  :quit | :q | :exit      close this connection
+  :shutdown               stop the whole server
+transactions use base events: +p(a). -q(b).";
+
+/// Serves one connection to completion. Errors are connection-fatal
+/// (the peer is gone); command errors go on the wire as `err` frames.
+pub(crate) fn serve(stream: TcpStream, ctx: &SessionCtx) -> std::io::Result<()> {
+    dduf_obs::record("server.session", "", &[("sessions", 1)]);
+    // Request/response round trips are latency-bound: without NODELAY,
+    // Nagle holds our multi-write responses hostage to the peer's
+    // delayed ACK (~40ms per turn on loopback). The BufWriter makes
+    // each framed response a single segment.
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = std::io::BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // peer closed
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            write_response(&mut writer, true, "")?;
+            continue;
+        }
+        let (cmd, rest) = match trimmed.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (trimmed, ""),
+        };
+        match cmd {
+            ":quit" | ":q" | ":exit" => {
+                write_response(&mut writer, true, "bye")?;
+                return Ok(());
+            }
+            ":shutdown" => {
+                write_response(&mut writer, true, "shutting down")?;
+                ctx.stop.store(true, Ordering::SeqCst);
+                // Unpark acceptors blocked in accept() so they observe
+                // the flag. Failures are fine — the listener may
+                // already be gone.
+                for _ in 0..ctx.wake {
+                    let _ = TcpStream::connect(ctx.addr);
+                }
+                return Ok(());
+            }
+            ":ping" => write_response(&mut writer, true, "pong")?,
+            ":help" => write_response(&mut writer, true, HELP)?,
+            ":show" => respond(&mut writer, show(ctx, rest))?,
+            ":query" => respond(&mut writer, query(ctx, rest))?,
+            ":check" => respond(&mut writer, check(ctx, rest))?,
+            ":apply" => forward(&mut writer, ctx, apply_job(rest, true))?,
+            ":force" => forward(&mut writer, ctx, apply_job(rest, false))?,
+            ":checkpoint" => forward(&mut writer, ctx, |reply| Job::Checkpoint { reply })?,
+            ":stats" => write_response(&mut writer, true, &stats(ctx))?,
+            other => write_response(
+                &mut writer,
+                false,
+                &format!("unknown command `{other}`; try :help"),
+            )?,
+        }
+    }
+}
+
+/// Maps a command result onto the wire: `Ok` body vs rendered error.
+fn respond(w: &mut impl Write, result: dduf_core::Result<String>) -> std::io::Result<()> {
+    match result {
+        Ok(body) => write_response(w, true, &body),
+        Err(e) => write_response(w, false, &e.to_string()),
+    }
+}
+
+/// Sends a job to the writer and relays its (post-fsync) reply.
+fn forward(
+    w: &mut impl Write,
+    ctx: &SessionCtx,
+    make: impl FnOnce(mpsc::Sender<Reply>) -> Job,
+) -> std::io::Result<()> {
+    let (tx, rx) = mpsc::channel();
+    if ctx.jobs.send(make(tx)).is_err() {
+        return write_response(w, false, "server is shutting down");
+    }
+    match rx.recv() {
+        Ok(reply) => write_response(w, reply.ok, &reply.text),
+        Err(_) => write_response(w, false, "server is shutting down"),
+    }
+}
+
+/// Builds the closure `forward` needs for an `:apply`/`:force` line.
+fn apply_job(src: &str, checked: bool) -> impl FnOnce(mpsc::Sender<Reply>) -> Job {
+    let src = src.to_string();
+    move |reply| Job::Apply {
+        src,
+        checked,
+        reply,
+    }
+}
+
+/// `:show [pred]` over the session's snapshot — same output as the
+/// local shell, including the `%= derived` marks.
+fn show(ctx: &SessionCtx, pred: &str) -> dduf_core::Result<String> {
+    let cur = ctx.cell.load();
+    let state = StateView::new(&cur.db, &cur.interp);
+    let wanted: Option<&str> = (!pred.is_empty()).then_some(pred);
+    let mut out = String::new();
+    let mut preds: Vec<(Pred, bool)> = cur
+        .db
+        .extensional_predicates()
+        .map(|p| (p, false))
+        .collect();
+    preds.extend(
+        cur.interp
+            .iter()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(p, _)| (p, true)),
+    );
+    for (p, derived) in preds {
+        if wanted.is_some_and(|w| w != p.name.as_str()) {
+            continue;
+        }
+        for t in state.relation(p).iter() {
+            let mark = if derived { " %= derived" } else { "" };
+            let _ = writeln!(out, "{}.{mark}", t.to_atom(p));
+        }
+    }
+    Ok(out)
+}
+
+/// `:query <atom>` — goal-directed answering against the snapshot.
+fn query(ctx: &SessionCtx, rest: &str) -> dduf_core::Result<String> {
+    let atom_src = rest.trim().trim_end_matches('.');
+    if atom_src.is_empty() {
+        return Err(parse_err("usage: :query p(a, X)"));
+    }
+    let cur = ctx.cell.load();
+    let out = dduf_datalog::parser::parse_program(&format!("query_tmp :- {atom_src}."))?;
+    let atom = out.program.rules()[0].body[0].atom.clone();
+    let ans = dduf_datalog::magic::query(&cur.db, &atom)?;
+    let mut text = String::new();
+    for t in &ans.tuples {
+        let _ = writeln!(text, "{}", t.to_atom(atom.pred));
+    }
+    let _ = writeln!(text, "({} answer(s) via {:?})", ans.tuples.len(), ans.path);
+    Ok(text)
+}
+
+/// `:check <txn>` — integrity check against the snapshot, shell-identical
+/// wording. Purely advisory: the authoritative check happens on the
+/// writer when the transaction is actually applied.
+fn check(ctx: &SessionCtx, txn_src: &str) -> dduf_core::Result<String> {
+    let cur = ctx.cell.load();
+    let txn = Transaction::parse(&cur.db, txn_src)?;
+    Ok(
+        match ic_checking::check(&cur.db, &cur.interp, &txn, Engine::default())? {
+            CheckOutcome::Violated(events) => {
+                let list: Vec<String> = events.iter().map(|e| e.to_string()).collect();
+                format!("REJECT: violates {}", list.join(", "))
+            }
+            CheckOutcome::Consistent => "ok: no constraint violated".into(),
+            CheckOutcome::NoConstraints => "ok: no constraints declared".into(),
+            CheckOutcome::AlreadyInconsistent => {
+                "warning: database is already inconsistent (see :repair)".into()
+            }
+        },
+    )
+}
+
+/// `:stats` — the aggregated server trace report plus the snapshot's
+/// journal coverage.
+fn stats(ctx: &SessionCtx) -> String {
+    let cur = ctx.cell.load();
+    let mut out = ctx.metrics.report_now().render_text();
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "journal: durable through byte {}; {} commit(s) this run",
+        cur.journal_end, cur.commits
+    );
+    out
+}
+
+fn parse_err(msg: &str) -> dduf_core::Error {
+    dduf_core::Error::Datalog(dduf_datalog::error::Error::Parse(
+        dduf_datalog::error::ParseError {
+            span: dduf_datalog::error::Span { line: 1, col: 1 },
+            message: msg.to_string(),
+        },
+    ))
+}

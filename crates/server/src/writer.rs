@@ -1,0 +1,270 @@
+//! The single writer: serial upward evaluation with group commit.
+//!
+//! Every mutation in the server flows through one thread that owns the
+//! journal and the only mutable [`UpdateProcessor`]. The loop is the
+//! classic group-commit shape: block for the first pending write, then
+//! drain whatever else has queued (up to the batch cap), stage the whole
+//! batch against a private processor, make it durable with **one**
+//! fsync ([`DurableStore::record_commit_batch`]), publish the new state,
+//! and only then acknowledge each client. While an fsync is in flight
+//! new requests pile up in the channel, so the next batch grows with the
+//! load — latency under contention buys throughput automatically, with
+//! no timers and no tuning.
+//!
+//! Write-ahead ordering is preserved batch-wide: the staging processor
+//! is a *clone* of the published state, so if the single append fails
+//! nothing was acknowledged, the staging clone is dropped, and disk and
+//! published memory still agree on the old state. Crash mid-batch
+//! leaves a clean prefix of the batch's records (plus at most one torn
+//! record) — and since no member of the batch was acknowledged, recovery
+//! to any prefix is correct.
+
+use crate::state::{Published, StateCell};
+use dduf_core::problems::ic_checking::CheckOutcome;
+use dduf_core::processor::UpdateProcessor;
+use dduf_persist::{serialize_transaction, DurableStore};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+
+/// A unit of work routed to the writer thread.
+pub(crate) enum Job {
+    /// Commit a transaction (the `:apply`/`:force` payload).
+    Apply {
+        /// Transaction source in surface event syntax.
+        src: String,
+        /// Check integrity constraints first (`:apply` vs `:force`).
+        checked: bool,
+        /// Where the acknowledgement goes once the batch is durable.
+        reply: Sender<Reply>,
+    },
+    /// Write a snapshot covering the journal so far.
+    Checkpoint {
+        /// Where the acknowledgement goes.
+        reply: Sender<Reply>,
+    },
+}
+
+/// The writer's answer to one job, in the protocol's terms.
+pub(crate) struct Reply {
+    /// `ok` vs `err` on the wire.
+    pub ok: bool,
+    /// Response body.
+    pub text: String,
+}
+
+/// What one staged request is waiting for at fsync time.
+enum Staged {
+    /// Evaluated and staged; acknowledged once the batch fsync lands.
+    Committed { ack: String, payload: String },
+    /// Finished without touching state (rejected / parse error); the
+    /// reply is final regardless of the fsync.
+    Settled(Reply),
+}
+
+/// Runs the writer loop until every job sender is gone.
+pub(crate) fn run(
+    jobs: Receiver<Job>,
+    cell: Arc<StateCell>,
+    mut store: DurableStore,
+    metrics: Arc<dduf_obs::SharedCollector>,
+    max_batch: usize,
+) {
+    // Every span the staged evaluations record (eval.*, upward.*,
+    // journal.append) lands in the server's shared report.
+    let _guard = dduf_obs::install_shared(&metrics);
+    let max_batch = max_batch.max(1);
+    loop {
+        let first = match jobs.recv() {
+            Ok(job) => job,
+            Err(_) => break, // all sessions and acceptors are gone
+        };
+        let mut batch = Vec::new();
+        let mut deferred = None;
+        match first {
+            Job::Apply { .. } => batch.push(first),
+            admin => {
+                run_admin(admin, &cell, &mut store);
+                continue;
+            }
+        }
+        // Group: drain whatever queued while the previous fsync ran.
+        while batch.len() < max_batch {
+            match jobs.try_recv() {
+                Ok(job @ Job::Apply { .. }) => batch.push(job),
+                Ok(admin) => {
+                    // Admin jobs are barriers: finish the batch first.
+                    deferred = Some(admin);
+                    break;
+                }
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        commit_batch(batch, &cell, &mut store);
+        if let Some(admin) = deferred {
+            run_admin(admin, &cell, &mut store);
+        }
+    }
+}
+
+/// Stages, journals (one fsync), publishes, and acknowledges one batch.
+fn commit_batch(batch: Vec<Job>, cell: &StateCell, store: &mut DurableStore) {
+    let timer = dduf_obs::timer();
+    let clone_timer = dduf_obs::timer();
+    let cur = cell.load();
+    let mut staged = UpdateProcessor::from_parts(cur.db.clone(), cur.interp.clone());
+    dduf_obs::record_timed(
+        "server.clone",
+        "",
+        &[("clones", 1), ("facts", cur.db.fact_count() as u64)],
+        clone_timer.elapsed_us(),
+    );
+    let mut outcomes: Vec<(Sender<Reply>, Staged)> = Vec::with_capacity(batch.len());
+    let (mut committed, mut rejected, mut failed) = (0u64, 0u64, 0u64);
+    for job in batch {
+        let Job::Apply {
+            src,
+            checked,
+            reply,
+        } = job
+        else {
+            unreachable!("only Apply jobs are batched");
+        };
+        let outcome = stage_one(&mut staged, &src, checked);
+        match &outcome {
+            Staged::Committed { .. } => committed += 1,
+            Staged::Settled(r) if r.ok => rejected += 1,
+            Staged::Settled(_) => failed += 1,
+        }
+        outcomes.push((reply, outcome));
+    }
+
+    let payloads: Vec<&str> = outcomes
+        .iter()
+        .filter_map(|(_, o)| match o {
+            Staged::Committed { payload, .. } => Some(payload.as_str()),
+            Staged::Settled(_) => None,
+        })
+        .collect();
+    let mut fsyncs = 0u64;
+    let mut append_error = None;
+    if !payloads.is_empty() {
+        match store.record_commit_batch(&payloads) {
+            Ok(end) => {
+                fsyncs = 1;
+                let (db, interp) = staged.into_state_parts();
+                cell.publish(Published {
+                    db,
+                    interp,
+                    journal_end: end,
+                    commits: cur.commits + committed,
+                });
+            }
+            Err(e) => {
+                // Nothing became durable and nothing was acknowledged:
+                // the staging clone is discarded with the old state
+                // still published. Every staged commit fails loudly.
+                append_error = Some(e.to_string());
+            }
+        }
+    }
+    dduf_obs::record_timed(
+        "server.batch",
+        "",
+        &[
+            ("requests", committed + rejected + failed),
+            (
+                "committed",
+                if append_error.is_none() { committed } else { 0 },
+            ),
+            ("rejected", rejected),
+            ("failed", failed),
+            ("fsyncs", fsyncs),
+        ],
+        timer.elapsed_us(),
+    );
+    for (reply, outcome) in outcomes {
+        let r = match outcome {
+            Staged::Committed { ack, .. } => match &append_error {
+                None => Reply {
+                    ok: true,
+                    text: ack,
+                },
+                Some(e) => Reply {
+                    ok: false,
+                    text: e.clone(),
+                },
+            },
+            Staged::Settled(r) => r,
+        };
+        // A client that hung up before its ack is not an error.
+        let _ = reply.send(r);
+    }
+}
+
+/// Parses, optionally checks, and stages one transaction against the
+/// batch's private processor.
+fn stage_one(staged: &mut UpdateProcessor, src: &str, checked: bool) -> Staged {
+    let txn = match staged.transaction(src) {
+        Ok(txn) => txn,
+        Err(e) => {
+            return Staged::Settled(Reply {
+                ok: false,
+                text: e.to_string(),
+            })
+        }
+    };
+    if checked {
+        match staged.check_integrity(&txn) {
+            Ok(CheckOutcome::Violated(events)) => {
+                let list: Vec<String> = events.iter().map(|e| e.to_string()).collect();
+                return Staged::Settled(Reply {
+                    ok: true,
+                    text: format!(
+                        "REJECTED: violates {} (use :force to override)",
+                        list.join(", ")
+                    ),
+                });
+            }
+            Ok(_) => {} // consistent / no constraints / already inconsistent
+            Err(e) => {
+                return Staged::Settled(Reply {
+                    ok: false,
+                    text: e.to_string(),
+                })
+            }
+        }
+    }
+    // Serialize before committing: the payload is the journal record.
+    let payload = serialize_transaction(&txn);
+    match staged.commit(&txn) {
+        Ok(res) => Staged::Committed {
+            ack: format!("applied {}; induced {}", res.base, res.derived),
+            payload,
+        },
+        Err(e) => Staged::Settled(Reply {
+            ok: false,
+            text: e.to_string(),
+        }),
+    }
+}
+
+/// Admin jobs run between batches, against the published state.
+fn run_admin(job: Job, cell: &StateCell, store: &mut DurableStore) {
+    match job {
+        Job::Checkpoint { reply } => {
+            let cur = cell.load();
+            let r = match store.checkpoint(&cur.db) {
+                Ok(pos) => Reply {
+                    ok: true,
+                    text: format!("checkpoint written (journal covered to byte {pos})"),
+                },
+                Err(e) => Reply {
+                    ok: false,
+                    text: e.to_string(),
+                },
+            };
+            let _ = reply.send(r);
+        }
+        Job::Apply { .. } => unreachable!("Apply jobs are batched"),
+    }
+}

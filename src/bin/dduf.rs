@@ -1,6 +1,6 @@
 //! The `dduf` binary: the interactive shell over a database file, the
-//! `lint` static analyzer, the `analyze` dataflow reporter, and the
-//! `db` durable-database verbs.
+//! `lint` static analyzer, the `analyze` dataflow reporter, the `db`
+//! durable-database verbs, and the `serve`/`--connect` server pair.
 //!
 //! ```sh
 //! cargo run --bin dduf -- db.dl
@@ -97,6 +97,18 @@ fn dispatch(rest: Vec<String>) -> i32 {
         "lint" => dduf::lint::run(args),
         "analyze" => dduf::analyze::run(args),
         "db" => dduf::db::run(args),
+        "serve" => dduf::serve::run(args),
+        "--connect" => {
+            let Some(addr) = args.next() else {
+                eprint!("dduf: --connect expects <host:port>\n{USAGE}");
+                return 2;
+            };
+            if args.next().is_some() {
+                eprint!("dduf: too many operands\n{USAGE}");
+                return 2;
+            }
+            dduf::serve::connect(&addr)
+        }
         s if s.starts_with('-') => {
             eprint!("dduf: unrecognized flag `{s}`\n{USAGE}");
             2

@@ -92,7 +92,11 @@ impl Session {
             ":save" => self.save(rest),
             ":checkpoint" => self.checkpoint(),
             ":query" => self.query(rest),
-            ":stats" => Ok(Self::stats()),
+            ":stats" => Ok(self.stats()),
+            // The REPL intercepts these before dispatch; handling them
+            // here too keeps scripted/embedded use (`session.run`) from
+            // erroring on a perfectly reasonable goodbye.
+            ":quit" | ":q" | ":exit" => Ok("bye".into()),
             ":threads" => Self::threads(rest),
             ":do" => self.commit_pending(rest),
             other => Err(Error::Datalog(dduf_datalog::error::Error::Parse(
@@ -345,13 +349,23 @@ impl Session {
 
     /// `:stats` — render everything the session's trace recorder has
     /// accumulated so far (semantic counters are deterministic; wall-clock
-    /// times are not).
-    fn stats() -> String {
-        match dduf_obs::snapshot() {
+    /// times are not). Durable sessions also report how far the journal
+    /// extends on disk.
+    fn stats(&self) -> String {
+        let mut out = match dduf_obs::snapshot() {
             Some(report) if !report.is_empty() => report.render_text(),
             Some(_) => "no spans recorded yet; run a command first\n".into(),
             None => "tracing is not available in this session\n".into(),
+        };
+        if let Some(store) = &self.store {
+            let _ = writeln!(
+                out,
+                "journal: durable through byte {} ({})",
+                store.journal_end(),
+                store.dir().display()
+            );
         }
+        out
     }
 
     /// `:threads [N]` — show or set the evaluation worker count for the
@@ -466,7 +480,7 @@ commands:
   :threads [N]            show/set evaluation worker count (0 = auto)
   :do <n>                 commit alternative n of the last listing
   :help                   this text
-  :quit                   leave
+  :quit | :q | :exit      leave
 transactions use base events (+p(a). -q(b).); updates use derived events.
 ";
 
@@ -481,6 +495,8 @@ usage: dduf <database.dl>                          interactive shell over a file
        dduf db log <dir>                           dump the event journal
        dduf db verify <dir>                        scan snapshot + journal checksums
        dduf db stats <dir>                         storage summary + recovery trace
+       dduf serve <dir> [--addr A] [--sessions N]  serve a durable database over TCP
+       dduf --connect <addr>                       interactive client for a server
        dduf --help | -h                            this text
        dduf --version | -V                         print the version
 global flags: --threads N | -j N   evaluation worker count (0 = auto;
@@ -714,5 +730,28 @@ mod tests {
         let mut s = session();
         assert_eq!(s.run("% just a comment").unwrap(), "");
         assert_eq!(s.run("").unwrap(), "");
+    }
+
+    #[test]
+    fn quit_commands_run_cleanly_in_scripted_sessions() {
+        let mut s = session();
+        for cmd in [":quit", ":q", ":exit"] {
+            assert_eq!(s.run(cmd).unwrap(), "bye", "{cmd}");
+        }
+    }
+
+    #[test]
+    fn durable_stats_reports_journal_position() {
+        let dir = std::env::temp_dir().join(format!("dduf_cli_stats_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let db = dduf_persist::DurableDb::init(&dir, EMPLOYMENT).unwrap();
+        let mut s = Session::durable(db);
+        let out = s.run(":stats").unwrap();
+        assert!(out.contains("journal: durable through byte"), "{out}");
+        // In-memory sessions say nothing about a journal.
+        let out = session().run(":stats").unwrap();
+        assert!(!out.contains("journal:"), "{out}");
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

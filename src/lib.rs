@@ -10,7 +10,7 @@
 //! satisfiability, condition monitoring, and enforcing/preventing
 //! condition activation — behind one uniform update-processing interface.
 //!
-//! This crate is the umbrella: it re-exports the four layers.
+//! This crate is the umbrella: it re-exports the five layers.
 //!
 //! * [`datalog`] — the deductive database substrate: AST, parser, storage,
 //!   stratification, naive/semi-naive evaluation.
@@ -19,6 +19,8 @@
 //! * [`core`] — the interpretations and the problem catalog.
 //! * [`persist`] — durable state: the append-only event journal, atomic
 //!   snapshots, and crash recovery by replaying the upward interpretation.
+//! * [`server`] — the concurrent TCP front end: one group-committing
+//!   writer, snapshot-isolated readers (`dduf serve` / `dduf --connect`).
 //!
 //! ## Quickstart
 //!
@@ -48,12 +50,14 @@ pub mod analyze;
 pub mod cli;
 pub mod db;
 pub mod lint;
+pub mod serve;
 
 pub use dduf_core as core;
 pub use dduf_datalog as datalog;
 pub use dduf_events as events;
 pub use dduf_obs as obs;
 pub use dduf_persist as persist;
+pub use dduf_server as server;
 
 /// The most commonly used items of all three layers.
 pub mod prelude {

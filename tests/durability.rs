@@ -123,6 +123,78 @@ fn kill_anywhere_recovers_longest_committed_prefix() {
 }
 
 #[test]
+fn batched_append_crash_recovers_clean_record_prefix() {
+    let dir = tmpdir("batch");
+    let mut db = DurableDb::init(&dir, SCHEMA).unwrap();
+    let txn = db.transaction(TXNS[0]).unwrap();
+    db.commit(&txn).unwrap();
+    drop(db); // releases dduf.lock — we drive the journal directly below
+
+    // Serialize TXNS[1..] exactly as the server's group commit does: one
+    // staged processor, one payload per transaction, one batched append
+    // (single fsync) covering all of them.
+    let mut staged = UpdateProcessor::new(parse_database(SCHEMA).unwrap()).unwrap();
+    let txn0 = staged.transaction(TXNS[0]).unwrap();
+    staged.commit(&txn0).unwrap();
+    let mut payloads = Vec::new();
+    for src in &TXNS[1..] {
+        let txn = staged.transaction(src).unwrap();
+        payloads.push(dduf::persist::serialize_transaction(&txn));
+        staged.commit(&txn).unwrap();
+    }
+
+    let journal_path = dir.join(JOURNAL_FILE);
+    let (mut j, scan) = journal::Journal::open(&journal_path).unwrap();
+    assert_eq!(scan.records.len(), 1);
+    let batch_start = j.end();
+    j.append_batch(&payloads).unwrap();
+    drop(j);
+
+    let scan = journal::scan(&journal_path).unwrap();
+    assert_eq!(scan.records.len(), TXNS.len());
+    let file_len = std::fs::metadata(&journal_path).unwrap().len();
+    assert_eq!(scan.end, file_len);
+    // End offset of each batch record: the next record's start, or EOF.
+    let ends: Vec<u64> = scan
+        .records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.offset >= batch_start)
+        .map(|(i, _)| scan.records.get(i + 1).map_or(file_len, |n| n.offset))
+        .collect();
+
+    // Crash at every byte of the batch region: recovery must land on a
+    // clean whole-record prefix of the batch — the durability contract
+    // does not change because many records shared one fsync.
+    for cut in batch_start..=file_len {
+        let complete = ends.iter().filter(|&&e| e <= cut).count();
+        let boundary = ends
+            .iter()
+            .filter(|&&e| e <= cut)
+            .max()
+            .copied()
+            .unwrap_or(batch_start);
+        let crash = crashed_copy(&dir, &format!("bcut{cut}"), cut);
+        let recovered = DurableDb::open(&crash).unwrap();
+        assert_eq!(
+            fingerprint(recovered.processor()),
+            reference_fingerprint(1 + complete),
+            "cut at byte {cut}: state must equal the {complete}-record batch prefix"
+        );
+        assert_eq!(recovered.recovery().replayed, 1 + complete);
+        assert_eq!(recovered.recovery().truncated_bytes, cut - boundary);
+        drop(recovered);
+        assert_eq!(
+            std::fs::metadata(crash.join(JOURNAL_FILE)).unwrap().len(),
+            boundary,
+            "cut at byte {cut}: torn batch tail must be truncated"
+        );
+        std::fs::remove_dir_all(&crash).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn midlog_byte_flip_is_a_named_corruption_error() {
     let dir = tmpdir("flip");
     let mut db = DurableDb::init(&dir, SCHEMA).unwrap();
@@ -260,6 +332,34 @@ fn preexisting_oversized_record_is_reported_corrupt_not_allocated() {
     }
     let err = dduf::persist::verify(&dir).unwrap_err();
     assert!(err.render().contains("record 1"), "{}", err.render());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn second_open_of_a_live_database_is_refused() {
+    let dir = tmpdir("locked");
+    let db = DurableDb::init(&dir, SCHEMA).unwrap();
+
+    // A second opener must get the clear lock error, not a silent race
+    // on the journal.
+    match DurableDb::open(&dir) {
+        Err(e @ PersistError::Locked { .. }) => {
+            assert!(
+                e.render().contains("locked by another process"),
+                "{}",
+                e.render()
+            );
+        }
+        other => panic!("expected Locked, got {other:?}"),
+    }
+
+    // Read-only inspection (verify/log) deliberately does not lock.
+    assert!(dduf::persist::verify(&dir).is_ok());
+    assert!(dduf::persist::read_log(&dir).is_ok());
+
+    // The lock dies with its owner: dropping the first handle frees it.
+    drop(db);
+    assert!(DurableDb::open(&dir).is_ok());
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -1,0 +1,239 @@
+//! End-to-end suite for `dduf serve`: a real server process, real TCP
+//! clients, and the two contracts that define the server (DESIGN.md
+//! §14):
+//!
+//! * **Serial equivalence** — whatever interleaving concurrent clients
+//!   produce, the final durable state is bit-identical to replaying the
+//!   journal's transactions serially through a plain in-memory
+//!   processor. Group commit batches fsyncs, never semantics.
+//! * **Durability of acknowledgement** — a SIGKILL at any moment loses
+//!   at most unacknowledged work: every `:apply` a client saw `ok` for
+//!   is in the recovered state.
+
+use dduf::prelude::*;
+use dduf::server::proto::read_response;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+const SCHEMA: &str = "item(seed, s0). view(X) :- item(X, Y).";
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dduf_e2e_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Creates a durable database and releases it (the server process must
+/// be able to take the directory lock).
+fn make_db(dir: &Path) {
+    drop(dduf::persist::DurableDb::init(dir, SCHEMA).unwrap());
+}
+
+/// Spawns `dduf serve` on an ephemeral port and parses the bound
+/// address from its stdout. The returned reader keeps the stdout pipe
+/// open for the child's lifetime (dropping it would turn the server's
+/// final status prints into broken-pipe panics).
+fn spawn_server(
+    dir: &Path,
+    threads: &str,
+) -> (Child, SocketAddr, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dduf"))
+        .args([
+            "--threads",
+            threads,
+            "serve",
+            dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--sessions",
+            "4",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            reader.read_line(&mut line).unwrap(),
+            0,
+            "server exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.parse().unwrap();
+        }
+    };
+    (child, addr, reader)
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) -> (bool, Vec<String>) {
+        writeln!(self.stream, "{line}").unwrap();
+        read_response(&mut self.reader).unwrap()
+    }
+}
+
+/// Replays the journal serially through a fresh in-memory processor and
+/// asserts the recovered durable state renders bit-identically.
+fn assert_serial_equivalence(dir: &Path) -> String {
+    let (_, scan) = dduf::persist::read_log(dir).unwrap();
+    let mut replay = UpdateProcessor::new(parse_database(SCHEMA).unwrap()).unwrap();
+    for r in &scan.records {
+        let txn = replay.transaction(&r.payload).unwrap();
+        replay.commit(&txn).unwrap();
+    }
+    let recovered = dduf::persist::DurableDb::open(dir).unwrap();
+    let state = dduf::datalog::pretty::database(recovered.processor().database());
+    assert_eq!(
+        dduf::datalog::pretty::database(replay.database()),
+        state,
+        "recovered state is not a serial replay of the journal"
+    );
+    state
+}
+
+/// Four concurrent clients mixing commits, queries, and checks; the
+/// final state must equal the serial replay of the journal and contain
+/// every acknowledged fact. Runs the whole exercise at 1 and at 8
+/// evaluation threads — results must not depend on the pool size.
+#[test]
+fn concurrent_clients_end_in_a_serially_equivalent_state() {
+    for threads in ["1", "8"] {
+        let dir = tmpdir(&format!("conc{threads}"));
+        make_db(&dir);
+        let (mut child, addr, _stdout) = spawn_server(&dir, threads);
+
+        let workers: Vec<_> = (0..4)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut acked = Vec::new();
+                    for i in 0..12 {
+                        let fact = format!("item(c{c}, i{i})");
+                        let (ok, lines) = client.send(&format!(":apply +{fact}."));
+                        assert!(ok, "client {c} commit {i}: {lines:?}");
+                        assert!(lines[0].starts_with("applied"), "{lines:?}");
+                        acked.push(fact);
+                        // Read-your-writes on the same connection.
+                        let (ok, lines) = client.send(&format!(":query view(c{c})"));
+                        assert!(ok, "{lines:?}");
+                        assert!(
+                            lines.iter().any(|l| l == &format!("view(c{c})")),
+                            "client {c} step {i}: own write invisible: {lines:?}"
+                        );
+                        // Reads never fail mid-stream.
+                        let (ok, _) = client.send(":check +item(probe, p).");
+                        assert!(ok);
+                    }
+                    let (ok, _) = client.send(":quit");
+                    assert!(ok);
+                    acked
+                })
+            })
+            .collect();
+        let acked: Vec<String> = workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread"))
+            .collect();
+        assert_eq!(acked.len(), 48);
+
+        let mut admin = Client::connect(addr);
+        let (ok, lines) = admin.send(":stats");
+        assert!(ok);
+        assert!(
+            lines.iter().any(|l| l.starts_with("journal: durable")),
+            "{lines:?}"
+        );
+        let (ok, _) = admin.send(":shutdown");
+        assert!(ok);
+        assert!(child.wait().unwrap().success());
+
+        let state = assert_serial_equivalence(&dir);
+        for fact in &acked {
+            assert!(
+                state.contains(fact.as_str()),
+                "{fact} missing after shutdown"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// SIGKILL mid-run: the journal recovers to a clean prefix that
+/// includes every acknowledged commit.
+#[test]
+fn sigkill_recovers_every_acknowledged_commit() {
+    let dir = tmpdir("kill");
+    make_db(&dir);
+    let (mut child, addr, _stdout) = spawn_server(&dir, "1");
+
+    let mut client = Client::connect(addr);
+    let mut acked = Vec::new();
+    for i in 0..10 {
+        let fact = format!("item(k, i{i})");
+        let (ok, lines) = client.send(&format!(":apply +{fact}."));
+        assert!(ok, "{lines:?}");
+        acked.push(fact);
+    }
+    // One more request goes out, then the process dies mid-flight —
+    // that one may or may not have made it; everything acked must have.
+    writeln!(client.stream, ":apply +item(k, unacked).").unwrap();
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let state = assert_serial_equivalence(&dir);
+    for fact in &acked {
+        assert!(state.contains(fact.as_str()), "{fact} lost by SIGKILL");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// While a server owns the directory, a second process opening it gets
+/// the clear lock error instead of racing the journal.
+#[test]
+fn concurrent_process_is_locked_out_while_serving() {
+    let dir = tmpdir("lockout");
+    make_db(&dir);
+    let (mut child, addr, _stdout) = spawn_server(&dir, "1");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dduf"))
+        .args(["db", "stats", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "second opener must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("locked by another process"),
+        "unexpected error text: {stderr}"
+    );
+
+    // Read-only verification deliberately works alongside the server.
+    let out = Command::new(env!("CARGO_BIN_EXE_dduf"))
+        .args(["db", "verify", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "verify must not need the lock");
+
+    let mut client = Client::connect(addr);
+    let (ok, _) = client.send(":shutdown");
+    assert!(ok);
+    assert!(child.wait().unwrap().success());
+    // The lock died with the server: a local open works now.
+    assert!(dduf::persist::DurableDb::open(&dir).is_ok());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -209,22 +209,25 @@ fn durable_soak_journal_metrics_and_recovery() {
         "one snapshot per checkpoint plus the one init writes"
     );
 
-    // Two captured recoveries: identical trace fingerprints, identical
+    // Two captured recoveries (sequential — the directory lock forbids
+    // concurrent openers): identical trace fingerprints, identical
     // recovery records, and a state equal to what was committed.
     let (first, rep1) = dduf::obs::capture(|| DurableDb::open(&dir).unwrap());
+    let first_recovery = first.recovery();
+    let first_saved = dduf::datalog::pretty::database(first.processor().database());
+    drop(first); // release dduf.lock for the second open
     let (second, rep2) = dduf::obs::capture(|| DurableDb::open(&dir).unwrap());
     assert_eq!(rep1.semantic_fingerprint(), rep2.semantic_fingerprint());
-    assert_eq!(first.recovery(), second.recovery());
+    assert_eq!(first_recovery, second.recovery());
     assert_eq!(
         rep1.counter("recovery.open", "", "replayed"),
-        first.recovery().replayed as u64
+        first_recovery.replayed as u64
     );
     assert_eq!(rep1.counter("recovery.open", "", "truncated_bytes"), 0);
     assert_eq!(rep1.counter("journal.scan", "", "records"), commits);
     assert_eq!(rep1.counter("journal.scan", "", "bytes"), final_end - 8);
     assert_eq!(
-        dduf::datalog::pretty::database(first.processor().database()),
-        saved,
+        first_saved, saved,
         "recovered state differs from the committed one"
     );
     std::fs::remove_dir_all(&dir).unwrap();
