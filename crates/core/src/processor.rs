@@ -16,6 +16,7 @@ use crate::problems::{
     repair, side_effects, view_maintenance, view_updating,
 };
 use crate::transaction::Transaction;
+use crate::upward::maintain::MaintenanceEngine;
 use crate::upward::{self, Engine, UpwardResult};
 use dduf_datalog::ast::{Atom, Pred};
 use dduf_datalog::eval::{materialize, Interpretation, StateView};
@@ -32,6 +33,27 @@ pub struct UpdateProcessor {
     /// Worker count for upward evaluation; `None` defers to the
     /// process-default pool (`--threads` / `DDUF_THREADS`).
     threads: Option<usize>,
+    /// Stateful maintenance engine (counting / DRed per stratum). When
+    /// present, [`commit_with_hook`](Self::commit_with_hook) interprets
+    /// transactions through it — change-proportional even under deletion —
+    /// instead of the stateless upward engines.
+    maint: Option<MaintenanceEngine>,
+}
+
+/// The full published state of a processor — what
+/// [`UpdateProcessor::into_state`] surrenders and
+/// [`UpdateProcessor::from_state`] accepts back without re-deriving
+/// anything. The server's writer thread round-trips this through its
+/// snapshot-isolation cell on every group commit.
+#[derive(Clone, Debug)]
+pub struct ProcessorState {
+    /// The extensional database (facts + program).
+    pub db: Database,
+    /// The materialized current state of the derived predicates.
+    pub interp: Interpretation,
+    /// The maintenance state (support counts + extensions), when
+    /// maintenance was enabled.
+    pub maint: Option<MaintenanceEngine>,
 }
 
 impl UpdateProcessor {
@@ -44,7 +66,31 @@ impl UpdateProcessor {
             engine: Engine::default(),
             opts: DownwardOptions::default(),
             threads: None,
+            maint: None,
         })
+    }
+
+    /// Enables stateful view maintenance: builds a
+    /// [`MaintenanceEngine`] (counting for non-recursive strata, DRed for
+    /// recursive ones — the strategy is selected per stratum, recursion is
+    /// no longer an error) from the current state, and routes every
+    /// subsequent commit through it.
+    pub fn with_maintenance(mut self) -> Result<UpdateProcessor> {
+        let engine = match self.threads {
+            Some(n) => MaintenanceEngine::new_pooled(
+                &self.db,
+                &self.old,
+                &dduf_datalog::eval::pool::Pool::new(n),
+            )?,
+            None => MaintenanceEngine::new(&self.db, &self.old)?,
+        };
+        self.maint = Some(engine);
+        Ok(self)
+    }
+
+    /// The maintenance engine, when enabled.
+    pub fn maintenance(&self) -> Option<&MaintenanceEngine> {
+        self.maint.as_ref()
     }
 
     /// Selects the upward engine.
@@ -81,20 +127,46 @@ impl UpdateProcessor {
     ///
     /// [`into_state_parts`]: Self::into_state_parts
     pub fn from_parts(db: Database, interp: Interpretation) -> UpdateProcessor {
-        UpdateProcessor {
+        UpdateProcessor::from_state(ProcessorState {
             db,
-            old: interp,
-            engine: Engine::default(),
-            opts: DownwardOptions::default(),
-            threads: None,
-        }
+            interp,
+            maint: None,
+        })
     }
 
     /// Surrenders the database and its materialized state — the
     /// publication half of the snapshot-isolation hook. The pair is
     /// exactly what [`from_parts`](Self::from_parts) accepts back.
+    /// Maintenance state, if any, is dropped; use
+    /// [`into_state`](Self::into_state) to keep it.
     pub fn into_state_parts(self) -> (Database, Interpretation) {
         (self.db, self.old)
+    }
+
+    /// [`from_parts`](Self::from_parts) including the maintenance state:
+    /// trusted, no re-derivation. `state.interp` must be the
+    /// materialization of `state.db` and `state.maint` (when present) its
+    /// consistent maintenance state, as [`into_state`](Self::into_state)
+    /// of a live processor guarantees.
+    pub fn from_state(state: ProcessorState) -> UpdateProcessor {
+        UpdateProcessor {
+            db: state.db,
+            old: state.interp,
+            engine: Engine::default(),
+            opts: DownwardOptions::default(),
+            threads: None,
+            maint: state.maint,
+        }
+    }
+
+    /// Surrenders the full published state, maintenance included — the
+    /// counterpart of [`from_state`](Self::from_state).
+    pub fn into_state(self) -> ProcessorState {
+        ProcessorState {
+            db: self.db,
+            interp: self.old,
+            maint: self.maint,
+        }
     }
 
     /// The database.
@@ -332,6 +404,22 @@ impl UpdateProcessor {
         txn: &Transaction,
         hook: &mut dyn FnMut(&Transaction) -> Result<()>,
     ) -> Result<UpwardResult> {
+        // With maintenance enabled the stateful engine IS the upward
+        // interpretation (strategy-selected per stratum); its staged
+        // effect commits only after the hook succeeds.
+        if let Some(maint) = &self.maint {
+            let (result, staged) = maint.interpret(&self.db, txn)?;
+            hook(txn)?;
+            txn.apply_in_place(&mut self.db);
+            for (pred, rel) in &staged.new_exts {
+                self.old.set(*pred, rel.clone());
+            }
+            self.maint
+                .as_mut()
+                .expect("checked above")
+                .commit_staged(staged);
+            return Ok(result);
+        }
         let result = self.upward(txn)?;
         hook(txn)?;
         txn.apply_in_place(&mut self.db);
@@ -421,6 +509,10 @@ impl UpdateProcessor {
             crate::upward::semantic::diff_interpretations(&new_db, &self.old, &new_interp);
         self.db = new_db;
         self.old = new_interp;
+        // The strategy plan and counts are program-dependent: rebuild.
+        if self.maint.is_some() {
+            self.maint = Some(MaintenanceEngine::new(&self.db, &self.old)?);
+        }
         Ok(crate::evolution::EvolutionResult {
             induced,
             rule_changes,
@@ -555,6 +647,78 @@ mod tests {
         p.commit(&txn2).unwrap();
         let fresh2 = materialize(p.database()).unwrap();
         assert_eq!(p.interpretation(), &fresh2);
+    }
+
+    #[test]
+    fn maintained_commit_matches_stateless_commit() {
+        let src = "e(a, b). e(b, c). e(a, c).
+                   tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).
+                   src(X) :- e(X, Y), not e(Y, X).";
+        let txns = ["-e(b, c).", "+e(c, d). +e(b, c).", "-e(a, b). -e(a, c)."];
+        let db = parse_database(src).unwrap();
+        let mut maintained = UpdateProcessor::new(db.clone())
+            .unwrap()
+            .with_maintenance()
+            .unwrap();
+        let mut plain = UpdateProcessor::new(db)
+            .unwrap()
+            .with_engine(Engine::Semantic);
+        for t in &txns {
+            let txn = maintained.transaction(t).unwrap();
+            let got = maintained.commit(&txn).unwrap();
+            let expected = plain.commit(&txn).unwrap();
+            assert_eq!(got, expected, "{t}");
+            assert_eq!(maintained.interpretation(), plain.interpretation(), "{t}");
+        }
+        // Maintenance state survives the round trip through the published
+        // state (the server's per-batch path) without re-derivation.
+        let state = maintained.into_state();
+        assert!(state.maint.is_some());
+        let rebuilt = UpdateProcessor::from_state(state);
+        assert_eq!(rebuilt.interpretation(), plain.interpretation());
+        assert!(rebuilt.maintenance().is_some());
+    }
+
+    #[test]
+    fn maintained_commit_aborts_cleanly_on_hook_failure() {
+        let db = parse_database(
+            "e(a, b). e(b, c).
+             tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+        )
+        .unwrap();
+        let mut p = UpdateProcessor::new(db)
+            .unwrap()
+            .with_maintenance()
+            .unwrap();
+        let before = p.maintenance().unwrap().tuple_count();
+        let txn = p.transaction("-e(a, b).").unwrap();
+        let err = p
+            .commit_with_hook(&txn, &mut |_| Err(Error::Storage("journal full".into())))
+            .unwrap_err();
+        assert!(matches!(err, Error::Storage(_)));
+        // Nothing moved: database, interpretation, and counts all intact.
+        assert_eq!(p.maintenance().unwrap().tuple_count(), before);
+        let fresh = materialize(p.database()).unwrap();
+        assert_eq!(p.interpretation(), &fresh);
+        assert_eq!(fresh.relation(Pred::new("tc", 2)).len(), 3);
+    }
+
+    #[test]
+    fn rule_updates_rebuild_maintenance() {
+        let db = parse_database("e(a, b). e(b, c). v(X) :- e(X, Y).").unwrap();
+        let mut p = UpdateProcessor::new(db)
+            .unwrap()
+            .with_maintenance()
+            .unwrap();
+        let rule = dduf_datalog::parser::parse_program("w(X) :- e(Y, X).")
+            .unwrap()
+            .program
+            .rules()[0]
+            .clone();
+        p.add_rule(rule).unwrap();
+        let m = p.maintenance().unwrap();
+        assert!(m.strategy(Pred::new("w", 1)).is_some());
+        assert_eq!(m.extension(Pred::new("w", 1)).len(), 2);
     }
 
     #[test]

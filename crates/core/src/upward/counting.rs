@@ -62,7 +62,9 @@ impl CountingEngine {
         let mut order = Vec::new();
         for component in strat.components() {
             if component.recursive {
-                return Err(Error::RecursiveCounting(component.preds[0]));
+                return Err(Error::RecursiveCounting {
+                    cycle: component.preds.clone(),
+                });
             }
             order.extend(component.preds.iter().copied());
         }
@@ -142,7 +144,21 @@ impl CountingEngine {
         for &pred in &self.order {
             let mut delta: HashMap<Tuple, i64> = HashMap::new();
             for rule in program.rules_for(pred) {
-                self.rule_delta(rule, db, &new_db, &events, &new_rels, &mut delta)?;
+                let old_derived: BTreeMap<Pred, Relation> = rule
+                    .body
+                    .iter()
+                    .filter(|l| program.is_derived(l.atom.pred))
+                    .map(|l| (l.atom.pred, old_rel(l.atom.pred)))
+                    .collect();
+                rule_count_delta(
+                    rule,
+                    db,
+                    &new_db,
+                    &events,
+                    &old_derived,
+                    &new_rels,
+                    &mut delta,
+                );
             }
             delta.retain(|_, d| *d != 0);
 
@@ -193,94 +209,87 @@ impl CountingEngine {
         }
         Ok(result)
     }
+}
 
-    /// Adds one rule's finite-difference contribution to `delta`.
-    ///
-    /// For each body position `i` whose predicate changed, evaluates
-    /// `L₁ⁿ … Lᵢ₋₁ⁿ ΔLᵢ Lᵢ₊₁ᵒ … Lₙᵒ`, seeding bindings from each delta
-    /// tuple with its sign (positive occurrence: +1 insert / −1 delete;
-    /// negative occurrence: signs flipped).
-    fn rule_delta(
-        &self,
-        rule: &Rule,
-        db: &Database,
-        new_db: &Database,
-        events: &EventStore,
-        new_rels: &BTreeMap<Pred, Relation>,
-        delta: &mut HashMap<Tuple, i64>,
-    ) -> Result<()> {
-        let program = db.program();
-        let old_derived: BTreeMap<Pred, Relation> = rule
-            .body
+/// Adds one rule's finite-difference contribution to `delta`.
+///
+/// For each body position `i` whose predicate changed, evaluates
+/// `L₁ⁿ … Lᵢ₋₁ⁿ ΔLᵢ Lᵢ₊₁ᵒ … Lₙᵒ`, seeding bindings from each delta
+/// tuple with its sign (positive occurrence: +1 insert / −1 delete;
+/// negative occurrence: signs flipped). `old_derived` must hold the old
+/// extension of every derived predicate in the rule body; `new_rels` the
+/// new extension (dependency order guarantees lower strata are final).
+/// Shared by [`CountingEngine`] and the strategy-selecting
+/// [`MaintenanceEngine`](crate::upward::maintain::MaintenanceEngine).
+pub(crate) fn rule_count_delta(
+    rule: &Rule,
+    db: &Database,
+    new_db: &Database,
+    events: &EventStore,
+    old_derived: &BTreeMap<Pred, Relation>,
+    new_rels: &BTreeMap<Pred, Relation>,
+    delta: &mut HashMap<Tuple, i64>,
+) {
+    let program = db.program();
+    for (i, lit) in rule.body.iter().enumerate() {
+        let p = lit.atom.pred;
+        let ins = events.relation(EventKind::Ins, p);
+        let del = events.relation(EventKind::Del, p);
+        if ins.is_empty() && del.is_empty() {
+            continue;
+        }
+        // Signed delta tuples for this occurrence.
+        let signed: Vec<(&Tuple, i64)> = ins
             .iter()
-            .filter(|l| program.is_derived(l.atom.pred))
-            .map(|l| {
-                let p = l.atom.pred;
-                let rel: Relation = self
-                    .counts
-                    .get(&p)
-                    .map(|m| m.keys().cloned().collect())
-                    .unwrap_or_default();
-                (p, rel)
-            })
+            .map(|t| (t, if lit.positive { 1 } else { -1 }))
+            .chain(del.iter().map(|t| (t, if lit.positive { -1 } else { 1 })))
             .collect();
 
-        for (i, lit) in rule.body.iter().enumerate() {
-            let p = lit.atom.pred;
-            let ins = events.relation(EventKind::Ins, p);
-            let del = events.relation(EventKind::Del, p);
-            if ins.is_empty() && del.is_empty() {
-                continue;
-            }
-            // Signed delta tuples for this occurrence.
-            let signed: Vec<(&Tuple, i64)> = ins
-                .iter()
-                .map(|t| (t, if lit.positive { 1 } else { -1 }))
-                .chain(del.iter().map(|t| (t, if lit.positive { -1 } else { 1 })))
-                .collect();
-
-            // Remaining literals: j<i on the new side, j>i on the old side.
-            let rest: Vec<&dduf_datalog::ast::Literal> = rule
-                .body
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, l)| l)
-                .collect();
-            let sides: Vec<bool> = (0..rule.body.len())
-                .filter(|&j| j != i)
-                .map(|j| j < i) // true = new side
-                .collect();
-            let rel_of = |k: usize| -> &Relation {
-                let l = rest[k];
-                let q = l.atom.pred;
-                let new_side = sides[k];
-                if program.is_derived(q) {
-                    if new_side {
-                        new_rels.get(&q).expect("dependency order")
-                    } else {
-                        old_derived.get(&q).expect("collected above")
-                    }
-                } else if new_side {
-                    new_db.relation(q)
+        // Remaining literals: j<i on the new side, j>i on the old side.
+        let rest: Vec<&dduf_datalog::ast::Literal> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, l)| l)
+            .collect();
+        let sides: Vec<bool> = (0..rule.body.len())
+            .filter(|&j| j != i)
+            .map(|j| j < i) // true = new side
+            .collect();
+        let rel_of = |k: usize| -> &Relation {
+            let l = rest[k];
+            let q = l.atom.pred;
+            let new_side = sides[k];
+            if program.is_derived(q) {
+                if new_side {
+                    // `new_rels` may be sparse (changed predicates only, as
+                    // the maintenance engine passes it): an absent entry
+                    // means the predicate did not change, so old == new.
+                    new_rels
+                        .get(&q)
+                        .unwrap_or_else(|| old_derived.get(&q).expect("collected above"))
                 } else {
-                    db.relation(q)
+                    old_derived.get(&q).expect("collected above")
                 }
-            };
+            } else if new_side {
+                new_db.relation(q)
+            } else {
+                db.relation(q)
+            }
+        };
 
-            for (t, sign) in signed {
-                let Some(seed) =
-                    dduf_datalog::eval::join::match_tuple(&lit.atom.terms, t, &Bindings::new())
-                else {
-                    continue;
-                };
-                for b in eval_conjunct(&rest, &rel_of, &seed) {
-                    let head = ground_terms(&rule.head.terms, &b).expect("allowed heads");
-                    *delta.entry(head).or_insert(0) += sign;
-                }
+        for (t, sign) in signed {
+            let Some(seed) =
+                dduf_datalog::eval::join::match_tuple(&lit.atom.terms, t, &Bindings::new())
+            else {
+                continue;
+            };
+            for b in eval_conjunct(&rest, &rel_of, &seed) {
+                let head = ground_terms(&rule.head.terms, &b).expect("allowed heads");
+                *delta.entry(head).or_insert(0) += sign;
             }
         }
-        Ok(())
     }
 }
 
@@ -393,10 +402,10 @@ mod tests {
         let db =
             parse_database("e(a, b). tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).").unwrap();
         let old = materialize(&db).unwrap();
-        assert!(matches!(
-            CountingEngine::new(&db, &old),
-            Err(Error::RecursiveCounting(_))
-        ));
+        let err = CountingEngine::new(&db, &old).unwrap_err();
+        assert!(matches!(err, Error::RecursiveCounting { .. }));
+        // The diagnostic names the predicate cycle, like the lints do.
+        assert!(err.to_string().contains("tc/2 -> tc/2"), "{err}");
     }
 
     #[test]

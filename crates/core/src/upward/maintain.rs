@@ -1,0 +1,1084 @@
+//! The strategy-selecting maintenance engine: counting for non-recursive
+//! strata, delete-and-rederive (DRed) for recursive ones.
+//!
+//! The paper frames materialized view maintenance (§5.1.3) as the updating
+//! problem where *deletions* are hard: a deleted base fact may or may not
+//! invalidate a derived one, depending on alternative support. The
+//! [`CountingEngine`](crate::upward::counting::CountingEngine) answers
+//! that with stored support counts, but counts only work for
+//! non-recursive programs — a recursive tuple can support itself through
+//! a cycle, so a positive count no longer implies an external derivation.
+//!
+//! [`MaintenanceEngine`] closes the gap. It walks the stratification's
+//! components in dependency order and picks a strategy per component:
+//!
+//! | component      | strategy | deletion answer                        |
+//! |----------------|----------|----------------------------------------|
+//! | non-recursive  | counting | support count `>0 → 0` transition      |
+//! | recursive      | DRed     | overdelete to fixpoint, then rederive  |
+//!
+//! The DRed pass (after Gupta–Mumick–Subrahmanian, with the Datalog
+//! formulation of Behrend's uniform fixpoint treatment) runs in three
+//! phases per recursive component:
+//!
+//! 1. **Overdelete**: starting from the transaction's breaking deltas
+//!    (deletions on positive occurrences, insertions on negated ones),
+//!    propagate deletions through the component's rules to a fixpoint,
+//!    joining the remaining body literals against the **old** state. The
+//!    result `D` overestimates the real deletions.
+//! 2. **Rederive**: each tuple of `D` is checked head-bound against the
+//!    underestimate `old \ D` plus the new state of everything outside
+//!    the component; survivors are put back.
+//! 3. **Insert**: the transaction's enabling deltas fire each rule once
+//!    per occurrence, and newly added member tuples propagate
+//!    semi-naively (round-batched) to the new fixpoint.
+//!
+//! Every phase drives its joins from a delta tuple, so the work is
+//! proportional to the change, not the database — the same compiled join
+//! plans as the evaluator ([`JoinPlan`]) serve the rederivation and
+//! propagation joins. Induced events fall out as the diff between the
+//! old extension and the new fixpoint. The whole pass records an
+//! `upward.maintain` span with per-phase counters.
+
+use crate::error::{Error, Result};
+use crate::transaction::Transaction;
+use crate::upward::counting::{rule_count_delta, CountDeltas};
+use crate::upward::UpwardResult;
+use dduf_datalog::ast::{Literal, Pred, Rule, Var};
+use dduf_datalog::eval::join::{eval_conjunct, ground_terms, match_tuple, Bindings, JoinStats};
+use dduf_datalog::eval::plan::{self, JoinPlan};
+use dduf_datalog::eval::pool::Pool;
+use dduf_datalog::eval::Interpretation;
+use dduf_datalog::storage::database::Database;
+use dduf_datalog::storage::relation::Relation;
+use dduf_datalog::storage::tuple::Tuple;
+use dduf_datalog::stratify::Stratification;
+use dduf_events::event::{EventKind, GroundEvent};
+use dduf_events::store::EventStore;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// The maintenance strategy chosen for one stratification component.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Support counts by finite differencing (\[GMS93\]); exact deletion
+    /// answers with no re-derivation. Non-recursive components only.
+    Counting,
+    /// Delete-and-rederive: overestimate deletions through the component,
+    /// then re-derive survivors. Handles recursion.
+    DRed,
+}
+
+/// One stratification component with its chosen strategy, in dependency
+/// order.
+#[derive(Clone, Debug)]
+struct Unit {
+    preds: Vec<Pred>,
+    strategy: Strategy,
+}
+
+/// The staged effect of one transaction on the maintenance state, as
+/// produced by [`MaintenanceEngine::interpret`]. Committed separately
+/// ([`MaintenanceEngine::commit_staged`]) so a write-ahead hook can veto
+/// the mutation.
+#[derive(Clone, Debug, Default)]
+pub struct StagedMaintenance {
+    /// Support-count deltas for counting-strategy predicates.
+    pub count_deltas: CountDeltas,
+    /// Full new extensions of the derived predicates that changed
+    /// (unchanged predicates are absent).
+    pub new_exts: BTreeMap<Pred, Relation>,
+}
+
+/// Stateful, strategy-selecting view maintenance over one database.
+///
+/// Holds the support counts of every counting-strategy predicate and the
+/// materialized extension of **every** derived predicate (the counting
+/// extensions are redundant with the count keys but kept uniform: they
+/// are what persists, what recovery restores, and what the old-state
+/// joins read).
+#[derive(Clone, Debug)]
+pub struct MaintenanceEngine {
+    /// Support counts, counting-strategy predicates only.
+    counts: BTreeMap<Pred, HashMap<Tuple, i64>>,
+    /// Current extension of every derived predicate.
+    exts: BTreeMap<Pred, Relation>,
+    /// Components in dependency order with their strategies.
+    units: Vec<Unit>,
+}
+
+/// Computes the per-component strategy plan for a program.
+fn compute_units(program: &dduf_datalog::schema::Program) -> Result<Vec<Unit>> {
+    let strat = Stratification::compute(program)
+        .map_err(|e| Error::from(dduf_datalog::error::Error::from(e)))?;
+    Ok(strat
+        .components()
+        .iter()
+        .map(|c| Unit {
+            preds: c.preds.clone(),
+            strategy: if c.recursive {
+                Strategy::DRed
+            } else {
+                Strategy::Counting
+            },
+        })
+        .collect())
+}
+
+impl MaintenanceEngine {
+    /// Builds the engine from the current state with the process-default
+    /// pool.
+    pub fn new(db: &Database, old: &Interpretation) -> Result<MaintenanceEngine> {
+        MaintenanceEngine::new_pooled(db, old, &Pool::current())
+    }
+
+    /// Builds the engine across `pool`: counting predicates are counted
+    /// concurrently (each reads only the completed old interpretation);
+    /// extensions are snapshots of `old`.
+    pub fn new_pooled(
+        db: &Database,
+        old: &Interpretation,
+        pool: &Pool,
+    ) -> Result<MaintenanceEngine> {
+        let program = db.program();
+        let units = compute_units(program)?;
+        let counting: Vec<Pred> = units
+            .iter()
+            .filter(|u| u.strategy == Strategy::Counting)
+            .flat_map(|u| u.preds.iter().copied())
+            .collect();
+        let maps: Vec<HashMap<Tuple, i64>> = pool.map(counting.len(), |ci| {
+            let pred = counting[ci];
+            let mut map: HashMap<Tuple, i64> = HashMap::new();
+            for rule in program.rules_for(pred) {
+                let rel_of = |i: usize| -> &Relation {
+                    let p = rule.body[i].atom.pred;
+                    if program.is_derived(p) {
+                        old.relation(p)
+                    } else {
+                        db.relation(p)
+                    }
+                };
+                for b in eval_conjunct(&rule.body, &rel_of, &Bindings::new()) {
+                    let t = ground_terms(&rule.head.terms, &b).expect("allowed heads");
+                    *map.entry(t).or_insert(0) += 1;
+                }
+            }
+            map
+        });
+        let counts: BTreeMap<Pred, HashMap<Tuple, i64>> =
+            counting.iter().copied().zip(maps).collect();
+        let exts: BTreeMap<Pred, Relation> = units
+            .iter()
+            .flat_map(|u| u.preds.iter())
+            .map(|&p| (p, old.relation(p).clone()))
+            .collect();
+        debug_assert!(counts
+            .iter()
+            .all(|(p, m)| m.len() == exts.get(p).map_or(0, Relation::len)));
+        Ok(MaintenanceEngine {
+            counts,
+            exts,
+            units,
+        })
+    }
+
+    /// Rebuilds the engine from previously persisted state **without
+    /// re-deriving anything** — the recovery constructor. `counts` must
+    /// hold the support counts of every counting-strategy predicate and
+    /// `dred_exts` the extensions of the recursive (DRed) predicates, as
+    /// [`counts`](Self::counts) and [`extensions`](Self::extensions) of a
+    /// live engine produced them. The split is validated against the
+    /// program's stratification; a mismatch (e.g. a saved file from a
+    /// different program) is an error so callers can fall back to a full
+    /// recompute.
+    pub fn from_saved(
+        db: &Database,
+        counts: BTreeMap<Pred, HashMap<Tuple, i64>>,
+        dred_exts: BTreeMap<Pred, Relation>,
+    ) -> Result<MaintenanceEngine> {
+        let units = compute_units(db.program())?;
+        let strategy_of: BTreeMap<Pred, Strategy> = units
+            .iter()
+            .flat_map(|u| u.preds.iter().map(|&p| (p, u.strategy)))
+            .collect();
+        for (&p, wanted) in counts
+            .keys()
+            .map(|p| (p, Strategy::Counting))
+            .chain(dred_exts.keys().map(|p| (p, Strategy::DRed)))
+            .collect::<Vec<_>>()
+        {
+            if strategy_of.get(&p) != Some(&wanted) {
+                return Err(Error::Storage(format!(
+                    "saved maintenance state does not fit this program: {p} is not a {} predicate",
+                    match wanted {
+                        Strategy::Counting => "counting-strategy",
+                        Strategy::DRed => "recursive (DRed-strategy)",
+                    }
+                )));
+            }
+        }
+        let exts: BTreeMap<Pred, Relation> = strategy_of
+            .iter()
+            .map(|(&p, &s)| {
+                let rel = match s {
+                    Strategy::Counting => counts
+                        .get(&p)
+                        .map(|m| m.keys().cloned().collect())
+                        .unwrap_or_default(),
+                    Strategy::DRed => dred_exts.get(&p).cloned().unwrap_or_default(),
+                };
+                (p, rel)
+            })
+            .collect();
+        Ok(MaintenanceEngine {
+            counts,
+            exts,
+            units,
+        })
+    }
+
+    /// The strategy maintaining a derived predicate (`None` if unknown).
+    pub fn strategy(&self, pred: Pred) -> Option<Strategy> {
+        self.units
+            .iter()
+            .find(|u| u.preds.contains(&pred))
+            .map(|u| u.strategy)
+    }
+
+    /// The stored support count of a tuple. Counting predicates report
+    /// their exact count; DRed predicates report set membership (1/0) —
+    /// DRed keeps no counts, that is the point of the rederivation pass.
+    pub fn count(&self, pred: Pred, tuple: &Tuple) -> i64 {
+        match self.counts.get(&pred) {
+            Some(m) => m.get(tuple).copied().unwrap_or(0),
+            None => i64::from(self.extension(pred).contains(tuple)),
+        }
+    }
+
+    /// The current extension of a derived predicate.
+    pub fn extension(&self, pred: Pred) -> &Relation {
+        static EMPTY: std::sync::OnceLock<Relation> = std::sync::OnceLock::new();
+        self.exts
+            .get(&pred)
+            .unwrap_or_else(|| EMPTY.get_or_init(Relation::new))
+    }
+
+    /// All support counts (counting-strategy predicates only), for
+    /// persistence.
+    pub fn counts(&self) -> &BTreeMap<Pred, HashMap<Tuple, i64>> {
+        &self.counts
+    }
+
+    /// The current extension of every derived predicate, for persistence.
+    pub fn extensions(&self) -> &BTreeMap<Pred, Relation> {
+        &self.exts
+    }
+
+    /// Total number of maintained derived tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.exts.values().map(Relation::len).sum()
+    }
+
+    /// The maintained extensions as an [`Interpretation`] — what recovery
+    /// publishes instead of re-materializing.
+    pub fn interpretation(&self) -> Interpretation {
+        let mut interp = Interpretation::default();
+        for (&p, rel) in &self.exts {
+            interp.set(p, rel.clone());
+        }
+        interp
+    }
+
+    /// Computes the induced events of `txn` and the staged maintenance
+    /// state, without mutating the engine. Records an `upward.maintain`
+    /// span with per-strategy counters.
+    pub fn interpret(
+        &self,
+        db: &Database,
+        txn: &Transaction,
+    ) -> Result<(UpwardResult, StagedMaintenance)> {
+        let timer = dduf_obs::timer();
+        let (effective, _noops) = txn.normalize(db);
+        let new_db = effective.apply(db);
+
+        let mut events = effective.events().clone();
+        let mut derived_events = EventStore::new();
+        let mut staged = StagedMaintenance::default();
+        let mut ctrs = DredCounters::default();
+
+        for unit in &self.units {
+            match unit.strategy {
+                Strategy::Counting => {
+                    ctrs.counting += 1;
+                    self.counting_pred(
+                        unit.preds[0],
+                        db,
+                        &new_db,
+                        &mut events,
+                        &mut derived_events,
+                        &mut staged,
+                    );
+                }
+                Strategy::DRed => {
+                    ctrs.dred += 1;
+                    self.dred_component(
+                        &unit.preds,
+                        db,
+                        &new_db,
+                        &mut events,
+                        &mut derived_events,
+                        &mut staged,
+                        &mut ctrs,
+                    );
+                }
+            }
+        }
+        dduf_obs::record_timed(
+            "upward.maintain",
+            "",
+            &[
+                ("transactions", 1),
+                ("counting_preds", ctrs.counting),
+                ("dred_components", ctrs.dred),
+                ("overdeleted", ctrs.overdeleted),
+                ("rederived", ctrs.rederived),
+                ("inserted", ctrs.inserted),
+                ("events", derived_events.len() as u64),
+            ],
+            timer.elapsed_us(),
+        );
+        Ok((
+            UpwardResult {
+                base: effective.events().clone(),
+                derived: derived_events,
+            },
+            staged,
+        ))
+    }
+
+    /// Computes the induced events and commits the staged state.
+    pub fn apply(&mut self, db: &Database, txn: &Transaction) -> Result<UpwardResult> {
+        let (result, staged) = self.interpret(db, txn)?;
+        self.commit_staged(staged);
+        Ok(result)
+    }
+
+    /// Commits a staged interpretation: merges the count deltas and
+    /// installs the changed extensions. Split from
+    /// [`interpret`](Self::interpret) so a write-ahead hook can run (and
+    /// veto) in between.
+    pub fn commit_staged(&mut self, staged: StagedMaintenance) {
+        for (pred, delta) in staged.count_deltas {
+            let map = self.counts.entry(pred).or_default();
+            for (t, d) in delta {
+                let c = map.entry(t.clone()).or_insert(0);
+                *c += d;
+                debug_assert!(*c >= 0, "negative count for {pred}{t}");
+                if *c == 0 {
+                    map.remove(&t);
+                }
+            }
+        }
+        for (pred, rel) in staged.new_exts {
+            self.exts.insert(pred, rel);
+        }
+    }
+
+    /// One counting-strategy predicate: finite differencing against the
+    /// stored extensions, count transitions become events.
+    fn counting_pred(
+        &self,
+        pred: Pred,
+        db: &Database,
+        new_db: &Database,
+        events: &mut EventStore,
+        derived_events: &mut EventStore,
+        staged: &mut StagedMaintenance,
+    ) {
+        let program = db.program();
+        let mut delta: HashMap<Tuple, i64> = HashMap::new();
+        for rule in program.rules_for(pred) {
+            rule_count_delta(
+                rule,
+                db,
+                new_db,
+                events,
+                &self.exts,
+                &staged.new_exts,
+                &mut delta,
+            );
+        }
+        delta.retain(|_, d| *d != 0);
+        if delta.is_empty() {
+            return;
+        }
+        // Count transitions → events; materialize the new extension only
+        // if membership actually changed.
+        let mut new_rel: Option<Relation> = None;
+        for (t, d) in &delta {
+            let before = self.count(pred, t);
+            let after = before + d;
+            debug_assert!(after >= 0, "negative count for {pred}{t}");
+            let rel = if before == 0 && after > 0 {
+                let e = GroundEvent::ins(pred, t.clone());
+                events.insert(e.clone());
+                derived_events.insert(e);
+                new_rel.get_or_insert_with(|| self.extension(pred).clone())
+            } else if before > 0 && after == 0 {
+                let e = GroundEvent::del(pred, t.clone());
+                events.insert(e.clone());
+                derived_events.insert(e);
+                new_rel.get_or_insert_with(|| self.extension(pred).clone())
+            } else {
+                continue;
+            };
+            if *d > 0 {
+                rel.insert(t.clone());
+            } else {
+                rel.remove(t);
+            }
+        }
+        if let Some(rel) = new_rel {
+            staged.new_exts.insert(pred, rel);
+        }
+        staged.count_deltas.insert(pred, delta);
+    }
+
+    /// One recursive component: overdelete → rederive → insert.
+    #[allow(clippy::too_many_arguments)]
+    fn dred_component(
+        &self,
+        members: &[Pred],
+        db: &Database,
+        new_db: &Database,
+        events: &mut EventStore,
+        derived_events: &mut EventStore,
+        staged: &mut StagedMaintenance,
+        ctrs: &mut DredCounters,
+    ) {
+        let program = db.program();
+        let member_set: BTreeSet<Pred> = members.iter().copied().collect();
+        let rules: Vec<&Rule> = members.iter().flat_map(|&m| program.rules_for(m)).collect();
+        // Anything relevant changed? Events cover base predicates and
+        // every lower component (processed first); members have no events
+        // yet by construction.
+        let touched = rules.iter().any(|r| {
+            r.body.iter().any(|l| {
+                let p = l.atom.pred;
+                !events.relation(EventKind::Ins, p).is_empty()
+                    || !events.relation(EventKind::Del, p).is_empty()
+            })
+        });
+        if !touched {
+            return;
+        }
+        let mut plans: HashMap<(usize, usize), JoinPlan> = HashMap::new();
+
+        // ---- phase 1: overdelete to fixpoint against the OLD state ----
+        // `over[m]` ⊆ old extension of m; the worklist carries member
+        // deletions still to propagate.
+        let mut over: BTreeMap<Pred, Relation> =
+            members.iter().map(|&m| (m, Relation::new())).collect();
+        let mut worklist: VecDeque<(Pred, Tuple)> = VecDeque::new();
+        {
+            let old_rel_of = |p: Pred| -> &Relation {
+                if program.is_derived(p) {
+                    self.extension(p)
+                } else {
+                    db.relation(p)
+                }
+            };
+            // Breaking deltas from outside the component: deletions on
+            // positive occurrences, insertions on negated ones. Member
+            // predicates have no events yet, so their relations are empty
+            // here and only the worklist drives them.
+            for (ri, rule) in rules.iter().enumerate() {
+                let head = rule.head.pred;
+                for (i, lit) in rule.body.iter().enumerate() {
+                    let kind = if lit.positive {
+                        EventKind::Del
+                    } else {
+                        EventKind::Ins
+                    };
+                    let breaking = events.relation(kind, lit.atom.pred);
+                    for t in breaking.iter() {
+                        fire_breaking(
+                            rule,
+                            head,
+                            i,
+                            lit,
+                            t,
+                            &old_rel_of,
+                            &mut plans,
+                            ri,
+                            &mut over,
+                            &mut worklist,
+                            self,
+                        );
+                    }
+                }
+            }
+            while let Some((p, t)) = worklist.pop_front() {
+                for (ri, rule) in rules.iter().enumerate() {
+                    let head = rule.head.pred;
+                    for (i, lit) in rule.body.iter().enumerate() {
+                        // Negative member occurrences cannot exist in a
+                        // stratified component.
+                        if lit.positive && lit.atom.pred == p {
+                            fire_breaking(
+                                rule,
+                                head,
+                                i,
+                                lit,
+                                &t,
+                                &old_rel_of,
+                                &mut plans,
+                                ri,
+                                &mut over,
+                                &mut worklist,
+                                self,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for rel in over.values() {
+            ctrs.overdeleted += rel.len() as u64;
+        }
+
+        // ---- phase 2+3: rederive survivors, fire insertions, propagate ----
+        // `cur` is the running underestimate: old \ over, grown to the
+        // new fixpoint. `fresh` tracks genuinely new tuples (ins events).
+        let mut cur: BTreeMap<Pred, Relation> = members
+            .iter()
+            .map(|&m| {
+                let old = self.extension(m);
+                let d = &over[&m];
+                let rel = if d.is_empty() {
+                    old.clone()
+                } else {
+                    old.difference(d)
+                };
+                (m, rel)
+            })
+            .collect();
+        let mut fresh: BTreeMap<Pred, Relation> =
+            members.iter().map(|&m| (m, Relation::new())).collect();
+        let mut pending: BTreeSet<(Pred, Tuple)> = BTreeSet::new();
+
+        {
+            // New-state view: members from `cur`, everything else final.
+            let new_rel_of = |p: Pred| -> &Relation {
+                if member_set.contains(&p) {
+                    &cur[&p]
+                } else if program.is_derived(p) {
+                    staged.new_exts.get(&p).unwrap_or_else(|| self.extension(p))
+                } else {
+                    new_db.relation(p)
+                }
+            };
+            // Rederive scan: each overdeleted tuple, head-bound, against
+            // the underestimate. Tuples whose support arrives later are
+            // caught by propagation.
+            for &m in members {
+                for t in over[&m].iter() {
+                    let derivable = program.rules_for(m).iter().enumerate().any(|(ri, rule)| {
+                        rederive_check(rule, t, &new_rel_of, &mut plans, rules_index(&rules, m, ri))
+                    });
+                    if derivable {
+                        pending.insert((m, t.clone()));
+                    }
+                }
+            }
+            // Enabling deltas from outside the component: insertions on
+            // positive occurrences, deletions on negated ones, joined
+            // against the new state.
+            for (ri, rule) in rules.iter().enumerate() {
+                let head = rule.head.pred;
+                for (i, lit) in rule.body.iter().enumerate() {
+                    if member_set.contains(&lit.atom.pred) {
+                        continue; // member insertions arrive via `pending`
+                    }
+                    let kind = if lit.positive {
+                        EventKind::Ins
+                    } else {
+                        EventKind::Del
+                    };
+                    let enabling = events.relation(kind, lit.atom.pred);
+                    for t in enabling.iter() {
+                        fire_enabling(
+                            rule,
+                            head,
+                            i,
+                            lit,
+                            t,
+                            &new_rel_of,
+                            &mut plans,
+                            ri,
+                            &cur,
+                            &mut pending,
+                        );
+                    }
+                }
+            }
+        }
+        // Round-batched propagation: apply a whole batch, then fire each
+        // member of it. Batching keeps `cur` immutable while its lazy
+        // join indexes are hot, and a derivation using several same-batch
+        // tuples still fires (they are all applied before any firing).
+        while !pending.is_empty() {
+            let batch: Vec<(Pred, Tuple)> = std::mem::take(&mut pending).into_iter().collect();
+            for (p, t) in &batch {
+                cur.get_mut(p).expect("member").insert(t.clone());
+                if !self.extension(*p).contains(t) {
+                    fresh.get_mut(p).expect("member").insert(t.clone());
+                }
+            }
+            let new_rel_of = |p: Pred| -> &Relation {
+                if member_set.contains(&p) {
+                    &cur[&p]
+                } else if program.is_derived(p) {
+                    staged.new_exts.get(&p).unwrap_or_else(|| self.extension(p))
+                } else {
+                    new_db.relation(p)
+                }
+            };
+            let mut next: BTreeSet<(Pred, Tuple)> = BTreeSet::new();
+            for (p, t) in &batch {
+                for (ri, rule) in rules.iter().enumerate() {
+                    let head = rule.head.pred;
+                    for (i, lit) in rule.body.iter().enumerate() {
+                        if lit.positive && lit.atom.pred == *p {
+                            fire_enabling(
+                                rule,
+                                head,
+                                i,
+                                lit,
+                                t,
+                                &new_rel_of,
+                                &mut plans,
+                                ri,
+                                &cur,
+                                &mut next,
+                            );
+                        }
+                    }
+                }
+            }
+            pending = next;
+        }
+
+        // ---- events + staged extensions: diff(old, fixpoint) ----
+        for &m in members {
+            let old = self.extension(m);
+            let mut changed = false;
+            for t in over[&m].iter() {
+                if !cur[&m].contains(t) {
+                    let e = GroundEvent::del(m, t.clone());
+                    events.insert(e.clone());
+                    derived_events.insert(e);
+                    changed = true;
+                }
+            }
+            for t in fresh[&m].iter() {
+                debug_assert!(!old.contains(t));
+                let e = GroundEvent::ins(m, t.clone());
+                events.insert(e.clone());
+                derived_events.insert(e);
+                ctrs.inserted += 1;
+                changed = true;
+            }
+            ctrs.rederived += over[&m].iter().filter(|t| cur[&m].contains(t)).count() as u64;
+            if changed {
+                staged
+                    .new_exts
+                    .insert(m, cur.remove(&m).expect("member relation"));
+            }
+        }
+    }
+}
+
+/// Per-interpret counters for the `upward.maintain` span.
+#[derive(Default)]
+struct DredCounters {
+    counting: u64,
+    dred: u64,
+    overdeleted: u64,
+    rederived: u64,
+    inserted: u64,
+}
+
+/// Stable plan-cache key for the head-bound rederive check of local rule
+/// `ri` of member `m`: the rule's global index in `rules` (the members'
+/// rules are contiguous there), paired with `usize::MAX` so it can never
+/// collide with a per-occurrence key (whose second element is a body
+/// position).
+fn rules_index(rules: &[&Rule], m: Pred, ri: usize) -> (usize, usize) {
+    let base = rules.iter().position(|r| r.head.pred == m).unwrap_or(0);
+    (base + ri, usize::MAX)
+}
+
+/// One breaking firing: delta tuple `t` at occurrence `i`, the rest of
+/// the body joined against the old state; heads still extant and not yet
+/// overdeleted join `over` and the worklist.
+#[allow(clippy::too_many_arguments)]
+fn fire_breaking<'a>(
+    rule: &'a Rule,
+    head: Pred,
+    i: usize,
+    lit: &Literal,
+    t: &Tuple,
+    old_rel_of: &dyn Fn(Pred) -> &'a Relation,
+    plans: &mut HashMap<(usize, usize), JoinPlan>,
+    ri: usize,
+    over: &mut BTreeMap<Pred, Relation>,
+    worklist: &mut VecDeque<(Pred, Tuple)>,
+    engine: &MaintenanceEngine,
+) {
+    let Some(seed) = match_tuple(&lit.atom.terms, t, &Bindings::new()) else {
+        return;
+    };
+    let rest: Vec<&Literal> = rest_of(rule, i);
+    let rel_of = |k: usize| -> &'a Relation { old_rel_of(rest[k].atom.pred) };
+    for b in join_lits(plans, (ri, i), &rest, &rel_of, &seed) {
+        let h = ground_terms(&rule.head.terms, &b).expect("allowed heads");
+        let dead = over.get_mut(&head).expect("member head");
+        if engine.extension(head).contains(&h) && !dead.contains(&h) && dead.insert(h.clone()) {
+            worklist.push_back((head, h));
+        }
+    }
+}
+
+/// One enabling firing: delta tuple `t` at occurrence `i`, the rest of
+/// the body joined against the new state; heads not yet in the
+/// approximation are queued for the next round.
+#[allow(clippy::too_many_arguments)]
+fn fire_enabling<'a>(
+    rule: &'a Rule,
+    head: Pred,
+    i: usize,
+    lit: &Literal,
+    t: &Tuple,
+    new_rel_of: &dyn Fn(Pred) -> &'a Relation,
+    plans: &mut HashMap<(usize, usize), JoinPlan>,
+    ri: usize,
+    cur: &BTreeMap<Pred, Relation>,
+    pending: &mut BTreeSet<(Pred, Tuple)>,
+) {
+    let Some(seed) = match_tuple(&lit.atom.terms, t, &Bindings::new()) else {
+        return;
+    };
+    let rest: Vec<&Literal> = rest_of(rule, i);
+    let rel_of = |k: usize| -> &'a Relation { new_rel_of(rest[k].atom.pred) };
+    for b in join_lits(plans, (ri, i), &rest, &rel_of, &seed) {
+        let h = ground_terms(&rule.head.terms, &b).expect("allowed heads");
+        if !cur[&head].contains(&h) {
+            pending.insert((head, h));
+        }
+    }
+}
+
+/// Head-bound rederivation check: does `rule` derive `t` in the state
+/// `new_rel_of` describes?
+fn rederive_check<'a>(
+    rule: &'a Rule,
+    t: &Tuple,
+    new_rel_of: &dyn Fn(Pred) -> &'a Relation,
+    plans: &mut HashMap<(usize, usize), JoinPlan>,
+    key: (usize, usize),
+) -> bool {
+    let Some(seed) = match_tuple(&rule.head.terms, t, &Bindings::new()) else {
+        return false;
+    };
+    let lits: Vec<&Literal> = rule.body.iter().collect();
+    let rel_of = |k: usize| -> &'a Relation { new_rel_of(lits[k].atom.pred) };
+    !join_lits(plans, key, &lits, &rel_of, &seed).is_empty()
+}
+
+/// The body of `rule` without occurrence `i`.
+fn rest_of(rule: &Rule, i: usize) -> Vec<&Literal> {
+    rule.body
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .map(|(_, l)| l)
+        .collect()
+}
+
+/// Evaluates `lits` from `seed` through a compiled join plan when the
+/// planner is enabled (compiled once per call site, cached in `plans`),
+/// or the greedy pipeline otherwise. Both produce the same binding set.
+fn join_lits<'a>(
+    plans: &mut HashMap<(usize, usize), JoinPlan>,
+    key: (usize, usize),
+    lits: &[&Literal],
+    rel_of: &dyn Fn(usize) -> &'a Relation,
+    seed: &Bindings,
+) -> Vec<Bindings> {
+    if !plan::planning_enabled() {
+        return eval_conjunct(lits, rel_of, seed);
+    }
+    let compiled = plans.entry(key).or_insert_with(|| {
+        let bound: BTreeSet<Var> = seed.keys().copied().collect();
+        JoinPlan::compile(lits, &bound, None)
+    });
+    plan::eval_plan_stats(
+        compiled,
+        lits,
+        rel_of,
+        &|_, _| true,
+        seed,
+        &mut JoinStats::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upward::{self, Engine};
+    use dduf_datalog::eval::materialize;
+    use dduf_datalog::parser::parse_database;
+    use dduf_datalog::storage::tuple::syms;
+
+    /// Drives `txns` through a fresh engine, checking every step against
+    /// the semantic oracle (events AND maintained extensions), at the
+    /// end returning the engine for further assertions.
+    fn check_against_semantic(src: &str, txns: &[&str]) -> (Database, MaintenanceEngine) {
+        let mut db = parse_database(src).unwrap();
+        let mut old = materialize(&db).unwrap();
+        let mut engine = MaintenanceEngine::new(&db, &old).unwrap();
+        for (step, t) in txns.iter().enumerate() {
+            let txn = Transaction::parse(&db, t).unwrap();
+            let expected = upward::interpret_with(&db, &old, &txn, Engine::Semantic).unwrap();
+            let got = engine.apply(&db, &txn).unwrap();
+            assert_eq!(got, expected, "step {step}: {t}");
+            db = txn.apply(&db);
+            old = materialize(&db).unwrap();
+            for (pred, _role) in db.program().predicates() {
+                if db.program().is_derived(pred) {
+                    assert_eq!(
+                        engine.extension(pred),
+                        old.relation(pred),
+                        "step {step}: stale extension for {pred}"
+                    );
+                }
+            }
+        }
+        (db, engine)
+    }
+
+    #[test]
+    fn strategy_selection_matrix() {
+        let db = parse_database(
+            "e(a, b). v(X) :- e(X, Y).
+             tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        let engine = MaintenanceEngine::new(&db, &old).unwrap();
+        assert_eq!(engine.strategy(Pred::new("v", 1)), Some(Strategy::Counting));
+        assert_eq!(engine.strategy(Pred::new("tc", 2)), Some(Strategy::DRed));
+        assert_eq!(engine.strategy(Pred::new("e", 2)), None);
+    }
+
+    #[test]
+    fn transitive_closure_chain_deletion() {
+        // Cutting b→c severs everything a/b can reach past b.
+        check_against_semantic(
+            "e(a, b). e(b, c). e(c, d).
+             tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            &["-e(b, c).", "+e(b, c).", "-e(a, b). -e(c, d).", "+e(d, a)."],
+        );
+    }
+
+    #[test]
+    fn alternative_path_survives_deletion() {
+        // Two routes a→c; deleting one leaves tc(a, c) derivable — the
+        // rederivation pass must resurrect the overdeleted tuple.
+        let (_, engine) = check_against_semantic(
+            "e(a, b). e(b, c). e(a, c).
+             tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            &["-e(b, c)."],
+        );
+        assert_eq!(engine.count(Pred::new("tc", 2), &syms(&["a", "c"])), 1);
+    }
+
+    #[test]
+    fn cycle_collapse_needs_fixpoint_overdeletion() {
+        // A cycle supports itself; only the full overdelete-then-rederive
+        // discovers that cutting one edge kills the whole loop's closure.
+        check_against_semantic(
+            "e(a, b). e(b, c). e(c, a).
+             tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            &["-e(c, a).", "+e(c, a). -e(a, b)."],
+        );
+    }
+
+    #[test]
+    fn mutual_recursion_component() {
+        check_against_semantic(
+            "z(zero). s(zero, one). s(one, two). s(two, three).
+             even(X) :- z(X).
+             even(X) :- s(Y, X), odd(Y).
+             odd(X) :- s(Y, X), even(Y).",
+            &["-s(one, two).", "+s(one, two).", "-z(zero)."],
+        );
+    }
+
+    #[test]
+    fn recursion_below_counting_views() {
+        // A counting stratum consumes a DRed stratum (and negation).
+        check_against_semantic(
+            "e(a, b). e(b, c). blocked(c).
+             tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).
+             reach_ok(X, Y) :- tc(X, Y), not blocked(Y).",
+            &["-e(b, c).", "+e(c, d). +e(b, c).", "-blocked(c). -e(a, b)."],
+        );
+    }
+
+    #[test]
+    fn counting_above_and_below_recursion() {
+        // base → counting view → recursive closure over it → counting.
+        check_against_semantic(
+            "raw(a, b). raw(b, c). ok(a). ok(b). ok(c).
+             edge(X, Y) :- raw(X, Y), ok(X).
+             path(X, Y) :- edge(X, Y). path(X, Y) :- edge(X, Z), path(Z, Y).
+             sink(Y) :- path(X, Y), not raw(Y, X).",
+            &[
+                "-raw(b, c).",
+                "+raw(c, a).",
+                "-ok(a).",
+                "+ok(a). +raw(b, c).",
+            ],
+        );
+    }
+
+    #[test]
+    fn enabling_negation_on_recursive_stratum() {
+        // Deleting a blocker *enables* recursive derivations.
+        check_against_semantic(
+            "e(a, b). e(b, c). bad(b).
+             good(X, Y) :- e(X, Y), not bad(X).
+             tc(X, Y) :- good(X, Y). tc(X, Y) :- good(X, Z), tc(Z, Y).",
+            &["-bad(b).", "+bad(a)."],
+        );
+    }
+
+    #[test]
+    fn mixed_transaction_insert_and_delete() {
+        check_against_semantic(
+            "e(a, b). e(b, c). e(c, d).
+             tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+            &["-e(b, c). +e(b, d). +e(d, c)."],
+        );
+    }
+
+    #[test]
+    fn interpret_stages_without_mutating() {
+        let db = parse_database(
+            "e(a, b). e(b, c).
+             tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        let engine = MaintenanceEngine::new(&db, &old).unwrap();
+        let txn = Transaction::parse(&db, "-e(a, b).").unwrap();
+        let before = engine.tuple_count();
+        let (res, staged) = engine.interpret(&db, &txn).unwrap();
+        assert!(!res.derived.is_empty());
+        assert!(staged.new_exts.contains_key(&Pred::new("tc", 2)));
+        assert_eq!(engine.tuple_count(), before, "interpret must not mutate");
+        let mut engine2 = engine.clone();
+        engine2.commit_staged(staged);
+        assert!(engine2.tuple_count() < before);
+    }
+
+    #[test]
+    fn from_saved_round_trips() {
+        let db = parse_database(
+            "e(a, b). e(b, c). flag(b).
+             v(X) :- e(X, Y), not flag(X).
+             tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        let engine = MaintenanceEngine::new(&db, &old).unwrap();
+        let dred_exts: BTreeMap<Pred, Relation> = engine
+            .extensions()
+            .iter()
+            .filter(|(p, _)| engine.strategy(**p) == Some(Strategy::DRed))
+            .map(|(p, r)| (*p, r.clone()))
+            .collect();
+        let restored =
+            MaintenanceEngine::from_saved(&db, engine.counts().clone(), dred_exts).unwrap();
+        assert_eq!(restored.extensions(), engine.extensions());
+        assert_eq!(restored.counts(), engine.counts());
+        // And the restored engine keeps maintaining correctly.
+        let txn = Transaction::parse(&db, "-e(b, c).").unwrap();
+        let mut a = engine.clone();
+        let mut b = restored;
+        assert_eq!(a.apply(&db, &txn).unwrap(), b.apply(&db, &txn).unwrap());
+    }
+
+    #[test]
+    fn from_saved_rejects_mismatched_split() {
+        let db =
+            parse_database("e(a, b). tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).").unwrap();
+        // tc is recursive, so counts for it cannot be loaded.
+        let mut counts: BTreeMap<Pred, HashMap<Tuple, i64>> = BTreeMap::new();
+        counts.insert(Pred::new("tc", 2), HashMap::new());
+        let err = MaintenanceEngine::from_saved(&db, counts, BTreeMap::new()).unwrap_err();
+        assert!(err.to_string().contains("tc/2"), "{err}");
+    }
+
+    #[test]
+    fn interpretation_matches_materialize() {
+        let db = parse_database(
+            "e(a, b). e(b, c). v(X) :- e(X, Y).
+             tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        let engine = MaintenanceEngine::new(&db, &old).unwrap();
+        assert_eq!(engine.interpretation(), old);
+    }
+
+    #[test]
+    fn noop_on_untouched_component() {
+        // A transaction touching only `u` must not stage anything for tc.
+        let db = parse_database(
+            "e(a, b). f(x). u(X) :- f(X).
+             tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).",
+        )
+        .unwrap();
+        let old = materialize(&db).unwrap();
+        let engine = MaintenanceEngine::new(&db, &old).unwrap();
+        let txn = Transaction::parse(&db, "+f(y).").unwrap();
+        let (_, staged) = engine.interpret(&db, &txn).unwrap();
+        assert!(!staged.new_exts.contains_key(&Pred::new("tc", 2)));
+    }
+
+    #[test]
+    fn planning_toggle_is_equivalent() {
+        let src = "e(a, b). e(b, c). e(c, d). e(a, c).
+                   tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).";
+        let txns = ["-e(b, c). +e(d, a).", "-e(a, c)."];
+        let run = |enabled: bool| {
+            dduf_datalog::eval::plan::with_planning(enabled, || {
+                let mut db = parse_database(src).unwrap();
+                let old = materialize(&db).unwrap();
+                let mut engine = MaintenanceEngine::new(&db, &old).unwrap();
+                let mut events = Vec::new();
+                for t in &txns {
+                    let txn = Transaction::parse(&db, t).unwrap();
+                    let res = engine.apply(&db, &txn).unwrap();
+                    events.extend(res.all_events().map(|e| e.to_string()));
+                    db = txn.apply(&db);
+                }
+                events
+            })
+        };
+        assert_eq!(run(true), run(false));
+    }
+}

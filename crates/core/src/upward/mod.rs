@@ -26,6 +26,7 @@
 
 pub mod counting;
 pub mod incremental;
+pub mod maintain;
 pub mod semantic;
 
 use crate::error::Result;

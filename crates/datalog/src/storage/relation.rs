@@ -251,6 +251,22 @@ impl Relation {
     }
 
     fn probe(&self, cols: &[usize], key: &[Const]) -> Vec<Tuple> {
+        // Bound columns forming a *prefix* of the column order need no
+        // index at all: tuples sort lexicographically, so the matches
+        // are one contiguous range of the ordered set (a shorter tuple
+        // sorts before every tuple extending it). This keeps probes
+        // change-proportional on relations whose index cache was just
+        // invalidated — the incremental maintenance engine mutates its
+        // materialized extensions every transaction, and an O(n) index
+        // rebuild per transaction would swallow the incrementality.
+        if cols.iter().copied().eq(0..cols.len()) {
+            return self
+                .tuples
+                .range(Tuple::new(key.to_vec())..)
+                .take_while(|t| t[..key.len()] == *key)
+                .cloned()
+                .collect();
+        }
         {
             let cache = self.index.read().expect("index lock");
             if let Some(idx) = cache.get(cols) {

@@ -1,0 +1,317 @@
+//! Persisted maintenance state: support counts and materialized-view
+//! extensions, written atomically next to the snapshot.
+//!
+//! A counts file lets recovery restore the
+//! [`MaintenanceEngine`]
+//! (support counts for the counting strata, extensions for the recursive
+//! DRed strata) **without re-deriving a single stratum** — re-derivation
+//! is exactly the cost the maintenance engine exists to avoid, and on a
+//! large database paying it at every restart defeats the point.
+//!
+//! Format (`counts.state`):
+//!
+//! ```text
+//! % dduf-counts v1 journal_pos=<bytes> crc=<8 hex digits>
+//! c <count> +atom.        (one counted tuple of a counting stratum)
+//! x +atom.                (one extension tuple of a DRed stratum)
+//! ```
+//!
+//! Tuples render in the same event surface syntax the journal uses, so
+//! they round-trip through the existing event parser. The body is
+//! CRC-32-covered and the file is written with the same temp + fsync +
+//! rename + directory-fsync dance as the snapshot: a crash leaves either
+//! the old complete file or the new complete file.
+//!
+//! The `journal_pos` header field ties the file to a snapshot: recovery
+//! only restores from a counts file whose position **equals** the
+//! snapshot's. Anything else — missing file, stale position, checksum
+//! mismatch, unparsable body, or a split that no longer fits the program
+//! — makes [`read`] fail, and the caller falls back to recomputing the
+//! maintenance state from scratch. Partial state is never loaded.
+
+use crate::crc32::crc32;
+use crate::error::{io_err, PersistError, Result};
+use dduf_core::upward::maintain::MaintenanceEngine;
+use dduf_datalog::ast::Pred;
+use dduf_datalog::storage::relation::Relation;
+use dduf_datalog::storage::tuple::Tuple;
+use dduf_events::event::GroundEvent;
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the persisted maintenance state inside a durable-database
+/// directory.
+pub const COUNTS_FILE: &str = "counts.state";
+
+const HEADER_PREFIX: &str = "% dduf-counts v1 ";
+
+/// Maintenance state read back from disk.
+#[derive(Clone, Debug)]
+pub struct CountsState {
+    /// Journal byte offset the state covers; must equal the snapshot's.
+    pub journal_pos: u64,
+    /// Support counts of the counting strata.
+    pub counts: BTreeMap<Pred, HashMap<Tuple, i64>>,
+    /// Extensions of the recursive (DRed) strata.
+    pub dred_exts: BTreeMap<Pred, Relation>,
+}
+
+impl CountsState {
+    /// Total persisted tuples (counted + DRed extension).
+    pub fn tuple_count(&self) -> usize {
+        self.counts.values().map(HashMap::len).sum::<usize>()
+            + self.dred_exts.values().map(Relation::len).sum::<usize>()
+    }
+}
+
+/// Writes the maintenance state of `engine` covering the journal up to
+/// `journal_pos`, atomically. Records a `counts.persist` span
+/// (`writes`/`tuples`/`bytes`).
+pub fn write(dir: &Path, engine: &MaintenanceEngine, journal_pos: u64) -> Result<()> {
+    let timer = dduf_obs::timer();
+    let mut body = String::new();
+    let mut tuples = 0u64;
+    for (&pred, map) in engine.counts() {
+        // HashMap iteration is unordered; sort for a deterministic file.
+        let mut entries: Vec<(&Tuple, i64)> = map.iter().map(|(t, &c)| (t, c)).collect();
+        entries.sort();
+        for (t, c) in entries {
+            body.push_str(&format!("c {c} {}.\n", GroundEvent::ins(pred, t.clone())));
+            tuples += 1;
+        }
+    }
+    for (&pred, rel) in engine.extensions() {
+        if engine.counts().contains_key(&pred) {
+            continue; // counting extensions are implied by the counts
+        }
+        for t in rel.iter() {
+            body.push_str(&format!("x {}.\n", GroundEvent::ins(pred, t.clone())));
+            tuples += 1;
+        }
+    }
+    let crc = crc32(body.as_bytes());
+    let content = format!("{HEADER_PREFIX}journal_pos={journal_pos} crc={crc:08x}\n{body}");
+    let tmp = dir.join(format!("{COUNTS_FILE}.tmp"));
+    let target = dir.join(COUNTS_FILE);
+    let mut f = std::fs::File::create(&tmp).map_err(io_err(&tmp, "create"))?;
+    f.write_all(content.as_bytes())
+        .map_err(io_err(&tmp, "write"))?;
+    f.sync_all().map_err(io_err(&tmp, "sync"))?;
+    drop(f);
+    std::fs::rename(&tmp, &target).map_err(io_err(&target, "rename into"))?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    dduf_obs::record_timed(
+        "counts.persist",
+        "",
+        &[
+            ("writes", 1),
+            ("tuples", tuples),
+            ("bytes", content.len() as u64),
+        ],
+        timer.elapsed_us(),
+    );
+    Ok(())
+}
+
+/// Removes a stale counts file, if any (e.g. when checkpointing a database
+/// whose session has no maintenance engine: a survivor from an earlier
+/// configuration must not be restored against a newer snapshot).
+pub fn remove(dir: &Path) -> Result<()> {
+    let path = dir.join(COUNTS_FILE);
+    match std::fs::remove_file(&path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(io_err(&path, "remove")(e)),
+    }
+}
+
+/// Reads and validates the persisted maintenance state. Every failure
+/// mode — missing file, bad header, checksum mismatch, unparsable line —
+/// is an error; the caller decides whether to fall back to a recompute.
+pub fn read(dir: &Path) -> Result<CountsState> {
+    let path = dir.join(COUNTS_FILE);
+    let disp = path.display().to_string();
+    let content = std::fs::read_to_string(&path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            PersistError::Snapshot {
+                path: disp.clone(),
+                detail: "no persisted maintenance state".into(),
+            }
+        } else {
+            PersistError::Io {
+                path: disp.clone(),
+                op: "read",
+                source: e,
+            }
+        }
+    })?;
+    let bad = |detail: String| PersistError::Snapshot {
+        path: disp.clone(),
+        detail,
+    };
+    let (header, body) = content
+        .split_once('\n')
+        .ok_or_else(|| bad("empty file".into()))?;
+    let header = header
+        .strip_prefix(HEADER_PREFIX)
+        .ok_or_else(|| bad(format!("missing `{}` header", HEADER_PREFIX.trim())))?;
+    let mut journal_pos = None;
+    let mut stored_crc = None;
+    for field in header.split_whitespace() {
+        match field.split_once('=') {
+            Some(("journal_pos", v)) => journal_pos = v.parse::<u64>().ok(),
+            Some(("crc", v)) => stored_crc = u32::from_str_radix(v, 16).ok(),
+            _ => {}
+        }
+    }
+    let journal_pos =
+        journal_pos.ok_or_else(|| bad("header is missing a numeric journal_pos".into()))?;
+    let stored_crc = stored_crc.ok_or_else(|| bad("header is missing a hex crc".into()))?;
+    let computed = crc32(body.as_bytes());
+    if computed != stored_crc {
+        return Err(bad(format!(
+            "checksum mismatch (stored {stored_crc:#010x}, computed {computed:#010x})"
+        )));
+    }
+    let mut counts: BTreeMap<Pred, HashMap<Tuple, i64>> = BTreeMap::new();
+    let mut dred_exts: BTreeMap<Pred, Relation> = BTreeMap::new();
+    for (ln, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad_line = |detail: &str| bad(format!("line {}: {detail}: {line}", ln + 2));
+        let (pred, tuple, count) = if let Some(rest) = line.strip_prefix("c ") {
+            let (count, ev) = rest
+                .split_once(' ')
+                .ok_or_else(|| bad_line("missing count"))?;
+            let count: i64 = count
+                .parse()
+                .map_err(|_| bad_line("count is not a number"))?;
+            if count <= 0 {
+                return Err(bad_line("count must be positive"));
+            }
+            let (pred, tuple) = parse_tuple(ev).map_err(|e| bad_line(&e))?;
+            (pred, tuple, Some(count))
+        } else if let Some(ev) = line.strip_prefix("x ") {
+            let (pred, tuple) = parse_tuple(ev).map_err(|e| bad_line(&e))?;
+            (pred, tuple, None)
+        } else {
+            return Err(bad_line("unknown line tag"));
+        };
+        match count {
+            Some(c) => {
+                if counts.entry(pred).or_default().insert(tuple, c).is_some() {
+                    return Err(bad_line("duplicate counted tuple"));
+                }
+            }
+            None => {
+                if !dred_exts.entry(pred).or_default().insert(tuple) {
+                    return Err(bad_line("duplicate extension tuple"));
+                }
+            }
+        }
+    }
+    Ok(CountsState {
+        journal_pos,
+        counts,
+        dred_exts,
+    })
+}
+
+/// Parses one `+atom.` payload back into its predicate and tuple.
+fn parse_tuple(src: &str) -> std::result::Result<(Pred, Tuple), String> {
+    let ev = dduf_datalog::parser::parse_event(src).map_err(|e| format!("bad event: {e}"))?;
+    if !ev.insert {
+        return Err("expected an insertion-shaped tuple".into());
+    }
+    let consts = ev
+        .atom
+        .as_tuple()
+        .ok_or_else(|| "tuple is not ground".to_string())?;
+    Ok((ev.atom.pred, Tuple::new(consts)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dduf_core::processor::UpdateProcessor;
+    use dduf_datalog::parser::parse_database;
+
+    const SCHEMA: &str = "e(a, b). e(b, c). e(a, c). flag('Señor X').
+        v(X) :- e(X, Y), not flag(X).
+        tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y).";
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("dduf_counts_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn engine() -> MaintenanceEngine {
+        let proc = UpdateProcessor::new(parse_database(SCHEMA).unwrap())
+            .unwrap()
+            .with_maintenance()
+            .unwrap();
+        proc.maintenance().unwrap().clone()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let engine = engine();
+        write(&dir, &engine, 7).unwrap();
+        let state = read(&dir).unwrap();
+        assert_eq!(state.journal_pos, 7);
+        assert_eq!(&state.counts, engine.counts());
+        assert_eq!(state.tuple_count(), engine.tuple_count());
+        // The restored state rebuilds an identical engine.
+        let db = parse_database(SCHEMA).unwrap();
+        let restored = MaintenanceEngine::from_saved(&db, state.counts, state.dred_exts).unwrap();
+        assert_eq!(restored.extensions(), engine.extensions());
+        assert!(!dir.join(format!("{COUNTS_FILE}.tmp")).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_body_fails_checksum() {
+        let dir = tmpdir("damage");
+        write(&dir, &engine(), 7).unwrap();
+        let path = dir.join(COUNTS_FILE);
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("x +tc(zz, zz).\n");
+        std::fs::write(&path, content).unwrap();
+        match read(&dir) {
+            Err(PersistError::Snapshot { detail, .. }) => {
+                assert!(detail.contains("checksum mismatch"), "{detail}")
+            }
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_body_fails_checksum() {
+        let dir = tmpdir("truncate");
+        write(&dir, &engine(), 7).unwrap();
+        let path = dir.join(COUNTS_FILE);
+        let content = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &content[..content.len() - 9]).unwrap();
+        assert!(read(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let dir = tmpdir("remove");
+        remove(&dir).unwrap(); // nothing there: fine
+        write(&dir, &engine(), 7).unwrap();
+        remove(&dir).unwrap();
+        assert!(!dir.join(COUNTS_FILE).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -25,19 +25,22 @@
 //! error naming the damaged record.
 
 #![forbid(unsafe_code)]
+pub mod counts;
 pub mod crc32;
 pub mod error;
 pub mod journal;
 pub mod lock;
 pub mod snapshot;
 
+pub use counts::{CountsState, COUNTS_FILE};
 pub use error::{PersistError, Result};
 pub use journal::{Journal, Record, Scan, ScanSummary, TornTail, MAX_RECORD};
 pub use lock::{DirLock, LOCK_FILE};
 pub use snapshot::{Snapshot, JOURNAL_FILE, SNAPSHOT_FILE};
 
-use dduf_core::processor::UpdateProcessor;
+use dduf_core::processor::{ProcessorState, UpdateProcessor};
 use dduf_core::transaction::Transaction;
+use dduf_core::upward::maintain::MaintenanceEngine;
 use dduf_core::upward::UpwardResult;
 use std::path::{Path, PathBuf};
 
@@ -57,6 +60,9 @@ pub struct Recovery {
     pub replayed: usize,
     /// Dangling bytes of a torn final record that were truncated.
     pub truncated_bytes: u64,
+    /// Whether the maintenance state (support counts + extensions) was
+    /// restored from `counts.state` instead of recomputed from scratch.
+    pub counts_restored: bool,
 }
 
 /// The storage half of a durable database: directory + open journal.
@@ -109,8 +115,26 @@ impl DurableStore {
 
     /// Writes a snapshot of `db` covering the whole journal so far.
     pub fn checkpoint(&mut self, db: &dduf_datalog::storage::database::Database) -> Result<u64> {
+        self.checkpoint_with_maint(db, None)
+    }
+
+    /// [`checkpoint`](Self::checkpoint) that also persists the maintenance
+    /// state next to the snapshot (or removes a stale counts file when the
+    /// session runs without maintenance). The snapshot is renamed into
+    /// place first: a crash between the two renames leaves a counts file
+    /// whose `journal_pos` disagrees with the snapshot's, which recovery
+    /// rejects and recomputes — never a torn restore.
+    pub fn checkpoint_with_maint(
+        &mut self,
+        db: &dduf_datalog::storage::database::Database,
+        maint: Option<&MaintenanceEngine>,
+    ) -> Result<u64> {
         let pos = self.journal.end();
         snapshot::write(&self.dir, db, pos)?;
+        match maint {
+            Some(engine) => counts::write(&self.dir, engine, pos)?,
+            None => counts::remove(&self.dir)?,
+        }
         Ok(pos)
     }
 }
@@ -137,9 +161,14 @@ impl DurableDb {
         }
         let db = dduf_datalog::parser::parse_database(schema_src)
             .map_err(|e| PersistError::Core(e.into()))?;
-        let proc = UpdateProcessor::new(db)?;
+        let proc = UpdateProcessor::new(db)?.with_maintenance()?;
         let journal = Journal::create(&dir.join(JOURNAL_FILE))?;
         snapshot::write(dir, proc.database(), journal.end())?;
+        counts::write(
+            dir,
+            proc.maintenance().expect("enabled above"),
+            journal.end(),
+        )?;
         Ok(DurableDb {
             store: DurableStore {
                 dir: dir.to_path_buf(),
@@ -166,7 +195,37 @@ impl DurableDb {
             return Err(PersistError::NotADatabase(dir.display().to_string()));
         }
         let (journal, scan) = Journal::open(&journal_path)?;
-        let mut proc = UpdateProcessor::new(snap.db)?;
+        // Restore the maintenance state from the counts file when it
+        // exactly matches the snapshot (same covered journal position and
+        // a split that fits the program); anything else falls back to a
+        // full recompute. Partial or stale state is never loaded.
+        let saved = counts::read(dir)
+            .ok()
+            .filter(|c| c.journal_pos == snap.journal_pos)
+            .and_then(|c| MaintenanceEngine::from_saved(&snap.db, c.counts, c.dred_exts).ok());
+        let counts_restored = saved.is_some();
+        let mut proc = match saved {
+            Some(engine) => {
+                dduf_obs::record(
+                    "counts.persist",
+                    "",
+                    &[
+                        ("loaded", 1),
+                        ("restored_tuples", engine.tuple_count() as u64),
+                    ],
+                );
+                let interp = engine.interpretation();
+                UpdateProcessor::from_state(ProcessorState {
+                    db: snap.db,
+                    interp,
+                    maint: Some(engine),
+                })
+            }
+            None => {
+                dduf_obs::record("counts.persist", "", &[("recompute", 1)]);
+                UpdateProcessor::new(snap.db)?.with_maintenance()?
+            }
+        };
         let mut replayed = 0usize;
         for rec in &scan.records {
             if rec.offset < snap.journal_pos {
@@ -204,6 +263,7 @@ impl DurableDb {
                 snapshot_pos: snap.journal_pos,
                 replayed,
                 truncated_bytes,
+                counts_restored,
             },
         })
     }
@@ -240,10 +300,12 @@ impl DurableDb {
             .map_err(PersistError::Core)
     }
 
-    /// Writes a snapshot covering the whole journal so far; returns the
-    /// covered journal position.
+    /// Writes a snapshot covering the whole journal so far (plus the
+    /// maintenance state, so the next open restores instead of
+    /// recomputing); returns the covered journal position.
     pub fn checkpoint(&mut self) -> Result<u64> {
-        self.store.checkpoint(self.proc.database())
+        self.store
+            .checkpoint_with_maint(self.proc.database(), self.proc.maintenance())
     }
 
     /// Splits into processor + store, for frontends (the `dduf` shell)

@@ -110,10 +110,11 @@ impl ServerHandle {
 pub fn start(db: dduf_persist::DurableDb, config: ServerConfig) -> io::Result<ServerHandle> {
     let (proc, store) = db.into_parts();
     let journal_end = store.journal_end();
-    let (db, interp) = proc.into_state_parts();
+    let state = proc.into_state();
     let cell = Arc::new(StateCell::new(Published {
-        db,
-        interp,
+        db: state.db,
+        interp: state.interp,
+        maint: state.maint,
         journal_end,
         commits: 0,
     }));

@@ -14,11 +14,20 @@
 //! carries the rendered error a local shell would print to stderr. The
 //! connection stays usable after an `err` — exactly like the local
 //! REPL, where an error does not end the session.
+//!
+//! Body lines are escaped on the wire (`\` → `\\`, CR → `\r`), because a
+//! line's *content* can contain framing bytes: a quoted symbol may embed
+//! a carriage return, and multi-line span-diagnostic errors forwarded
+//! from the writer carry whatever the renderer produced. Without the
+//! escape, the reader's line-terminator stripping ate content bytes and
+//! the reconstructed body silently differed from what the server sent.
 
+use std::borrow::Cow;
 use std::io::{self, BufRead, Write};
 
 /// Writes one framed response: the status header, then the body split
-/// into lines. A trailing newline in `body` does not produce an empty
+/// into lines, each escaped so its content cannot collide with the
+/// framing. A trailing newline in `body` does not produce an empty
 /// final line.
 pub fn write_response(w: &mut impl Write, ok: bool, body: &str) -> io::Result<()> {
     let body = body.trim_end_matches('\n');
@@ -30,10 +39,46 @@ pub fn write_response(w: &mut impl Write, ok: bool, body: &str) -> io::Result<()
     let status = if ok { "ok" } else { "err" };
     writeln!(w, "{status} {}", lines.len())?;
     for line in lines {
-        w.write_all(line.as_bytes())?;
+        w.write_all(escape_line(line).as_bytes())?;
         w.write_all(b"\n")?;
     }
     w.flush()
+}
+
+/// Escapes one body line for the wire: backslashes double, carriage
+/// returns become `\r`. The result contains no CR, so the reader can
+/// strip line terminators without eating content.
+fn escape_line(line: &str) -> Cow<'_, str> {
+    if !line.contains('\\') && !line.contains('\r') {
+        return Cow::Borrowed(line);
+    }
+    Cow::Owned(line.replace('\\', "\\\\").replace('\r', "\\r"))
+}
+
+/// Undoes [`escape_line`]. Unknown escapes pass through verbatim, so a
+/// reader never fails on output from a well-behaved writer.
+fn unescape_line(line: &str) -> String {
+    if !line.contains('\\') {
+        return line.to_string();
+    }
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
 }
 
 /// Reads one framed response: `(ok, body lines)`. Returns an
@@ -64,10 +109,11 @@ pub fn read_response(r: &mut impl BufRead) -> io::Result<(bool, Vec<String>)> {
                 "connection closed mid-response",
             ));
         }
+        // Strip the frame terminator only; content CRs arrive escaped.
         while line.ends_with('\n') || line.ends_with('\r') {
             line.pop();
         }
-        lines.push(line);
+        lines.push(unescape_line(&line));
     }
     Ok((ok, lines))
 }
@@ -110,6 +156,47 @@ mod tests {
     fn trailing_newline_adds_no_empty_line() {
         let (_, lines) = round_trip(true, "one line\n");
         assert_eq!(lines, vec!["one line".to_string()]);
+    }
+
+    #[test]
+    fn carriage_returns_in_content_round_trip() {
+        // Regression: the reader strips line terminators, so content CRs
+        // (quoted symbols, renderer output) used to vanish in transit.
+        for body in [
+            "value with\rembedded cr",
+            "trailing cr\r",
+            "\r",
+            "backslash \\ and \\r literal",
+            "windows\r\nstyle",
+        ] {
+            let (_, lines) = round_trip(true, body);
+            let expected: Vec<String> = body
+                .trim_end_matches('\n')
+                .split('\n')
+                .map(str::to_string)
+                .collect();
+            assert_eq!(lines, expected, "body {body:?}");
+        }
+    }
+
+    #[test]
+    fn multi_line_error_with_diagnostics_round_trips() {
+        // The shape a span-diagnostic parse error produces: carets,
+        // blank-ish lines, and backslashes must all arrive intact.
+        let body =
+            "error: expected a term\n  --> line 1, column 9\n  |\n1 | +item(a\\\n  |         ^\r";
+        let mut buf = Vec::new();
+        write_response(&mut buf, false, body).unwrap();
+        let (ok, lines) = read_response(&mut BufReader::new(buf.as_slice())).unwrap();
+        assert!(!ok);
+        assert_eq!(lines.join("\n"), body);
+        // The frame really counted every line: a second response after it
+        // parses from the same stream (framing was not corrupted).
+        let mut buf2 = buf.clone();
+        write_response(&mut buf2, true, "pong").unwrap();
+        let mut r = BufReader::new(buf2.as_slice());
+        read_response(&mut r).unwrap();
+        assert_eq!(read_response(&mut r).unwrap(), (true, vec!["pong".into()]));
     }
 
     #[test]

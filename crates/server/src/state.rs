@@ -10,6 +10,7 @@
 //! long enough to clone or store a pointer) and never observe a
 //! half-applied batch: snapshot isolation by construction.
 
+use dduf_core::upward::maintain::MaintenanceEngine;
 use dduf_datalog::eval::Interpretation;
 use dduf_datalog::storage::database::Database;
 use std::sync::{Arc, RwLock};
@@ -22,6 +23,9 @@ pub struct Published {
     pub db: Database,
     /// Materialization of every derived predicate over `db`.
     pub interp: Interpretation,
+    /// The maintenance state (support counts + extensions) the writer
+    /// carries across group-committed batches, when enabled.
+    pub maint: Option<MaintenanceEngine>,
     /// Journal byte offset this state is durable through.
     pub journal_end: u64,
     /// Transactions committed since the server started.
@@ -68,20 +72,22 @@ mod tests {
     fn readers_keep_their_snapshot_across_a_publish() {
         let db = parse_database("p(a). q(X) :- p(X).").unwrap();
         let proc = UpdateProcessor::new(db).unwrap();
-        let (db, interp) = proc.into_state_parts();
+        let state = proc.into_state();
         let cell = StateCell::new(Published {
-            db,
-            interp,
+            db: state.db,
+            interp: state.interp,
+            maint: state.maint,
             journal_end: 8,
             commits: 0,
         });
         let before = cell.load();
 
         let db2 = parse_database("p(a). p(b). q(X) :- p(X).").unwrap();
-        let (db2, interp2) = UpdateProcessor::new(db2).unwrap().into_state_parts();
+        let state2 = UpdateProcessor::new(db2).unwrap().into_state();
         cell.publish(Published {
-            db: db2,
-            interp: interp2,
+            db: state2.db,
+            interp: state2.interp,
+            maint: state2.maint,
             journal_end: 42,
             commits: 1,
         });

@@ -21,7 +21,7 @@
 
 use crate::state::{Published, StateCell};
 use dduf_core::problems::ic_checking::CheckOutcome;
-use dduf_core::processor::UpdateProcessor;
+use dduf_core::processor::{ProcessorState, UpdateProcessor};
 use dduf_persist::{serialize_transaction, DurableStore};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
@@ -111,7 +111,13 @@ fn commit_batch(batch: Vec<Job>, cell: &StateCell, store: &mut DurableStore) {
     let timer = dduf_obs::timer();
     let clone_timer = dduf_obs::timer();
     let cur = cell.load();
-    let mut staged = UpdateProcessor::from_parts(cur.db.clone(), cur.interp.clone());
+    // The maintenance state travels with the clone, so support counts
+    // stay current across group-committed batches.
+    let mut staged = UpdateProcessor::from_state(ProcessorState {
+        db: cur.db.clone(),
+        interp: cur.interp.clone(),
+        maint: cur.maint.clone(),
+    });
     dduf_obs::record_timed(
         "server.clone",
         "",
@@ -151,10 +157,11 @@ fn commit_batch(batch: Vec<Job>, cell: &StateCell, store: &mut DurableStore) {
         match store.record_commit_batch(&payloads) {
             Ok(end) => {
                 fsyncs = 1;
-                let (db, interp) = staged.into_state_parts();
+                let state = staged.into_state();
                 cell.publish(Published {
-                    db,
-                    interp,
+                    db: state.db,
+                    interp: state.interp,
+                    maint: state.maint,
                     journal_end: end,
                     commits: cur.commits + committed,
                 });
@@ -253,7 +260,7 @@ fn run_admin(job: Job, cell: &StateCell, store: &mut DurableStore) {
     match job {
         Job::Checkpoint { reply } => {
             let cur = cell.load();
-            let r = match store.checkpoint(&cur.db) {
+            let r = match store.checkpoint_with_maint(&cur.db, cur.maint.as_ref()) {
                 Ok(pos) => Reply {
                     ok: true,
                     text: format!("checkpoint written (journal covered to byte {pos})"),

@@ -398,7 +398,7 @@ impl Session {
             ));
         };
         let pos = store
-            .checkpoint(self.proc.database())
+            .checkpoint_with_maint(self.proc.database(), self.proc.maintenance())
             .map_err(|e| Error::Storage(e.to_string()))?;
         Ok(format!(
             "checkpoint written (journal covered to byte {pos})"

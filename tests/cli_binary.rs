@@ -224,6 +224,77 @@ fn db_verbs_round_trip_a_durable_session() {
     std::fs::remove_dir_all(&base).unwrap();
 }
 
+/// Write verbs against a directory whose `dduf.lock` is held by a live
+/// process must exit 1 with the clear "locked by another process"
+/// diagnostic (not a raw debug string), while the read-only verbs keep
+/// working lock-free.
+#[test]
+fn locked_database_rejects_write_verbs_with_a_clear_message() {
+    let base = std::env::temp_dir().join(format!("dduf_bin_lock_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let schema = base.join("schema.dl");
+    std::fs::write(&schema, EMPLOYMENT).unwrap();
+    let dir = base.join("db");
+    let out = dduf(&[
+        "db",
+        "init",
+        schema.to_str().unwrap(),
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // Hold the directory lock the way a running server does.
+    let held = dduf::persist::DurableDb::open(&dir).unwrap();
+
+    for verb in ["checkpoint", "init"] {
+        let out = if verb == "init" {
+            dduf(&[
+                "db",
+                "init",
+                schema.to_str().unwrap(),
+                dir.to_str().unwrap(),
+            ])
+        } else {
+            dduf(&["db", verb, dir.to_str().unwrap()])
+        };
+        assert_eq!(out.status.code(), Some(1), "db {verb} against a locked dir");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("locked by another process"),
+            "db {verb}: {stderr}"
+        );
+        assert!(
+            stderr.contains("dduf serve"),
+            "db {verb} should hint at who owns the lock: {stderr}"
+        );
+        assert!(
+            !stderr.contains("Locked("),
+            "db {verb} leaked a debug rendering: {stderr}"
+        );
+    }
+
+    // Read-only verbs deliberately skip the lock.
+    for verb in ["verify", "log"] {
+        let out = dduf(&["db", verb, dir.to_str().unwrap()]);
+        assert!(
+            out.status.success(),
+            "db {verb} must not need the lock: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // Releasing the lock makes the write verbs work again.
+    drop(held);
+    let out = dduf(&["db", "checkpoint", dir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
 #[test]
 fn bad_database_file_reports_and_exits_nonzero() {
     let dir = std::env::temp_dir();

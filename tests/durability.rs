@@ -335,6 +335,130 @@ fn preexisting_oversized_record_is_reported_corrupt_not_allocated() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// A clean checkpoint persists the maintenance state; reopening
+/// restores the support counts instead of recomputing them, and the
+/// restored engine keeps committing correctly.
+#[test]
+fn counts_restore_after_checkpoint_skips_the_recompute() {
+    let dir = tmpdir("counts_ok");
+    let mut db = DurableDb::init(&dir, SCHEMA).unwrap();
+    for src in &TXNS[..3] {
+        let txn = db.transaction(src).unwrap();
+        db.commit(&txn).unwrap();
+    }
+    db.checkpoint().unwrap();
+    drop(db);
+    assert!(dir.join(dduf::persist::COUNTS_FILE).exists());
+
+    let (mut recovered, report) = dduf::obs::capture(|| DurableDb::open(&dir).unwrap());
+    assert!(recovered.recovery().counts_restored, "counts must restore");
+    assert_eq!(report.total("counts.persist", "loaded"), 1);
+    assert_eq!(report.total("counts.persist", "recompute"), 0);
+    assert!(recovered.processor().maintenance().is_some());
+    assert_eq!(fingerprint(recovered.processor()), reference_fingerprint(3));
+    // The restored engine is live: the next commit lands correctly.
+    let txn = recovered.transaction(TXNS[3]).unwrap();
+    recovered.commit(&txn).unwrap();
+    assert_eq!(
+        fingerprint(recovered.processor()),
+        reference_fingerprint(TXNS.len())
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Crash injection inside the counts section: truncate the counts file
+/// at every byte offset (and flip bytes mid-file) — recovery must fall
+/// back to a full recompute, never load partial counts, and always land
+/// on the exact reference state.
+#[test]
+fn damaged_counts_file_falls_back_to_recompute_never_partial() {
+    let dir = tmpdir("counts_cut");
+    let mut db = DurableDb::init(&dir, SCHEMA).unwrap();
+    for src in &TXNS[..3] {
+        let txn = db.transaction(src).unwrap();
+        db.commit(&txn).unwrap();
+    }
+    db.checkpoint().unwrap();
+    drop(db);
+
+    let counts_path = dir.join(dduf::persist::COUNTS_FILE);
+    let clean = std::fs::read(&counts_path).unwrap();
+    let expected = reference_fingerprint(3);
+
+    // Every truncation point, including the empty file.
+    for cut in 0..clean.len() {
+        std::fs::write(&counts_path, &clean[..cut]).unwrap();
+        let (recovered, report) = dduf::obs::capture(|| DurableDb::open(&dir).unwrap());
+        assert!(
+            !recovered.recovery().counts_restored,
+            "cut at byte {cut}: a truncated counts file must not restore"
+        );
+        assert_eq!(report.total("counts.persist", "recompute"), 1, "cut {cut}");
+        assert!(
+            recovered.processor().maintenance().is_some(),
+            "cut {cut}: recompute still enables maintenance"
+        );
+        assert_eq!(
+            fingerprint(recovered.processor()),
+            expected,
+            "cut at byte {cut}"
+        );
+        drop(recovered);
+    }
+
+    // A flipped byte mid-file (checksum catches it) also falls back.
+    let mut bytes = clean.clone();
+    let mid = clean.len() / 2;
+    bytes[mid] ^= 0x08;
+    std::fs::write(&counts_path, &bytes).unwrap();
+    let recovered = DurableDb::open(&dir).unwrap();
+    assert!(!recovered.recovery().counts_restored, "flipped byte {mid}");
+    assert_eq!(fingerprint(recovered.processor()), expected);
+    drop(recovered);
+
+    // Restoring the clean bytes restores the fast path.
+    std::fs::write(&counts_path, &clean).unwrap();
+    let recovered = DurableDb::open(&dir).unwrap();
+    assert!(recovered.recovery().counts_restored);
+    assert_eq!(fingerprint(recovered.processor()), expected);
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A counts file left behind by an *older* checkpoint (journal position
+/// mismatch with the snapshot — the picture a crash between the two
+/// renames leaves) is rejected, not half-applied.
+#[test]
+fn stale_counts_file_is_rejected_on_journal_position_mismatch() {
+    let dir = tmpdir("counts_stale");
+    let mut db = DurableDb::init(&dir, SCHEMA).unwrap();
+    let txn = db.transaction(TXNS[0]).unwrap();
+    db.commit(&txn).unwrap();
+    db.checkpoint().unwrap();
+    drop(db);
+    let stale = std::fs::read(dir.join(dduf::persist::COUNTS_FILE)).unwrap();
+
+    // Advance the database and checkpoint again, then put the old
+    // counts file back: snapshot and counts now disagree on coverage.
+    let mut db = DurableDb::open(&dir).unwrap();
+    for src in &TXNS[1..3] {
+        let txn = db.transaction(src).unwrap();
+        db.commit(&txn).unwrap();
+    }
+    db.checkpoint().unwrap();
+    drop(db);
+    std::fs::write(dir.join(dduf::persist::COUNTS_FILE), &stale).unwrap();
+
+    let recovered = DurableDb::open(&dir).unwrap();
+    assert!(
+        !recovered.recovery().counts_restored,
+        "stale counts must not restore"
+    );
+    assert_eq!(fingerprint(recovered.processor()), reference_fingerprint(3));
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn second_open_of_a_live_database_is_refused() {
     let dir = tmpdir("locked");

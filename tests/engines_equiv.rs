@@ -420,6 +420,232 @@ fn planned_trace_fingerprints_invariant_across_thread_counts() {
     }
 }
 
+const NODES: [&str; 5] = ["n0", "n1", "n2", "n3", "n4"];
+
+/// Random *recursive* program: a random edge relation, a recursive SCC
+/// over it (plain transitive closure or a mutually recursive pair with
+/// stratified negation), and counting-maintained layers above the
+/// recursion — the shape that forces the maintenance engine to mix both
+/// strategies in one program.
+#[derive(Clone, Debug)]
+struct RecProgram {
+    mutual: bool,
+    edges: Vec<(usize, usize)>,
+    marks: Vec<usize>,
+}
+
+impl RecProgram {
+    fn gen(rng: &mut Rng) -> RecProgram {
+        RecProgram {
+            mutual: rng.bool(),
+            edges: (0..3 + rng.usize(8))
+                .map(|_| (rng.usize(NODES.len()), rng.usize(NODES.len())))
+                .collect(),
+            marks: (0..rng.usize(4)).map(|_| rng.usize(NODES.len())).collect(),
+        }
+    }
+
+    /// Head predicate of the recursive SCC.
+    fn scc_head(&self) -> &'static str {
+        if self.mutual {
+            "p"
+        } else {
+            "tc"
+        }
+    }
+
+    fn to_source(&self) -> String {
+        let mut src = String::from("#base e/2.\n#base m/1.\n");
+        for &(a, b) in &self.edges {
+            let _ = writeln!(src, "e({}, {}).", NODES[a], NODES[b]);
+        }
+        for &a in &self.marks {
+            let _ = writeln!(src, "m({}).", NODES[a]);
+        }
+        if self.mutual {
+            src.push_str("p(X, Y) :- e(X, Y).\n");
+            src.push_str("p(X, Y) :- e(X, Z), q(Z, Y).\n");
+            src.push_str("q(X, Y) :- p(X, Y), not m(X).\n");
+        } else {
+            src.push_str("tc(X, Y) :- e(X, Y).\n");
+            src.push_str("tc(X, Y) :- e(X, Z), tc(Z, Y).\n");
+        }
+        let h = self.scc_head();
+        let _ = writeln!(src, "cyc(X) :- {h}(X, X).");
+        src.push_str("lone(X) :- m(X), not cyc(X).\n");
+        src
+    }
+}
+
+/// Random deletion-heavy transaction: ~70% of events delete a currently
+/// *live* base fact (so deletions actually tear derivations down), the
+/// rest insert random edges and marks.
+fn gen_churn_txn(rng: &mut Rng, db: &Database) -> Transaction {
+    let e = Pred::new("e", 2);
+    let m = Pred::new("m", 1);
+    let mut events = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..2 + rng.usize(5) {
+        let (kind, pred, tuple) = if rng.usize(10) < 7 {
+            // Delete a live fact (falling back to an insert when the
+            // chosen relation is empty).
+            let pred = if rng.bool() { e } else { m };
+            let live: Vec<Tuple> = db.relation(pred).iter().cloned().collect();
+            match live.get(rng.usize(live.len().max(1))) {
+                Some(t) => (EventKind::Del, pred, t.clone()),
+                None => (
+                    EventKind::Ins,
+                    e,
+                    Tuple::new(vec![
+                        Const::sym(NODES[rng.usize(NODES.len())]),
+                        Const::sym(NODES[rng.usize(NODES.len())]),
+                    ]),
+                ),
+            }
+        } else if rng.bool() {
+            (
+                EventKind::Ins,
+                e,
+                Tuple::new(vec![
+                    Const::sym(NODES[rng.usize(NODES.len())]),
+                    Const::sym(NODES[rng.usize(NODES.len())]),
+                ]),
+            )
+        } else {
+            (
+                EventKind::Ins,
+                m,
+                Tuple::new(vec![Const::sym(NODES[rng.usize(NODES.len())])]),
+            )
+        };
+        if seen.insert((pred, tuple.clone())) {
+            events.push(GroundEvent::new(kind, pred, tuple));
+        }
+    }
+    Transaction::from_events(db, events).expect("validated")
+}
+
+/// Deletion-heavy random streams over recursive programs: the stateful
+/// maintenance engine (counting strata + DRed SCCs, selected
+/// automatically) must agree with the semantic oracle — run at 1, 2,
+/// and 8 worker threads — on every induced event set, and its carried
+/// extensions must equal a full recompute after every step.
+#[test]
+fn maintenance_matches_semantic_on_deletion_heavy_recursive_streams() {
+    use dduf::core::upward::maintain::{MaintenanceEngine, Strategy};
+
+    let mut rng = Rng::new(0xD8ED);
+    for case in 0..48 {
+        let prog = RecProgram::gen(&mut rng);
+        let mut db = parse_database(&prog.to_source()).expect("parses");
+        let mut old = materialize(&db).expect("stratified");
+        let mut engine = MaintenanceEngine::new(&db, &old).expect("mixed strategies");
+
+        // The selection matrix: recursive SCC members run DRed, the
+        // non-recursive strata above keep counting.
+        let h = Pred::new(prog.scc_head(), 2);
+        assert_eq!(engine.strategy(h), Some(Strategy::DRed), "case {case}");
+        assert_eq!(
+            engine.strategy(Pred::new("cyc", 1)),
+            Some(Strategy::Counting),
+            "case {case}"
+        );
+
+        for step in 0..1 + rng.usize(4) {
+            let txn = gen_churn_txn(&mut rng, &db);
+            let expected =
+                dduf::core::upward::interpret_with(&db, &old, &txn, UpwardEngine::Semantic)
+                    .expect("semantic");
+            for threads in [1usize, 2, 8] {
+                let threaded = dduf::core::upward::interpret_with_threads(
+                    &db,
+                    &old,
+                    &txn,
+                    UpwardEngine::Semantic,
+                    threads,
+                )
+                .expect("semantic threaded");
+                assert_eq!(
+                    expected, threaded,
+                    "case {case} step {step}: oracle diverges at {threads} threads"
+                );
+            }
+            let got = engine.apply(&db, &txn).expect("maintained");
+            assert_eq!(
+                got,
+                expected,
+                "case {case} step {step} ({} events):\n{}",
+                txn.events().len(),
+                prog.to_source()
+            );
+            db = txn.apply(&db);
+            old = materialize(&db).expect("new state");
+            // Full-recompute equality of the carried state, every step.
+            assert_eq!(
+                dduf::datalog::pretty::derived(&engine.interpretation()),
+                dduf::datalog::pretty::derived(&old),
+                "case {case} step {step}: maintained extensions drifted"
+            );
+        }
+    }
+}
+
+/// The maintained stream's trace fingerprint is deterministic: fresh
+/// engines built sequentially and with 2- and 8-worker pools replay the
+/// same transaction stream with bit-identical deterministic counters
+/// and identical final extensions.
+#[test]
+fn maintained_stream_fingerprints_are_deterministic() {
+    use dduf::core::upward::maintain::MaintenanceEngine;
+    use dduf::datalog::eval::pool::Pool;
+
+    let mut rng = Rng::new(0xD8ED2);
+    for case in 0..8 {
+        let prog = RecProgram::gen(&mut rng);
+        let db0 = parse_database(&prog.to_source()).expect("parses");
+        let old0 = materialize(&db0).expect("stratified");
+        // Pre-generate the stream so every run replays the same one.
+        let mut txns = Vec::new();
+        let mut db = db0.clone();
+        for _ in 0..3 {
+            let txn = gen_churn_txn(&mut rng, &db);
+            db = txn.apply(&db);
+            txns.push(txn);
+        }
+
+        let run = |pool: Option<usize>| {
+            let mut engine = match pool {
+                Some(n) => MaintenanceEngine::new_pooled(&db0, &old0, &Pool::new(n)),
+                None => MaintenanceEngine::new(&db0, &old0),
+            }
+            .expect("engine");
+            let mut db = db0.clone();
+            let (_, report) = dduf::obs::capture(|| {
+                for txn in &txns {
+                    engine.apply(&db, txn).expect("maintained");
+                    db = txn.apply(&db);
+                }
+            });
+            (
+                dduf::datalog::pretty::derived(&engine.interpretation()),
+                report.semantic_fingerprint(),
+            )
+        };
+
+        dduf::datalog::eval::plan::with_planning(true, || {
+            let (state, fp) = run(None);
+            for threads in [2usize, 8] {
+                let (s, f) = run(Some(threads));
+                assert_eq!(state, s, "case {case}: state differs with a {threads}-pool");
+                assert_eq!(
+                    fp, f,
+                    "case {case}: trace fingerprint differs with a {threads}-pool"
+                );
+            }
+        });
+    }
+}
+
 /// The stateful counting engine ([GMS93]) agrees with the semantic
 /// oracle across a whole *sequence* of transactions (statefulness is
 /// the point: counts must stay correct step after step).
