@@ -219,6 +219,24 @@ pub fn scan(path: &Path) -> Result<Scan> {
     })
 }
 
+/// Fault-injection hook for tests and benches: `DDUF_SYNC_DELAY_US`
+/// (microseconds) pads every batch append with an artificial sleep
+/// between the write and its fsync, simulating a slow durable device.
+/// That is exactly the window the pipelined server overlaps — the
+/// backpressure e2e uses it to saturate the bounded commit queue, and
+/// the fault harness to widen the SIGKILL window. Read once; unset (the
+/// production case) costs one branch per batch.
+fn sync_delay() -> Option<std::time::Duration> {
+    static DELAY: std::sync::OnceLock<Option<std::time::Duration>> = std::sync::OnceLock::new();
+    *DELAY.get_or_init(|| {
+        std::env::var("DDUF_SYNC_DELAY_US")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&us| us > 0)
+            .map(std::time::Duration::from_micros)
+    })
+}
+
 /// An open journal, positioned for appending after the last intact record.
 #[derive(Debug)]
 pub struct Journal {
@@ -321,6 +339,9 @@ impl Journal {
         self.file
             .write_all(&buf)
             .map_err(io_err(&self.path, "append"))?;
+        if let Some(delay) = sync_delay() {
+            std::thread::sleep(delay);
+        }
         self.file.sync_data().map_err(io_err(&self.path, "sync"))?;
         self.end += buf.len() as u64;
         dduf_obs::record_timed(

@@ -38,6 +38,19 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
+/// What a session does when the bounded job queue is at its high-water
+/// mark (admission control — the queue never grows unboundedly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backpressure {
+    /// The session blocks in the enqueue until a slot frees: clients
+    /// feel the pressure as latency, never as an error.
+    Block,
+    /// The session answers immediately with a retryable `busy` `err`
+    /// diagnostic: clients feel the pressure as an explicit signal and
+    /// decide themselves when to retry.
+    Reject,
+}
+
 /// Tunables for [`start`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -47,6 +60,13 @@ pub struct ServerConfig {
     pub sessions: usize,
     /// Most transactions one group commit may cover.
     pub max_batch: usize,
+    /// Overlap staging of batch N+1 with batch N's in-flight fsync
+    /// (DESIGN.md §16). Acks still release only after the fsync.
+    pub pipeline: bool,
+    /// High-water mark of the pending-commit queue (jobs).
+    pub queue_cap: usize,
+    /// Policy when the queue is full.
+    pub backpressure: Backpressure,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +75,9 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7117".to_string(),
             sessions: 8,
             max_batch: 64,
+            pipeline: true,
+            queue_cap: 256,
+            backpressure: Backpressure::Block,
         }
     }
 }
@@ -123,15 +146,23 @@ pub fn start(db: dduf_persist::DurableDb, config: ServerConfig) -> io::Result<Se
     let addr = listener.local_addr()?;
     let metrics = Arc::new(dduf_obs::SharedCollector::new());
     let stop = Arc::new(AtomicBool::new(false));
-    let (jobs_tx, jobs_rx) = mpsc::channel();
+    // The job queue is bounded at the configured high-water mark; the
+    // gauge carries live depth/reject accounting for `:stats`.
+    let queue_cap = config.queue_cap.max(1);
+    let (jobs_tx, jobs_rx) = mpsc::sync_channel(queue_cap);
+    let gauge = Arc::new(writer::QueueGauge::new(queue_cap));
 
     let writer = {
         let cell = cell.clone();
         let metrics = metrics.clone();
-        let max_batch = config.max_batch;
+        let gauge = gauge.clone();
+        let opts = writer::WriterOptions {
+            max_batch: config.max_batch,
+            pipeline: config.pipeline,
+        };
         thread::Builder::new()
             .name("dduf-writer".to_string())
-            .spawn(move || writer::run(jobs_rx, cell, store, metrics, max_batch))?
+            .spawn(move || writer::run(jobs_rx, cell, store, metrics, gauge, opts))?
     };
 
     let sessions = config.sessions.max(1);
@@ -140,7 +171,11 @@ pub fn start(db: dduf_persist::DurableDb, config: ServerConfig) -> io::Result<Se
         let listener = listener.clone();
         let ctx = SessionCtx {
             cell: cell.clone(),
-            jobs: jobs_tx.clone(),
+            queue: writer::JobQueue {
+                jobs: jobs_tx.clone(),
+                gauge: gauge.clone(),
+                backpressure: config.backpressure,
+            },
             stop: stop.clone(),
             addr,
             wake: sessions,
@@ -210,6 +245,7 @@ mod tests {
                 addr: "127.0.0.1:0".to_string(),
                 sessions: 2,
                 max_batch: 8,
+                ..ServerConfig::default()
             },
         )
         .unwrap();

@@ -199,6 +199,87 @@ mod tests {
         assert_eq!(read_response(&mut r).unwrap(), (true, vec!["pong".into()]));
     }
 
+    /// A random body over an alphabet chosen to stress the framing:
+    /// backslash runs, lone CR and LF, control bytes, multi-byte
+    /// characters, and ordinary text.
+    fn random_body(rng: &mut dduf_core::rng::Rng, max_len: usize) -> String {
+        const ALPHABET: [char; 12] = [
+            'a', 'z', ' ', '\\', '\r', '\n', '\t', '\u{1}', '\u{7f}', 'é', 'λ', '0',
+        ];
+        let len = rng.usize(max_len + 1);
+        (0..len).map(|_| *rng.choose(&ALPHABET)).collect()
+    }
+
+    /// What the reader must reconstruct from a written body: trailing
+    /// newlines collapse (they mark frame end, not content), interior
+    /// structure survives byte-exact.
+    fn expected_lines(body: &str) -> Vec<String> {
+        let body = body.trim_end_matches('\n');
+        if body.is_empty() {
+            return Vec::new();
+        }
+        body.split('\n').map(str::to_string).collect()
+    }
+
+    #[test]
+    fn fuzz_escape_round_trips_and_never_leaks_framing_bytes() {
+        let mut rng = dduf_core::rng::Rng::new(0x9ec0de);
+        for _ in 0..2000 {
+            let line: String = random_body(&mut rng, 40).replace('\n', "n");
+            let escaped = escape_line(&line);
+            assert!(
+                !escaped.contains('\r'),
+                "escaped line leaks a CR: {line:?} -> {escaped:?}"
+            );
+            assert_eq!(
+                unescape_line(&escaped),
+                line,
+                "escape/unescape not inverse for {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fuzz_random_bodies_round_trip() {
+        let mut rng = dduf_core::rng::Rng::new(0xf4a2);
+        for i in 0..1500 {
+            let ok = rng.bool();
+            let body = random_body(&mut rng, 60);
+            let got = round_trip(ok, &body);
+            assert_eq!(
+                got,
+                (ok, expected_lines(&body)),
+                "iteration {i}: body {body:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fuzz_back_to_back_frames_never_desync() {
+        // Many frames on one stream — multi-line err bodies included —
+        // must parse back in order: one mis-counted or mis-escaped
+        // frame would desynchronize everything after it.
+        let mut rng = dduf_core::rng::Rng::new(0x5eb0_51de);
+        let mut buf = Vec::new();
+        let mut expected = Vec::new();
+        for _ in 0..300 {
+            let ok = rng.chance(0.6);
+            let body = random_body(&mut rng, 80);
+            write_response(&mut buf, ok, &body).unwrap();
+            expected.push((ok, expected_lines(&body)));
+        }
+        let mut r = BufReader::new(buf.as_slice());
+        for (i, want) in expected.iter().enumerate() {
+            let got = read_response(&mut r).unwrap();
+            assert_eq!(&got, want, "frame {i} desynchronized");
+        }
+        assert_eq!(
+            read_response(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof,
+            "stream must be exactly consumed"
+        );
+    }
+
     #[test]
     fn malformed_headers_rejected() {
         for bad in ["gibberish\n", "ok x\n", "yes 1\nline\n"] {

@@ -5,15 +5,17 @@
 //! commands (`:show`, `:query`, `:check`, `:stats`) run entirely on the
 //! session thread against the snapshot current when the request line
 //! arrived — they never wait on the writer. Mutations (`:apply`,
-//! `:force`, `:checkpoint`) are forwarded to the writer and the session
-//! blocks until the batch containing them is durable, so an `ok` on the
-//! wire is a durability guarantee, and a subsequent read on the *same*
-//! connection sees the write (the writer publishes before it
-//! acknowledges).
+//! `:force`, `:checkpoint`) are forwarded to the writer and answered
+//! only once the batch containing them is durable, so an `ok` on the
+//! wire is a durability guarantee; a peer may pipeline many mutation
+//! lines before reading any response, and replies come back in request
+//! order. A subsequent read on the *same* connection sees the write
+//! (reads settle all of the connection's outstanding mutations first,
+//! and the writer publishes before it acknowledges).
 
 use crate::proto::write_response;
 use crate::state::StateCell;
-use crate::writer::{Job, Reply};
+use crate::writer::{Job, JobQueue, Reply};
 use dduf_core::problems::ic_checking::{self, CheckOutcome};
 use dduf_core::transaction::Transaction;
 use dduf_core::upward::Engine;
@@ -23,15 +25,16 @@ use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Sender};
+use std::sync::mpsc;
 use std::sync::Arc;
 
 /// Everything a session needs, shared across all sessions.
 pub(crate) struct SessionCtx {
     /// The published-state cell for snapshot reads.
     pub cell: Arc<StateCell>,
-    /// Channel to the writer thread.
-    pub jobs: Sender<Job>,
+    /// Bounded channel to the writer thread plus the admission policy
+    /// applied when it reaches its high-water mark.
+    pub queue: JobQueue,
     /// Server-wide shutdown flag (set by `:shutdown`).
     pub stop: Arc<AtomicBool>,
     /// The listener's own address, used to self-connect and unblock
@@ -59,8 +62,40 @@ server commands:
   :shutdown               stop the whole server
 transactions use base events: +p(a). -q(b).";
 
+/// A response owed to the peer, in request order. Mutations answer
+/// `Later` (the writer's post-fsync reply); admission rejections and
+/// shutdown races answer `Now`.
+enum Owed {
+    Now(Reply),
+    Later(mpsc::Receiver<Reply>),
+}
+
+/// Writes every owed response, oldest first. Blocking on `Later`
+/// receivers here is what makes an `ok` frame a durability guarantee.
+fn settle(w: &mut impl Write, owed: &mut Vec<Owed>) -> std::io::Result<()> {
+    for o in owed.drain(..) {
+        let reply = match o {
+            Owed::Now(r) => r,
+            Owed::Later(rx) => rx.recv().unwrap_or(Reply {
+                ok: false,
+                text: "server is shutting down".into(),
+            }),
+        };
+        write_response(w, reply.ok, &reply.text)?;
+    }
+    Ok(())
+}
+
 /// Serves one connection to completion. Errors are connection-fatal
 /// (the peer is gone); command errors go on the wire as `err` frames.
+///
+/// The session pipelines: mutations are submitted to the writer as
+/// fast as the peer sends them, and their (post-fsync) replies are
+/// written back in request order once the peer pauses — so a client
+/// that streams K `:apply` lines before reading fills the writer's
+/// batch with K transactions instead of one per round trip. Read
+/// commands first settle every outstanding mutation, which preserves
+/// the read-your-writes guarantee on a single connection.
 pub(crate) fn serve(stream: TcpStream, ctx: &SessionCtx) -> std::io::Result<()> {
     dduf_obs::record("server.session", "", &[("sessions", 1)]);
     // Request/response round trips are latency-bound: without NODELAY,
@@ -71,13 +106,21 @@ pub(crate) fn serve(stream: TcpStream, ctx: &SessionCtx) -> std::io::Result<()> 
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = std::io::BufWriter::new(stream);
     let mut line = String::new();
+    let mut owed: Vec<Owed> = Vec::new();
     loop {
+        // Replies are owed and the peer has no complete line already
+        // buffered: settle before reading again, because `read_line`
+        // blocks and a synchronous peer is itself blocked on us.
+        if !owed.is_empty() && !reader.buffer().contains(&b'\n') {
+            settle(&mut writer, &mut owed)?;
+        }
         line.clear();
         if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // peer closed
+            return settle(&mut writer, &mut owed); // peer closed
         }
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
+            settle(&mut writer, &mut owed)?;
             write_response(&mut writer, true, "")?;
             continue;
         }
@@ -85,6 +128,24 @@ pub(crate) fn serve(stream: TcpStream, ctx: &SessionCtx) -> std::io::Result<()> 
             Some((c, r)) => (c, r.trim()),
             None => (trimmed, ""),
         };
+        // Mutations queue a reply and keep reading; everything else
+        // settles the queue first so responses stay in request order
+        // (and reads observe this connection's earlier writes).
+        match cmd {
+            ":apply" => {
+                owed.push(forward(ctx, apply_job(rest, true)));
+                continue;
+            }
+            ":force" => {
+                owed.push(forward(ctx, apply_job(rest, false)));
+                continue;
+            }
+            ":checkpoint" => {
+                owed.push(forward(ctx, |reply| Job::Checkpoint { reply }));
+                continue;
+            }
+            _ => settle(&mut writer, &mut owed)?,
+        }
         match cmd {
             ":quit" | ":q" | ":exit" => {
                 write_response(&mut writer, true, "bye")?;
@@ -106,9 +167,6 @@ pub(crate) fn serve(stream: TcpStream, ctx: &SessionCtx) -> std::io::Result<()> 
             ":show" => respond(&mut writer, show(ctx, rest))?,
             ":query" => respond(&mut writer, query(ctx, rest))?,
             ":check" => respond(&mut writer, check(ctx, rest))?,
-            ":apply" => forward(&mut writer, ctx, apply_job(rest, true))?,
-            ":force" => forward(&mut writer, ctx, apply_job(rest, false))?,
-            ":checkpoint" => forward(&mut writer, ctx, |reply| Job::Checkpoint { reply })?,
             ":stats" => write_response(&mut writer, true, &stats(ctx))?,
             other => write_response(
                 &mut writer,
@@ -127,19 +185,16 @@ fn respond(w: &mut impl Write, result: dduf_core::Result<String>) -> std::io::Re
     }
 }
 
-/// Sends a job to the writer and relays its (post-fsync) reply.
-fn forward(
-    w: &mut impl Write,
-    ctx: &SessionCtx,
-    make: impl FnOnce(mpsc::Sender<Reply>) -> Job,
-) -> std::io::Result<()> {
+/// Submits a job to the writer under the queue's admission policy.
+/// The owed reply is either immediate (the queue was at its high-water
+/// mark in `Reject` mode — the retryable `busy` diagnostic) or the
+/// writer's post-fsync acknowledgement, collected later by `settle` in
+/// request order.
+fn forward(ctx: &SessionCtx, make: impl FnOnce(mpsc::Sender<Reply>) -> Job) -> Owed {
     let (tx, rx) = mpsc::channel();
-    if ctx.jobs.send(make(tx)).is_err() {
-        return write_response(w, false, "server is shutting down");
-    }
-    match rx.recv() {
-        Ok(reply) => write_response(w, reply.ok, &reply.text),
-        Err(_) => write_response(w, false, "server is shutting down"),
+    match ctx.queue.submit(make(tx)) {
+        Ok(()) => Owed::Later(rx),
+        Err(reply) => Owed::Now(reply),
     }
 }
 
@@ -223,7 +278,7 @@ fn check(ctx: &SessionCtx, txn_src: &str) -> dduf_core::Result<String> {
 }
 
 /// `:stats` — the aggregated server trace report plus the snapshot's
-/// journal coverage.
+/// journal coverage and the live commit-queue gauge.
 fn stats(ctx: &SessionCtx) -> String {
     let cur = ctx.cell.load();
     let mut out = ctx.metrics.report_now().render_text();
@@ -234,6 +289,12 @@ fn stats(ctx: &SessionCtx) -> String {
         out,
         "journal: durable through byte {}; {} commit(s) this run",
         cur.journal_end, cur.commits
+    );
+    let (depth, enqueued, rejected) = ctx.queue.gauge.totals();
+    let _ = writeln!(
+        out,
+        "queue: depth {depth} of {}; {enqueued} enqueued, {rejected} rejected this run",
+        ctx.queue.gauge.cap
     );
     out
 }

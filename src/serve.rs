@@ -22,9 +22,15 @@ use std::io::{BufRead, BufReader, IsTerminal, Write as _};
 use std::net::TcpStream;
 
 const SERVE_USAGE: &str = "\
-usage: dduf serve <dir> [--addr HOST:PORT] [--sessions N]
-       --addr      address to listen on (default 127.0.0.1:7117; port 0 = ephemeral)
-       --sessions  concurrent client sessions served (default 8)";
+usage: dduf serve <dir> [--addr HOST:PORT] [--sessions N] [--max-batch N]
+                        [--queue-cap N] [--backpressure block|reject] [--serial]
+       --addr          address to listen on (default 127.0.0.1:7117; port 0 = ephemeral)
+       --sessions      concurrent client sessions served (default 8)
+       --max-batch     most transactions one group commit may cover (default 64)
+       --queue-cap     commit-queue high-water mark in jobs (default 256)
+       --backpressure  policy when the queue is full: block the session or
+                       answer a retryable `busy` error (default block)
+       --serial        disable write pipelining (stage and fsync on one thread)";
 
 fn usage_err(msg: &str) -> i32 {
     eprintln!("dduf serve: {msg}\n{SERVE_USAGE}");
@@ -37,6 +43,14 @@ pub fn run(args: impl IntoIterator<Item = String>) -> i32 {
     let mut dir: Option<String> = None;
     let mut config = ServerConfig::default();
     let mut args = args.into_iter();
+    // `--flag value` and `--flag=value` both work, like the db verbs.
+    let numeric = |flag: &str, inline: Option<&str>, args: &mut dyn Iterator<Item = String>| {
+        inline
+            .map(str::to_string)
+            .or_else(|| args.next())
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .ok_or_else(|| format!("{flag} expects a number"))
+    };
     while let Some(a) = args.next() {
         if a == "--addr" {
             let Some(v) = args.next() else {
@@ -45,16 +59,33 @@ pub fn run(args: impl IntoIterator<Item = String>) -> i32 {
             config.addr = v;
         } else if let Some(v) = a.strip_prefix("--addr=") {
             config.addr = v.to_string();
-        } else if a == "--sessions" {
-            let Some(n) = args.next().and_then(|v| v.trim().parse::<usize>().ok()) else {
-                return usage_err("--sessions expects a number");
+        } else if a == "--sessions" || a.starts_with("--sessions=") {
+            match numeric("--sessions", a.strip_prefix("--sessions="), &mut args) {
+                Ok(n) => config.sessions = n,
+                Err(e) => return usage_err(&e),
+            }
+        } else if a == "--max-batch" || a.starts_with("--max-batch=") {
+            match numeric("--max-batch", a.strip_prefix("--max-batch="), &mut args) {
+                Ok(n) => config.max_batch = n,
+                Err(e) => return usage_err(&e),
+            }
+        } else if a == "--queue-cap" || a.starts_with("--queue-cap=") {
+            match numeric("--queue-cap", a.strip_prefix("--queue-cap="), &mut args) {
+                Ok(n) => config.queue_cap = n,
+                Err(e) => return usage_err(&e),
+            }
+        } else if a == "--backpressure" || a.starts_with("--backpressure=") {
+            let v = a
+                .strip_prefix("--backpressure=")
+                .map(str::to_string)
+                .or_else(|| args.next());
+            config.backpressure = match v.as_deref().map(str::trim) {
+                Some("block") => dduf_server::Backpressure::Block,
+                Some("reject") => dduf_server::Backpressure::Reject,
+                _ => return usage_err("--backpressure expects `block` or `reject`"),
             };
-            config.sessions = n;
-        } else if let Some(v) = a.strip_prefix("--sessions=") {
-            let Ok(n) = v.trim().parse::<usize>() else {
-                return usage_err("--sessions expects a number");
-            };
-            config.sessions = n;
+        } else if a == "--serial" {
+            config.pipeline = false;
         } else if a.starts_with('-') {
             return usage_err(&format!("unrecognized flag `{a}`"));
         } else if dir.is_some() {
@@ -174,6 +205,10 @@ mod tests {
         assert_eq!(run(["--addr".to_string()]), 2);
         assert_eq!(run(["--sessions".to_string(), "x".into(), "d".into()]), 2);
         assert_eq!(run(["--sessions=0".to_string(), "d".into()]), 2);
+        assert_eq!(run(["--max-batch".to_string(), "x".into(), "d".into()]), 2);
+        assert_eq!(run(["--queue-cap=".to_string(), "d".into()]), 2);
+        let bad = ["--backpressure".to_string(), "sideways".into(), "d".into()];
+        assert_eq!(run(bad), 2);
     }
 
     #[test]

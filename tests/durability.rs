@@ -194,6 +194,119 @@ fn batched_append_crash_recovers_clean_record_prefix() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Copies a durable database including its counts sidecar, truncating
+/// the journal to `cut` bytes — the on-disk picture a crash at that
+/// byte would leave on a checkpointed database.
+fn crashed_copy_with_counts(src_dir: &Path, name: &str, cut: u64) -> PathBuf {
+    let dst = crashed_copy(src_dir, name, cut);
+    std::fs::copy(
+        src_dir.join(dduf::persist::COUNTS_FILE),
+        dst.join(dduf::persist::COUNTS_FILE),
+    )
+    .unwrap();
+    dst
+}
+
+/// The pipelined writer's journal shape: after a checkpoint, two
+/// consecutive `append_batch` calls (batch N fsynced while batch N+1
+/// was staging). Crash at **every byte** of that two-batch tail:
+/// recovery must land on a clean whole-record prefix, and the counts
+/// sidecar written by the checkpoint must keep restoring at every cut
+/// — the torn tail is after the snapshot position, so it never
+/// invalidates the persisted support counts.
+#[test]
+fn pipelined_two_batch_tail_crash_sweep_keeps_counts_restore() {
+    let dir = tmpdir("pipe_tail");
+    let mut db = DurableDb::init(&dir, SCHEMA).unwrap();
+    let txn = db.transaction(TXNS[0]).unwrap();
+    db.commit(&txn).unwrap();
+    db.checkpoint().unwrap();
+    drop(db); // releases dduf.lock — we drive the journal directly below
+
+    // Serialize TXNS[1..] exactly as the pipelined writer does: staged
+    // serially on one processor, split across two batched appends
+    // (TXNS[1..3] fsync together, then TXNS[3] in the next batch).
+    let mut staged = UpdateProcessor::new(parse_database(SCHEMA).unwrap()).unwrap();
+    let txn0 = staged.transaction(TXNS[0]).unwrap();
+    staged.commit(&txn0).unwrap();
+    let mut payloads = Vec::new();
+    for src in &TXNS[1..] {
+        let txn = staged.transaction(src).unwrap();
+        payloads.push(dduf::persist::serialize_transaction(&txn));
+        staged.commit(&txn).unwrap();
+    }
+
+    let journal_path = dir.join(JOURNAL_FILE);
+    let (mut j, scan) = journal::Journal::open(&journal_path).unwrap();
+    assert_eq!(scan.records.len(), 1);
+    let tail_start = j.end();
+    j.append_batch(&payloads[..2]).unwrap();
+    j.append_batch(&payloads[2..]).unwrap();
+    drop(j);
+
+    let scan = journal::scan(&journal_path).unwrap();
+    assert_eq!(scan.records.len(), TXNS.len());
+    let file_len = std::fs::metadata(&journal_path).unwrap().len();
+    assert_eq!(scan.end, file_len);
+    // End offset of each tail record: the next record's start, or EOF.
+    let ends: Vec<u64> = scan
+        .records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.offset >= tail_start)
+        .map(|(i, _)| scan.records.get(i + 1).map_or(file_len, |n| n.offset))
+        .collect();
+    assert_eq!(ends.len(), 3);
+
+    for cut in tail_start..=file_len {
+        let complete = ends.iter().filter(|&&e| e <= cut).count();
+        let boundary = ends
+            .iter()
+            .filter(|&&e| e <= cut)
+            .max()
+            .copied()
+            .unwrap_or(tail_start);
+        let crash = crashed_copy_with_counts(&dir, &format!("pcut{cut}"), cut);
+        let recovered = DurableDb::open(&crash).unwrap();
+        assert_eq!(
+            fingerprint(recovered.processor()),
+            reference_fingerprint(1 + complete),
+            "cut at byte {cut}: state must equal the {complete}-record tail prefix"
+        );
+        assert_eq!(recovered.recovery().replayed, complete, "cut {cut}");
+        assert_eq!(recovered.recovery().truncated_bytes, cut - boundary);
+        assert!(
+            recovered.recovery().counts_restored,
+            "cut at byte {cut}: a torn tail after the snapshot must not \
+             invalidate the counts sidecar"
+        );
+        drop(recovered);
+        assert_eq!(
+            std::fs::metadata(crash.join(JOURNAL_FILE)).unwrap().len(),
+            boundary,
+            "cut at byte {cut}: torn tail must be truncated"
+        );
+        std::fs::remove_dir_all(&crash).unwrap();
+    }
+
+    // A torn tail *and* a damaged counts file together: recovery falls
+    // back to the recompute and still lands on the exact prefix state.
+    let mid_batch = ends[0] + (ends[1] - ends[0]) / 2;
+    let crash = crashed_copy_with_counts(&dir, "pcut_nocounts", mid_batch);
+    let counts_path = crash.join(dduf::persist::COUNTS_FILE);
+    let counts_bytes = std::fs::read(&counts_path).unwrap();
+    std::fs::write(&counts_path, &counts_bytes[..counts_bytes.len() / 2]).unwrap();
+    let recovered = DurableDb::open(&crash).unwrap();
+    assert!(
+        !recovered.recovery().counts_restored,
+        "damaged counts must fall back to recompute"
+    );
+    assert_eq!(fingerprint(recovered.processor()), reference_fingerprint(2));
+    drop(recovered);
+    std::fs::remove_dir_all(&crash).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn midlog_byte_flip_is_a_named_corruption_error() {
     let dir = tmpdir("flip");

@@ -39,17 +39,31 @@ fn spawn_server(
     dir: &Path,
     threads: &str,
 ) -> (Child, SocketAddr, BufReader<std::process::ChildStdout>) {
+    spawn_server_with(dir, threads, &[], &[])
+}
+
+/// `spawn_server` plus extra `dduf serve` flags and environment
+/// variables (fault hooks like `DDUF_SYNC_DELAY_US`).
+fn spawn_server_with(
+    dir: &Path,
+    threads: &str,
+    extra_args: &[&str],
+    envs: &[(&str, &str)],
+) -> (Child, SocketAddr, BufReader<std::process::ChildStdout>) {
+    let mut args = vec![
+        "--threads",
+        threads,
+        "serve",
+        dir.to_str().unwrap(),
+        "--addr",
+        "127.0.0.1:0",
+        "--sessions",
+        "4",
+    ];
+    args.extend_from_slice(extra_args);
     let mut child = Command::new(env!("CARGO_BIN_EXE_dduf"))
-        .args([
-            "--threads",
-            threads,
-            "serve",
-            dir.to_str().unwrap(),
-            "--addr",
-            "127.0.0.1:0",
-            "--sessions",
-            "4",
-        ])
+        .args(&args)
+        .envs(envs.iter().copied())
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -277,6 +291,97 @@ fn framing_bytes_in_content_survive_the_wire() {
     assert_eq!(dduf::datalog::pretty::database(replay.database()), state);
     assert!(state.contains("item('cr\rmid', s1)."), "{state}");
     drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Saturating a tiny commit queue in `reject` mode: the overflow gets
+/// the retryable `busy` diagnostic, every accepted commit is acked and
+/// durable, `:stats` agrees with the client on the rejection count,
+/// and the queue drains to depth 0 once the burst settles.
+#[test]
+fn backpressure_rejects_overflow_and_loses_no_accepted_commit() {
+    let dir = tmpdir("backpressure");
+    make_db(&dir);
+    // One transaction per fsync, each fsync stretched to 20ms, and a
+    // two-job high-water mark: a burst must overflow.
+    let (mut child, addr, _stdout) = spawn_server_with(
+        &dir,
+        "1",
+        &[
+            "--max-batch",
+            "1",
+            "--queue-cap",
+            "2",
+            "--backpressure",
+            "reject",
+        ],
+        &[("DDUF_SYNC_DELAY_US", "20000")],
+    );
+    let mut client = Client::connect(addr);
+
+    // Stream the whole burst without reading a single response: the
+    // session submits each line as it arrives, so the queue saturates.
+    const BURST: usize = 30;
+    for i in 0..BURST {
+        writeln!(client.stream, ":apply +item(bp, i{i}).").unwrap();
+    }
+    let mut acked = Vec::new();
+    let mut rejected = 0usize;
+    for i in 0..BURST {
+        let (ok, lines) = read_response(&mut client.reader).unwrap();
+        if ok {
+            assert!(lines[0].starts_with("applied"), "request {i}: {lines:?}");
+            acked.push(format!("item(bp, i{i})"));
+        } else {
+            let text = lines.join("\n");
+            assert!(
+                text.contains("retryable"),
+                "rejection must say it is retryable: {text:?}"
+            );
+            rejected += 1;
+        }
+    }
+    assert!(
+        rejected > 0,
+        "a 30-commit burst must overflow a 2-job queue"
+    );
+    assert!(!acked.is_empty(), "the queue must accept some of the burst");
+
+    // Quiescent again: a retried commit goes through, and the gauge
+    // agrees with what this client observed.
+    let (ok, lines) = client.send(":apply +item(bp, retried).");
+    assert!(ok, "retry after backpressure must succeed: {lines:?}");
+    acked.push("item(bp, retried)".to_string());
+    let (ok, lines) = client.send(":stats");
+    assert!(ok);
+    let queue_line = lines
+        .iter()
+        .find(|l| l.starts_with("queue: "))
+        .expect("queue gauge line in :stats");
+    assert!(
+        queue_line.starts_with("queue: depth 0 of 2; "),
+        "queue must be drained at quiescence: {queue_line:?}"
+    );
+    assert!(
+        queue_line.contains(&format!("{rejected} rejected")),
+        "server counted differently than the client saw: {queue_line:?} \
+         vs {rejected} client-observed rejections"
+    );
+
+    let (ok, _) = client.send(":shutdown");
+    assert!(ok);
+    assert!(child.wait().unwrap().success());
+
+    // Every accepted commit is durable; nothing rejected leaked in.
+    let state = assert_serial_equivalence(&dir);
+    for fact in &acked {
+        assert!(state.contains(fact.as_str()), "{fact} was acked but lost");
+    }
+    assert_eq!(
+        state.matches("item(bp, ").count(),
+        acked.len(),
+        "rejected commits must not appear in the durable state"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
